@@ -1,0 +1,6 @@
+"""The benchmark suite: one module per experiment in DESIGN.md §4.
+
+Run with ``pytest benchmarks/ --benchmark-only``; each bench prints its
+measured series (also saved under ``benchmarks/out/``) and asserts the
+paper's qualitative claim.
+"""

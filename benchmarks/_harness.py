@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one experiment from DESIGN.md's per-experiment
+index.  Results are printed and appended to ``benchmarks/out/<id>.txt``
+so EXPERIMENTS.md can quote them; shape claims (polynomial vs exponential,
+who wins) are asserted so a regression breaks the bench.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(experiment_id: str, title: str, body: str) -> None:
+    """Print one experiment's result block and persist it."""
+    banner = f"[{experiment_id}] {title}"
+    block = f"{banner}\n{'-' * len(banner)}\n{body}\n"
+    print("\n" + block)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(block)
+
+
+def series_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A small fixed-width table renderer for bench output."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    def fmt(row):
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+
+    lines = [fmt(header)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

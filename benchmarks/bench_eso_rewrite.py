@@ -1,0 +1,96 @@
+"""F6 — the Lemma 3.6 ablation: taming high-arity quantified relations.
+
+Section 3.3's difficulty: ESO^k bounds individual variables but not
+relation-variable arities, so the naive guess-the-relation evaluator pays
+``2^(n^arity)``.  Lemma 3.6's observation — only the atom patterns
+matter — is realized twice in this library, and this bench measures both
+against the naive enumeration bound:
+
+* explicit view rewriting: quantified arity drops to ≤ k, views and
+  consistency axioms stay linear/quadratic in the expression;
+* lazy grounding: propositional variables exist only for referenced
+  ground patterns, so CNF size is ``O(|e| · n^k)`` with or without the
+  syntactic rewrite.
+"""
+
+import math
+import time
+
+from repro.core.eso_eval import eso_decide, grounded_cnf
+from repro.core.eso_rewrite import rewrite_eso
+from repro.complexity.fit import fit_polynomial
+from repro.logic.analysis import max_so_arity
+from repro.logic.parser import parse_formula
+from repro.workloads.graphs import random_graph
+
+from benchmarks._harness import emit, series_table
+
+ARITIES = [2, 4, 6, 8]
+
+
+def _query(arity: int):
+    """``∃S/arity``: an S-pattern constraint over two variables."""
+    xs = ", ".join(["x", "y"] * (arity // 2))
+    ys = ", ".join(["y", "x"] * (arity // 2))
+    return parse_formula(
+        f"exists2 S/{arity}. forall x. forall y. "
+        f"(~E(x, y) | S({xs}) | ~S({ys}))"
+    )
+
+
+def _point(arity: int, n: int = 4):
+    db = random_graph(n, 0.4, seed=7)
+    phi = _query(arity)
+    rewritten = rewrite_eso(phi)
+    cnf, _ = grounded_cnf(phi, db, use_rewrite=True)
+    start = time.perf_counter()
+    outcome = eso_decide(phi, db)
+    seconds = time.perf_counter() - start
+    return phi, rewritten, cnf, outcome, seconds, n
+
+
+def bench_eso_rewrite_ablation(benchmark):
+    rows, cnf_vars = [], []
+    for arity in ARITIES:
+        phi, rewritten, cnf, outcome, seconds, n = _point(arity)
+        naive_tuple_space = n**arity
+        cnf_vars.append(cnf.num_vars)
+        rows.append(
+            (
+                arity,
+                max_so_arity(rewritten.formula),
+                len(rewritten.views),
+                cnf.num_vars,
+                naive_tuple_space,
+                f"2^{naive_tuple_space}",
+                f"{seconds:.4f}",
+            )
+        )
+        # the lemma's claims, per instance
+        assert max_so_arity(phi) == arity
+        assert max_so_arity(rewritten.formula) <= 2
+        assert cnf.num_vars < naive_tuple_space or arity == 2
+    benchmark(_point, ARITIES[1])
+
+    fit = fit_polynomial(ARITIES, cnf_vars)
+    body = (
+        series_table(
+            (
+                "S arity",
+                "view arity",
+                "#views",
+                "cnf vars",
+                "n^arity",
+                "naive guesses",
+                "seconds",
+            ),
+            rows,
+        )
+        + f"\n\ncnf vars vs quantified arity: degree {fit.coefficient:.2f} "
+        "(flat — only the k-variable patterns matter)"
+        + "\nnaive enumeration would search 2^(n^arity) relations"
+    )
+    emit("F6", "Lemma 3.6 ablation: arity reduction beats naive guessing", body)
+
+    # encoding size must NOT scale with the quantified arity
+    assert cnf_vars[-1] <= 4 * cnf_vars[0] + 64

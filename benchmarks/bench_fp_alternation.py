@@ -1,0 +1,110 @@
+"""F3 — the Section 3.2 ablation: restart-everything vs reuse (Thm 3.5).
+
+Two measurements on a directed path with source/sink labels:
+
+1. **work contrast** (footnote 5 made visible): the dependent nested-lfp
+   family re-solves its inner fixpoints on every outer iteration.  The
+   NAIVE strategy's body-evaluation count grows multiplicatively with
+   nesting depth l (the ``n^{k·l}`` behaviour); the warm-started MONOTONE
+   strategy grows additively (``~l·n^k``).
+
+2. **certificate compactness** (the Theorem 3.5 guarantee): on genuinely
+   alternating ν/µ nests the under-approximation certificates stay within
+   the ``l·n^k`` envelope even though deterministic *extraction* may pay
+   the naive cost — finding certificates fast would put FP^k in PTIME,
+   which the paper leaves open.
+
+All strategies must agree with the reference semantics throughout.
+"""
+
+import time
+
+from repro.core.alternation import alternation_answer_with_trace
+from repro.core.fp_eval import FixpointStrategy, solve_query
+from repro.core.interp import EvalStats
+from repro.core.naive_eval import naive_answer
+from repro.workloads.formulas import alternating_fixpoint_family, nested_lfp_family
+from repro.workloads.graphs import labeled_graph, path_graph, random_graph
+
+from benchmarks._harness import emit, series_table
+
+DEPTHS = [1, 2, 3]
+N = 8
+NEST_DB = labeled_graph(path_graph(N), {"P1": [0], "L": [N - 1]})
+
+
+def _work_point(depth: int, strategy: FixpointStrategy):
+    q = nested_lfp_family(depth)
+    stats = EvalStats()
+    start = time.perf_counter()
+    relation = solve_query(
+        q.formula, NEST_DB, ("w",), strategy=strategy, stats=stats
+    )
+    return relation, stats, time.perf_counter() - start
+
+
+def bench_fp_alternation_ablation(benchmark):
+    rows, naive_series, monotone_series = [], [], []
+    for depth in DEPTHS:
+        r_naive, s_naive, t_naive = _work_point(depth, FixpointStrategy.NAIVE)
+        r_mono, s_mono, t_mono = _work_point(depth, FixpointStrategy.MONOTONE)
+        assert r_naive == r_mono
+        if depth <= 2:
+            # the recursive reference interpreter costs ~n^{2l} on nested
+            # parameterized fixpoints; cross-check the cheap depths only
+            # (deeper strategy agreement is property-tested in the suite)
+            assert r_naive == naive_answer(
+                nested_lfp_family(depth).formula, NEST_DB, ("w",)
+            )
+        naive_series.append(s_naive.body_evaluations)
+        monotone_series.append(s_mono.body_evaluations)
+        rows.append(
+            (
+                depth,
+                s_naive.body_evaluations,
+                f"{t_naive:.4f}",
+                s_mono.body_evaluations,
+                s_mono.notes.get("warm_starts", 0),
+                f"{t_mono:.4f}",
+            )
+        )
+    benchmark(_work_point, 3, FixpointStrategy.MONOTONE)
+
+    # certificate compactness on alternating ν/µ nests
+    cert_rows = []
+    alt_db = labeled_graph(
+        random_graph(5, 0.35, seed=3),
+        {f"P{i}": ([0, 2, 4] if i % 2 else [1, 3]) for i in range(1, 5)},
+    )
+    for depth in (1, 2, 3):
+        q = alternating_fixpoint_family(depth)
+        _, cert = alternation_answer_with_trace(q.formula, alt_db, ())
+        envelope = 2 * depth * alt_db.size() ** 3
+        size = cert.total_guessed_tuples()
+        assert size <= envelope, (depth, size, envelope)
+        cert_rows.append((depth, size, envelope))
+
+    naive_growth = naive_series[-1] / naive_series[0]
+    monotone_growth = monotone_series[-1] / monotone_series[0]
+    body = (
+        f"work contrast (nested dependent lfp on an {N}-path):\n"
+        + series_table(
+            (
+                "depth l",
+                "naive body evals",
+                "naive s",
+                "monotone evals",
+                "warm starts",
+                "mono s",
+            ),
+            rows,
+        )
+        + f"\n  naive work x{naive_growth:.1f} from l=1 to l={DEPTHS[-1]}; "
+        f"warm-started x{monotone_growth:.1f} "
+        "(claim: multiplicative vs additive in l)\n\n"
+        "certificate compactness (alternating ν/µ family):\n"
+        + series_table(("alt depth l", "cert tuples", "l*n^k envelope"), cert_rows)
+    )
+    emit("F3", "restart-everything vs reuse: the Theorem 3.5 ablation", body)
+
+    assert naive_growth > 2.0 * monotone_growth

@@ -1,0 +1,87 @@
+"""F2 — the Section 2.2 path-query rewrite: n+1 variables vs three.
+
+``φ_n(x, y)`` ("a path of length n from x to y") written naively needs
+n+1 variables; by reusing variables it lives in FO^3.  Evaluated with the
+bounded engine, the naive form's intermediates grow with n (arity n+1 in
+the worst join order) while the FO^3 form stays at arity ≤ 3 — and the
+automatic minimizer turns the former into the latter.
+"""
+
+import time
+
+from repro.core.fo_eval import BoundedEvaluator
+from repro.core.interp import EvalStats
+from repro.complexity.fit import fit_polynomial
+from repro.optimize import minimize_variables
+from repro.logic.variables import variable_width
+from repro.workloads.formulas import path_query_fo3, path_query_naive
+from repro.workloads.graphs import random_graph
+
+from benchmarks._harness import emit, series_table
+
+LENGTHS = [2, 3, 4, 5]
+GRAPH = random_graph(10, 0.25, seed=77)
+
+
+def _evaluate(formula):
+    stats = EvalStats()
+    start = time.perf_counter()
+    relation = BoundedEvaluator(GRAPH, stats=stats).answer(
+        formula, ("x", "y")
+    )
+    return relation, stats, time.perf_counter() - start
+
+
+def bench_path_rewrite(benchmark):
+    rows = []
+    naive_peaks, fo3_peaks = [], []
+    for n in LENGTHS:
+        naive_formula = path_query_naive(n).formula
+        fo3_formula = path_query_fo3(n).formula
+        minimized = minimize_variables(naive_formula)
+        r_naive, s_naive, t_naive = _evaluate(naive_formula)
+        r_fo3, s_fo3, t_fo3 = _evaluate(fo3_formula)
+        r_min, s_min, t_min = _evaluate(minimized)
+        assert r_naive == r_fo3 == r_min
+        naive_peaks.append(s_naive.max_intermediate_rows)
+        fo3_peaks.append(s_fo3.max_intermediate_rows)
+        rows.append(
+            (
+                n,
+                variable_width(naive_formula),
+                s_naive.max_intermediate_arity,
+                s_naive.max_intermediate_rows,
+                variable_width(minimized),
+                s_min.max_intermediate_arity,
+                s_fo3.max_intermediate_rows,
+                f"{t_naive:.4f}",
+                f"{t_fo3:.4f}",
+            )
+        )
+        assert variable_width(minimized) == 3
+        assert s_fo3.max_intermediate_arity <= 3
+        assert s_min.max_intermediate_arity <= 3
+    benchmark(_evaluate, path_query_fo3(LENGTHS[-1]).formula)
+
+    fo3_fit = fit_polynomial(LENGTHS, [max(p, 1) for p in fo3_peaks])
+    body = (
+        series_table(
+            (
+                "n",
+                "naive k",
+                "naive arity",
+                "naive rows",
+                "min k",
+                "min arity",
+                "fo3 rows",
+                "naive s",
+                "fo3 s",
+            ),
+            rows,
+        )
+        + f"\n\nFO^3 peak rows vs n: degree {fo3_fit.coefficient:.2f} "
+        "(flat — the n^3 cap does not depend on path length)"
+        + "\nthe minimizer reproduces the paper's 3-variable rewrite at "
+        "every n"
+    )
+    emit("F2", "path queries: n+1 variables vs the FO^3 rewrite", body)

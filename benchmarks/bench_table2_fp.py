@@ -1,0 +1,167 @@
+"""T2-FP — Table 2: combined complexity of FP^k (NP ∩ co-NP, Thm 3.5).
+
+What is measurable about an NP∩co-NP bound:
+
+1. certificates are small — the total guessed tuples of the Theorem 3.5
+   certificate stay within a fixed polynomial envelope (~ l · n^k) across
+   a data sweep, for membership *and* (via the dual query) non-membership;
+2. verification is fast — the verifier's work grows polynomially in n.
+
+Both are swept on the ν/µ "P infinitely often on every path" property.
+"""
+
+import time
+
+from repro.core.certificates import (
+    certificate_size,
+    extract_membership,
+    extract_non_membership,
+    verify_membership,
+    verify_non_membership,
+)
+from repro.core.interp import EvalStats
+from repro.core.naive_eval import naive_answer
+from repro.complexity.fit import classify_growth
+from repro.logic.parser import parse_formula
+from repro.workloads.graphs import labeled_graph, random_graph
+
+from benchmarks._harness import emit, series_table
+
+SIZES = [3, 4, 5, 6, 7]
+FAIR = parse_formula(
+    "[gfp S(x). [lfp T(z). forall y. (~E(z, y) | (P(y) & S(y)) | T(y))](x)](u)"
+)
+
+
+def _database(n: int):
+    return labeled_graph(
+        random_graph(n, 0.35, seed=n + 100), {"P": list(range(0, n, 2))}
+    )
+
+
+def _sweep_point(n: int):
+    db = _database(n)
+    answer = naive_answer(FAIR, db, ("u",))
+    member = next(iter(sorted(answer.tuples)), None)
+    outside = next(
+        ((v,) for v in range(n) if (v,) not in answer), None
+    )
+    sizes, verify_work = [], []
+    if member is not None:
+        cert = extract_membership(FAIR, db, ("u",), member)
+        sizes.append(certificate_size(cert))
+        stats = EvalStats()
+        start = time.perf_counter()
+        assert verify_membership(cert, FAIR, db, stats=stats)
+        verify_work.append(
+            (time.perf_counter() - start, stats.table_ops)
+        )
+    if outside is not None:
+        cert = extract_non_membership(FAIR, db, ("u",), outside)
+        sizes.append(certificate_size(cert))
+        stats = EvalStats()
+        start = time.perf_counter()
+        assert verify_non_membership(cert, FAIR, db, stats=stats)
+        verify_work.append((time.perf_counter() - start, stats.table_ops))
+    return sizes, verify_work
+
+
+def bench_table2_fp_certificates(benchmark):
+    rows, max_sizes, verify_ops = [], [], []
+    k, fixpoints = 3, 2
+    for n in SIZES:
+        sizes, verify_work = _sweep_point(n)
+        envelope = 2 * fixpoints * n**k
+        biggest = max(sizes) if sizes else 0
+        ops = max((w for _, w in verify_work), default=0)
+        seconds = max((s for s, _ in verify_work), default=0.0)
+        max_sizes.append(max(biggest, 1))
+        verify_ops.append(max(ops, 1))
+        rows.append((n, biggest, envelope, ops, f"{seconds:.4f}"))
+        assert biggest <= envelope, (n, biggest, envelope)
+    benchmark(_sweep_point, SIZES[2])
+
+    from repro.complexity.fit import fit_polynomial
+
+    size_fit = fit_polynomial(SIZES, max_sizes)
+    verify_fit = fit_polynomial(SIZES, verify_ops)
+    body = (
+        series_table(
+            ("n", "cert tuples", "l*n^k envelope", "verify ops", "verify s"),
+            rows,
+        )
+        + f"\n\ncertificate size vs n: within the l*n^k envelope at every "
+        f"n; fitted degree {size_fit.coefficient:.2f} (claim: poly — NP side)"
+        + f"\nverification work vs n: fitted degree "
+        f"{verify_fit.coefficient:.2f} (claim: poly-time verifier)"
+        + "\nnon-membership certified via the dual query (co-NP side)"
+    )
+    emit("T2-FP", "FP^k certificates are small and quickly verifiable", body)
+
+    # the meaningful bound is the per-point envelope (asserted in the loop);
+    # the fitted degrees are reported and loosely sanity-checked — random
+    # graph structure makes the series too jagged for model selection
+    assert size_fit.coefficient <= k + 2.0
+    assert verify_fit.coefficient <= 6.0
+
+
+def bench_table3_fp_expression(benchmark):
+    """Table 3 row FP: expression complexity matches combined (NP∩co-NP).
+
+    Fixed database, growing alternating ν/µ expressions: certificate
+    sizes stay within the ``l·n^k`` envelope — linear in the expression's
+    alternation depth l, not exponential.
+    """
+    from repro.core.alternation import alternation_answer_with_trace
+    from repro.workloads.formulas import alternating_fixpoint_family
+
+    db = _database(5)
+    depth_db = db
+    rows = []
+    sizes = []
+    depths = [1, 2, 3, 4]
+    for depth in depths:
+        q = alternating_fixpoint_family(depth)
+        working_db = depth_db
+        # the family needs labels P1..P<depth>
+        from repro.workloads.graphs import labeled_graph, random_graph
+
+        working_db = labeled_graph(
+            random_graph(5, 0.35, seed=4),
+            {f"P{i}": [0, 2] for i in range(1, depth + 1)},
+        )
+        _, cert = alternation_answer_with_trace(q.formula, working_db, ())
+        envelope = 2 * depth * working_db.size() ** 3
+        size = cert.total_guessed_tuples()
+        sizes.append(max(size, 1))
+        rows.append((depth, q.formula.size(), size, envelope))
+        assert size <= envelope
+    benchmark(
+        lambda: alternation_answer_with_trace(
+            alternating_fixpoint_family(3).formula,
+            _expression_db(),
+            (),
+        )
+    )
+    body = (
+        series_table(
+            ("alt depth l", "|e| nodes", "cert tuples", "l*n^k envelope"),
+            rows,
+        )
+        + "\n\nfixed database, growing expressions: certificate size "
+        "scales with l, inside the l*n^k envelope at every depth"
+    )
+    emit(
+        "T3-FP",
+        "FP^k expression complexity: certificates stay l*n^k on a fixed B",
+        body,
+    )
+
+
+def _expression_db():
+    from repro.workloads.graphs import labeled_graph, random_graph
+
+    return labeled_graph(
+        random_graph(5, 0.35, seed=4),
+        {f"P{i}": [0, 2] for i in range(1, 4)},
+    )

@@ -1,0 +1,81 @@
+"""T2-PFP — Table 2: combined complexity of PFP^k is PSPACE (Thm 3.8).
+
+The PSPACE bound's observable content: the *live state* of the evaluator
+(current iterates, one ≤ n^k relation per active fixpoint) stays
+polynomial in n even when the *iteration count* grows much faster.  We
+sweep a binary-counter-style pfp whose iteration count scales with 2^n
+while its live state stays at n tuples.
+"""
+
+import time
+
+from repro.core.naive_eval import naive_answer
+from repro.core.pfp_eval import SpaceMeter, pfp_answer
+from repro.complexity.fit import classify_growth
+from repro.logic.parser import parse_formula
+from repro.workloads.graphs import labeled_graph, path_graph
+
+from benchmarks._harness import emit, series_table
+
+SIZES = [2, 3, 4, 5, 6, 7]
+
+# a unary binary counter: position i flips when all lower positions are
+# set; the sequence enumerates all 2^n subsets before converging/cycling,
+# so iterations ~ 2^n while the live state is one unary relation
+COUNTER = parse_formula(
+    "[pfp X(x). (X(x) & ~forall y. (~LT(y, x) | X(y)))"
+    " | (~X(x) & forall y. (~LT(y, x) | X(y)))](u)"
+)
+
+
+def _database(n: int):
+    base = path_graph(n)
+    lt = [(i, j) for i in range(n) for j in range(n) if i < j]
+    from repro.database import Database, Relation
+
+    return Database(
+        base.domain,
+        {"E": base.relation("E"), "LT": Relation(2, lt)},
+    )
+
+
+def _point(n: int):
+    db = _database(n)
+    meter = SpaceMeter()
+    start = time.perf_counter()
+    answer = pfp_answer(COUNTER, db, ("u",), meter=meter)
+    seconds = time.perf_counter() - start
+    return answer, meter, seconds
+
+
+def bench_table2_pfp_space(benchmark):
+    rows, live, iterations = [], [], []
+    for n in SIZES:
+        answer, meter, seconds = _point(n)
+        assert answer == naive_answer(COUNTER, _database(n), ("u",))
+        live.append(max(meter.peak_live_tuples, 1))
+        iterations.append(meter.total_iterations)
+        rows.append(
+            (n, meter.peak_live_tuples, meter.total_iterations, f"{seconds:.4f}")
+        )
+    benchmark(_point, SIZES[2])
+
+    live_kind, live_fit, _ = classify_growth(SIZES, live)
+    iter_kind, iter_fit, _ = classify_growth(SIZES, iterations)
+    body = (
+        series_table(("n", "peak live tuples", "iterations", "seconds"), rows)
+        + f"\n\nlive state vs n: {live_kind}, degree "
+        f"{live_fit.coefficient:.2f} (claim: <= n^k — the PSPACE bound)"
+        + f"\niterations vs n: {iter_kind}"
+        + (
+            f", base {iter_fit.base:.2f} per element"
+            if iter_kind == "exponential"
+            else f", degree {iter_fit.coefficient:.2f}"
+        )
+        + " (allowed: up to 2^(n^k))"
+    )
+    emit("T2-PFP", "PFP^k: polynomial space, possibly exponential time", body)
+
+    assert live_kind == "polynomial" and live_fit.coefficient <= 2.0
+    assert iter_kind == "exponential"
+    assert iterations[-1] >= 2 ** (SIZES[-1] - 1)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's introduction example, end to end.
+
+"Find employees who earn less money than their manager's secretary" over
+EMP(Emp,Dept), MGR(Dept,Mgr), SCY(Mgr,Scy), SAL(Emp,Sal):
+
+1. the naive 6-variable query and the cross-product-first algebra plan
+   (10-ary intermediate);
+2. the bounded 3-variable query and the join/project plan (arity ≤ 3);
+3. automatic variable minimization turning form 1 into form 2.
+
+Run:  python examples/company_queries.py
+"""
+
+from repro import Query, evaluate
+from repro.algebra import dynamic_cost
+from repro.optimize import minimize_variables
+from repro.workloads.company import (
+    company_database,
+    earns_less_bounded,
+    earns_less_bounded_algebra,
+    earns_less_naive,
+    earns_less_naive_algebra,
+)
+
+
+def main() -> None:
+    db = company_database(num_employees=14, num_departments=4, seed=42)
+    print(f"company database: {db}\n")
+
+    naive_q = earns_less_naive()
+    bounded_q = earns_less_bounded()
+    print(f"naive query   ({naive_q.width} variables): {naive_q.text()}")
+    print(f"bounded query ({bounded_q.width} variables): {bounded_q.text()}\n")
+
+    # --- logic-level evaluation ---------------------------------------
+    r_naive = evaluate(naive_q.formula, db, ("e",))
+    r_bounded = evaluate(bounded_q.formula, db, ("e",))
+    assert r_naive.relation == r_bounded.relation
+    print(f"underpaid employees: {sorted(t[0] for t in r_naive.relation)}")
+    print(
+        f"  naive form   peaks at arity {r_naive.stats.max_intermediate_arity} "
+        f"({r_naive.stats.max_intermediate_rows} rows)"
+    )
+    print(
+        f"  bounded form peaks at arity {r_bounded.stats.max_intermediate_arity} "
+        f"({r_bounded.stats.max_intermediate_rows} rows)\n"
+    )
+
+    # --- algebra-level plans (Section 1's two approaches) --------------
+    table_naive, cost_naive = dynamic_cost(earns_less_naive_algebra(), db)
+    table_bounded, cost_bounded = dynamic_cost(earns_less_bounded_algebra(), db)
+    assert set(table_naive.rows) == set(table_bounded.rows)
+    print("algebra plans:")
+    print(
+        f"  cross-product-first: max arity {cost_naive.max_intermediate_arity}, "
+        f"max rows {cost_naive.max_intermediate_rows}, "
+        f"total rows produced {cost_naive.total_rows_produced}"
+    )
+    print(
+        f"  bounded join plan:   max arity {cost_bounded.max_intermediate_arity}, "
+        f"max rows {cost_bounded.max_intermediate_rows}, "
+        f"total rows produced {cost_bounded.total_rows_produced}\n"
+    )
+
+    # --- variable minimization as query optimization -------------------
+    minimized = minimize_variables(naive_q.formula)
+    optimized_q = Query(minimized, output_vars=("e",), name="optimized")
+    print(
+        f"minimizer: {naive_q.width} variables -> {optimized_q.width} "
+        f"variables"
+    )
+    print(f"  rewritten: {optimized_q.text()}")
+    r_opt = optimized_q.run(db)
+    assert r_opt.relation == r_naive.relation
+    print(
+        f"  evaluation now peaks at arity "
+        f"{r_opt.stats.max_intermediate_arity} — same answer, "
+        f"polynomially bounded intermediates"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Variable minimization as a query optimization methodology (Section 5).
+
+The paper's closing suggestion made concrete: take queries written with
+profligate variable use, minimize their width, and watch the evaluation
+cost drop from n^{width} to n^3.
+
+Run:  python examples/query_optimization.py
+"""
+
+import time
+
+from repro import Query, evaluate
+from repro.logic.variables import variable_width
+from repro.optimize import minimize_variables
+from repro.workloads.formulas import path_query_fo3, path_query_naive
+from repro.workloads.graphs import random_graph
+
+
+def timed(formula, db, out):
+    start = time.perf_counter()
+    result = evaluate(formula, db, out)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    db = random_graph(14, 0.18, seed=5)
+    print(f"graph: {db}\n")
+    header = (
+        f"{'n':>3} {'naive k':>8} {'min k':>6} "
+        f"{'naive arity':>12} {'min arity':>10} "
+        f"{'naive s':>9} {'min s':>8}"
+    )
+    print("n-step path queries, naive vs minimized:")
+    print(header)
+    for n in (2, 3, 4, 5):
+        naive = path_query_naive(n).formula
+        minimized = minimize_variables(naive)
+        r_naive, t_naive = timed(naive, db, ("x", "y"))
+        r_min, t_min = timed(minimized, db, ("x", "y"))
+        assert r_naive.relation == r_min.relation
+        print(
+            f"{n:>3} {variable_width(naive):>8} "
+            f"{variable_width(minimized):>6} "
+            f"{r_naive.stats.max_intermediate_arity:>12} "
+            f"{r_min.stats.max_intermediate_arity:>10} "
+            f"{t_naive:>9.4f} {t_min:>8.4f}"
+        )
+
+    print(
+        "\nthe minimizer recovers the paper's hand-written FO^3 form "
+        "(Section 2.2):"
+    )
+    auto = minimize_variables(path_query_naive(4).formula)
+    hand = path_query_fo3(4).formula
+    print(f"  automatic : {Query(auto, ('x', 'y')).text()}")
+    print(f"  hand-made : {Query(hand, ('x', 'y')).text()}")
+    r_auto, _ = timed(auto, db, ("x", "y"))
+    r_hand, _ = timed(hand, db, ("x", "y"))
+    assert r_auto.relation == r_hand.relation
+    print(
+        f"  both width {variable_width(auto)}, identical answers "
+        f"({len(r_auto.relation)} pairs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

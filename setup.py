@@ -1,0 +1,10 @@
+"""Shim so legacy (non-PEP 660) editable installs work offline.
+
+The environment has setuptools but no ``wheel`` package, so modern
+``pip install -e .`` fails at the wheel-building step; this file enables
+``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,276 @@
+"""Acyclic conjunctive queries: GYO reduction and Yannakakis' algorithm.
+
+Section 1 of the paper: "the fundamental reason that acyclic joins are
+easier to evaluate than cyclic joins [BFMY83, Yan81] is that they can be
+evaluated without large intermediate results."  This module supplies that
+precedent as a working component:
+
+* :func:`gyo_reduction` — the Graham/Yu-Özsoyoğlu ear-removal test for
+  hypergraph acyclicity, returning a join tree on success;
+* :func:`yannakakis` — the classical algorithm: a semijoin sweep up the
+  join tree, a sweep down, then joins whose every intermediate is a
+  subset of (a projection of) some input relation joined with the
+  output — no blow-up beyond input + output size.
+
+Queries are conjunctions of relation atoms over variables (the
+select-project-join fragment the introduction discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.database.database import Database
+from repro.errors import EvaluationError
+from repro.logic.syntax import Const, RelAtom, Var
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class JoinTreeNode:
+    """One atom of the query, with children in the join tree."""
+
+    atom_index: int
+    children: Tuple["JoinTreeNode", ...]
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree over the query's atoms (root arbitrary)."""
+
+    root: JoinTreeNode
+    atoms: Tuple[RelAtom, ...]
+
+    def size(self) -> int:
+        def count(node: JoinTreeNode) -> int:
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self.root)
+
+
+def _atom_vars(atom: RelAtom) -> FrozenSet[str]:
+    return frozenset(
+        t.name for t in atom.terms if isinstance(t, Var)
+    )
+
+
+def gyo_reduction(atoms: Sequence[RelAtom]) -> Optional[JoinTree]:
+    """The GYO ear-removal test; a join tree iff the query is acyclic.
+
+    An *ear* is a hyperedge e with a witness w such that every variable of
+    e is either exclusive to e or contained in w; removing ears until
+    nothing is left succeeds exactly on acyclic hypergraphs [BFMY83].
+    """
+    atoms = tuple(atoms)
+    if not atoms:
+        return None
+    alive: Set[int] = set(range(len(atoms)))
+    parent: Dict[int, Optional[int]] = {}
+    removal_order: List[int] = []
+    while len(alive) > 1:
+        ear = None
+        for e in alive:
+            e_vars = _atom_vars(atoms[e])
+            others = alive - {e}
+            shared = {
+                v
+                for v in e_vars
+                if any(v in _atom_vars(atoms[o]) for o in others)
+            }
+            witness = next(
+                (
+                    o
+                    for o in others
+                    if shared <= _atom_vars(atoms[o])
+                ),
+                None,
+            )
+            if witness is not None:
+                ear = (e, witness)
+                break
+        if ear is None:
+            return None  # cyclic
+        e, witness = ear
+        parent[e] = witness
+        removal_order.append(e)
+        alive.remove(e)
+    root_index = next(iter(alive))
+    parent[root_index] = None
+    children: Dict[int, List[int]] = {i: [] for i in range(len(atoms))}
+    for child, p in parent.items():
+        if p is not None:
+            children[p].append(child)
+
+    def build(index: int) -> JoinTreeNode:
+        return JoinTreeNode(
+            index, tuple(build(c) for c in sorted(children[index]))
+        )
+
+    return JoinTree(build(root_index), atoms)
+
+
+def is_acyclic(atoms: Sequence[RelAtom]) -> bool:
+    """Hypergraph acyclicity of a conjunctive query's atom set."""
+    return gyo_reduction(atoms) is not None
+
+
+@dataclass
+class YannakakisStats:
+    """Intermediate-size audit: the 'no large intermediates' claim."""
+
+    max_intermediate_rows: int = 0
+    semijoins: int = 0
+
+    def observe(self, rows: int) -> None:
+        if rows > self.max_intermediate_rows:
+            self.max_intermediate_rows = rows
+
+
+def _bindings_of(atom: RelAtom, db: Database) -> List[Dict[str, object]]:
+    relation = db.relation(atom.name)
+    if relation.arity != len(atom.terms):
+        raise EvaluationError(
+            f"atom {atom.name}: {len(atom.terms)} terms for arity "
+            f"{relation.arity}"
+        )
+    out = []
+    for row in relation.tuples:
+        binding: Dict[str, object] = {}
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                seen = binding.get(term.name, _MISSING)
+                if seen is _MISSING:
+                    binding[term.name] = value
+                elif seen != value:
+                    ok = False
+                    break
+        if ok:
+            out.append(binding)
+    return out
+
+
+_MISSING = object()
+
+
+def _semijoin(
+    target: List[Dict[str, object]],
+    source: List[Dict[str, object]],
+    stats: YannakakisStats,
+) -> List[Dict[str, object]]:
+    """Keep target bindings that agree with some source binding."""
+    stats.semijoins += 1
+    if not target:
+        return target
+    shared = None
+    keys = set(target[0])
+    source_keys = set(source[0]) if source else set()
+    shared = sorted(keys & source_keys)
+    if not shared:
+        return target if source else []
+    witness = {tuple(b[v] for v in shared) for b in source}
+    kept = [b for b in target if tuple(b[v] for v in shared) in witness]
+    stats.observe(len(kept))
+    return kept
+
+
+def yannakakis(
+    atoms: Sequence[RelAtom],
+    db: Database,
+    output_vars: Sequence[str],
+    stats: Optional[YannakakisStats] = None,
+) -> Set[Row]:
+    """Evaluate an acyclic conjunctive query with semijoin reductions.
+
+    Raises :class:`EvaluationError` on cyclic queries — that is the
+    boundary the paper's introduction draws.
+    """
+    stats = stats if stats is not None else YannakakisStats()
+    tree = gyo_reduction(atoms)
+    if tree is None:
+        raise EvaluationError(
+            "the query hypergraph is cyclic; Yannakakis' algorithm "
+            "requires an acyclic join"
+        )
+    bindings: Dict[int, List[Dict[str, object]]] = {
+        i: _bindings_of(atom, db) for i, atom in enumerate(tree.atoms)
+    }
+    for rows in bindings.values():
+        stats.observe(len(rows))
+
+    # bottom-up semijoin sweep: parents keep only joinable bindings
+    def sweep_up(node: JoinTreeNode) -> None:
+        for child in node.children:
+            sweep_up(child)
+            bindings[node.atom_index] = _semijoin(
+                bindings[node.atom_index], bindings[child.atom_index], stats
+            )
+
+    # top-down sweep: children keep only bindings joinable with the parent
+    def sweep_down(node: JoinTreeNode) -> None:
+        for child in node.children:
+            bindings[child.atom_index] = _semijoin(
+                bindings[child.atom_index], bindings[node.atom_index], stats
+            )
+            sweep_down(child)
+
+    sweep_up(tree.root)
+    sweep_down(tree.root)
+
+    # join along the tree, projecting to output + connecting variables;
+    # the running-intersection property of join trees guarantees that a
+    # node's own atom variables are the only interface its subtree shares
+    # with the rest of the query, so projecting to (output ∪ atom vars)
+    # after each child merge is lossless
+    out = list(output_vars)
+    needed = set(out)
+
+    def join_below(node: JoinTreeNode) -> List[Dict[str, object]]:
+        current = bindings[node.atom_index]
+        keep = needed | _atom_vars(tree.atoms[node.atom_index])
+        for child in node.children:
+            child_rows = join_below(child)
+            merged: List[Dict[str, object]] = []
+            child_shared = (
+                sorted(set(child_rows[0]) & set(current[0]))
+                if child_rows and current
+                else []
+            )
+            index: Dict[Tuple, List[Dict[str, object]]] = {}
+            for b in child_rows:
+                index.setdefault(
+                    tuple(b[v] for v in child_shared), []
+                ).append(b)
+            seen_rows = set()
+            for b in current:
+                key = tuple(b[v] for v in child_shared)
+                for match in index.get(key, []):
+                    combined = dict(match)
+                    combined.update(b)
+                    projected = {
+                        v: combined[v] for v in combined if v in keep
+                    }
+                    frozen = tuple(sorted(projected.items()))
+                    if frozen not in seen_rows:
+                        seen_rows.add(frozen)
+                        merged.append(projected)
+            current = merged
+            stats.observe(len(current))
+        return current
+
+    final = join_below(tree.root)
+    result: Set[Row] = set()
+    for binding in final:
+        try:
+            result.add(tuple(binding[v] for v in out))
+        except KeyError as missing:
+            raise EvaluationError(
+                f"output variable {missing} does not occur in the query"
+            ) from None
+    return result

@@ -1,0 +1,115 @@
+"""Plan cost summaries: static arity bounds and dynamic execution audits.
+
+The quantity of interest throughout the paper is the size of intermediate
+results.  :func:`static_max_arity` bounds it before execution (a plan is
+"bounded-variable" when this is ≤ k); :func:`dynamic_cost` runs the plan
+and reports what actually materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.database.database import Database
+from repro.errors import EvaluationError
+from repro.algebra.ops import (
+    ArityTracker,
+    Complement,
+    CrossProduct,
+    Difference,
+    Join,
+    PlanNode,
+    Project,
+    RelationScan,
+    Rename,
+    Select,
+    Table,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Execution summary of one plan run."""
+
+    max_intermediate_arity: int
+    max_intermediate_rows: int
+    total_rows_produced: int
+    operators_executed: int
+    result_rows: int
+
+    def dominates(self, other: "PlanCost") -> bool:
+        """Strictly better on arity and rows (the intro example's claim)."""
+        return (
+            self.max_intermediate_arity < other.max_intermediate_arity
+            and self.max_intermediate_rows <= other.max_intermediate_rows
+        )
+
+
+def static_max_arity(plan: PlanNode) -> int:
+    """Upper bound on the arity of every intermediate of ``plan``.
+
+    Computed bottom-up without touching a database.  Nodes the analyzer
+    does not recognize contribute the max of their children (safe for
+    leaf nodes that declare a ``columns`` attribute).
+    """
+    peak, _ = _arity(plan)
+    return peak
+
+
+def _arity(plan: PlanNode) -> Tuple[int, int]:
+    """(peak arity in subtree, output arity)."""
+    if isinstance(plan, RelationScan):
+        return plan.arity, plan.arity
+    if isinstance(plan, CrossProduct):
+        peaks, outs = zip(*(_arity(c) for c in plan.inputs)) if plan.inputs else ((0,), (0,))
+        out = sum(outs)
+        return max(max(peaks), out), out
+    if isinstance(plan, Join):
+        lp, lo = _arity(plan.left)
+        rp, ro = _arity(plan.right)
+        # without schema knowledge the join output is at most lo + ro
+        out = lo + ro
+        return max(lp, rp, out), out
+    if isinstance(plan, (Select,)):
+        peak, out = _arity(plan.input)
+        return peak, out
+    if isinstance(plan, Project):
+        peak, _ = _arity(plan.input)
+        out = len(plan.columns)
+        return max(peak, out), out
+    if isinstance(plan, Rename):
+        return _arity(plan.input)
+    if isinstance(plan, (Union, Difference)):
+        lp, lo = _arity(plan.left)
+        rp, _ = _arity(plan.right)
+        return max(lp, rp), lo
+    if isinstance(plan, Complement):
+        return _arity(plan.input)
+    # unknown leaf (DomainScan, EqualityScan, ...): trust its columns
+    columns = getattr(plan, "columns", None)
+    if columns is not None and not plan.children():
+        return len(columns), len(columns)
+    if plan.children():
+        peaks_outs = [_arity(c) for c in plan.children()]
+        peak = max(p for p, _ in peaks_outs)
+        out = peaks_outs[-1][1]
+        return peak, out
+    raise EvaluationError(f"cannot bound arity of {type(plan).__name__}")
+
+
+def dynamic_cost(
+    plan: PlanNode, db: Database
+) -> Tuple[Table, PlanCost]:
+    """Run ``plan`` and report what materialized."""
+    tracker = ArityTracker()
+    result = plan.evaluate(db, tracker)
+    cost = PlanCost(
+        max_intermediate_arity=tracker.max_arity,
+        max_intermediate_rows=tracker.max_rows,
+        total_rows_produced=tracker.total_rows_produced,
+        operators_executed=tracker.operators_executed,
+        result_rows=len(result),
+    )
+    return result, cost

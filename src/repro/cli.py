@@ -1,0 +1,174 @@
+"""Command-line interface: evaluate queries against encoded databases.
+
+Usage (also via ``python -m repro``)::
+
+    # evaluate a query against a database file (standard §2.1 encoding)
+    python -m repro eval --db company.db --query "exists y. E(x, y)" --out x
+
+    # inspect a query: language, width, size
+    python -m repro info --query "[lfp S(x). P(x) | S(x)](u)"
+
+    # minimize a query's variables
+    python -m repro minimize --query "exists z1. exists z2. (E(x,z1) & E(z1,z2) & E(z2,y))"
+
+    # run a Datalog program
+    python -m repro datalog --db graph.db --program rules.dl --pred reach
+
+Database files contain the standard encoding produced by
+:func:`repro.database.encoding.encode_database`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.fp_eval import FixpointStrategy
+from repro.database.encoding import decode_database, encode_database
+from repro.errors import ReproError
+from repro.logic.analysis import alternation_depth, classify_language
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula, formula_length
+from repro.logic.variables import free_variables, variable_width
+
+
+def _load_db(path: str):
+    with open(path) as handle:
+        return decode_database(handle.read().strip())
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    db = _load_db(args.db)
+    formula = parse_formula(args.query)
+    out = tuple(args.out or sorted(free_variables(formula)))
+    options = EvalOptions(
+        strategy=FixpointStrategy(args.strategy),
+        k_limit=args.k_limit,
+    )
+    result = evaluate(formula, db, out, options)
+    if not out:
+        print("true" if result.as_bool() else "false")
+    else:
+        print("\t".join(out))
+        for row in sorted(result.relation.tuples, key=repr):
+            print("\t".join(str(v) for v in row))
+    if args.stats:
+        print(
+            f"# language={result.language.value} "
+            f"max_arity={result.stats.max_intermediate_arity} "
+            f"max_rows={result.stats.max_intermediate_rows} "
+            f"fixpoint_iterations={result.stats.fixpoint_iterations}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    formula = parse_formula(args.query)
+    print(f"formula   : {format_formula(formula)}")
+    print(f"language  : {classify_language(formula).value}")
+    print(f"width (k) : {variable_width(formula)}")
+    print(f"free vars : {', '.join(sorted(free_variables(formula))) or '-'}")
+    print(f"|e|       : {formula_length(formula)}")
+    print(f"alt depth : {alternation_depth(formula)}")
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from repro.optimize import minimize_variables
+
+    formula = parse_formula(args.query)
+    minimized = minimize_variables(formula)
+    print(format_formula(minimized))
+    print(
+        f"# width {variable_width(formula)} -> {variable_width(minimized)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    # round-trip/canonicalize a database file
+    db = _load_db(args.db)
+    print(encode_database(db))
+    return 0
+
+
+def _cmd_datalog(args: argparse.Namespace) -> int:
+    from repro.datalog import parse_program, semi_naive
+
+    db = _load_db(args.db)
+    with open(args.program) as handle:
+        program = parse_program(handle.read())
+    results = semi_naive(program, db)
+    predicates = [args.pred] if args.pred else sorted(results)
+    for predicate in predicates:
+        if predicate not in results:
+            raise ReproError(f"program does not define {predicate!r}")
+        for row in sorted(results[predicate].tuples, key=repr):
+            print(f"{predicate}(" + ", ".join(str(v) for v in row) + ")")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="bounded-variable query evaluation (Vardi, PODS 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("eval", help="evaluate a query against a database")
+    p_eval.add_argument("--db", required=True, help="database file (§2.1 encoding)")
+    p_eval.add_argument("--query", required=True, help="query text")
+    p_eval.add_argument(
+        "--out",
+        nargs="*",
+        help="output variables (default: the free variables, sorted)",
+    )
+    p_eval.add_argument(
+        "--strategy",
+        choices=[s.value for s in FixpointStrategy],
+        default=FixpointStrategy.MONOTONE.value,
+        help="fixpoint strategy for FP queries",
+    )
+    p_eval.add_argument("--k-limit", type=int, default=None)
+    p_eval.add_argument("--stats", action="store_true", help="print audit stats")
+    p_eval.set_defaults(func=_cmd_eval)
+
+    p_info = sub.add_parser("info", help="classify and measure a query")
+    p_info.add_argument("--query", required=True)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_min = sub.add_parser("minimize", help="minimize a query's variables")
+    p_min.add_argument("--query", required=True)
+    p_min.set_defaults(func=_cmd_minimize)
+
+    p_enc = sub.add_parser("encode", help="canonicalize a database file")
+    p_enc.add_argument("--db", required=True)
+    p_enc.set_defaults(func=_cmd_encode)
+
+    p_dl = sub.add_parser("datalog", help="run a Datalog program")
+    p_dl.add_argument("--db", required=True)
+    p_dl.add_argument("--program", required=True)
+    p_dl.add_argument("--pred", default=None, help="predicate to print")
+    p_dl.set_defaults(func=_cmd_datalog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Empirical complexity measurement (the Tables 1-3 harness).
+
+The paper's results are asymptotic complexity classes; on a concrete
+machine the observable counterpart is *scaling shape*.  This subpackage
+provides:
+
+* :mod:`~repro.complexity.measure` — parameter sweeps with timing and
+  work counters;
+* :mod:`~repro.complexity.fit` — growth-rate classification: fit a
+  polynomial model ``t ≈ c·n^d`` and an exponential model
+  ``t ≈ c·b^n`` and report which explains the data (and the degree/base);
+* :mod:`~repro.complexity.tables` — renderers that print the rows of the
+  paper's Tables 1-3 next to this library's measured evidence.
+"""
+
+from repro.complexity.measure import SweepPoint, SweepResult, run_sweep
+from repro.complexity.fit import GrowthFit, classify_growth, fit_exponential, fit_polynomial
+from repro.complexity.tables import (
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    render_table,
+)
+
+__all__ = [
+    "run_sweep",
+    "SweepPoint",
+    "SweepResult",
+    "classify_growth",
+    "fit_polynomial",
+    "fit_exponential",
+    "GrowthFit",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "TABLE3_ROWS",
+    "render_table",
+]

@@ -1,0 +1,93 @@
+"""Parameter sweeps with wall-clock timing and work counters.
+
+A sweep runs ``workload(parameter)`` for each parameter value, timing the
+call and optionally collecting a dictionary of work counters (iteration
+counts, intermediate sizes, CNF sizes, ...) that the growth classifier
+can fit alongside raw time — counters are deterministic, so they give
+much cleaner scaling curves than wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measurement: parameter value, seconds, and work counters."""
+
+    parameter: float
+    seconds: float
+    counters: Tuple[Tuple[str, float], ...] = ()
+
+    def counter(self, name: str) -> float:
+        for key, value in self.counters:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep, in parameter order."""
+
+    name: str
+    points: Tuple[SweepPoint, ...]
+
+    def parameters(self) -> List[float]:
+        return [p.parameter for p in self.points]
+
+    def seconds(self) -> List[float]:
+        return [p.seconds for p in self.points]
+
+    def counter_series(self, name: str) -> List[float]:
+        return [p.counter(name) for p in self.points]
+
+    def format_rows(self, counter_names: Sequence[str] = ()) -> str:
+        """A plain-text table of the sweep, for bench output."""
+        header = ["param", "seconds"] + list(counter_names)
+        lines = ["\t".join(header)]
+        for point in self.points:
+            row = [f"{point.parameter:g}", f"{point.seconds:.6f}"]
+            for name in counter_names:
+                row.append(f"{point.counter(name):g}")
+            lines.append("\t".join(row))
+        return "\n".join(lines)
+
+
+def run_sweep(
+    name: str,
+    parameters: Sequence[float],
+    workload: Callable[[float], Optional[Dict[str, float]]],
+    repetitions: int = 1,
+    warmup: bool = True,
+) -> SweepResult:
+    """Run ``workload`` across ``parameters`` and time each call.
+
+    ``workload`` may return a dict of work counters (or ``None``).  With
+    ``repetitions > 1`` the *minimum* time across runs is reported (the
+    standard noise-robust choice); counters come from the last run.
+    """
+    points: List[SweepPoint] = []
+    for parameter in parameters:
+        if warmup:
+            workload(parameter)
+        best = float("inf")
+        counters: Dict[str, float] = {}
+        for _ in range(max(1, repetitions)):
+            start = time.perf_counter()
+            outcome = workload(parameter)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            if outcome:
+                counters = dict(outcome)
+        points.append(
+            SweepPoint(
+                parameter=float(parameter),
+                seconds=best,
+                counters=tuple(sorted(counters.items())),
+            )
+        )
+    return SweepResult(name, tuple(points))

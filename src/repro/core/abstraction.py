@@ -1,0 +1,205 @@
+"""Fixpoint abstraction: the simultaneous (product) view of nested fixpoints.
+
+Theorem 3.5 evaluates a nested fixpoint query by maintaining one
+under-approximation per fixpoint *subformula* and growing them all from
+below.  To make that concrete we rewrite the query so that every fixpoint
+subformula — and every occurrence of every recursion variable — becomes a
+plain relation atom over a fresh name:
+
+* fixpoint node ``j`` = ``[σ S(x̄). φ](t̄)`` with parameters ``p̄``
+  (the free individual variables of ``φ`` outside ``x̄``) becomes the atom
+  ``_fp<j>(t̄, p̄)``;
+* inside the body, the recursion atom ``S(ū)`` becomes ``_fp<j>(ū, p̄)``
+  (parameters ride along as extra columns, so one relation per node covers
+  all parameter values);
+* the same happens recursively for nested fixpoints.
+
+The result is a pure-FO *skeleton* for the query and one pure-FO *operator
+body* per fixpoint node; both are evaluated by the ordinary bounded
+evaluator under a relation environment holding the current
+approximations.  Bound-variable shadowing would corrupt the parameter
+columns, so the input is renamed apart first; this does not change the
+number of free variables of any subformula, keeping intermediate arities
+within the paper's bounds (``≤ 2k`` columns per abstracted atom).
+
+Only LFP/GFP nodes are abstracted (the Theorem 3.5 machinery is about
+monotone fixpoints); PFP/IFP nodes cause a rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import EvaluationError, SyntaxError_
+from repro.logic.normal_form import to_nnf
+from repro.logic.substitution import rename_bound_apart
+from repro.logic.syntax import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+from repro.logic.variables import free_variables
+
+
+@dataclass(frozen=True)
+class AbstractFixpoint:
+    """One fixpoint subformula in the simultaneous system."""
+
+    index: int
+    name: str                      # the fresh relation name ``_fp<index>``
+    kind: str                      # 'lfp' | 'gfp'
+    rel: str                       # the original recursion variable
+    bound_vars: Tuple[str, ...]    # x̄ (names, in binding order)
+    params: Tuple[str, ...]        # p̄ (sorted)
+    body: Formula                  # abstracted operator body (pure FO)
+    children: Tuple[int, ...] = () # indices of immediate nested fixpoints
+
+    @property
+    def value_arity(self) -> int:
+        """Arity of the node's approximation relation: ``|x̄| + |p̄|``."""
+        return len(self.bound_vars) + len(self.params)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Column names of the approximation, bound variables first."""
+        return self.bound_vars + self.params
+
+
+@dataclass(frozen=True)
+class AbstractedQuery:
+    """A query with all LFP/GFP subformulas abstracted away."""
+
+    skeleton: Formula                       # pure FO, mentions _fp<i> atoms
+    nodes: Tuple[AbstractFixpoint, ...]     # in pre-order (outermost first)
+    top: Tuple[int, ...] = ()               # indices of outermost fixpoints
+
+    def node_named(self, name: str) -> AbstractFixpoint:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise EvaluationError(f"unknown abstract fixpoint {name!r}")
+
+
+def abstract_query(formula: Formula, normalize: bool = True) -> AbstractedQuery:
+    """Build the simultaneous system for ``formula``.
+
+    ``normalize`` applies NNF (dualizing negated fixpoints so every
+    fixpoint sits in a positive context — required for the soundness of
+    from-below approximation) and renames bound variables apart.
+    """
+    if normalize:
+        formula = rename_bound_apart(to_nnf(formula))
+    builder = _Abstractor()
+    skeleton = builder.rewrite(formula, {})
+    return AbstractedQuery(
+        skeleton, tuple(builder.nodes), tuple(builder.top)
+    )
+
+
+class _Abstractor:
+    def __init__(self) -> None:
+        self.nodes: List[AbstractFixpoint] = []
+        self.top: List[int] = []
+        self._child_stack: List[List[int]] = [self.top]
+
+    def rewrite(
+        self, formula: Formula, recursion_atoms: Dict[str, Tuple[str, Tuple[str, ...]]]
+    ) -> Formula:
+        """Rewrite ``formula``; ``recursion_atoms`` maps in-scope recursion
+        variables to their ``(_fp name, params)`` extension."""
+        if isinstance(formula, RelAtom):
+            extension = recursion_atoms.get(formula.name)
+            if extension is None:
+                return formula
+            fp_name, params = extension
+            return RelAtom(
+                fp_name, formula.terms + tuple(Var(p) for p in params)
+            )
+        if isinstance(formula, (Equals, Truth)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(self.rewrite(formula.sub, recursion_atoms))
+        if isinstance(formula, And):
+            return And(
+                tuple(self.rewrite(s, recursion_atoms) for s in formula.subs)
+            )
+        if isinstance(formula, Or):
+            return Or(
+                tuple(self.rewrite(s, recursion_atoms) for s in formula.subs)
+            )
+        if isinstance(formula, Exists):
+            return Exists(formula.var, self.rewrite(formula.sub, recursion_atoms))
+        if isinstance(formula, Forall):
+            return Forall(formula.var, self.rewrite(formula.sub, recursion_atoms))
+        if isinstance(formula, (LFP, GFP)):
+            return self._abstract_fixpoint(formula, recursion_atoms)
+        if isinstance(formula, (PFP, IFP)):
+            raise EvaluationError(
+                "the simultaneous/alternation machinery handles lfp/gfp "
+                "only; evaluate pfp/ifp queries with the NAIVE or MONOTONE "
+                "strategy"
+            )
+        if isinstance(formula, SOExists):
+            raise EvaluationError(
+                "second-order quantification cannot be abstracted; route "
+                "ESO queries through repro.core.eso_eval"
+            )
+        raise SyntaxError_(f"unknown formula node {formula!r}")
+
+    def _abstract_fixpoint(
+        self,
+        node: _FixpointBase,
+        recursion_atoms: Dict[str, Tuple[str, Tuple[str, ...]]],
+    ) -> Formula:
+        from repro.logic.variables import free_relation_variables
+
+        index = len(self.nodes)
+        name = f"_fp{index}"
+        # reserve the slot so nested nodes number after this one (pre-order)
+        self.nodes.append(None)  # type: ignore[arg-type]
+        bound = tuple(v.name for v in node.bound_vars)
+        # Parameters: the body's own free variables outside x̄, plus the
+        # parameters of every enclosing fixpoint whose recursion variable
+        # occurs (however deeply) in this body — the inner value genuinely
+        # depends on those ambient bindings through the outer relation.
+        param_set = set(free_variables(node.body)) - set(bound)
+        body_rels = free_relation_variables(node.body)
+        for rel_name, (_, outer_params) in recursion_atoms.items():
+            if rel_name in body_rels:
+                param_set |= set(outer_params)
+        params = tuple(sorted(param_set))
+        inner_atoms = dict(recursion_atoms)
+        inner_atoms[node.rel] = (name, params)
+        self._child_stack[-1].append(index)
+        child_list: List[int] = []
+        self._child_stack.append(child_list)
+        body = self.rewrite(node.body, inner_atoms)
+        self._child_stack.pop()
+        kind = "lfp" if isinstance(node, LFP) else "gfp"
+        self.nodes[index] = AbstractFixpoint(
+            index=index,
+            name=name,
+            kind=kind,
+            rel=node.rel,
+            bound_vars=bound,
+            params=params,
+            body=body,
+            children=tuple(child_list),
+        )
+        return RelAtom(
+            name, node.args + tuple(Var(p) for p in params)
+        )

@@ -1,0 +1,202 @@
+"""The uniform front door: :class:`Query` objects and :func:`evaluate`.
+
+A query in the paper's sense is ``(x̄)φ(ȳ)`` — a formula plus an output
+variable tuple (Section 2.2).  :func:`evaluate` classifies the formula
+into FO / FP / PFP / ESO and routes it to the right engine:
+
+=========  ==========================================================
+FO         bounded bottom-up evaluation (Prop 3.1)
+FP         fixpoint strategies (Section 3.2 / Theorem 3.5)
+PFP        space-metered iteration (Theorem 3.8)
+ESO        Lemma 3.6 rewriting + grounding + SAT (Corollary 3.7)
+=========  ==========================================================
+
+Example::
+
+    from repro import Database, Query
+
+    db = Database.from_tuples(range(4), {"E": (2, [(0, 1), (1, 2), (2, 3)])})
+    reach = Query.parse("[lfp S(x). x = y | exists z. (E(z, x) & S(z))](x)",
+                        output_vars=("x", "y"))
+    print(reach.run(db).relation)   # the reachability relation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.errors import EvaluationError
+from repro.core.fo_eval import BoundedEvaluator
+from repro.core.fp_eval import FixpointStrategy, solve_query
+from repro.core.interp import EvalStats
+from repro.core.pfp_eval import SpaceMeter, pfp_answer
+from repro.logic.analysis import Language, check_positivity, classify_language
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula
+from repro.logic.syntax import Formula
+from repro.logic.variables import free_variables, variable_width
+
+
+@dataclass
+class EvalOptions:
+    """Knobs for :func:`evaluate`.
+
+    ``strategy`` selects the FP scheduling (Section 3.2); ``k_limit``
+    enforces the variable bound; ``use_eso_rewrite`` toggles the Lemma 3.6
+    arity reduction; ``strict_pfp_space`` selects the textbook PSPACE
+    iteration for partial fixpoints.
+    """
+
+    strategy: FixpointStrategy = FixpointStrategy.MONOTONE
+    k_limit: Optional[int] = None
+    use_eso_rewrite: bool = True
+    strict_pfp_space: bool = False
+    check_positive: bool = True
+
+
+@dataclass
+class EvalResult:
+    """The answer plus the audit trail of how it was computed."""
+
+    relation: Relation
+    language: Language
+    strategy: Optional[FixpointStrategy]
+    stats: EvalStats
+    space: Optional[SpaceMeter] = None
+
+    def as_bool(self) -> bool:
+        """Boolean answer, for sentence queries (0-ary output)."""
+        return self.relation.as_bool()
+
+
+def evaluate(
+    formula: Formula,
+    db: Database,
+    output_vars: Sequence[str] = (),
+    options: Optional[EvalOptions] = None,
+) -> EvalResult:
+    """Evaluate ``(output_vars)formula`` against ``db``.
+
+    Output variables must cover the free variables of the formula; extra
+    output variables range over the whole domain (the paper's convention).
+    """
+    options = options if options is not None else EvalOptions()
+    stats = EvalStats()
+    language = classify_language(formula)
+    if language == Language.FO:
+        evaluator = BoundedEvaluator(db, k_limit=options.k_limit, stats=stats)
+        relation = evaluator.answer(formula, tuple(output_vars))
+        return EvalResult(relation, language, None, stats)
+    if language == Language.ESO:
+        from repro.core.eso_eval import eso_answer
+
+        relation = eso_answer(
+            formula,
+            db,
+            tuple(output_vars),
+            use_rewrite=options.use_eso_rewrite,
+            stats=stats,
+        )
+        return EvalResult(relation, language, None, stats)
+    if language == Language.PFP:
+        if options.check_positive:
+            check_positivity(formula)
+        meter = SpaceMeter()
+        relation = pfp_answer(
+            formula,
+            db,
+            tuple(output_vars),
+            stats=stats,
+            meter=meter,
+            strict_space=options.strict_pfp_space,
+            k_limit=options.k_limit,
+        )
+        return EvalResult(relation, language, None, stats, space=meter)
+    # FP: pure lfp/gfp formulas — any strategy applies (pfp/ifp mixtures
+    # classify as Language.PFP above and never reach this branch)
+    strategy = options.strategy
+    relation = solve_query(
+        formula,
+        db,
+        tuple(output_vars),
+        strategy=strategy,
+        k_limit=options.k_limit,
+        stats=stats,
+        require_positive=options.check_positive,
+    )
+    return EvalResult(relation, language, strategy, stats)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named query ``(output_vars)formula`` — the paper's query objects.
+
+    >>> q = Query.parse("exists y. E(x, y)", output_vars=("x",))
+    >>> q.width
+    2
+    """
+
+    formula: Formula
+    output_vars: Tuple[str, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        missing = free_variables(self.formula) - set(self.output_vars)
+        if missing:
+            raise EvaluationError(
+                f"output variables {self.output_vars} do not cover free "
+                f"variables {sorted(missing)}"
+            )
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        output_vars: Sequence[str] = (),
+        name: str = "",
+    ) -> "Query":
+        return cls(parse_formula(text), tuple(output_vars), name)
+
+    @property
+    def width(self) -> int:
+        """The number of distinct individual variables — the query's k."""
+        return variable_width(self.formula)
+
+    @property
+    def language(self) -> Language:
+        return classify_language(self.formula)
+
+    @property
+    def arity(self) -> int:
+        return len(self.output_vars)
+
+    def text(self) -> str:
+        """The concrete syntax (its length is the ``|e|`` of the paper)."""
+        return format_formula(self.formula)
+
+    def run(
+        self, db: Database, options: Optional[EvalOptions] = None
+    ) -> EvalResult:
+        """Evaluate against a database."""
+        return evaluate(self.formula, db, self.output_vars, options)
+
+    def holds(
+        self, db: Database, options: Optional[EvalOptions] = None
+    ) -> bool:
+        """Boolean answer for sentence queries."""
+        if self.output_vars:
+            raise EvaluationError(
+                "holds() is for sentence queries; this query has output "
+                f"variables {self.output_vars}"
+            )
+        return self.run(db, options).as_bool()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Query{label}(({', '.join(self.output_vars)})"
+            f"{format_formula(self.formula)})"
+        )

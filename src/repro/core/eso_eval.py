@@ -1,0 +1,116 @@
+"""ESO^k evaluation through SAT (Section 3.3, Corollary 3.7).
+
+Pipeline per output tuple:
+
+1. **Lemma 3.6 rewriting** (optional but on by default): every quantified
+   relation is replaced by ≤k-ary pattern views plus consistency axioms,
+   so the grounded instance has polynomially many propositional variables;
+2. **grounding** over the database (first-order quantifiers unfold over
+   the domain, quantified-relation atoms become propositional variables);
+3. **Tseitin + DPLL**: the instance is satisfiable iff the tuple is in the
+   answer.
+
+The grounded CNF size is the observable content of Corollary 3.7: with the
+rewriting it is polynomial in ``|B| + |e|``; without it, exponential in
+the quantified arities (benchmark ``F6`` measures exactly this gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Value
+from repro.database.relation import Relation
+from repro.errors import EvaluationError
+from repro.core.eso_rewrite import RewriteResult, rewrite_eso
+from repro.core.grounding import ground_formula
+from repro.core.interp import EvalStats
+from repro.logic.syntax import Formula
+from repro.logic.variables import free_variables
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve
+from repro.sat.tseitin import to_cnf
+
+
+@dataclass
+class EsoOutcome:
+    """Decision for one ground query instance, with SAT-side accounting."""
+
+    truth: bool
+    num_vars: int
+    num_clauses: int
+    model: Optional[Dict[object, bool]]
+
+
+def eso_decide(
+    sentence: Formula,
+    db: Database,
+    assignment: Optional[Dict[str, Value]] = None,
+    use_rewrite: bool = True,
+    stats: Optional[EvalStats] = None,
+) -> EsoOutcome:
+    """Decide one ESO instance: ``(B, assignment) ⊨ sentence``?"""
+    stats = stats if stats is not None else EvalStats()
+    working = sentence
+    if use_rewrite:
+        working = rewrite_eso(sentence).formula
+        stats.bump("eso_rewrites")
+    prop = ground_formula(working, db, assignment)
+    cnf, _root = to_cnf(prop)
+    stats.sat_variables += cnf.num_vars
+    stats.sat_clauses += cnf.num_clauses
+    result = solve(cnf)
+    model = result.named_assignment(cnf) if result.satisfiable else None
+    return EsoOutcome(
+        truth=result.satisfiable,
+        num_vars=cnf.num_vars,
+        num_clauses=cnf.num_clauses,
+        model=model,
+    )
+
+
+def eso_answer(
+    formula: Formula,
+    db: Database,
+    output_vars: Sequence[str],
+    use_rewrite: bool = True,
+    stats: Optional[EvalStats] = None,
+) -> Relation:
+    """The answer relation of an ESO^k query, one SAT call per tuple."""
+    stats = stats if stats is not None else EvalStats()
+    out = tuple(output_vars)
+    missing = free_variables(formula) - set(out)
+    if missing:
+        raise EvaluationError(
+            f"output variables {out} do not cover free variables "
+            f"{sorted(missing)}"
+        )
+    rows = []
+    for combo in db.domain.tuples(len(out)):
+        assignment = dict(zip(out, combo))
+        outcome = eso_decide(
+            formula, db, assignment, use_rewrite=use_rewrite, stats=stats
+        )
+        if outcome.truth:
+            rows.append(combo)
+    return Relation(len(out), rows)
+
+
+def grounded_cnf(
+    sentence: Formula,
+    db: Database,
+    assignment: Optional[Dict[str, Value]] = None,
+    use_rewrite: bool = True,
+) -> Tuple[CNF, Optional[RewriteResult]]:
+    """The grounded CNF (and rewrite metadata) without solving.
+
+    Exposed for the encoding-size experiments: ``cnf.num_vars`` /
+    ``cnf.num_clauses`` are the quantities Corollary 3.7 bounds.
+    """
+    rewrite = rewrite_eso(sentence) if use_rewrite else None
+    working = rewrite.formula if rewrite is not None else sentence
+    prop = ground_formula(working, db, assignment)
+    cnf, _root = to_cnf(prop)
+    return cnf, rewrite

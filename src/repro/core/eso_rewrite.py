@@ -1,0 +1,294 @@
+"""The Lemma 3.6 arity reduction for ESO^k.
+
+The difficulty with ESO^k (Section 3.3): bounding the *individual*
+variables does not bound the arity of the quantified *relation* variables,
+so naively guessing a quantified relation may take exponential space.  The
+lemma's observation: an atom ``S(u_1, ..., u_l)`` can only mention the k
+individual variables, so each occurrence of ``S`` is really a "view"
+selected by the pattern of variables/equalities among ``u_1..u_l``.  Only
+linearly many patterns occur, so ``S`` can be replaced by one ≤k-ary view
+relation per pattern plus quadratically many consistency axioms.
+
+Example (the paper's, k = 2, S 4-ary): atoms ``S(x1,x1,x2,x2)`` and
+``S(x1,x2,x1,x2)`` become views ``S_p0(x1,x2)`` and ``S_p1(x1,x2)`` with
+the consistency axiom ``∀x1 (S_p0(x1,x1) ↔ S_p1(x1,x1))`` — both encode
+``S(a,a,a,a)``.
+
+The rewriting preserves the query: from a model of the original one reads
+off the views; from consistent views one reconstructs (a sufficient
+fragment of) ``S`` (:func:`reconstruct_relation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, SyntaxError_
+from repro.logic.builders import and_, forall, iff
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+
+Pattern = Tuple[Term, ...]
+
+
+def _pattern_vars(pattern: Pattern) -> Tuple[str, ...]:
+    """Distinct variable names of a pattern, in first-occurrence order."""
+    seen: List[str] = []
+    for term in pattern:
+        if isinstance(term, Var) and term.name not in seen:
+            seen.append(term.name)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ViewInfo:
+    """One pattern-view of a quantified relation."""
+
+    original: str
+    pattern: Pattern
+    view_name: str
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return _pattern_vars(self.pattern)
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of the Lemma 3.6 rewriting of one ``∃S`` quantifier block."""
+
+    formula: Formula
+    views: Tuple[ViewInfo, ...]
+
+
+def rewrite_eso(formula: Formula) -> RewriteResult:
+    """Rewrite every second-order quantifier to ≤k-ary view quantifiers.
+
+    Works on arbitrarily placed ``∃S`` nodes (each is rewritten in its own
+    scope); the paper's prenex ``(∃S̄)ψ`` is the common case.
+    """
+    rewriter = _Rewriter()
+    rewritten = rewriter.rewrite(formula)
+    return RewriteResult(rewritten, tuple(rewriter.views))
+
+
+class _Rewriter:
+    def __init__(self) -> None:
+        self.views: List[ViewInfo] = []
+        self._counter = 0
+
+    def rewrite(self, formula: Formula) -> Formula:
+        if isinstance(formula, (RelAtom, Equals, Truth)):
+            return formula
+        if isinstance(formula, Not):
+            return Not(self.rewrite(formula.sub))
+        if isinstance(formula, And):
+            return And(tuple(self.rewrite(s) for s in formula.subs))
+        if isinstance(formula, Or):
+            return Or(tuple(self.rewrite(s) for s in formula.subs))
+        if isinstance(formula, Exists):
+            return Exists(formula.var, self.rewrite(formula.sub))
+        if isinstance(formula, Forall):
+            return Forall(formula.var, self.rewrite(formula.sub))
+        if isinstance(formula, _FixpointBase):
+            return type(formula)(
+                formula.rel,
+                formula.bound_vars,
+                self.rewrite(formula.body),
+                formula.args,
+            )
+        if isinstance(formula, SOExists):
+            return self._rewrite_so(formula)
+        raise SyntaxError_(f"unknown formula node {formula!r}")
+
+    def _rewrite_so(self, node: SOExists) -> Formula:
+        body = self.rewrite(node.body)
+        patterns = _collect_patterns(body, node.rel, node.arity)
+        if not patterns:
+            # the relation is never used: the quantifier is vacuous
+            return body
+        views: Dict[Pattern, ViewInfo] = {}
+        for pattern in patterns:
+            view = ViewInfo(
+                original=node.rel,
+                pattern=pattern,
+                view_name=f"_view_{node.rel}_{self._counter}",
+            )
+            self._counter += 1
+            views[pattern] = view
+            self.views.append(view)
+        replaced = _replace_atoms(body, node.rel, views)
+        axioms = _consistency_axioms(list(views.values()))
+        matrix = and_(replaced, *axioms) if axioms else replaced
+        for view in views.values():
+            matrix = SOExists(view.view_name, view.arity, matrix)
+        return matrix
+
+
+def _collect_patterns(formula: Formula, rel: str, arity: int) -> List[Pattern]:
+    """Distinct argument patterns of free ``rel``-atoms, in occurrence order."""
+    patterns: List[Pattern] = []
+    seen: Set[Pattern] = set()
+
+    def visit(node: Formula, shadowed: bool) -> None:
+        if isinstance(node, RelAtom):
+            if node.name == rel and not shadowed:
+                if len(node.terms) != arity:
+                    raise EvaluationError(
+                        f"atom {rel} has {len(node.terms)} arguments, "
+                        f"quantifier declares arity {arity}"
+                    )
+                if node.terms not in seen:
+                    seen.add(node.terms)
+                    patterns.append(node.terms)
+            return
+        inner_shadowed = shadowed
+        if isinstance(node, _FixpointBase) and node.rel == rel:
+            inner_shadowed = True
+        if isinstance(node, SOExists) and node.rel == rel:
+            inner_shadowed = True
+        for child in node.children():
+            visit(child, inner_shadowed)
+
+    visit(formula, False)
+    return patterns
+
+
+def _replace_atoms(
+    formula: Formula, rel: str, views: Dict[Pattern, ViewInfo]
+) -> Formula:
+    if isinstance(formula, RelAtom):
+        if formula.name != rel:
+            return formula
+        view = views[formula.terms]
+        return RelAtom(view.view_name, tuple(Var(v) for v in view.variables))
+    if isinstance(formula, (Equals, Truth)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_replace_atoms(formula.sub, rel, views))
+    if isinstance(formula, And):
+        return And(tuple(_replace_atoms(s, rel, views) for s in formula.subs))
+    if isinstance(formula, Or):
+        return Or(tuple(_replace_atoms(s, rel, views) for s in formula.subs))
+    if isinstance(formula, Exists):
+        return Exists(formula.var, _replace_atoms(formula.sub, rel, views))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, _replace_atoms(formula.sub, rel, views))
+    if isinstance(formula, _FixpointBase):
+        if formula.rel == rel:
+            return formula
+        return type(formula)(
+            formula.rel,
+            formula.bound_vars,
+            _replace_atoms(formula.body, rel, views),
+            formula.args,
+        )
+    if isinstance(formula, SOExists):
+        if formula.rel == rel:
+            return formula
+        return SOExists(
+            formula.rel, formula.arity, _replace_atoms(formula.body, rel, views)
+        )
+    raise SyntaxError_(f"unknown formula node {formula!r}")
+
+
+def _term_equality(left: Term, right: Term) -> Optional[Formula]:
+    """The premise atom ``p_i ≈ q_i``; None when trivially true."""
+    if isinstance(left, Var) and isinstance(right, Var):
+        if left.name == right.name:
+            return None
+        return Equals(left, right)
+    if isinstance(left, Const) and isinstance(right, Const):
+        return None if left.value == right.value else Truth(False)
+    return Equals(left, right)
+
+
+def _consistency_axioms(views: Sequence[ViewInfo]) -> List[Formula]:
+    """All pairwise view-consistency axioms (quadratic in #views).
+
+    For patterns ``p, q``: whenever the argument tuples coincide, the views
+    must agree — ``∀(vars) (⋀ p_i = q_i) → (S_p(p̄vars) ↔ S_q(q̄vars))``.
+    """
+    axioms: List[Formula] = []
+    for i, left in enumerate(views):
+        for right in views[i + 1:]:
+            premises: List[Formula] = []
+            impossible = False
+            for lt, rt in zip(left.pattern, right.pattern):
+                premise = _term_equality(lt, rt)
+                if premise == Truth(False):
+                    impossible = True
+                    break
+                if premise is not None:
+                    premises.append(premise)
+            if impossible:
+                continue
+            left_atom = RelAtom(
+                left.view_name, tuple(Var(v) for v in left.variables)
+            )
+            right_atom = RelAtom(
+                right.view_name, tuple(Var(v) for v in right.variables)
+            )
+            agreement = iff(left_atom, right_atom)
+            body = (
+                Or((Not(And(tuple(premises))), agreement))
+                if premises
+                else agreement
+            )
+            quantified_vars = sorted(
+                set(left.variables) | set(right.variables)
+            )
+            axioms.append(forall(quantified_vars, body))
+    return axioms
+
+
+def reconstruct_relation(
+    views: Sequence[ViewInfo],
+    view_values: Dict[str, Relation],
+    arity: int,
+    domain: Domain,
+) -> Relation:
+    """Rebuild (the used fragment of) the original relation from its views.
+
+    A ground tuple belongs to the reconstruction when some view pattern
+    matches it and that view holds of the matched variable values.  On
+    consistent views this agrees with every view's selection, which is all
+    the rewritten formula ever observes.
+    """
+    rows: Set[Tuple[object, ...]] = set()
+    for view in views:
+        value = view_values.get(view.view_name)
+        if value is None:
+            continue
+        variables = view.variables
+        for assignment_row in value.tuples:
+            binding = dict(zip(variables, assignment_row))
+            ground: List[object] = []
+            for term in view.pattern:
+                if isinstance(term, Var):
+                    ground.append(binding[term.name])
+                else:
+                    ground.append(term.value)
+            rows.add(tuple(ground))
+    return Relation(arity, rows)

@@ -1,0 +1,320 @@
+"""Bottom-up bounded-variable evaluation (Proposition 3.1).
+
+The evaluator views every subformula as a subquery and computes its value —
+a :class:`~repro.core.interp.VarTable` over the subformula's free variables —
+bottom-up.  For a query in ``FO^k`` every such table has at most ``k``
+columns, hence at most ``n^k`` rows: this is the paper's polynomial bound on
+intermediate results, and :class:`~repro.core.interp.EvalStats` checks it at
+runtime.
+
+Fixpoint subformulas are delegated to a pluggable solver (see
+:mod:`repro.core.fp_eval`); second-order quantifiers are rejected here and
+handled by :mod:`repro.core.eso_eval`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, VariableBoundError
+from repro.core.interp import EvalStats, VarTable
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+from repro.logic.variables import free_variables, variable_width
+
+RelEnv = Mapping[str, Relation]
+FixpointSolver = Callable[
+    ["BoundedEvaluator", _FixpointBase, Dict[str, Relation]], Relation
+]
+
+
+def atom_table(
+    relation: Relation, terms: Sequence[Term], domain: Domain
+) -> VarTable:
+    """The table of an atom ``R(t_1, ..., t_m)``.
+
+    Columns are the distinct variables among the terms; constants select,
+    repeated variables impose equality — the "selection condition on S_i
+    according to the pattern of equalities" of Lemma 3.6's proof.
+    """
+    if len(terms) != relation.arity:
+        raise EvaluationError(
+            f"atom has {len(terms)} arguments for a relation of arity "
+            f"{relation.arity}"
+        )
+    var_positions: Dict[str, list] = {}
+    const_positions = []
+    for i, term in enumerate(terms):
+        if isinstance(term, Var):
+            var_positions.setdefault(term.name, []).append(i)
+        elif isinstance(term, Const):
+            const_positions.append((i, term.value))
+        else:
+            raise EvaluationError(f"unknown term {term!r}")
+    columns = sorted(var_positions)
+    rows = []
+    for tup in relation.tuples:
+        if any(tup[i] != value for i, value in const_positions):
+            continue
+        ok = True
+        for positions in var_positions.values():
+            first = tup[positions[0]]
+            if any(tup[p] != first for p in positions[1:]):
+                ok = False
+                break
+        if ok:
+            rows.append(tuple(tup[var_positions[v][0]] for v in columns))
+    return VarTable(tuple(columns), rows)
+
+
+class BoundedEvaluator:
+    """Evaluates formulas bottom-up with bounded-arity intermediates.
+
+    Parameters
+    ----------
+    db:
+        The database ``B``.
+    fixpoint_solver:
+        Callback ``(evaluator, node, rel_env) -> Relation`` computing the
+        limit of a fixpoint subformula whose free individual variables have
+        already been substituted away (the engine evaluates parameterized
+        fixpoints one parameter assignment at a time).  ``None`` rejects
+        fixpoints (pure FO^k mode).
+    k_limit:
+        Optional hard bound ``k``; queries of larger variable width raise
+        :class:`~repro.errors.VariableBoundError` instead of silently
+        building wide intermediates.
+    stats:
+        Shared audit object; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        fixpoint_solver: Optional[FixpointSolver] = None,
+        k_limit: Optional[int] = None,
+        stats: Optional[EvalStats] = None,
+    ):
+        self.db = db
+        self.domain = db.domain
+        self.fixpoint_solver = fixpoint_solver
+        self.k_limit = k_limit
+        self.stats = stats if stats is not None else EvalStats()
+        # memo entries keep a strong reference to their formula so the
+        # id()-based key can never alias a recycled object
+        self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(
+        self, formula: Formula, rel_env: Optional[RelEnv] = None
+    ) -> VarTable:
+        """The table ``{assignments a : (B, a) ⊨ formula}``."""
+        if self.k_limit is not None:
+            width = variable_width(formula)
+            if width > self.k_limit:
+                raise VariableBoundError(
+                    f"query uses {width} variables, engine bound is "
+                    f"k={self.k_limit}"
+                )
+        env = dict(rel_env or {})
+        return self._eval(formula, env)
+
+    def answer(
+        self,
+        formula: Formula,
+        output_vars: Sequence[str],
+        rel_env: Optional[RelEnv] = None,
+    ) -> Relation:
+        """The query answer as a relation with the given column order.
+
+        Per the paper's Prop 3.1 proof: compute the table, then project and
+        permute — extra output variables not free in the formula range over
+        the whole domain.
+        """
+        out = tuple(output_vars)
+        if len(set(out)) != len(out):
+            raise EvaluationError(f"duplicate output variables: {out}")
+        missing = free_variables(formula) - set(out)
+        if missing:
+            raise EvaluationError(
+                f"output variables {out} do not cover free variables "
+                f"{sorted(missing)}"
+            )
+        table = self.evaluate(formula, rel_env)
+        table = table.cylindrify(out, self.domain)
+        self.stats.observe_table(table)
+        return table.to_relation(out)
+
+    # -- recursive evaluation ------------------------------------------
+
+    def _eval(self, formula: Formula, env: Dict[str, Relation]) -> VarTable:
+        key = self._memo_key(formula, env)
+        cached = self._memo.get(key)
+        if cached is not None:
+            # the entry holds a strong reference to its formula, so an
+            # id() match on a *live* object guarantees identity — without
+            # the reference CPython could reuse the id of a dead formula
+            self.stats.bump("memo_hits")
+            return cached[1]
+        table = self._eval_node(formula, env)
+        self.stats.observe_table(table)
+        self._memo[key] = (formula, table)
+        return table
+
+    def _memo_key(self, formula: Formula, env: Dict[str, Relation]):
+        from repro.logic.variables import free_relation_variables
+
+        rels = free_relation_variables(formula)
+        bound_here = tuple(
+            sorted((name, env[name]) for name in rels if name in env)
+        )
+        return (id(formula), bound_here)
+
+    def _eval_node(self, formula: Formula, env: Dict[str, Relation]) -> VarTable:
+        if isinstance(formula, RelAtom):
+            relation = env.get(formula.name)
+            if relation is None:
+                relation = self.db.relation(formula.name)
+            return atom_table(relation, formula.terms, self.domain)
+        if isinstance(formula, Equals):
+            return self._eval_equals(formula)
+        if isinstance(formula, Truth):
+            return VarTable.tautology() if formula.value else VarTable.contradiction()
+        if isinstance(formula, Not):
+            sub = self._eval(formula.sub, env)
+            return sub.complement(self.domain)
+        if isinstance(formula, And):
+            if not formula.subs:
+                return VarTable.tautology()
+            table = self._eval(formula.subs[0], env)
+            for part in formula.subs[1:]:
+                table = table.join(self._eval(part, env))
+                self.stats.observe_table(table)
+            return table
+        if isinstance(formula, Or):
+            if not formula.subs:
+                return VarTable.contradiction()
+            table = self._eval(formula.subs[0], env)
+            for part in formula.subs[1:]:
+                table = table.union(self._eval(part, env), self.domain)
+                self.stats.observe_table(table)
+            return table
+        if isinstance(formula, Exists):
+            sub = self._eval(formula.sub, env)
+            if formula.var.name in sub.variables:
+                return sub.project_out(formula.var.name)
+            # vacuous quantification: true iff the domain is non-empty
+            if len(self.domain) == 0:
+                return VarTable(sub.variables, [])
+            return sub
+        if isinstance(formula, Forall):
+            sub = self._eval(formula.sub, env)
+            if formula.var.name in sub.variables:
+                return sub.forall_out(formula.var.name, self.domain)
+            if len(self.domain) == 0:
+                # vacuously true; with free variables present there are no
+                # assignments at all, otherwise the single empty assignment
+                return VarTable(
+                    sub.variables, [()] if not sub.variables else []
+                )
+            return sub
+        if isinstance(formula, _FixpointBase):
+            return self._eval_fixpoint(formula, env)
+        if isinstance(formula, SOExists):
+            raise EvaluationError(
+                "second-order quantification reached the bounded FO/FP "
+                "evaluator; route ESO queries through repro.core.eso_eval"
+            )
+        raise EvaluationError(f"unknown formula node {formula!r}")
+
+    def _eval_equals(self, formula: Equals) -> VarTable:
+        left, right = formula.left, formula.right
+        if isinstance(left, Var) and isinstance(right, Var):
+            if left.name == right.name:
+                return VarTable((left.name,), ((v,) for v in self.domain))
+            return VarTable(
+                (left.name, right.name),
+                ((v, v) for v in self.domain),
+            )
+        if isinstance(left, Const) and isinstance(right, Var):
+            left, right = right, left
+        if isinstance(left, Var) and isinstance(right, Const):
+            if right.value not in self.domain:
+                return VarTable((left.name,), [])
+            return VarTable((left.name,), [(right.value,)])
+        if isinstance(left, Const) and isinstance(right, Const):
+            return (
+                VarTable.tautology()
+                if left.value == right.value
+                else VarTable.contradiction()
+            )
+        raise EvaluationError(f"malformed equality {formula!r}")
+
+    # -- fixpoints ----------------------------------------------------
+
+    def _eval_fixpoint(
+        self, node: _FixpointBase, env: Dict[str, Relation]
+    ) -> VarTable:
+        if self.fixpoint_solver is None:
+            raise EvaluationError(
+                "fixpoint operator reached a pure-FO evaluator; use the FP "
+                "engine (repro.core.fp_eval) for fixpoint queries"
+            )
+        from repro.logic.substitution import substitute
+
+        bound_names = {v.name for v in node.bound_vars}
+        params = tuple(sorted(free_variables(node.body) - bound_names))
+        arg_vars = sorted(
+            {t.name for t in node.args if isinstance(t, Var)}
+        )
+        out_columns = tuple(sorted(set(arg_vars) | set(params)))
+        rows = []
+        for combo in self.domain.tuples(len(params)):
+            if params:
+                mapping = {p: Const(v) for p, v in zip(params, combo)}
+                closed = type(node)(
+                    node.rel,
+                    node.bound_vars,
+                    substitute(node.body, mapping),
+                    node.args,
+                )
+            else:
+                closed = node
+            limit = self.fixpoint_solver(self, closed, dict(env))
+            self.stats.bump("fixpoint_solves")
+            # rows of the node's table: assignments to arg variables (and
+            # the parameters) whose argument tuple lands in the limit
+            param_assignment = dict(zip(params, combo))
+            member_table = atom_table(limit, node.args, self.domain)
+            member_table = member_table.cylindrify(arg_vars, self.domain)
+            for assignment in member_table.assignments():
+                merged = dict(param_assignment)
+                consistent = True
+                for var, value in assignment.items():
+                    # an argument variable that is also a parameter must
+                    # agree with the parameter's current value
+                    if var in merged and merged[var] != value:
+                        consistent = False
+                        break
+                    merged[var] = value
+                if consistent:
+                    rows.append(tuple(merged[c] for c in out_columns))
+        return VarTable(out_columns, rows)

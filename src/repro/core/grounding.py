@@ -1,0 +1,151 @@
+"""Grounding: first-order structure + second-order guesses → SAT.
+
+Given a database ``B`` and a formula whose only "unknowns" are positively
+occurring second-order quantified relations, grounding unfolds the
+first-order quantifiers over the (finite) domain and turns every atom over
+a quantified relation into a propositional variable named by the relation
+and the ground tuple.  The result is a propositional formula whose
+satisfiability is exactly the ESO query's truth — the NP upper bound of
+Corollary 3.7 made executable: after the Lemma 3.6 rewriting every
+quantified relation has arity ≤ k, so at most ``n^k`` propositional
+variables per relation and ``O(|e| · n^k)`` formula nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Value
+from repro.errors import EvaluationError
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    PropFormula,
+)
+
+GroundAtomName = Tuple[str, Tuple[Value, ...]]
+
+
+def _term_value(term: Term, assignment: Dict[str, Value]) -> Value:
+    if isinstance(term, Var):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise EvaluationError(
+                f"grounding reached unbound variable {term.name!r}"
+            ) from None
+    if isinstance(term, Const):
+        return term.value
+    raise EvaluationError(f"unknown term {term!r}")
+
+
+def ground_formula(
+    formula: Formula,
+    db: Database,
+    assignment: Optional[Dict[str, Value]] = None,
+) -> PropFormula:
+    """Ground ``formula`` over ``db`` into a propositional formula.
+
+    Second-order quantifiers must occur *positively* (under an even number
+    of negations) — satisfiability handles the existential guessing; a
+    negative occurrence would need QBF and is rejected.  Fixpoints are
+    rejected too: the paper's ESO matrices are first-order.
+    """
+    return _ground(formula, db, dict(assignment or {}), positive=True, bound=set())
+
+
+def _ground(
+    formula: Formula,
+    db: Database,
+    assignment: Dict[str, Value],
+    positive: bool,
+    bound: set,
+) -> PropFormula:
+    if isinstance(formula, RelAtom):
+        row = tuple(_term_value(t, assignment) for t in formula.terms)
+        if formula.name in bound:
+            return BoolVar((formula.name, row))
+        relation = db.relation(formula.name)
+        if len(row) != relation.arity:
+            raise EvaluationError(
+                f"atom {formula.name} has {len(row)} arguments, relation "
+                f"has arity {relation.arity}"
+            )
+        return BoolConst(row in relation)
+    if isinstance(formula, Equals):
+        return BoolConst(
+            _term_value(formula.left, assignment)
+            == _term_value(formula.right, assignment)
+        )
+    if isinstance(formula, Truth):
+        return BoolConst(formula.value)
+    if isinstance(formula, Not):
+        return BoolNot(_ground(formula.sub, db, assignment, not positive, bound))
+    if isinstance(formula, And):
+        return BoolAnd(
+            tuple(
+                _ground(s, db, assignment, positive, bound) for s in formula.subs
+            )
+        )
+    if isinstance(formula, Or):
+        return BoolOr(
+            tuple(
+                _ground(s, db, assignment, positive, bound) for s in formula.subs
+            )
+        )
+    if isinstance(formula, (Exists, Forall)):
+        name = formula.var.name
+        saved = assignment.get(name, _MISSING)
+        parts = []
+        try:
+            for value in db.domain:
+                assignment[name] = value
+                parts.append(
+                    _ground(formula.sub, db, assignment, positive, bound)
+                )
+        finally:
+            if saved is _MISSING:
+                assignment.pop(name, None)
+            else:
+                assignment[name] = saved  # type: ignore[assignment]
+        if isinstance(formula, Exists):
+            return BoolOr(tuple(parts))
+        return BoolAnd(tuple(parts))
+    if isinstance(formula, SOExists):
+        if not positive:
+            raise EvaluationError(
+                "second-order quantifier under negation cannot be grounded "
+                "to SAT (it would require QBF)"
+            )
+        inner_bound = set(bound)
+        inner_bound.add(formula.rel)
+        return _ground(formula.body, db, assignment, positive, inner_bound)
+    if isinstance(formula, _FixpointBase):
+        raise EvaluationError(
+            "fixpoint operators cannot be grounded; ESO matrices are "
+            "first-order (evaluate FP queries with repro.core.fp_eval)"
+        )
+    raise EvaluationError(f"unknown formula node {formula!r}")
+
+
+_MISSING = object()

@@ -1,0 +1,311 @@
+"""Assignment tables: the intermediate results of bounded evaluation.
+
+Prop 3.1 evaluates an FO^k query bottom-up, one subformula at a time, with
+every intermediate result a relation of arity at most ``k``.  A
+:class:`VarTable` is that intermediate result made concrete: a set of
+assignments to the subformula's free variables, stored as a relation with
+*named*, canonically-ordered columns.
+
+The logical connectives become the obvious table operations:
+
+==============  =============================================
+``φ ∧ ψ``        natural join on shared variables
+``φ ∨ ψ``        cylindrify both sides to the union of their
+                 variables, then set union
+``¬φ``           complement relative to ``D^{vars}``
+``∃x φ``         project out column ``x``
+``∀x φ``         complement–project–complement (or directly:
+                 keep rows whose x-section is all of ``D``)
+==============  =============================================
+
+Because a subformula of an ``L^k`` query has at most ``k`` free variables,
+every table here has at most ``n^k`` rows — the paper's polynomial bound on
+intermediate results.  :class:`EvalStats` audits that bound at runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from repro.database.domain import Domain, Value
+from repro.database.relation import Relation
+from repro.errors import EvaluationError
+
+Row = Tuple[Value, ...]
+Assignment = Mapping[str, Value]
+
+
+@dataclass
+class EvalStats:
+    """Runtime audit of an evaluation: the quantities the paper bounds.
+
+    ``max_intermediate_rows``/``max_intermediate_arity`` verify Prop 3.1's
+    ``n^k`` bound; ``fixpoint_iterations`` is the quantity Theorem 3.5
+    reduces from ``n^{k·l}`` to ``l·n^k``; ``table_ops`` counts elementary
+    relation operations (each polynomial-time, per Prop 3.1).
+    """
+
+    table_ops: int = 0
+    max_intermediate_rows: int = 0
+    max_intermediate_arity: int = 0
+    fixpoint_iterations: int = 0
+    body_evaluations: int = 0
+    sat_variables: int = 0
+    sat_clauses: int = 0
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    def observe_table(self, table: "VarTable") -> None:
+        self.table_ops += 1
+        if len(table.rows) > self.max_intermediate_rows:
+            self.max_intermediate_rows = len(table.rows)
+        if len(table.variables) > self.max_intermediate_arity:
+            self.max_intermediate_arity = len(table.variables)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.notes[key] = self.notes.get(key, 0) + amount
+
+
+class VarTable:
+    """An immutable relation with named columns over a fixed domain.
+
+    Columns are kept in sorted order so two tables over the same variables
+    have identical layouts and row-sets compare directly.
+    """
+
+    __slots__ = ("_vars", "_rows")
+
+    def __init__(self, variables: Sequence[str], rows: Iterable[Row]):
+        ordered = tuple(sorted(variables))
+        if len(set(ordered)) != len(ordered):
+            raise EvaluationError(f"duplicate table columns: {variables}")
+        if tuple(variables) != ordered:
+            # reorder the incoming rows to canonical column order
+            positions = [tuple(variables).index(v) for v in ordered]
+            rows = (tuple(row[p] for p in positions) for row in rows)
+        frozen = frozenset(tuple(r) for r in rows)
+        for row in frozen:
+            if len(row) != len(ordered):
+                raise EvaluationError(
+                    f"row {row!r} does not match columns {ordered}"
+                )
+        self._vars = ordered
+        self._rows = frozen
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def tautology(cls) -> "VarTable":
+        """The table of the always-true 0-variable formula: one empty row."""
+        return cls((), [()])
+
+    @classmethod
+    def contradiction(cls) -> "VarTable":
+        """The table of the always-false 0-variable formula: no rows."""
+        return cls((), [])
+
+    @classmethod
+    def full(cls, variables: Sequence[str], domain: Domain) -> "VarTable":
+        """``D^{variables}`` — every assignment to the given variables."""
+        ordered = tuple(sorted(variables))
+        return cls(ordered, itertools.product(domain.values, repeat=len(ordered)))
+
+    @classmethod
+    def from_assignments(
+        cls, variables: Sequence[str], assignments: Iterable[Assignment]
+    ) -> "VarTable":
+        """Build from explicit variable→value mappings."""
+        ordered = tuple(sorted(variables))
+        return cls(
+            ordered, (tuple(a[v] for v in ordered) for a in assignments)
+        )
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._vars
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def assignments(self) -> Iterator[Dict[str, Value]]:
+        """Iterate rows as variable→value dictionaries."""
+        for row in self._rows:
+            yield dict(zip(self._vars, row))
+
+    def contains(self, assignment: Assignment) -> bool:
+        """Does the table contain (the restriction of) this assignment?"""
+        try:
+            row = tuple(assignment[v] for v in self._vars)
+        except KeyError as missing:
+            raise EvaluationError(
+                f"assignment missing variable {missing}"
+            ) from None
+        return row in self._rows
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # -- relational operations ---------------------------------------
+
+    def join(self, other: "VarTable") -> "VarTable":
+        """Natural join (the table operation behind conjunction)."""
+        shared = [v for v in self._vars if v in set(other._vars)]
+        if not shared:
+            rows = (
+                left + right
+                for left in self._rows
+                for right in other._rows
+            )
+            merged_vars = self._vars + other._vars
+            return VarTable(merged_vars, rows)
+        # hash join on the shared columns; probe the smaller side
+        if len(self._rows) > len(other._rows):
+            return other.join(self)
+        left_pos = [self._vars.index(v) for v in shared]
+        right_pos = [other._vars.index(v) for v in shared]
+        right_only = [
+            i for i, v in enumerate(other._vars) if v not in set(shared)
+        ]
+        index: Dict[Row, list] = {}
+        for row in self._rows:
+            index.setdefault(tuple(row[p] for p in left_pos), []).append(row)
+        out_vars = self._vars + tuple(other._vars[i] for i in right_only)
+        rows = []
+        for row in other._rows:
+            key = tuple(row[p] for p in right_pos)
+            for match in index.get(key, ()):
+                rows.append(match + tuple(row[i] for i in right_only))
+        return VarTable(out_vars, rows)
+
+    def cylindrify(self, variables: Iterable[str], domain: Domain) -> "VarTable":
+        """Extend with the given (new) variables, free over the domain."""
+        extra = sorted(set(variables) - set(self._vars))
+        if not extra:
+            return self
+        rows = (
+            row + combo
+            for row in self._rows
+            for combo in itertools.product(domain.values, repeat=len(extra))
+        )
+        return VarTable(self._vars + tuple(extra), rows)
+
+    def union(self, other: "VarTable", domain: Domain) -> "VarTable":
+        """Set union after cylindrifying both sides to a common schema."""
+        target = set(self._vars) | set(other._vars)
+        left = self.cylindrify(target, domain)
+        right = other.cylindrify(target, domain)
+        return VarTable(left._vars, left._rows | right._rows)
+
+    def intersect(self, other: "VarTable", domain: Domain) -> "VarTable":
+        """Set intersection after cylindrifying to a common schema."""
+        target = set(self._vars) | set(other._vars)
+        left = self.cylindrify(target, domain)
+        right = other.cylindrify(target, domain)
+        return VarTable(left._vars, left._rows & right._rows)
+
+    def complement(self, domain: Domain) -> "VarTable":
+        """``D^{vars}`` minus this table (the semantics of negation)."""
+        universe = itertools.product(domain.values, repeat=len(self._vars))
+        rows = (row for row in universe if row not in self._rows)
+        return VarTable(self._vars, rows)
+
+    def project_out(self, variable: str) -> "VarTable":
+        """Existential quantification: drop one column, dedupe rows."""
+        if variable not in self._vars:
+            return self
+        keep = [i for i, v in enumerate(self._vars) if v != variable]
+        return VarTable(
+            tuple(self._vars[i] for i in keep),
+            (tuple(row[i] for i in keep) for row in self._rows),
+        )
+
+    def forall_out(self, variable: str, domain: Domain) -> "VarTable":
+        """Universal quantification over one column.
+
+        Keeps those reduced rows whose ``variable``-section covers the whole
+        domain — equivalent to complement/project/complement but direct.
+        """
+        if variable not in self._vars:
+            return self
+        idx = self._vars.index(variable)
+        keep = [i for i in range(len(self._vars)) if i != idx]
+        if len(domain) == 0:
+            # vacuously true over an empty domain; with other variables
+            # remaining there are no assignments at all
+            remaining = tuple(self._vars[i] for i in keep)
+            return VarTable(remaining, [()] if not remaining else [])
+        sections: Dict[Row, set] = {}
+        for row in self._rows:
+            sections.setdefault(
+                tuple(row[i] for i in keep), set()
+            ).add(row[idx])
+        n = len(domain)
+        rows = (base for base, seen in sections.items() if len(seen) == n)
+        return VarTable(tuple(self._vars[i] for i in keep), rows)
+
+    def select_eq(self, var_a: str, var_b: str) -> "VarTable":
+        """Rows where two columns are equal (for repeated variables)."""
+        if var_a not in self._vars or var_b not in self._vars:
+            raise EvaluationError(
+                f"select_eq: {var_a!r}/{var_b!r} not in {self._vars}"
+            )
+        ia, ib = self._vars.index(var_a), self._vars.index(var_b)
+        return VarTable(
+            self._vars, (row for row in self._rows if row[ia] == row[ib])
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "VarTable":
+        """Rename columns; the result is re-sorted canonically."""
+        new_vars = tuple(mapping.get(v, v) for v in self._vars)
+        if len(set(new_vars)) != len(new_vars):
+            raise EvaluationError(
+                f"rename would merge columns: {self._vars} via {dict(mapping)}"
+            )
+        return VarTable(new_vars, self._rows)
+
+    def to_relation(self, output_vars: Sequence[str]) -> Relation:
+        """Read the table out as a plain relation in the given column order.
+
+        Columns must be exactly the table's variables (this is the final
+        projection/permutation step of Prop 3.1's proof).
+        """
+        if set(output_vars) != set(self._vars) or len(output_vars) != len(
+            self._vars
+        ):
+            raise EvaluationError(
+                f"output variables {tuple(output_vars)} must be a permutation "
+                f"of table columns {self._vars}"
+            )
+        positions = [self._vars.index(v) for v in output_vars]
+        return Relation(
+            len(positions),
+            (tuple(row[p] for p in positions) for row in self._rows),
+        )
+
+    # -- dunder ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VarTable):
+            return NotImplemented
+        return self._vars == other._vars and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._vars, self._rows))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"VarTable(vars={self._vars}, rows={len(self._rows)})"

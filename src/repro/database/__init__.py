@@ -1,0 +1,26 @@
+"""Finite relational databases (Section 2.1 of the paper).
+
+A database is a finite domain of values together with a collection of named,
+fixed-arity relations over that domain.  This subpackage provides:
+
+* :class:`~repro.database.domain.Domain` — an explicit finite domain,
+* :class:`~repro.database.relation.Relation` — an immutable set of tuples,
+* :class:`~repro.database.schema.RelationSchema` /
+  :class:`~repro.database.schema.DatabaseSchema` — arity declarations,
+* :class:`~repro.database.database.Database` — the instance itself,
+* :mod:`~repro.database.encoding` — the "standard encoding" of Section 2.1
+  turned into a concrete, measurable binary string format.
+"""
+
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.database.schema import DatabaseSchema, RelationSchema
+from repro.database.database import Database
+
+__all__ = [
+    "Domain",
+    "Relation",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Database",
+]

@@ -1,0 +1,107 @@
+"""Finite domains of database values.
+
+The paper fixes domains to be finite sets of natural numbers (Section 2.1:
+``D ⊆ IN``).  We keep that convention — values are hashable and, by default,
+integers — while allowing any hashable Python value so examples can use
+readable strings for employees and departments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Tuple
+
+from repro.errors import SchemaError
+
+Value = Hashable
+
+
+class Domain:
+    """An explicit finite domain ``D`` of values.
+
+    The domain is stored in a canonical sorted order so iteration, encoding
+    and cross products are deterministic across runs.
+
+    >>> d = Domain([3, 5, 7])
+    >>> len(d)
+    3
+    >>> 5 in d
+    True
+    >>> list(d.tuples(2))[:3]
+    [(3, 3), (3, 5), (3, 7)]
+    """
+
+    __slots__ = ("_values", "_index", "_value_set")
+
+    def __init__(self, values: Iterable[Value]):
+        ordered = _canonical_order(values)
+        self._values: Tuple[Value, ...] = ordered
+        self._value_set = frozenset(ordered)
+        if len(self._value_set) != len(ordered):
+            raise SchemaError("domain contains duplicate values")
+        self._index = {value: i for i, value in enumerate(ordered)}
+
+    @classmethod
+    def range(cls, n: int) -> "Domain":
+        """The canonical ``n``-element domain ``{0, 1, ..., n-1}``."""
+        if n < 0:
+            raise SchemaError(f"domain size must be non-negative, got {n}")
+        return cls(range(n))
+
+    @property
+    def values(self) -> Tuple[Value, ...]:
+        """The domain values in canonical order."""
+        return self._values
+
+    def index_of(self, value: Value) -> int:
+        """Position of ``value`` in the canonical order (for encodings)."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise SchemaError(f"value {value!r} not in domain") from None
+
+    def tuples(self, arity: int) -> Iterator[Tuple[Value, ...]]:
+        """All ``arity``-tuples over the domain, in lexicographic order.
+
+        This is the ``D^k`` the bounded-variable languages quantify over;
+        callers should treat it as a stream — it has ``n**arity`` elements.
+        """
+        if arity < 0:
+            raise SchemaError(f"arity must be non-negative, got {arity}")
+        return itertools.product(self._values, repeat=arity)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._value_set
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._value_set == other._value_set
+
+    def __hash__(self) -> int:
+        return hash(self._value_set)
+
+    def __repr__(self) -> str:
+        if len(self._values) <= 8:
+            return f"Domain({list(self._values)!r})"
+        head = ", ".join(repr(v) for v in self._values[:6])
+        return f"Domain([{head}, ... {len(self._values)} values])"
+
+
+def _canonical_order(values: Iterable[Value]) -> Tuple[Value, ...]:
+    """Sort mixed-type hashable values deterministically.
+
+    Values of one orderable type sort naturally; mixed types fall back to
+    sorting by ``(type name, repr)`` which is stable and total.
+    """
+    materialized = list(values)
+    try:
+        return tuple(sorted(materialized))
+    except TypeError:
+        return tuple(sorted(materialized, key=lambda v: (type(v).__name__, repr(v))))

@@ -1,0 +1,194 @@
+"""The "standard encoding" of databases as binary strings (Section 2.1).
+
+The paper measures data complexity "as a function of the length of the data",
+assuming a standard encoding; its example encodes the database
+``({3,5,7}, {<3,5>, <5,7>})`` as ``({011,101,111},{<011,101>,<101,111>})``.
+This module makes that encoding concrete and invertible so that input lengths
+are real, measurable quantities for the complexity harness.
+
+Format (printable ASCII over the alphabet ``( ) { } < > , 0 1 ; : letters``)::
+
+    db      := '(' domain ( ';' relation )* ')'
+    domain  := '{' bits (',' bits)* '}' | '{}'
+    relation:= name ':' arity ':' '{' tuple (',' tuple)* '}' | name ':' arity ':' '{}'
+    tuple   := '<' bits (',' bits)* '>' | '<>'
+
+where ``bits`` is the value's index in the canonical domain order, written in
+binary with exactly ``ceil(log2(n))`` digits (minimum 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import SchemaError
+
+
+def _bit_width(n: int) -> int:
+    """Number of binary digits used per value for an ``n``-element domain."""
+    if n <= 1:
+        return 1
+    return (n - 1).bit_length()
+
+
+def encode_value(index: int, width: int) -> str:
+    """Binary encoding of a domain index with a fixed digit width."""
+    if index < 0 or index >= 2**width:
+        raise SchemaError(f"index {index} does not fit in {width} bits")
+    return format(index, f"0{width}b")
+
+
+def encode_database(db: Database) -> str:
+    """Serialize a database to its standard-encoding string.
+
+    The length of this string is the ``|B|`` that data and combined
+    complexity are measured against.
+    """
+    n = db.size()
+    width = _bit_width(n)
+    dom = db.domain
+    domain_part = "{" + ",".join(
+        encode_value(i, width) for i in range(n)
+    ) + "}"
+    parts: List[str] = [domain_part]
+    for name in db.relation_names():
+        rel = db.relation(name)
+        tuples = sorted(
+            tuple(dom.index_of(v) for v in t) for t in rel.tuples
+        )
+        body = ",".join(
+            "<" + ",".join(encode_value(i, width) for i in t) + ">"
+            for t in tuples
+        )
+        parts.append(f"{name}:{rel.arity}:{{{body}}}")
+    return "(" + ";".join(parts) + ")"
+
+
+def encoded_length(db: Database) -> int:
+    """``|B|``: the length of the standard encoding of ``db``."""
+    return len(encode_database(db))
+
+
+def decode_database(text: str) -> Database:
+    """Inverse of :func:`encode_database`.
+
+    Decoded domains are always ``{0, ..., n-1}`` — the encoding identifies
+    values with their canonical indices, exactly as the paper's bit strings
+    do.  ``decode(encode(db))`` is therefore ``db`` up to the canonical
+    renaming of domain values.
+    """
+    parser = _Parser(text)
+    db = parser.parse_db()
+    parser.expect_end()
+    return db
+
+
+class _Parser:
+    """Tiny recursive-descent parser for the standard encoding."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def parse_db(self) -> Database:
+        self._expect("(")
+        indices = self._parse_domain()
+        n = len(indices)
+        if sorted(indices) != list(range(n)):
+            raise SchemaError("domain encoding is not 0..n-1")
+        relations = {}
+        while self._peek() == ";":
+            self._expect(";")
+            name, rel = self._parse_relation(n)
+            if name in relations:
+                raise SchemaError(f"duplicate relation {name!r} in encoding")
+            relations[name] = rel
+        self._expect(")")
+        return Database(Domain.range(n), relations)
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._text):
+            raise SchemaError(
+                f"trailing characters at position {self._pos}: "
+                f"{self._text[self._pos:self._pos + 10]!r}"
+            )
+
+    def _parse_domain(self) -> List[int]:
+        self._expect("{")
+        indices: List[int] = []
+        if self._peek() != "}":
+            indices.append(self._parse_bits())
+            while self._peek() == ",":
+                self._expect(",")
+                indices.append(self._parse_bits())
+        self._expect("}")
+        return indices
+
+    def _parse_relation(self, n: int) -> Tuple[str, Relation]:
+        name = self._parse_name()
+        self._expect(":")
+        arity = self._parse_int()
+        self._expect(":")
+        self._expect("{")
+        tuples = []
+        if self._peek() != "}":
+            tuples.append(self._parse_tuple(n))
+            while self._peek() == ",":
+                self._expect(",")
+                tuples.append(self._parse_tuple(n))
+        self._expect("}")
+        return name, Relation(arity, tuples)
+
+    def _parse_tuple(self, n: int) -> Tuple[int, ...]:
+        self._expect("<")
+        values: List[int] = []
+        if self._peek() != ">":
+            values.append(self._parse_bits())
+            while self._peek() == ",":
+                self._expect(",")
+                values.append(self._parse_bits())
+        self._expect(">")
+        for v in values:
+            if v >= n:
+                raise SchemaError(f"tuple value index {v} out of domain range {n}")
+        return tuple(values)
+
+    def _parse_bits(self) -> int:
+        start = self._pos
+        while self._peek() in ("0", "1"):
+            self._pos += 1
+        if self._pos == start:
+            raise SchemaError(f"expected bits at position {start}")
+        return int(self._text[start:self._pos], 2)
+
+    def _parse_int(self) -> int:
+        start = self._pos
+        while self._peek().isdigit():
+            self._pos += 1
+        if self._pos == start:
+            raise SchemaError(f"expected integer at position {start}")
+        return int(self._text[start:self._pos])
+
+    def _parse_name(self) -> str:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() in ("_", "-"):
+            self._pos += 1
+        if self._pos == start:
+            raise SchemaError(f"expected relation name at position {start}")
+        return self._text[start:self._pos]
+
+    def _peek(self) -> str:
+        if self._pos >= len(self._text):
+            return ""
+        return self._text[self._pos]
+
+    def _expect(self, ch: str) -> None:
+        if self._peek() != ch:
+            raise SchemaError(
+                f"expected {ch!r} at position {self._pos}, "
+                f"found {self._peek()!r}"
+            )
+        self._pos += 1

@@ -1,0 +1,100 @@
+"""Database schemas: relation names with declared arities.
+
+The paper calls this the "arity" ``a = (a_1, ..., a_l)`` of a database.  We
+attach names to the positions because queries refer to relations by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import SchemaError
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+
+def _validate_name(name: str) -> str:
+    if not name:
+        raise SchemaError("relation name must be non-empty")
+    if not set(name) <= _NAME_OK:
+        raise SchemaError(f"relation name {name!r} contains illegal characters")
+    return name
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A single relation symbol: a name and a non-negative arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name)
+        if self.arity < 0:
+            raise SchemaError(
+                f"relation {self.name!r}: arity must be non-negative, got {self.arity}"
+            )
+
+
+class DatabaseSchema:
+    """An ordered collection of :class:`RelationSchema` with unique names.
+
+    >>> s = DatabaseSchema([RelationSchema("E", 2), RelationSchema("P", 1)])
+    >>> s.arity_of("E")
+    2
+    >>> list(s.names())
+    ['E', 'P']
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        ordered: Dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in ordered:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            ordered[rel.name] = rel
+        self._relations: Dict[str, RelationSchema] = ordered
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "DatabaseSchema":
+        """Build a schema from a ``{name: arity}`` mapping."""
+        return cls(RelationSchema(name, ar) for name, ar in arities.items())
+
+    def arity_of(self, name: str) -> int:
+        try:
+            return self._relations[name].arity
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def names(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def arities(self) -> Tuple[int, ...]:
+        """The arity vector ``(a_1, ..., a_l)`` in declaration order."""
+        return tuple(rel.arity for rel in self._relations.values())
+
+    def max_arity(self) -> int:
+        return max((rel.arity for rel in self._relations.values()), default=0)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.values()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{r.name}/{r.arity}" for r in self._relations.values())
+        return f"DatabaseSchema({body})"

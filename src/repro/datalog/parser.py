@@ -1,0 +1,136 @@
+"""Parser for a conventional Datalog surface syntax.
+
+Example::
+
+    reach(X) :- source(X).
+    reach(X) :- edge(Y, X), reach(Y).
+
+Variables start with an uppercase letter, constants are integers or
+quoted strings, ``%`` starts a comment, rules end with ``.``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.errors import SyntaxError_
+from repro.datalog.syntax import Atom, DatalogConst, DatalogProgram, DatalogVar, Rule
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>-?\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<op>:-|[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SyntaxError_(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(_Token(match.lastgroup, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def parse_program(text: str) -> DatalogProgram:
+    """Parse a whole program (possibly empty)."""
+    parser = _DatalogParser(_tokenize(text))
+    rules = []
+    while not parser.at_eof():
+        rules.append(parser.rule())
+    return DatalogProgram(tuple(rules))
+
+
+class _DatalogParser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, op: str) -> None:
+        token = self._peek()
+        if token.kind != "op" or token.text != op:
+            raise SyntaxError_(
+                f"expected {op!r} at position {token.pos}, "
+                f"found {token.text!r}"
+            )
+        self._advance()
+
+    def at_eof(self) -> bool:
+        return self._peek().kind == "eof"
+
+    def rule(self) -> Rule:
+        head = self.atom()
+        token = self._peek()
+        body = []
+        if token.kind == "op" and token.text == ":-":
+            self._advance()
+            body.append(self.atom())
+            while self._peek().kind == "op" and self._peek().text == ",":
+                self._advance()
+                body.append(self.atom())
+        self._expect(".")
+        return Rule(head, tuple(body))
+
+    def atom(self) -> Atom:
+        token = self._peek()
+        if token.kind != "name":
+            raise SyntaxError_(
+                f"expected a predicate at position {token.pos}, "
+                f"found {token.text!r}"
+            )
+        predicate = self._advance().text
+        terms = []
+        self._expect("(")
+        if not (self._peek().kind == "op" and self._peek().text == ")"):
+            terms.append(self.term())
+            while self._peek().kind == "op" and self._peek().text == ",":
+                self._advance()
+                terms.append(self.term())
+        self._expect(")")
+        return Atom(predicate, tuple(terms))
+
+    def term(self):
+        token = self._peek()
+        if token.kind == "name":
+            self._advance()
+            if token.text[0].isupper() or token.text[0] == "_":
+                return DatalogVar(token.text)
+            return DatalogConst(token.text)
+        if token.kind == "int":
+            self._advance()
+            return DatalogConst(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            raw = token.text[1:-1]
+            return DatalogConst(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        raise SyntaxError_(
+            f"expected a term at position {token.pos}, found {token.text!r}"
+        )

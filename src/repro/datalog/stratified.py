@@ -1,0 +1,264 @@
+"""Stratified Datalog: negation without losing the least-model semantics.
+
+Rules may negate body atoms (``Literal(atom, negated=True)``) as long as
+no predicate depends on its own negation: the predicate dependency graph
+must have no cycle through a negative edge.  Evaluation splits the
+program into *strata* evaluated bottom-up; within a stratum the positive
+semi-naive engine runs with all lower strata (and the EDB) frozen, and a
+negated atom succeeds when no frozen tuple matches.
+
+This is the classical perfect-model construction; it is also the Datalog
+face of the paper's stratification discussions (FP's positivity
+requirement is the one-stratum case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, SyntaxError_
+from repro.datalog.engine import DatalogStats, _MISSING, _instantiate_head
+from repro.datalog.syntax import Atom, DatalogConst, DatalogVar
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated body atom."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variables(self) -> FrozenSet[str]:
+        return self.atom.variables()
+
+
+@dataclass(frozen=True)
+class StratifiedRule:
+    """``head ← L_1, ..., L_m`` with literals.
+
+    Safety: every head variable and every variable of a *negated* literal
+    must occur in some positive literal (so negation is evaluated over
+    ground tuples only).
+    """
+
+    head: Atom
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        positive_vars: Set[str] = set()
+        for literal in self.body:
+            if not literal.negated:
+                positive_vars |= literal.variables()
+        unsafe_head = self.head.variables() - positive_vars
+        if unsafe_head:
+            raise SyntaxError_(
+                f"unsafe rule: head variables {sorted(unsafe_head)} not "
+                f"bound by a positive literal"
+            )
+        for literal in self.body:
+            if literal.negated:
+                loose = literal.variables() - positive_vars
+                if loose:
+                    raise SyntaxError_(
+                        f"unsafe negation: variables {sorted(loose)} of "
+                        f"~{literal.atom.predicate} not bound positively"
+                    )
+
+
+@dataclass(frozen=True)
+class StratifiedProgram:
+    """A collection of stratified rules."""
+
+    rules: Tuple[StratifiedRule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in [rule.head] + [l.atom for l in rule.body]:
+                seen = arities.get(atom.predicate)
+                if seen is None:
+                    arities[atom.predicate] = atom.arity
+                elif seen != atom.arity:
+                    raise SyntaxError_(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{seen} and {atom.arity}"
+                    )
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def arity_of(self, predicate: str) -> int:
+        for rule in self.rules:
+            for atom in [rule.head] + [l.atom for l in rule.body]:
+                if atom.predicate == predicate:
+                    return atom.arity
+        raise SyntaxError_(f"unknown predicate {predicate!r}")
+
+
+def stratify(program: StratifiedProgram) -> List[FrozenSet[str]]:
+    """Assign IDB predicates to strata; raise on negative recursion.
+
+    Standard algorithm: stratum numbers grow along edges, strictly along
+    negative edges; a strictly-growing cycle (negation through recursion)
+    makes the numbers exceed the predicate count and is rejected.
+    """
+    idb = program.idb_predicates()
+    stratum: Dict[str, int] = {p: 0 for p in idb}
+    limit = len(idb) + 1
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            head = rule.head.predicate
+            for literal in rule.body:
+                body_pred = literal.atom.predicate
+                if body_pred not in idb:
+                    continue
+                required = stratum[body_pred] + (1 if literal.negated else 0)
+                if stratum[head] < required:
+                    stratum[head] = required
+                    if stratum[head] >= limit:
+                        raise SyntaxError_(
+                            f"program is not stratifiable: predicate "
+                            f"{head!r} depends on its own negation"
+                        )
+                    changed = True
+    layers: Dict[int, Set[str]] = {}
+    for predicate, level in stratum.items():
+        layers.setdefault(level, set()).add(predicate)
+    return [frozenset(layers[level]) for level in sorted(layers)]
+
+
+def _match_literal(
+    literal: Literal,
+    rows: FrozenSet[Tuple],
+    bindings: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    for binding in bindings:
+        if literal.negated:
+            # safety guarantees the literal is ground under the binding
+            ground = tuple(
+                term.value if isinstance(term, DatalogConst) else binding[term.name]
+                for term in literal.atom.terms
+            )
+            if ground not in rows:
+                out.append(binding)
+            continue
+        for row in rows:
+            candidate = dict(binding)
+            ok = True
+            for term, value in zip(literal.atom.terms, row):
+                if isinstance(term, DatalogConst):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = candidate.get(term.name, _MISSING)
+                    if bound is _MISSING:
+                        candidate[term.name] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if ok:
+                out.append(candidate)
+    return out
+
+
+def evaluate_stratified(
+    program: StratifiedProgram,
+    db: Database,
+    stats: Optional[DatalogStats] = None,
+) -> Dict[str, Relation]:
+    """The perfect model: strata evaluated bottom-up, semi-naive style."""
+    stats = stats if stats is not None else DatalogStats()
+    strata = stratify(program)
+    idb: Dict[str, Set[Tuple]] = {
+        pred: set() for pred in program.idb_predicates()
+    }
+
+    def rows_of(predicate: str, arity: int) -> FrozenSet[Tuple]:
+        if predicate in idb:
+            return frozenset(idb[predicate])
+        relation = db.relation(predicate)
+        if relation.arity != arity:
+            raise EvaluationError(
+                f"predicate {predicate!r}: program arity {arity} != "
+                f"database arity {relation.arity}"
+            )
+        return relation.tuples
+
+    for layer in strata:
+        layer_rules = [
+            rule for rule in program.rules if rule.head.predicate in layer
+        ]
+        # positive literals on the current layer make this a fixpoint;
+        # negated literals never target the current layer (stratification)
+        changed = True
+        while changed:
+            stats.rounds += 1
+            changed = False
+            for rule in layer_rules:
+                bindings: List[Dict[str, object]] = [dict()]
+                # evaluate positive literals first so negation is ground
+                ordered = sorted(rule.body, key=lambda l: l.negated)
+                for literal in ordered:
+                    rows = rows_of(
+                        literal.atom.predicate, literal.atom.arity
+                    )
+                    bindings = _match_literal(literal, rows, bindings)
+                    if not bindings:
+                        break
+                stats.rule_firings += 1
+                for binding in bindings:
+                    row = _instantiate_head(rule.head, binding)
+                    if row not in idb[rule.head.predicate]:
+                        idb[rule.head.predicate].add(row)
+                        stats.tuples_derived += 1
+                        changed = True
+    return {
+        pred: Relation(program.arity_of(pred), rows)
+        for pred, rows in idb.items()
+    }
+
+
+def parse_stratified_program(text: str) -> StratifiedProgram:
+    """Parse the surface syntax extended with ``not`` before a body atom.
+
+    Example::
+
+        unreachable(X) :- node(X), not reach(X).
+    """
+    from repro.datalog.parser import _DatalogParser, _tokenize
+
+    class _Parser(_DatalogParser):
+        def rule(self):
+            head = self.atom()
+            token = self._peek()
+            body: List[Literal] = []
+            if token.kind == "op" and token.text == ":-":
+                self._advance()
+                body.append(self._literal())
+                while self._peek().kind == "op" and self._peek().text == ",":
+                    self._advance()
+                    body.append(self._literal())
+            self._expect(".")
+            return StratifiedRule(head, tuple(body))
+
+        def _literal(self) -> Literal:
+            token = self._peek()
+            if token.kind == "name" and token.text == "not":
+                self._advance()
+                return Literal(self.atom(), negated=True)
+            return Literal(self.atom(), negated=False)
+
+    parser = _Parser(_tokenize(text))
+    rules = []
+    while not parser.at_eof():
+        rules.append(parser.rule())
+    return StratifiedProgram(tuple(rules))

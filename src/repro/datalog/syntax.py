@@ -1,0 +1,132 @@
+"""Datalog abstract syntax: terms, atoms, rules, programs.
+
+Pure positive Datalog (no negation): a program is a set of rules
+``head ← body_1, ..., body_m`` whose head predicates are the *intensional*
+(IDB) relations; predicates only occurring in bodies are *extensional*
+(EDB) and come from the database.  Safety — every head variable occurs in
+the body — is checked at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Tuple, Union
+
+from repro.errors import SyntaxError_
+
+
+@dataclass(frozen=True)
+class DatalogVar:
+    """A rule variable (uppercase-first by convention, not enforced)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxError_("datalog variable needs a name")
+
+
+@dataclass(frozen=True)
+class DatalogConst:
+    """A constant value appearing in a rule."""
+
+    value: Hashable
+
+
+Term = Union[DatalogVar, DatalogConst]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t_1, ..., t_m)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.predicate:
+            raise SyntaxError_("atom needs a predicate name")
+        for term in self.terms:
+            if not isinstance(term, (DatalogVar, DatalogConst)):
+                raise SyntaxError_(f"bad term {term!r} in atom")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(
+            t.name for t in self.terms if isinstance(t, DatalogVar)
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head ← body``; facts are rules with an empty body."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        body_vars: FrozenSet[str] = frozenset().union(
+            *(atom.variables() for atom in self.body)
+        ) if self.body else frozenset()
+        unsafe = self.head.variables() - body_vars
+        if unsafe:
+            raise SyntaxError_(
+                f"unsafe rule: head variables {sorted(unsafe)} do not occur "
+                f"in the body"
+            )
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+
+@dataclass(frozen=True)
+class DatalogProgram:
+    """An ordered collection of rules."""
+
+    rules: Tuple[Rule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        arities = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                seen = arities.get(atom.predicate)
+                if seen is None:
+                    arities[atom.predicate] = atom.arity
+                elif seen != atom.arity:
+                    raise SyntaxError_(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{seen} and {atom.arity}"
+                    )
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Predicates only read (must come from the database)."""
+        idb = self.idb_predicates()
+        out = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate not in idb:
+                    out.add(atom.predicate)
+        return frozenset(out)
+
+    def arity_of(self, predicate: str) -> int:
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                if atom.predicate == predicate:
+                    return atom.arity
+        raise SyntaxError_(f"unknown predicate {predicate!r}")
+
+    def max_idb_arity(self) -> int:
+        """The k that bounds this program's intermediate arities."""
+        return max(
+            (rule.head.arity for rule in self.rules), default=0
+        )

@@ -1,0 +1,98 @@
+"""Translating single-IDB Datalog programs into FP queries.
+
+A program whose rules all define one predicate ``P`` is exactly a least
+fixpoint::
+
+    [lfp P(x̄). ⋁_rules ∃(body vars \\ x̄) (⋀ body atoms)](x̄)
+
+with the rule variables standardized to the head pattern.  This is the
+bridge the paper crosses in Prop 3.2 (the Path Systems program becomes an
+FO/FP query); the resulting formula's fixpoint arity equals the program's
+head arity, so bounded-arity Datalog lands in FP^k.
+
+Multi-IDB programs need simultaneous fixpoints, which FP can simulate
+only with arity blow-up (the Gurevich-Shelah collapse the paper's §3.2
+discusses); this translator deliberately supports the single-IDB case and
+rejects the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from repro.errors import ReductionError
+from repro.core.engine import Query
+from repro.logic.builders import and_, atom as fo_atom, exists, or_
+from repro.logic.syntax import Const, Equals, Formula, Var
+from repro.datalog.syntax import DatalogVar, DatalogProgram
+
+
+def _term_to_fo(term, mapping: Dict[str, str]):
+    if isinstance(term, DatalogVar):
+        return Var(mapping[term.name])
+    return Const(term.value)
+
+
+def program_to_fp_query(program: DatalogProgram) -> Query:
+    """The lfp query equivalent to a single-IDB Datalog program."""
+    idb = program.idb_predicates()
+    if len(idb) != 1:
+        raise ReductionError(
+            f"the FP translation handles single-IDB programs; this one "
+            f"defines {sorted(idb)}"
+        )
+    predicate = next(iter(idb))
+    arity = program.arity_of(predicate)
+    head_vars = [f"h{i}" for i in range(arity)]
+    disjuncts: List[Formula] = []
+    for rule in program.rules:
+        mapping: Dict[str, str] = {}
+        constraints: List[Formula] = []
+        # head terms align with the fixpoint's bound variables
+        for i, term in enumerate(rule.head.terms):
+            if isinstance(term, DatalogVar):
+                if term.name in mapping:
+                    constraints.append(
+                        Equals(Var(mapping[term.name]), Var(head_vars[i]))
+                    )
+                else:
+                    mapping[term.name] = head_vars[i]
+            else:
+                constraints.append(Equals(Var(head_vars[i]), Const(term.value)))
+        # body variables not in the head get fresh names
+        counter = itertools.count()
+        for body_atom in rule.body:
+            for term in body_atom.terms:
+                if isinstance(term, DatalogVar) and term.name not in mapping:
+                    mapping[term.name] = f"b{next(counter)}_{len(disjuncts)}"
+        body_atoms = [
+            fo_atom(
+                b.predicate, *(_term_to_fo(t, mapping) for t in b.terms)
+            )
+            for b in rule.body
+        ]
+        matrix = and_(*(constraints + body_atoms)) if (
+            constraints or body_atoms
+        ) else _true()
+        bound_here = sorted(
+            set(mapping.values()) - set(head_vars)
+        )
+        disjuncts.append(exists(bound_here, matrix) if bound_here else matrix)
+    from repro.logic.builders import lfp
+
+    body = or_(*disjuncts) if disjuncts else _false()
+    formula = lfp(predicate, head_vars, body, head_vars)
+    return Query(formula, output_vars=tuple(head_vars), name=f"datalog-{predicate}")
+
+
+def _true():
+    from repro.logic.builders import true_
+
+    return true_()
+
+
+def _false():
+    from repro.logic.builders import false_
+
+    return false_()

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type.  Sub-errors distinguish the layer at fault: malformed input
+data, malformed queries, evaluation-time violations, and certificate failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A database, relation, or schema is internally inconsistent.
+
+    Raised for arity mismatches, tuples outside the declared domain, duplicate
+    relation names, and similar structural problems.
+    """
+
+
+class SyntaxError_(ReproError):
+    """A query expression is syntactically malformed.
+
+    Raised by the formula parser and by AST constructors that validate their
+    arguments (e.g. a fixpoint whose tuple of bound variables contains
+    duplicates).  Named with a trailing underscore to avoid shadowing the
+    built-in :class:`SyntaxError`.
+    """
+
+
+class VariableBoundError(ReproError):
+    """A query uses more individual variables than the engine's bound ``k``.
+
+    The bounded-variable engines (Prop 3.1 and friends) refuse queries whose
+    variable width exceeds the configured bound rather than silently blowing
+    up intermediate results.
+    """
+
+
+class PositivityError(ReproError):
+    """A least/greatest fixpoint binds a relation variable non-positively.
+
+    Monotonicity of the fixpoint operator (Section 2.2 of the paper) requires
+    the recursive relation to occur under an even number of negations; this
+    error reports a violation together with the offending occurrence.
+    """
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed (unbound variable, unknown relation, ...)."""
+
+
+class CertificateError(ReproError):
+    """A fixpoint membership certificate (Lemmas 3.3/3.4) failed to verify."""
+
+
+class ReductionError(ReproError):
+    """A lower-bound reduction received an instance it cannot translate."""

@@ -1,0 +1,25 @@
+"""k-pebble games: the expressive-power side of bounded-variable logics.
+
+The paper's Section 2.2 points to [IK89] and the finite-variable-logic
+literature [KV92, Hod93] for the *expressive power* of FO^k.  The
+classical tool there is the k-pebble game: Spoiler and Duplicator each
+control k pebbles on two structures, and Duplicator has a winning
+strategy for the infinite game exactly when the structures satisfy the
+same ``L^k_{∞ω}`` sentences — in particular, the same FO^k sentences.
+
+* :mod:`~repro.games.pebble` — the game arena, the greatest-fixpoint
+  computation of Duplicator's winning positions (itself a bounded-arity
+  fixpoint computation, pleasingly), and ``k``-equivalence tests.
+"""
+
+from repro.games.pebble import (
+    duplicator_wins,
+    k_equivalent,
+    pebble_game_winning_positions,
+)
+
+__all__ = [
+    "pebble_game_winning_positions",
+    "duplicator_wins",
+    "k_equivalent",
+]

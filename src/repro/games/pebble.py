@@ -1,0 +1,165 @@
+"""The k-pebble game on relational structures.
+
+Positions are placements of k pebble *pairs*: slot ``i`` is either empty
+or holds ``(a, b)`` with ``a`` in the first structure and ``b`` in the
+second.  Spoiler picks a slot and places its pebble on an element of
+either structure; Duplicator answers on the other structure.  Duplicator
+survives a round iff the placement remains a *partial isomorphism*
+(same equalities, same atomic facts over the pebbled elements).
+
+Duplicator's winning positions for the infinite game form the greatest
+fixpoint of "partial iso, and every Spoiler move has a surviving reply" —
+computed here by downward iteration over the (finite) arena.  The
+fundamental theorem of finite-variable logics: Duplicator wins from the
+empty position iff the structures agree on all ``L^k_{∞ω}`` sentences,
+hence on all FO^k sentences — the expressive-power counterpart of the
+paper's complexity story (its [IK89]/[KV92] references).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.database.database import Database
+from repro.errors import EvaluationError
+
+Slot = Optional[Tuple[object, object]]
+Position = Tuple[Slot, ...]
+
+
+def _check_same_schema(left: Database, right: Database) -> None:
+    if left.schema != right.schema:
+        raise EvaluationError(
+            "pebble games need structures over the same schema"
+        )
+
+
+def _is_partial_iso(
+    position: Position, left: Database, right: Database
+) -> bool:
+    pairs = [slot for slot in position if slot is not None]
+    # equality pattern / functionality / injectivity
+    mapping: Dict[object, object] = {}
+    inverse: Dict[object, object] = {}
+    for a, b in pairs:
+        if mapping.get(a, b) != b or inverse.get(b, a) != a:
+            return False
+        mapping[a] = b
+        inverse[b] = a
+    # atomic facts over the pebbled elements
+    a_elements = list(mapping)
+    for name in left.relation_names():
+        rel_a = left.relation(name)
+        rel_b = right.relation(name)
+        arity = rel_a.arity
+        if arity == 0:
+            if (() in rel_a) != (() in rel_b):
+                return False
+            continue
+        for combo in itertools.product(a_elements, repeat=arity):
+            image = tuple(mapping[x] for x in combo)
+            if (combo in rel_a) != (image in rel_b):
+                return False
+    return True
+
+
+def _positions(left: Database, right: Database, k: int) -> List[Position]:
+    slot_values: List[Slot] = [None]
+    slot_values += [
+        (a, b) for a in left.domain.values for b in right.domain.values
+    ]
+    return [
+        tuple(combo) for combo in itertools.product(slot_values, repeat=k)
+    ]
+
+
+def pebble_game_winning_positions(
+    left: Database, right: Database, k: int
+) -> FrozenSet[Position]:
+    """Duplicator's winning positions of the infinite k-pebble game.
+
+    Computed as a greatest fixpoint: start from all partial isomorphisms
+    and repeatedly discard positions from which some Spoiler move has no
+    surviving Duplicator reply.
+    """
+    _check_same_schema(left, right)
+    if k < 1:
+        raise EvaluationError(f"need at least one pebble, got {k}")
+    candidates: Set[Position] = {
+        p
+        for p in _positions(left, right, k)
+        if _is_partial_iso(p, left, right)
+    }
+    left_elems = list(left.domain.values)
+    right_elems = list(right.domain.values)
+    changed = True
+    while changed:
+        changed = False
+        for position in list(candidates):
+            if not _survives(position, candidates, left_elems, right_elems, k):
+                candidates.discard(position)
+                changed = True
+    return frozenset(candidates)
+
+
+def _survives(
+    position: Position,
+    winning: Set[Position],
+    left_elems: List[object],
+    right_elems: List[object],
+    k: int,
+) -> bool:
+    for slot in range(k):
+        # Spoiler plays in the left structure; Duplicator answers right
+        for a in left_elems:
+            if not any(
+                _with(position, slot, (a, b)) in winning for b in right_elems
+            ):
+                return False
+        # Spoiler plays in the right structure; Duplicator answers left
+        for b in right_elems:
+            if not any(
+                _with(position, slot, (a, b)) in winning for a in left_elems
+            ):
+                return False
+    return True
+
+
+def _with(position: Position, slot: int, pair: Tuple[object, object]) -> Position:
+    replaced = list(position)
+    replaced[slot] = pair
+    return tuple(replaced)
+
+
+def duplicator_wins(
+    left: Database,
+    right: Database,
+    k: int,
+    start: Optional[Position] = None,
+) -> bool:
+    """Does Duplicator win the infinite k-pebble game from ``start``?
+
+    ``start`` defaults to the empty position (no pebbles placed).  Empty
+    domains: two empty structures are trivially equivalent; an empty and
+    a non-empty structure are separated by ``∃x (x = x)`` and Spoiler
+    wins accordingly.
+    """
+    _check_same_schema(left, right)
+    left_empty = left.size() == 0
+    right_empty = right.size() == 0
+    if left_empty or right_empty:
+        return left_empty == right_empty
+    winning = pebble_game_winning_positions(left, right, k)
+    position = start if start is not None else (None,) * k
+    if len(position) != k:
+        raise EvaluationError(
+            f"start position has {len(position)} slots, expected {k}"
+        )
+    return position in winning
+
+
+def k_equivalent(left: Database, right: Database, k: int) -> bool:
+    """``left ≡^k right``: agreement on every ``L^k_{∞ω}`` (hence FO^k)
+    sentence, by the pebble-game characterization."""
+    return duplicator_wins(left, right, k)

@@ -1,0 +1,38 @@
+"""Parenthesis grammars and the Lemma 4.2 construction (Section 4.1).
+
+For a *fixed* database ``B`` there are only finitely many k-ary relations
+over its domain, so an FO^k expression is an algebraic expression over a
+finite algebra; Lynch's theorem on parenthesis languages then puts
+``Answer_{FO^k}(B)`` in LOGSPACE (and Buss's refinement in ALOGTIME).
+This subpackage builds the machinery:
+
+* :mod:`~repro.grammar.cfg` — context-free grammars over token alphabets,
+  with the parenthesis-grammar well-formedness check;
+* :mod:`~repro.grammar.recognizer` — a single-pass shift-reduce
+  recognizer for parenthesis languages (linear in the input for a fixed
+  grammar);
+* :mod:`~repro.grammar.fo_grammar` — the Lemma 4.2 grammar ``G(B)``: one
+  nonterminal per k-ary relation over ``B``'s domain, productions mirroring
+  ``∧``, ``¬``, ``∃x_j`` on relation values, plus the reduction from
+  FO^k query evaluation over ``B`` to ``L(G(B))`` membership.
+"""
+
+from repro.grammar.cfg import Grammar, Production, is_parenthesis_grammar
+from repro.grammar.recognizer import recognize_parenthesis
+from repro.grammar.earley import earley_recognize
+from repro.grammar.fo_grammar import (
+    FixedDatabaseGrammar,
+    build_fo_grammar,
+    encode_formula,
+)
+
+__all__ = [
+    "Grammar",
+    "Production",
+    "is_parenthesis_grammar",
+    "recognize_parenthesis",
+    "earley_recognize",
+    "FixedDatabaseGrammar",
+    "build_fo_grammar",
+    "encode_formula",
+]

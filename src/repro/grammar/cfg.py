@@ -1,0 +1,88 @@
+"""Context-free grammars over token alphabets.
+
+Symbols are strings; a symbol is a nonterminal iff it is declared in the
+grammar's nonterminal set, otherwise it is a terminal.  Inputs are token
+*sequences* (not character strings) — the Lemma 4.2 encoding treats each
+atomic formula as one token.
+
+A *parenthesis grammar* [Lyn77] distinguishes terminals ``(`` and ``)``
+and requires every production to have the form ``A → ( x )`` with ``x``
+parenthesis-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.errors import ReproError
+
+OPEN = "("
+CLOSE = ")"
+
+
+class GrammarError(ReproError):
+    """Malformed grammar or input."""
+
+
+@dataclass(frozen=True)
+class Production:
+    """``lhs → rhs`` with ``rhs`` a tuple of symbols."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rhs", tuple(self.rhs))
+        if not self.lhs:
+            raise GrammarError("production needs a left-hand side")
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A CFG: nonterminals, productions, and a start symbol."""
+
+    nonterminals: FrozenSet[str]
+    productions: Tuple[Production, ...]
+    start: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nonterminals", frozenset(self.nonterminals))
+        object.__setattr__(self, "productions", tuple(self.productions))
+        if self.start not in self.nonterminals:
+            raise GrammarError(
+                f"start symbol {self.start!r} is not a nonterminal"
+            )
+        for production in self.productions:
+            if production.lhs not in self.nonterminals:
+                raise GrammarError(
+                    f"production head {production.lhs!r} is not a nonterminal"
+                )
+
+    def is_terminal(self, symbol: str) -> bool:
+        return symbol not in self.nonterminals
+
+    def productions_for(self, lhs: str) -> List[Production]:
+        return [p for p in self.productions if p.lhs == lhs]
+
+    def size(self) -> int:
+        """Total symbols across productions — the grammar's |G|."""
+        return sum(1 + len(p.rhs) for p in self.productions)
+
+
+def is_parenthesis_grammar(grammar: Grammar) -> bool:
+    """Every production is ``A → ( x )`` with parenthesis-free ``x``."""
+    if OPEN in grammar.nonterminals or CLOSE in grammar.nonterminals:
+        return False
+    for production in grammar.productions:
+        rhs = production.rhs
+        if len(rhs) < 2 or rhs[0] != OPEN or rhs[-1] != CLOSE:
+            return False
+        if any(symbol in (OPEN, CLOSE) for symbol in rhs[1:-1]):
+            return False
+    return True
+
+
+def check_parenthesis_grammar(grammar: Grammar) -> None:
+    if not is_parenthesis_grammar(grammar):
+        raise GrammarError("not a parenthesis grammar")

@@ -1,0 +1,103 @@
+"""An Earley recognizer for arbitrary context-free grammars.
+
+Lemma 4.2's parenthesis recognizer is special-purpose (single pass); this
+general ``O(n³)`` recognizer serves as an independent oracle to
+cross-validate it, and recognizes non-parenthesis grammars too.
+Standard Earley with prediction, scanning, and completion; handles
+ε-productions via the usual nullable-completion care (completing items
+in the same set until saturation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.grammar.cfg import Grammar
+
+
+@dataclass(frozen=True)
+class _Item:
+    """A dotted production with its origin set index."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+    dot: int
+    origin: int
+
+    def next_symbol(self) -> str:
+        return self.rhs[self.dot] if self.dot < len(self.rhs) else ""
+
+    def finished(self) -> bool:
+        return self.dot >= len(self.rhs)
+
+    def advanced(self) -> "_Item":
+        return _Item(self.lhs, self.rhs, self.dot + 1, self.origin)
+
+
+def earley_recognize(grammar: Grammar, tokens: Sequence[str]) -> bool:
+    """Is ``tokens`` in ``L(grammar)``?"""
+    tokens = list(tokens)
+    n = len(tokens)
+    sets: List[Set[_Item]] = [set() for _ in range(n + 1)]
+
+    def predict(index: int, nonterminal: str) -> List[_Item]:
+        return [
+            _Item(p.lhs, p.rhs, 0, index)
+            for p in grammar.productions
+            if p.lhs == nonterminal
+        ]
+
+    for item in predict(0, grammar.start):
+        sets[0].add(item)
+    for i in range(n + 1):
+        # saturate set i with predictions and completions
+        queue = list(sets[i])
+        while queue:
+            item = queue.pop()
+            if item.finished():
+                # completion: advance items waiting for item.lhs at origin
+                for waiting in list(sets[item.origin]):
+                    if (
+                        not waiting.finished()
+                        and waiting.next_symbol() == item.lhs
+                    ):
+                        advanced = waiting.advanced()
+                        if advanced not in sets[i]:
+                            sets[i].add(advanced)
+                            queue.append(advanced)
+                continue
+            symbol = item.next_symbol()
+            if symbol in grammar.nonterminals:
+                for predicted in predict(i, symbol):
+                    if predicted not in sets[i]:
+                        sets[i].add(predicted)
+                        queue.append(predicted)
+                # nullable completion: if the predicted nonterminal has
+                # already produced a finished item spanning [i, i], advance
+                for done in list(sets[i]):
+                    if (
+                        done.finished()
+                        and done.lhs == symbol
+                        and done.origin == i
+                    ):
+                        advanced = item.advanced()
+                        if advanced not in sets[i]:
+                            sets[i].add(advanced)
+                            queue.append(advanced)
+        # scanning into set i+1
+        if i < n:
+            token = tokens[i]
+            for item in sets[i]:
+                if (
+                    not item.finished()
+                    and item.next_symbol() == token
+                    and token not in grammar.nonterminals
+                ):
+                    sets[i + 1].add(item.advanced())
+    return any(
+        item.finished()
+        and item.lhs == grammar.start
+        and item.origin == 0
+        for item in sets[n]
+    )

@@ -1,0 +1,269 @@
+"""The Lemma 4.2 grammar: FO^k over a fixed database as a parenthesis language.
+
+For a fixed database ``B`` with domain ``D`` there are only ``2^(|D|^k)``
+k-ary relations ``r_0, ..., r_{l-1}``.  Viewing each subformula of an
+FO^k query as a subquery whose value is one of these relations, an
+expression is a word of a parenthesis grammar with one nonterminal
+``A_i`` per relation:
+
+* ``A_i → ( a )``       for each atomic formula token ``a`` of value r_i
+* ``A_i → ( A_j & A_m )``  whenever ``r_i = r_j ∩ r_m``
+* ``A_i → ( ~ A_j )``      whenever ``r_i = D^k \\ r_j``
+* ``A_i → ( 9x_j A_m )``   whenever ``r_i`` is ``r_m`` with coordinate j
+  projected out and re-cylindrified
+* ``S  → ( A_i @ t_i )``   — the word ``( enc(φ) @ t_i )`` is in the
+  language exactly when the value of ``φ`` on ``B`` is ``r_i``.
+
+The grammar is *fixed once B is fixed*; recognizing a query expression is
+then a single linear pass (Theorem 4.1 / Theorem 4.4's ALOGTIME, observed
+sequentially).  This module builds ``G(B)``, encodes formulas as token
+sequences, and exposes the reduction from ``Answer_{FO^k}(B)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.database.database import Database
+from repro.errors import ReductionError
+from repro.grammar.cfg import CLOSE, OPEN, Grammar, Production
+from repro.grammar.recognizer import recognize_parenthesis
+from repro.logic.syntax import (
+    And,
+    Equals,
+    Exists,
+    Formula,
+    Not,
+    RelAtom,
+    Var,
+)
+
+KRelation = FrozenSet[Tuple[object, ...]]
+
+
+def _all_k_relations(domain: Tuple[object, ...], k: int) -> List[KRelation]:
+    """Every k-ary relation over the domain, in a canonical order."""
+    universe = sorted(itertools.product(domain, repeat=k), key=repr)
+    relations: List[KRelation] = []
+    for mask in range(1 << len(universe)):
+        relations.append(
+            frozenset(
+                universe[i] for i in range(len(universe)) if mask >> i & 1
+            )
+        )
+    return relations
+
+
+@dataclass(frozen=True)
+class FixedDatabaseGrammar:
+    """``G(B)`` plus the metadata needed to run the reduction."""
+
+    grammar: Grammar
+    db: Database
+    k: int
+    relations: Tuple[KRelation, ...]          # index → relation value
+    atom_tokens: Dict[str, int]               # atom token → relation index
+
+    def relation_index(self, relation: KRelation) -> int:
+        try:
+            return self.relations.index(frozenset(relation))
+        except ValueError:
+            raise ReductionError("relation not over this domain/arity") from None
+
+    def value_token(self, index: int) -> str:
+        return f"r{index}"
+
+    def word_for(self, formula: Formula, claimed_index: int) -> List[str]:
+        """The input word ``( enc(φ) @ r_i )`` of the reduction."""
+        return (
+            [OPEN]
+            + encode_formula(formula, self.k)
+            + ["@", self.value_token(claimed_index), CLOSE]
+        )
+
+    def accepts(self, formula: Formula, claimed_index: int) -> bool:
+        """Is ``( enc(φ) @ r_i )`` in ``L(G(B))``?"""
+        return recognize_parenthesis(
+            self.grammar, self.word_for(formula, claimed_index)
+        )
+
+    def evaluate_via_grammar(self, formula: Formula) -> KRelation:
+        """The k-ary value of ``φ`` on B, found through the grammar.
+
+        Tries each claimed relation; exactly one claim is accepted (the
+        grammar is a function on well-formed encodings).
+        """
+        found: Optional[int] = None
+        for index in range(len(self.relations)):
+            if self.accepts(formula, index):
+                if found is not None:
+                    raise ReductionError(
+                        "grammar accepted two different values — "
+                        "construction bug"
+                    )
+                found = index
+        if found is None:
+            raise ReductionError("grammar rejected every value claim")
+        return self.relations[found]
+
+
+def variables(k: int) -> Tuple[str, ...]:
+    """The fixed variables ``x1 .. xk`` of FO^k."""
+    return tuple(f"x{i}" for i in range(1, k + 1))
+
+
+def encode_formula(formula: Formula, k: int) -> List[str]:
+    """Encode an FO^k formula (∧/¬/∃ over atoms) as grammar tokens.
+
+    Atoms become single tokens ``"P xi1 ... xim"``; the connective tokens
+    are ``&``, ``~``, and ``9xj``; every construct is parenthesized.
+    Disjunction and universal quantification are not part of the grammar
+    alphabet (the paper's grammar uses the ∧/¬/∃ basis); desugar first.
+    """
+    names = set(variables(k))
+    if isinstance(formula, RelAtom):
+        parts = [formula.name]
+        for term in formula.terms:
+            if not isinstance(term, Var) or term.name not in names:
+                raise ReductionError(
+                    f"atoms must use variables x1..x{k}, got {term!r}"
+                )
+            parts.append(term.name)
+        return [OPEN, " ".join(parts), CLOSE]
+    if isinstance(formula, Equals):
+        left, right = formula.left, formula.right
+        if (
+            not isinstance(left, Var)
+            or not isinstance(right, Var)
+            or left.name not in names
+            or right.name not in names
+        ):
+            raise ReductionError("equalities must relate variables x1..xk")
+        return [OPEN, f"= {left.name} {right.name}", CLOSE]
+    if isinstance(formula, Not):
+        return [OPEN, "~"] + encode_formula(formula.sub, k) + [CLOSE]
+    if isinstance(formula, And):
+        if len(formula.subs) != 2:
+            raise ReductionError(
+                "the grammar encoding uses binary conjunction; rebuild "
+                "the formula with nested binary ∧"
+            )
+        return (
+            [OPEN]
+            + encode_formula(formula.subs[0], k)
+            + ["&"]
+            + encode_formula(formula.subs[1], k)
+            + [CLOSE]
+        )
+    if isinstance(formula, Exists):
+        if formula.var.name not in names:
+            raise ReductionError(
+                f"quantified variable {formula.var.name!r} outside x1..x{k}"
+            )
+        return (
+            [OPEN, f"9{formula.var.name}"]
+            + encode_formula(formula.sub, k)
+            + [CLOSE]
+        )
+    raise ReductionError(
+        f"the grammar encoding covers ∧/¬/∃ over atoms; got "
+        f"{type(formula).__name__} (desugar ∨ and ∀ first)"
+    )
+
+
+def build_fo_grammar(db: Database, k: int, max_relations: int = 4096) -> FixedDatabaseGrammar:
+    """Construct ``G(B)`` for the fixed database ``db`` and bound ``k``.
+
+    The construction enumerates all ``2^(n^k)`` k-ary relations, so it is
+    only feasible for tiny fixed databases — which is the point: ``B`` is
+    fixed, the queries vary.
+    """
+    domain = tuple(db.domain.values)
+    n = len(domain)
+    count = 1 << (n**k)
+    if count > max_relations:
+        raise ReductionError(
+            f"G(B) would have {count} nonterminals (n={n}, k={k}); the "
+            f"construction is for fixed tiny databases "
+            f"(limit {max_relations})"
+        )
+    relations = _all_k_relations(domain, k)
+    index_of: Dict[KRelation, int] = {r: i for i, r in enumerate(relations)}
+    names = variables(k)
+    universe = list(itertools.product(domain, repeat=k))
+
+    def nt(i: int) -> str:
+        return f"A{i}"
+
+    productions: List[Production] = []
+    atom_tokens: Dict[str, int] = {}
+
+    # atomic formula tokens: database atoms over all variable patterns
+    for rel_name in db.relation_names():
+        relation = db.relation(rel_name)
+        for pattern in itertools.product(names, repeat=relation.arity):
+            token = " ".join([rel_name] + list(pattern))
+            positions = [names.index(v) for v in pattern]
+            value = frozenset(
+                t
+                for t in universe
+                if tuple(t[p] for p in positions) in relation
+            )
+            atom_tokens[token] = index_of[value]
+            productions.append(
+                Production(nt(index_of[value]), (OPEN, token, CLOSE))
+            )
+    # equality atoms
+    for a in names:
+        for b in names:
+            token = f"= {a} {b}"
+            ia, ib = names.index(a), names.index(b)
+            value = frozenset(t for t in universe if t[ia] == t[ib])
+            atom_tokens[token] = index_of[value]
+            productions.append(
+                Production(nt(index_of[value]), (OPEN, token, CLOSE))
+            )
+    # conjunction: A_i → ( A_j & A_m ) when r_i = r_j ∩ r_m
+    for j, rj in enumerate(relations):
+        for m, rm in enumerate(relations):
+            i = index_of[rj & rm]
+            productions.append(
+                Production(nt(i), (OPEN, nt(j), "&", nt(m), CLOSE))
+            )
+    # negation: A_i → ( ~ A_j ) when r_i = D^k \ r_j
+    full = frozenset(universe)
+    for j, rj in enumerate(relations):
+        i = index_of[full - rj]
+        productions.append(Production(nt(i), (OPEN, "~", nt(j), CLOSE)))
+    # projection: A_i → ( 9xj A_m )
+    for var_index, var in enumerate(names):
+        for m, rm in enumerate(relations):
+            projected = frozenset(
+                t
+                for t in universe
+                if any(
+                    t[:var_index] + (d,) + t[var_index + 1:] in rm
+                    for d in domain
+                )
+            )
+            productions.append(
+                Production(
+                    nt(index_of[projected]), (OPEN, f"9{var}", nt(m), CLOSE)
+                )
+            )
+    # start: S → ( A_i @ r_i )
+    for i in range(len(relations)):
+        productions.append(
+            Production("S", (OPEN, nt(i), "@", f"r{i}", CLOSE))
+        )
+    nonterminals = frozenset([nt(i) for i in range(len(relations))] + ["S"])
+    grammar = Grammar(nonterminals, tuple(productions), "S")
+    return FixedDatabaseGrammar(
+        grammar=grammar,
+        db=db,
+        k=k,
+        relations=tuple(relations),
+        atom_tokens=atom_tokens,
+    )

@@ -1,0 +1,99 @@
+"""Single-pass recognition of parenthesis languages.
+
+Lynch proved parenthesis languages recognizable in LOGSPACE and Buss
+sharpened that to ALOGTIME; the observable sequential counterpart is a
+*single left-to-right pass* with a stack — each input position is pushed
+once and reduced once, so recognition is linear time for a fixed grammar.
+The recognizer tracks, per reduced position, the *set* of nonterminals
+that can derive it, which handles grammars where several nonterminals
+share a right-hand side (the Lemma 4.2 grammar never needs this, but the
+recognizer is general).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Union
+
+from repro.grammar.cfg import CLOSE, OPEN, Grammar, GrammarError, check_parenthesis_grammar
+
+# stack entries: a raw terminal token, OPEN, or a set of candidate
+# nonterminals for an already-reduced segment
+_StackItem = Union[str, FrozenSet[str]]
+
+
+@dataclass
+class RecognizerStats:
+    """Work accounting: positions scanned and reduction steps taken."""
+
+    tokens_scanned: int = 0
+    reductions: int = 0
+    max_stack_depth: int = 0
+
+
+def recognize_parenthesis(
+    grammar: Grammar,
+    tokens: Sequence[str],
+    stats: RecognizerStats = None,
+) -> bool:
+    """Is ``tokens`` in ``L(grammar)``?  One pass, stack-based.
+
+    Raises :class:`GrammarError` when the grammar is not a parenthesis
+    grammar or the input's parentheses are unbalanced.
+    """
+    check_parenthesis_grammar(grammar)
+    if stats is None:
+        stats = RecognizerStats()
+    # index productions by parenthesis-free interior length for fast match
+    by_length: Dict[int, List] = {}
+    for production in grammar.productions:
+        interior = production.rhs[1:-1]
+        by_length.setdefault(len(interior), []).append(
+            (production.lhs, interior)
+        )
+    stack: List[_StackItem] = []
+    for token in tokens:
+        stats.tokens_scanned += 1
+        if token == CLOSE:
+            interior: List[_StackItem] = []
+            while stack and stack[-1] != OPEN:
+                interior.append(stack.pop())
+            if not stack:
+                raise GrammarError("unbalanced ')' in input")
+            stack.pop()  # the matching OPEN
+            interior.reverse()
+            stats.reductions += 1
+            candidates = _match(by_length, interior, grammar)
+            if not candidates:
+                return False
+            stack.append(candidates)
+        else:
+            stack.append(token)
+        if len(stack) > stats.max_stack_depth:
+            stats.max_stack_depth = len(stack)
+    if len(stack) != 1 or not isinstance(stack[0], frozenset):
+        return False
+    return grammar.start in stack[0]
+
+
+def _match(
+    by_length: Dict[int, List],
+    interior: List[_StackItem],
+    grammar: Grammar,
+) -> FrozenSet[str]:
+    """Nonterminals whose production interior matches the reduced segment."""
+    matches = set()
+    for lhs, rhs in by_length.get(len(interior), ()):
+        ok = True
+        for expected, actual in zip(rhs, interior):
+            if isinstance(actual, frozenset):
+                if grammar.is_terminal(expected) or expected not in actual:
+                    ok = False
+                    break
+            else:
+                if expected != actual:
+                    ok = False
+                    break
+        if ok:
+            matches.add(lhs)
+    return frozenset(matches)

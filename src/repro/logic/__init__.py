@@ -1,0 +1,72 @@
+"""Syntax of the four query languages of the paper (Section 2.2).
+
+This subpackage defines the abstract syntax shared by first-order logic (FO),
+fixpoint logic (FP: least and greatest fixpoints), partial-fixpoint logic
+(PFP), and existential second-order logic (ESO), together with:
+
+* a parser and pretty-printer for a concrete text syntax,
+* free-variable and variable-width analysis (the ``k`` of ``L^k``),
+* capture-avoiding substitution and bound-variable renaming,
+* structural analyses: positivity of recursion variables, fixpoint
+  alternation depth, language classification (is this formula FO? FP? ...).
+
+Formulas are immutable; all transformations build new trees.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+)
+from repro.logic.variables import free_variables, variable_names, variable_width
+from repro.logic.analysis import (
+    alternation_depth,
+    check_positivity,
+    classify_language,
+    Language,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Formula",
+    "RelAtom",
+    "Equals",
+    "Truth",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "Forall",
+    "LFP",
+    "GFP",
+    "PFP",
+    "IFP",
+    "SOExists",
+    "free_variables",
+    "variable_names",
+    "variable_width",
+    "alternation_depth",
+    "check_positivity",
+    "classify_language",
+    "Language",
+    "parse_formula",
+    "format_formula",
+]

@@ -1,0 +1,155 @@
+"""Normal forms: negation normal form and light simplification.
+
+NNF pushes negations down to atoms, turning ``¬∃`` into ``∀¬``, ``¬[lfp]``
+into ``[gfp]`` of the dualized body, and ``¬[gfp]`` into ``[lfp]`` — the
+duality ``t ∉ σS.φ  ⟺  t ∈ σ̄S.¬φ[S := ¬S]`` that Section 3.2 uses for the
+co-NP direction of Theorem 3.5.  ``¬[pfp]``, ``¬[ifp]`` and ``¬∃S`` have no
+first-class dual and stay as negations at those nodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxError_
+from repro.logic.syntax import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Truth,
+    _FixpointBase,
+)
+from repro.logic.substitution import substitute_relation
+
+
+def negate_fixpoint_dual(node: _FixpointBase) -> Formula:
+    """The dual fixpoint: ``¬[μS.φ](t̄) = [νS. ¬φ[S := ¬S]](t̄)`` and vice versa.
+
+    Only defined for LFP/GFP; duality of the partial fixpoint fails in
+    general (the pfp of the dualized body is not the complement).
+    """
+    if isinstance(node, LFP):
+        dual = GFP
+    elif isinstance(node, GFP):
+        dual = LFP
+    else:
+        raise SyntaxError_("only lfp/gfp fixpoints have first-class duals")
+    negated_rel = Not(RelAtom(node.rel, node.bound_vars))
+    dual_body = Not(
+        substitute_relation(node.body, node.rel, node.bound_vars, negated_rel)
+    )
+    return dual(node.rel, node.bound_vars, dual_body, node.args)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form of ``formula``.
+
+    The result contains ``Not`` only immediately above atoms, equalities,
+    ``pfp``/``ifp`` fixpoints, and second-order quantifiers.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, (RelAtom, Equals)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Truth):
+        return Truth(formula.value != negate)
+    if isinstance(formula, Not):
+        return _nnf(formula.sub, not negate)
+    if isinstance(formula, And):
+        subs = tuple(_nnf(s, negate) for s in formula.subs)
+        return Or(subs) if negate else And(subs)
+    if isinstance(formula, Or):
+        subs = tuple(_nnf(s, negate) for s in formula.subs)
+        return And(subs) if negate else Or(subs)
+    if isinstance(formula, Exists):
+        sub = _nnf(formula.sub, negate)
+        return Forall(formula.var, sub) if negate else Exists(formula.var, sub)
+    if isinstance(formula, Forall):
+        sub = _nnf(formula.sub, negate)
+        return Exists(formula.var, sub) if negate else Forall(formula.var, sub)
+    if isinstance(formula, (LFP, GFP)):
+        if negate:
+            return _nnf(negate_fixpoint_dual(formula), negate=False)
+        return type(formula)(
+            formula.rel,
+            formula.bound_vars,
+            _nnf(formula.body, negate=False),
+            formula.args,
+        )
+    if isinstance(formula, (PFP, IFP)):
+        rebuilt = type(formula)(
+            formula.rel,
+            formula.bound_vars,
+            _nnf(formula.body, negate=False),
+            formula.args,
+        )
+        return Not(rebuilt) if negate else rebuilt
+    if isinstance(formula, SOExists):
+        rebuilt = SOExists(
+            formula.rel, formula.arity, _nnf(formula.body, negate=False)
+        )
+        return Not(rebuilt) if negate else rebuilt
+    raise SyntaxError_(f"unknown formula node {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Constant folding and connective flattening.
+
+    Logically equivalence-preserving: drops ``true`` from conjunctions,
+    ``false`` from disjunctions, collapses double negation, flattens nested
+    same-kind connectives, and short-circuits on absorbing constants.
+    """
+    if isinstance(formula, (RelAtom, Equals, Truth)):
+        return formula
+    if isinstance(formula, Not):
+        sub = simplify(formula.sub)
+        if isinstance(sub, Truth):
+            return Truth(not sub.value)
+        if isinstance(sub, Not):
+            return sub.sub
+        return Not(sub)
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        absorbing = Truth(not is_and)
+        neutral = Truth(is_and)
+        flat = []
+        for sub in formula.subs:
+            simplified = simplify(sub)
+            if simplified == absorbing:
+                return absorbing
+            if simplified == neutral:
+                continue
+            if type(simplified) is type(formula):
+                flat.extend(simplified.subs)
+            else:
+                flat.append(simplified)
+        if not flat:
+            return neutral
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat)) if is_and else Or(tuple(flat))
+    if isinstance(formula, (Exists, Forall)):
+        sub = simplify(formula.sub)
+        if isinstance(sub, Truth):
+            # Valid only on non-empty domains; all paper databases have
+            # non-empty domains (D is a finite set of naturals with at least
+            # the values mentioned by the relations).
+            return sub
+        return type(formula)(formula.var, sub)
+    if isinstance(formula, _FixpointBase):
+        return type(formula)(
+            formula.rel, formula.bound_vars, simplify(formula.body), formula.args
+        )
+    if isinstance(formula, SOExists):
+        return SOExists(formula.rel, formula.arity, simplify(formula.body))
+    raise SyntaxError_(f"unknown formula node {formula!r}")

@@ -1,0 +1,335 @@
+"""Parser for the concrete formula syntax.
+
+The grammar (loosest binding first; quantifiers take maximal scope)::
+
+    formula  := quant | or
+    quant    := ('exists' | 'forall') NAME '.' formula
+              | 'exists2' NAME '/' INT '.' formula
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '~' unary | quant | primary
+    primary  := '(' formula ')'
+              | 'true' | 'false'
+              | '[' FPKW NAME '(' names? ')' '.' formula ']' '(' terms? ')'
+              | NAME '(' terms? ')'
+              | term ('=' | '!=') term
+    term     := NAME | INT | STRING
+    FPKW     := 'lfp' | 'gfp' | 'pfp' | 'ifp'
+
+Implication ``->`` and biconditional ``<->`` are accepted as sugar between
+``or`` operands (right-associative) and desugared immediately, matching
+:mod:`repro.logic.builders`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import SyntaxError_
+from repro.logic.builders import iff, implies
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+)
+
+_KEYWORDS = {
+    "exists",
+    "forall",
+    "exists2",
+    "true",
+    "false",
+    "lfp",
+    "gfp",
+    "pfp",
+    "ifp",
+}
+
+_FIXPOINT_NODE = {"lfp": LFP, "gfp": GFP, "pfp": PFP, "ifp": IFP}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_'-]*)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<op><->|->|!=|[~&|().,=\[\]/])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SyntaxError_(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse the concrete syntax into a formula AST.
+
+    >>> from repro.logic.printer import format_formula
+    >>> format_formula(parse_formula("exists y. E(x, y) & P(y)"))
+    'exists y. E(x, y) & P(y)'
+    """
+    parser = _FormulaParser(_tokenize(text))
+    formula = parser.parse_full()
+    return formula
+
+
+class _FormulaParser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        if token.kind != "op" or token.text != op:
+            raise SyntaxError_(
+                f"expected {op!r} at position {token.pos}, found {token.text!r}"
+            )
+        self._advance()
+
+    def _at_op(self, op: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text == op
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "name" and token.text == word
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_full(self) -> Formula:
+        formula = self._formula()
+        token = self._peek()
+        if token.kind != "eof":
+            raise SyntaxError_(
+                f"trailing input at position {token.pos}: {token.text!r}"
+            )
+        return formula
+
+    def _formula(self) -> Formula:
+        quantified = self._try_quantifier()
+        if quantified is not None:
+            return quantified
+        return self._implication()
+
+    def _try_quantifier(self) -> Optional[Formula]:
+        if self._at_keyword("exists") or self._at_keyword("forall"):
+            keyword = self._advance().text
+            var = Var(self._name("variable"))
+            self._expect_op(".")
+            body = self._formula()
+            node = Exists if keyword == "exists" else Forall
+            return node(var, body)
+        if self._at_keyword("exists2"):
+            self._advance()
+            rel = self._name("relation variable")
+            self._expect_op("/")
+            token = self._peek()
+            if token.kind != "int":
+                raise SyntaxError_(
+                    f"expected arity after '/' at position {token.pos}"
+                )
+            arity = int(self._advance().text)
+            self._expect_op(".")
+            return SOExists(rel, arity, self._formula())
+        return None
+
+    def _implication(self) -> Formula:
+        left = self._or()
+        if self._at_op("->"):
+            self._advance()
+            return implies(left, self._formula())
+        if self._at_op("<->"):
+            self._advance()
+            return iff(left, self._formula())
+        return left
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._at_op("|"):
+            self._advance()
+            parts.append(self._and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._at_op("&"):
+            self._advance()
+            parts.append(self._unary())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def _unary(self) -> Formula:
+        if self._at_op("~"):
+            self._advance()
+            return Not(self._unary())
+        quantified = self._try_quantifier()
+        if quantified is not None:
+            return quantified
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self._peek()
+        if self._at_op("("):
+            self._advance()
+            inner = self._formula()
+            self._expect_op(")")
+            return self._maybe_equality_tail(inner)
+        if self._at_op("["):
+            return self._fixpoint()
+        if token.kind == "name":
+            if token.text == "true":
+                self._advance()
+                return Truth(True)
+            if token.text == "false":
+                self._advance()
+                return Truth(False)
+            if token.text in _KEYWORDS:
+                raise SyntaxError_(
+                    f"keyword {token.text!r} cannot start a primary formula "
+                    f"(position {token.pos})"
+                )
+            # Relation atom or term comparison.
+            name = self._advance().text
+            if self._at_op("("):
+                self._advance()
+                terms = self._terms_until(")")
+                return RelAtom(name, terms)
+            return self._equality_from(Var(name))
+        if token.kind in ("int", "string"):
+            return self._equality_from(self._term())
+        raise SyntaxError_(
+            f"expected a formula at position {token.pos}, found {token.text!r}"
+        )
+
+    def _maybe_equality_tail(self, inner: Formula) -> Formula:
+        # Parenthesized formulas never continue into '='; equality operands
+        # are bare terms only, keeping the grammar unambiguous.
+        return inner
+
+    def _equality_from(self, left: Term) -> Formula:
+        if self._at_op("="):
+            self._advance()
+            return Equals(left, self._term())
+        if self._at_op("!="):
+            self._advance()
+            return Not(Equals(left, self._term()))
+        token = self._peek()
+        raise SyntaxError_(
+            f"expected '=' or '!=' after term at position {token.pos}, "
+            f"found {token.text!r}"
+        )
+
+    def _fixpoint(self) -> Formula:
+        self._expect_op("[")
+        token = self._peek()
+        if token.kind != "name" or token.text not in _FIXPOINT_NODE:
+            raise SyntaxError_(
+                f"expected lfp/gfp/pfp/ifp at position {token.pos}, "
+                f"found {token.text!r}"
+            )
+        node = _FIXPOINT_NODE[self._advance().text]
+        rel = self._name("fixpoint relation")
+        self._expect_op("(")
+        bound: List[Var] = []
+        if not self._at_op(")"):
+            bound.append(Var(self._name("bound variable")))
+            while self._at_op(","):
+                self._advance()
+                bound.append(Var(self._name("bound variable")))
+        self._expect_op(")")
+        self._expect_op(".")
+        body = self._formula()
+        self._expect_op("]")
+        self._expect_op("(")
+        args = self._terms_until(")")
+        return node(rel, tuple(bound), body, args)
+
+    def _terms_until(self, closing: str) -> Tuple[Term, ...]:
+        terms: List[Term] = []
+        if not self._at_op(closing):
+            terms.append(self._term())
+            while self._at_op(","):
+                self._advance()
+                terms.append(self._term())
+        self._expect_op(closing)
+        return tuple(terms)
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token.kind == "name":
+            if token.text in _KEYWORDS:
+                raise SyntaxError_(
+                    f"keyword {token.text!r} cannot be a term "
+                    f"(position {token.pos})"
+                )
+            self._advance()
+            return Var(token.text)
+        if token.kind == "int":
+            self._advance()
+            return Const(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            raw = token.text[1:-1]
+            return Const(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        raise SyntaxError_(
+            f"expected a term at position {token.pos}, found {token.text!r}"
+        )
+
+    def _name(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "name" or token.text in _KEYWORDS:
+            raise SyntaxError_(
+                f"expected a {what} name at position {token.pos}, "
+                f"found {token.text!r}"
+            )
+        return self._advance().text

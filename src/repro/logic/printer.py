@@ -1,0 +1,112 @@
+"""Pretty-printer for the concrete formula syntax.
+
+The output is accepted verbatim by :func:`repro.logic.parser.parse_formula`;
+``parse(format(φ)) == φ`` is property-tested.  The concrete syntax::
+
+    E(x, y) & ~(x = y) | exists y. P(y)
+    forall x. P(x) -> ...                 # printer emits the desugared form
+    [lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)
+    exists2 S/2. forall x. S(x, x)
+
+Operator precedence, loosest first: quantifiers (maximal scope), ``|``,
+``&``, ``~``.  The printed length of a formula is the ``|e|`` used by the
+expression-complexity experiments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxError_
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+
+_LEVEL_QUANT = 0
+_LEVEL_OR = 1
+_LEVEL_AND = 2
+_LEVEL_UNARY = 3
+
+_FIXPOINT_KEYWORD = {LFP: "lfp", GFP: "gfp", PFP: "pfp", IFP: "ifp"}
+
+
+def format_term(term: Term) -> str:
+    """Concrete syntax of a term: bare name, integer, or quoted string."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        value = term.value
+        if isinstance(value, bool):
+            raise SyntaxError_("boolean constants are not printable terms")
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        raise SyntaxError_(f"constant {value!r} has no concrete syntax")
+    raise SyntaxError_(f"unknown term {term!r}")
+
+
+def format_formula(formula: Formula) -> str:
+    """Render ``formula`` in the concrete text syntax."""
+    return _fmt(formula, _LEVEL_QUANT)
+
+
+def formula_length(formula: Formula) -> int:
+    """``|e|``: the length of the printed expression."""
+    return len(format_formula(formula))
+
+
+def _fmt(formula: Formula, level: int) -> str:
+    if isinstance(formula, RelAtom):
+        args = ", ".join(format_term(t) for t in formula.terms)
+        return f"{formula.name}({args})"
+    if isinstance(formula, Equals):
+        text = f"{format_term(formula.left)} = {format_term(formula.right)}"
+        return f"({text})" if level >= _LEVEL_UNARY else text
+    if isinstance(formula, Truth):
+        return "true" if formula.value else "false"
+    if isinstance(formula, Not):
+        return f"~{_fmt(formula.sub, _LEVEL_UNARY)}"
+    if isinstance(formula, And):
+        if not formula.subs:
+            return "true"
+        text = " & ".join(_fmt(s, _LEVEL_UNARY) for s in formula.subs)
+        return f"({text})" if level > _LEVEL_AND else text
+    if isinstance(formula, Or):
+        if not formula.subs:
+            return "false"
+        text = " | ".join(_fmt(s, _LEVEL_AND) for s in formula.subs)
+        return f"({text})" if level > _LEVEL_OR else text
+    if isinstance(formula, (Exists, Forall)):
+        keyword = "exists" if isinstance(formula, Exists) else "forall"
+        text = f"{keyword} {formula.var.name}. {_fmt(formula.sub, _LEVEL_QUANT)}"
+        return f"({text})" if level > _LEVEL_QUANT else text
+    if isinstance(formula, _FixpointBase):
+        keyword = _FIXPOINT_KEYWORD[type(formula)]
+        bound = ", ".join(v.name for v in formula.bound_vars)
+        args = ", ".join(format_term(t) for t in formula.args)
+        body = _fmt(formula.body, _LEVEL_QUANT)
+        return f"[{keyword} {formula.rel}({bound}). {body}]({args})"
+    if isinstance(formula, SOExists):
+        text = (
+            f"exists2 {formula.rel}/{formula.arity}. "
+            f"{_fmt(formula.body, _LEVEL_QUANT)}"
+        )
+        return f"({text})" if level > _LEVEL_QUANT else text
+    raise SyntaxError_(f"unknown formula node {formula!r}")

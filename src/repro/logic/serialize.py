@@ -1,0 +1,224 @@
+"""JSON serialization of formulas and databases.
+
+A stable, versioned interchange format so queries and databases can move
+between tools without going through the concrete text syntax (which is
+also supported — see :mod:`repro.logic.parser` — but JSON is friendlier
+to programmatic construction and language bindings).
+
+``formula_to_json`` / ``formula_from_json`` round-trip every AST node;
+``database_to_json`` / ``database_from_json`` do the same for instances
+(any JSON-representable domain values).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import SyntaxError_
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    GFP,
+    IFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Term,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+
+FORMAT_VERSION = 1
+
+_FIXPOINT_TAG = {LFP: "lfp", GFP: "gfp", PFP: "pfp", IFP: "ifp"}
+_TAG_FIXPOINT = {v: k for k, v in _FIXPOINT_TAG.items()}
+
+
+def _term_to_json(term: Term) -> Dict[str, Any]:
+    if isinstance(term, Var):
+        return {"var": term.name}
+    if isinstance(term, Const):
+        return {"const": term.value}
+    raise SyntaxError_(f"unknown term {term!r}")
+
+
+def _term_from_json(data: Dict[str, Any]) -> Term:
+    if not isinstance(data, dict):
+        raise SyntaxError_(f"term must be an object, got {data!r}")
+    if "var" in data:
+        return Var(data["var"])
+    if "const" in data:
+        return Const(data["const"])
+    raise SyntaxError_(f"malformed term {data!r}")
+
+
+def formula_to_json(formula: Formula) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a formula."""
+    if isinstance(formula, RelAtom):
+        return {
+            "op": "atom",
+            "name": formula.name,
+            "terms": [_term_to_json(t) for t in formula.terms],
+        }
+    if isinstance(formula, Equals):
+        return {
+            "op": "eq",
+            "left": _term_to_json(formula.left),
+            "right": _term_to_json(formula.right),
+        }
+    if isinstance(formula, Truth):
+        return {"op": "true" if formula.value else "false"}
+    if isinstance(formula, Not):
+        return {"op": "not", "sub": formula_to_json(formula.sub)}
+    if isinstance(formula, (And, Or)):
+        return {
+            "op": "and" if isinstance(formula, And) else "or",
+            "subs": [formula_to_json(s) for s in formula.subs],
+        }
+    if isinstance(formula, (Exists, Forall)):
+        return {
+            "op": "exists" if isinstance(formula, Exists) else "forall",
+            "var": formula.var.name,
+            "sub": formula_to_json(formula.sub),
+        }
+    if isinstance(formula, _FixpointBase):
+        return {
+            "op": _FIXPOINT_TAG[type(formula)],
+            "rel": formula.rel,
+            "bound": [v.name for v in formula.bound_vars],
+            "body": formula_to_json(formula.body),
+            "args": [_term_to_json(t) for t in formula.args],
+        }
+    if isinstance(formula, SOExists):
+        return {
+            "op": "so_exists",
+            "rel": formula.rel,
+            "arity": formula.arity,
+            "body": formula_to_json(formula.body),
+        }
+    raise SyntaxError_(f"unknown formula node {formula!r}")
+
+
+def formula_from_json(data: Dict[str, Any]) -> Formula:
+    """Inverse of :func:`formula_to_json`."""
+    if not isinstance(data, dict) or "op" not in data:
+        raise SyntaxError_(f"formula must be an object with 'op': {data!r}")
+    op = data["op"]
+    try:
+        if op == "atom":
+            return RelAtom(
+                data["name"],
+                tuple(_term_from_json(t) for t in data["terms"]),
+            )
+        if op == "eq":
+            return Equals(
+                _term_from_json(data["left"]), _term_from_json(data["right"])
+            )
+        if op == "true":
+            return Truth(True)
+        if op == "false":
+            return Truth(False)
+        if op == "not":
+            return Not(formula_from_json(data["sub"]))
+        if op in ("and", "or"):
+            subs = tuple(formula_from_json(s) for s in data["subs"])
+            return And(subs) if op == "and" else Or(subs)
+        if op in ("exists", "forall"):
+            node = Exists if op == "exists" else Forall
+            return node(Var(data["var"]), formula_from_json(data["sub"]))
+        if op in _TAG_FIXPOINT:
+            return _TAG_FIXPOINT[op](
+                data["rel"],
+                tuple(Var(v) for v in data["bound"]),
+                formula_from_json(data["body"]),
+                tuple(_term_from_json(t) for t in data["args"]),
+            )
+        if op == "so_exists":
+            return SOExists(
+                data["rel"], data["arity"], formula_from_json(data["body"])
+            )
+    except KeyError as missing:
+        raise SyntaxError_(f"node {op!r} is missing field {missing}") from None
+    raise SyntaxError_(f"unknown formula op {op!r}")
+
+
+def formula_dumps(formula: Formula, indent: int = None) -> str:
+    """Formula → JSON text (with the format version stamped)."""
+    return json.dumps(
+        {"version": FORMAT_VERSION, "formula": formula_to_json(formula)},
+        indent=indent,
+    )
+
+
+def formula_loads(text: str) -> Formula:
+    """JSON text → formula, checking the format version."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SyntaxError_(f"invalid JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("version") != FORMAT_VERSION:
+        raise SyntaxError_(
+            f"unsupported format version {data.get('version') if isinstance(data, dict) else data!r}"
+        )
+    return formula_from_json(data["formula"])
+
+
+def database_to_json(db: Database) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a database instance."""
+    return {
+        "domain": list(db.domain.values),
+        "relations": {
+            name: {
+                "arity": db.relation(name).arity,
+                "tuples": sorted(
+                    [list(t) for t in db.relation(name).tuples], key=repr
+                ),
+            }
+            for name in db.relation_names()
+        },
+    }
+
+
+def database_from_json(data: Dict[str, Any]) -> Database:
+    """Inverse of :func:`database_to_json`."""
+    from repro.errors import SchemaError
+
+    if not isinstance(data, dict) or "domain" not in data:
+        raise SchemaError(f"database must be an object with 'domain'")
+    relations = {}
+    for name, rel in data.get("relations", {}).items():
+        relations[name] = Relation(
+            rel["arity"], [tuple(t) for t in rel["tuples"]]
+        )
+    return Database(Domain(data["domain"]), relations)
+
+
+def database_dumps(db: Database, indent: int = None) -> str:
+    return json.dumps(
+        {"version": FORMAT_VERSION, "database": database_to_json(db)},
+        indent=indent,
+    )
+
+
+def database_loads(text: str) -> Database:
+    from repro.errors import SchemaError
+
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"invalid JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("version") != FORMAT_VERSION:
+        raise SchemaError("unsupported format version")
+    return database_from_json(data["database"])

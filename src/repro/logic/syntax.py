@@ -1,0 +1,348 @@
+"""Abstract syntax trees for FO, FP, PFP, and ESO formulas.
+
+The node set follows Section 2.2 of the paper directly:
+
+* first-order kernel: relation atoms, equality, Boolean connectives,
+  first-order quantifiers;
+* fixpoint operators ``[lfp S(x̄). φ](t̄)``, ``[gfp S(x̄). φ](t̄)`` and the
+  partial-fixpoint ``[pfp S(x̄). φ](t̄)`` (plus the inflationary ``ifp``
+  mentioned in Section 3.2's closing remark);
+* second-order existential quantification ``∃S φ`` for ESO.
+
+All nodes are frozen dataclasses, hashable, and validated at construction.
+Relation *variables* (bound by fixpoints or ``∃S``) and database relation
+*symbols* share one namespace of atom names; binding resolves innermost-first
+at evaluation time, mirroring the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Tuple, Union
+
+from repro.errors import SyntaxError_
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """An individual variable (``x_1, ..., x_k`` in ``L^k``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha() or not self.name[0].islower():
+            raise SyntaxError_(
+                f"variable name must start with a lowercase letter: {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term denoting a fixed domain value.
+
+    Constants are not in the paper's core syntax but are convenient for
+    reductions and tests; evaluators treat them as pre-bound variables.
+    """
+
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+Term = Union[Var, Const]
+
+
+def _check_terms(terms: Tuple[Term, ...], where: str) -> None:
+    for t in terms:
+        if not isinstance(t, (Var, Const)):
+            raise SyntaxError_(f"{where}: expected a term, got {t!r}")
+
+
+# ---------------------------------------------------------------------------
+# Formula base
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for all formula nodes.
+
+    Provides operator sugar so formulas compose readably in tests and
+    examples::
+
+        E(x, y) & ~P(x)        # And / Not
+        phi | psi              # Or
+        phi >> psi             # implication (desugared to ~phi | psi)
+    """
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Or((Not(self), other))
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas, in syntactic order."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order traversal of the formula tree (including self)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Node count — the ``|e|`` of expression complexity.
+
+        Terms count one each so that reusing variables (the FO^3 path trick)
+        and not reusing them yield comparable sizes.
+        """
+        total = 0
+        for node in self.walk():
+            total += 1
+            if isinstance(node, RelAtom):
+                total += len(node.terms)
+            elif isinstance(node, Equals):
+                total += 2
+            elif isinstance(node, _FixpointBase):
+                total += len(node.bound_vars) + len(node.args)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# First-order kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """``R(t_1, ..., t_m)`` — a database relation or a relation variable."""
+
+    name: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SyntaxError_("relation atom needs a name")
+        object.__setattr__(self, "terms", tuple(self.terms))
+        _check_terms(self.terms, f"atom {self.name}")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """``t_1 = t_2``."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        _check_terms((self.left, self.right), "equality")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Truth(Formula):
+    """The logical constants ``true`` and ``false``."""
+
+    value: bool
+
+    def children(self) -> Tuple[Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    sub: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction.  ``And(())`` is true."""
+
+    subs: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subs", tuple(self.subs))
+        for s in self.subs:
+            if not isinstance(s, Formula):
+                raise SyntaxError_(f"And: expected a formula, got {s!r}")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.subs
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction.  ``Or(())`` is false."""
+
+    subs: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subs", tuple(self.subs))
+        for s in self.subs:
+            if not isinstance(s, Formula):
+                raise SyntaxError_(f"Or: expected a formula, got {s!r}")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.subs
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """``∃x φ``."""
+
+    var: Var
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.var, Var):
+            raise SyntaxError_(f"Exists binds a variable, got {self.var!r}")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """``∀x φ``."""
+
+    var: Var
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.var, Var):
+            raise SyntaxError_(f"Forall binds a variable, got {self.var!r}")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FixpointBase(Formula):
+    """Shared shape of ``[op S(x_1..x_m). φ](t_1..t_m)``.
+
+    ``rel`` is the recursive relation variable, bound inside ``body``;
+    ``bound_vars`` are the m distinct individual variables the relation
+    abstracts over; ``args`` are the m terms the fixpoint is applied to.
+    """
+
+    rel: str
+    bound_vars: Tuple[Var, ...]
+    body: Formula
+    args: Tuple[Term, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bound_vars", tuple(self.bound_vars))
+        object.__setattr__(self, "args", tuple(self.args))
+        if not self.rel:
+            raise SyntaxError_("fixpoint needs a relation variable name")
+        names = [v.name for v in self.bound_vars]
+        if len(set(names)) != len(names):
+            raise SyntaxError_(
+                f"fixpoint over {self.rel}: bound variables must be distinct, "
+                f"got {names}"
+            )
+        if len(self.args) != len(self.bound_vars):
+            raise SyntaxError_(
+                f"fixpoint over {self.rel}: {len(self.bound_vars)} bound "
+                f"variables but {len(self.args)} arguments"
+            )
+        _check_terms(self.args, f"fixpoint {self.rel} arguments")
+
+    @property
+    def arity(self) -> int:
+        """Arity of the recursive relation (bounded by k in ``FP^k``)."""
+        return len(self.bound_vars)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class LFP(_FixpointBase):
+    """Least fixpoint ``[μS(x̄). φ](t̄)``; ``S`` must occur positively."""
+
+
+@dataclass(frozen=True)
+class GFP(_FixpointBase):
+    """Greatest fixpoint ``[νS(x̄). φ](t̄)``; ``S`` must occur positively."""
+
+
+@dataclass(frozen=True)
+class PFP(_FixpointBase):
+    """Partial fixpoint ``[pfp S(x̄). φ](t̄)``; no positivity requirement.
+
+    If the iteration sequence ``∅, φ(∅), φ(φ(∅)), ...`` has no limit, the
+    partial fixpoint is the empty relation (Section 2.2).
+    """
+
+
+@dataclass(frozen=True)
+class IFP(_FixpointBase):
+    """Inflationary fixpoint ``[ifp S(x̄). φ](t̄)``.
+
+    Iterates ``S_{i+1} = S_i ∪ φ(S_i)``, which always converges; mentioned in
+    the paper's Section 3.2 closing remark (the IFP^k upper bound is open).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Second-order quantification (ESO)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SOExists(Formula):
+    """``∃S φ`` — existential quantification over an ``arity``-ary relation.
+
+    ESO formulas are ``SOExists`` chains over a first-order matrix (Fagin's
+    logic).  The engine also accepts them anywhere a formula may appear.
+    """
+
+    rel: str
+    arity: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not self.rel:
+            raise SyntaxError_("second-order quantifier needs a relation name")
+        if self.arity < 0:
+            raise SyntaxError_(
+                f"second-order relation {self.rel!r}: arity must be >= 0"
+            )
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+
+FIXPOINT_NODES = (LFP, GFP, PFP, IFP)

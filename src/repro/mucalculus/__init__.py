@@ -1,0 +1,50 @@
+"""The propositional µ-calculus as a fragment of FP² (Section 1).
+
+The paper's application: a finite-state program is a relational database
+of unary and binary relations (a Kripke structure); verifying a
+µ-calculus property is query evaluation; and since the µ-calculus
+embeds into FP², the combined-complexity bound of Theorem 3.5 (NP∩co-NP)
+transfers to µ-calculus model checking — matching [EJS93] by a different,
+direct proof.
+
+* :mod:`~repro.mucalculus.syntax` — formulas (literals, ∧/∨, ◇/□, µ/ν);
+* :mod:`~repro.mucalculus.kripke` — Kripke structures ↔ databases;
+* :mod:`~repro.mucalculus.parser` — a small concrete syntax;
+* :mod:`~repro.mucalculus.model_check` — a direct fixpoint model checker;
+* :mod:`~repro.mucalculus.to_fp` — the embedding into FP², so the same
+  property can be checked through the bounded-variable query engine.
+"""
+
+from repro.mucalculus.syntax import (
+    Box,
+    Diamond,
+    MuAnd,
+    MuFormula,
+    MuOr,
+    Mu,
+    Nu,
+    Prop,
+    PropNeg,
+    RecVar,
+)
+from repro.mucalculus.kripke import KripkeStructure
+from repro.mucalculus.parser import parse_mu
+from repro.mucalculus.model_check import model_check
+from repro.mucalculus.to_fp import mu_to_fp_query
+
+__all__ = [
+    "MuFormula",
+    "Prop",
+    "PropNeg",
+    "RecVar",
+    "MuAnd",
+    "MuOr",
+    "Diamond",
+    "Box",
+    "Mu",
+    "Nu",
+    "KripkeStructure",
+    "parse_mu",
+    "model_check",
+    "mu_to_fp_query",
+]

@@ -1,0 +1,114 @@
+"""Kripke structures and their database encoding.
+
+"A finite-state program can be viewed as a relational database consisting
+of unary and binary relations" (Section 1): states form the domain, the
+transition relation is a binary relation ``E``, and each atomic
+proposition is a unary relation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class KripkeStructure:
+    """A finite transition system with propositional labels."""
+
+    num_states: int
+    transitions: FrozenSet[Tuple[int, int]]
+    labels: Tuple[Tuple[str, FrozenSet[int]], ...]   # proposition → states
+
+    def __post_init__(self) -> None:
+        for u, v in self.transitions:
+            if not (0 <= u < self.num_states and 0 <= v < self.num_states):
+                raise SchemaError(f"transition {(u, v)} out of range")
+        seen = set()
+        for name, states in self.labels:
+            if name in seen:
+                raise SchemaError(f"duplicate proposition {name!r}")
+            seen.add(name)
+            for s in states:
+                if not 0 <= s < self.num_states:
+                    raise SchemaError(f"labelled state {s} out of range")
+
+    @classmethod
+    def build(
+        cls,
+        num_states: int,
+        transitions: Iterable[Tuple[int, int]],
+        labels: Mapping[str, Iterable[int]],
+    ) -> "KripkeStructure":
+        return cls(
+            num_states,
+            frozenset(tuple(t) for t in transitions),
+            tuple(
+                sorted(
+                    (name, frozenset(states)) for name, states in labels.items()
+                )
+            ),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_states: int,
+        edge_probability: float,
+        propositions: Iterable[str],
+        label_density: float = 0.5,
+        seed: int = 0,
+        total: bool = True,
+    ) -> "KripkeStructure":
+        """A seeded random structure; ``total`` adds a self-loop to any
+        deadlock state (the usual model-checking convention)."""
+        rng = random.Random(seed)
+        transitions = {
+            (u, v)
+            for u in range(num_states)
+            for v in range(num_states)
+            if rng.random() < edge_probability
+        }
+        if total:
+            with_successor = {u for u, _ in transitions}
+            for u in range(num_states):
+                if u not in with_successor:
+                    transitions.add((u, u))
+        labels = {
+            name: [
+                s for s in range(num_states) if rng.random() < label_density
+            ]
+            for name in propositions
+        }
+        return cls.build(num_states, transitions, labels)
+
+    def successors(self, state: int) -> FrozenSet[int]:
+        return frozenset(v for u, v in self.transitions if u == state)
+
+    def label_map(self) -> Dict[str, FrozenSet[int]]:
+        return dict(self.labels)
+
+    def proposition_holds(self, name: str, state: int) -> bool:
+        for label, states in self.labels:
+            if label == name:
+                return state in states
+        return False
+
+    def to_database(self, edge_name: str = "E") -> Database:
+        """The paper's encoding: states → domain, E binary, labels unary."""
+        relations: Dict[str, Relation] = {
+            edge_name: Relation(2, self.transitions)
+        }
+        for name, states in self.labels:
+            if name == edge_name:
+                raise SchemaError(
+                    f"proposition {name!r} clashes with the edge relation"
+                )
+            relations[name] = Relation(1, [(s,) for s in states])
+        return Database(Domain.range(self.num_states), relations)

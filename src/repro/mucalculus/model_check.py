@@ -1,0 +1,112 @@
+"""Direct fixpoint model checking for the µ-calculus.
+
+The textbook semantics: ``‖φ‖`` is a set of states, fixpoints iterate
+over the (finite) powerset lattice.  This checker is the reference
+implementation against which the FP² route
+(:mod:`repro.mucalculus.to_fp` + the bounded-variable query engine) is
+property-tested — the agreement *is* the paper's Section 1 claim made
+executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import EvaluationError
+from repro.mucalculus.kripke import KripkeStructure
+from repro.mucalculus.syntax import (
+    Box,
+    Diamond,
+    Mu,
+    MuAnd,
+    MuFormula,
+    MuOr,
+    Nu,
+    Prop,
+    PropNeg,
+    RecVar,
+    check_closed,
+)
+
+StateSet = FrozenSet[int]
+
+
+def model_check(
+    structure: KripkeStructure,
+    formula: MuFormula,
+    environment: Optional[Dict[str, StateSet]] = None,
+) -> StateSet:
+    """The denotation ``‖formula‖`` ⊆ states of ``structure``."""
+    if environment is None:
+        check_closed(formula)
+    env = dict(environment or {})
+    return _denote(structure, formula, env)
+
+
+def holds_at(structure: KripkeStructure, formula: MuFormula, state: int) -> bool:
+    """Does ``state ⊨ formula``?"""
+    return state in model_check(structure, formula)
+
+
+def _denote(
+    structure: KripkeStructure,
+    formula: MuFormula,
+    env: Dict[str, StateSet],
+) -> StateSet:
+    all_states = frozenset(range(structure.num_states))
+    if isinstance(formula, Prop):
+        return frozenset(
+            s for s in all_states if structure.proposition_holds(formula.name, s)
+        )
+    if isinstance(formula, PropNeg):
+        return frozenset(
+            s
+            for s in all_states
+            if not structure.proposition_holds(formula.name, s)
+        )
+    if isinstance(formula, RecVar):
+        try:
+            return env[formula.name]
+        except KeyError:
+            raise EvaluationError(
+                f"unbound recursion variable {formula.name!r}"
+            ) from None
+    if isinstance(formula, MuAnd):
+        result = all_states
+        for sub in formula.subs:
+            result &= _denote(structure, sub, env)
+        return result
+    if isinstance(formula, MuOr):
+        result: StateSet = frozenset()
+        for sub in formula.subs:
+            result |= _denote(structure, sub, env)
+        return result
+    if isinstance(formula, Diamond):
+        target = _denote(structure, formula.sub, env)
+        return frozenset(
+            u for u, v in structure.transitions if v in target
+        )
+    if isinstance(formula, Box):
+        target = _denote(structure, formula.sub, env)
+        return frozenset(
+            s for s in all_states if structure.successors(s) <= target
+        )
+    if isinstance(formula, Mu):
+        current: StateSet = frozenset()
+        while True:
+            env[formula.var] = current
+            after = _denote(structure, formula.sub, env)
+            del env[formula.var]
+            if after == current:
+                return current
+            current = after
+    if isinstance(formula, Nu):
+        current = all_states
+        while True:
+            env[formula.var] = current
+            after = _denote(structure, formula.sub, env)
+            del env[formula.var]
+            if after == current:
+                return current
+            current = after
+    raise EvaluationError(f"unknown µ-calculus node {formula!r}")

@@ -1,0 +1,182 @@
+"""A small concrete syntax for µ-calculus formulas.
+
+Grammar (loosest first; fixpoints take maximal scope)::
+
+    formula := ('mu' | 'nu') NAME '.' formula | or
+    or      := and ('|' and)*
+    and     := unary ('&' unary)*
+    unary   := '~' NAME            -- negated proposition (PNF)
+             | '<>' unary | '[]' unary
+             | '(' formula ')'
+             | NAME                -- proposition or recursion variable
+
+A bare NAME parses as a recursion variable when a ``mu``/``nu`` binder
+for it is in scope, and as a proposition otherwise.
+
+>>> from repro.mucalculus.parser import parse_mu
+>>> parse_mu("mu X. p | <> X").size()
+5
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Set
+
+from repro.errors import SyntaxError_
+from repro.mucalculus.syntax import (
+    Box,
+    Diamond,
+    Mu,
+    MuAnd,
+    MuFormula,
+    MuOr,
+    Nu,
+    Prop,
+    PropNeg,
+    RecVar,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><>|\[\]|[~&|().])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"mu", "nu"}
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SyntaxError_(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(_Token(match.lastgroup, match.group(), match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def parse_mu(text: str) -> MuFormula:
+    """Parse the concrete µ-calculus syntax."""
+    parser = _MuParser(_tokenize(text))
+    formula = parser.formula(set())
+    parser.expect_eof()
+    return formula
+
+
+class _MuParser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _at_op(self, op: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text == op
+
+    def _expect_op(self, op: str) -> None:
+        if not self._at_op(op):
+            token = self._peek()
+            raise SyntaxError_(
+                f"expected {op!r} at position {token.pos}, found {token.text!r}"
+            )
+        self._advance()
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind != "eof":
+            raise SyntaxError_(
+                f"trailing input at position {token.pos}: {token.text!r}"
+            )
+
+    def formula(self, bound: Set[str]) -> MuFormula:
+        token = self._peek()
+        if token.kind == "name" and token.text in _KEYWORDS:
+            keyword = self._advance().text
+            var_token = self._peek()
+            if var_token.kind != "name" or var_token.text in _KEYWORDS:
+                raise SyntaxError_(
+                    f"expected a recursion variable at position {var_token.pos}"
+                )
+            var = self._advance().text
+            self._expect_op(".")
+            body = self.formula(bound | {var})
+            return Mu(var, body) if keyword == "mu" else Nu(var, body)
+        return self._or(bound)
+
+    def _or(self, bound: Set[str]) -> MuFormula:
+        parts = [self._and(bound)]
+        while self._at_op("|"):
+            self._advance()
+            parts.append(self._and(bound))
+        return parts[0] if len(parts) == 1 else MuOr(tuple(parts))
+
+    def _and(self, bound: Set[str]) -> MuFormula:
+        parts = [self._unary(bound)]
+        while self._at_op("&"):
+            self._advance()
+            parts.append(self._unary(bound))
+        return parts[0] if len(parts) == 1 else MuAnd(tuple(parts))
+
+    def _unary(self, bound: Set[str]) -> MuFormula:
+        token = self._peek()
+        if self._at_op("~"):
+            self._advance()
+            name_token = self._peek()
+            if name_token.kind != "name" or name_token.text in _KEYWORDS:
+                raise SyntaxError_(
+                    f"'~' applies to a proposition name "
+                    f"(position {name_token.pos}); formulas are in positive "
+                    f"normal form"
+                )
+            name = self._advance().text
+            if name in bound:
+                raise SyntaxError_(
+                    f"recursion variable {name!r} cannot be negated "
+                    f"(positivity)"
+                )
+            return PropNeg(name)
+        if self._at_op("<>"):
+            self._advance()
+            return Diamond(self._unary(bound))
+        if self._at_op("[]"):
+            self._advance()
+            return Box(self._unary(bound))
+        if self._at_op("("):
+            self._advance()
+            inner = self.formula(bound)
+            self._expect_op(")")
+            return inner
+        if token.kind == "name" and token.text in _KEYWORDS:
+            return self.formula(bound)
+        if token.kind == "name":
+            name = self._advance().text
+            if name in bound:
+                return RecVar(name)
+            return Prop(name)
+        raise SyntaxError_(
+            f"expected a formula at position {token.pos}, found {token.text!r}"
+        )

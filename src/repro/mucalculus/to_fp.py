@@ -1,0 +1,104 @@
+"""Embedding the µ-calculus into FP² (Section 1).
+
+"The specification language Lµ ... can be shown to be a fragment of
+FP²."  The embedding is the classical two-variable translation: a state
+formula is translated at a *slot* (individual variable ``x`` or ``y``),
+modalities flip the slot through the edge relation, and fixpoints become
+unary lfp/gfp operators::
+
+    T_x(◇φ)   = ∃y (E(x, y) ∧ T_y(φ))
+    T_x(□φ)   = ∀y (¬E(x, y) ∨ T_y(φ))
+    T_x(µX.φ) = [lfp X(x). T_x(φ)](x)
+
+Only two individual variables ever occur, so checking an Lµ property is
+evaluating an FP² query against the program database — which is how the
+NP∩co-NP bound of Theorem 3.5 transfers to µ-calculus model checking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxError_
+from repro.core.engine import Query
+from repro.logic.builders import and_, atom, exists, forall, gfp, lfp, not_, or_
+from repro.logic.syntax import Formula
+from repro.mucalculus.syntax import (
+    Box,
+    Diamond,
+    Mu,
+    MuAnd,
+    MuFormula,
+    MuOr,
+    Nu,
+    Prop,
+    PropNeg,
+    RecVar,
+    check_closed,
+)
+
+_SLOTS = ("x", "y")
+
+
+def _rec_name(var: str) -> str:
+    """Recursion variables get a prefix so they cannot clash with
+    proposition relation names in the database schema."""
+    return f"_mu_{var}"
+
+
+def translate(formula: MuFormula, slot: str = "x", edge_name: str = "E") -> Formula:
+    """Translate a µ-calculus formula at the given slot variable."""
+    if slot not in _SLOTS:
+        raise SyntaxError_(f"slot must be one of {_SLOTS}, got {slot!r}")
+    other = "y" if slot == "x" else "x"
+    if isinstance(formula, Prop):
+        return atom(formula.name, slot)
+    if isinstance(formula, PropNeg):
+        return not_(atom(formula.name, slot))
+    if isinstance(formula, RecVar):
+        return atom(_rec_name(formula.name), slot)
+    if isinstance(formula, MuAnd):
+        if not formula.subs:
+            from repro.logic.builders import true_
+
+            return true_()
+        return and_(*(translate(s, slot, edge_name) for s in formula.subs))
+    if isinstance(formula, MuOr):
+        if not formula.subs:
+            from repro.logic.builders import false_
+
+            return false_()
+        return or_(*(translate(s, slot, edge_name) for s in formula.subs))
+    if isinstance(formula, Diamond):
+        return exists(
+            other,
+            and_(atom(edge_name, slot, other), translate(formula.sub, other, edge_name)),
+        )
+    if isinstance(formula, Box):
+        return forall(
+            other,
+            or_(
+                not_(atom(edge_name, slot, other)),
+                translate(formula.sub, other, edge_name),
+            ),
+        )
+    if isinstance(formula, Mu):
+        body = translate(formula.sub, "x", edge_name)
+        return lfp(_rec_name(formula.var), ["x"], body, [slot])
+    if isinstance(formula, Nu):
+        body = translate(formula.sub, "x", edge_name)
+        return gfp(_rec_name(formula.var), ["x"], body, [slot])
+    raise SyntaxError_(f"unknown µ-calculus node {formula!r}")
+
+
+def mu_to_fp_query(formula: MuFormula, edge_name: str = "E") -> Query:
+    """The FP² query whose answer is the formula's denotation.
+
+    Evaluate it against ``structure.to_database()``; the answer relation
+    over output variable ``x`` is exactly
+    :func:`repro.mucalculus.model_check.model_check`'s state set.
+    """
+    check_closed(formula)
+    return Query(
+        translate(formula, "x", edge_name),
+        output_vars=("x",),
+        name="mu-to-fp2",
+    )

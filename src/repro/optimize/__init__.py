@@ -1,0 +1,18 @@
+"""Variable minimization as query optimization (Sections 1-2).
+
+The paper's closing suggestion: since bounded-variable queries evaluate
+with polynomially bounded intermediates, *minimizing the number of
+variables* is a query-optimization methodology.  This subpackage
+implements it:
+
+* :mod:`~repro.optimize.variable_min` — rename bound variables to reuse
+  names wherever scoping permits (conflict-graph coloring), lowering the
+  query's width ``k`` and hence the engine's intermediate-arity bound;
+* the Section 2.2 showcase — the ``n``-step path query dropping from
+  ``n+1`` variables to 3 — lives in
+  :func:`repro.workloads.formulas.path_query_fo3`.
+"""
+
+from repro.optimize.variable_min import minimize_variables
+
+__all__ = ["minimize_variables"]

@@ -1,0 +1,189 @@
+"""Conjunctive-query containment and minimization [CM77].
+
+The paper's opening citation — Chandra & Merlin's "Optimal implementation
+of conjunctive queries" — is the other classical query-optimization
+lever: a conjunctive query has a unique minimal equivalent form, found by
+folding the query into itself.  Containment ``Q1 ⊆ Q2`` holds iff there
+is a *homomorphism* from ``Q2`` to ``Q1`` (map variables to variables or
+constants, preserving atoms and the head).
+
+Together with :mod:`repro.optimize.variable_min` this gives the two
+optimizations the paper's program suggests: minimize the *atoms* (fewer
+joins, [CM77]) and minimize the *variables* (bounded intermediates, this
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SyntaxError_
+from repro.logic.syntax import Const, Exists, Formula, And, RelAtom, Term, Var
+from repro.logic.builders import and_, exists
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``head(x̄) ← atom_1, ..., atom_m`` with relation/constant atoms."""
+
+    atoms: Tuple[RelAtom, ...]
+    head: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+        object.__setattr__(self, "head", tuple(self.head))
+        body_vars = {
+            t.name
+            for atom in self.atoms
+            for t in atom.terms
+            if isinstance(t, Var)
+        }
+        missing = set(self.head) - body_vars
+        if missing:
+            raise SyntaxError_(
+                f"unsafe conjunctive query: head variables "
+                f"{sorted(missing)} not in the body"
+            )
+
+    @classmethod
+    def from_formula(
+        cls, formula: Formula, output_vars: Sequence[str]
+    ) -> "ConjunctiveQuery":
+        """Peel ``∃x̄ (A_1 ∧ ... ∧ A_m)`` into a conjunctive query."""
+        body = formula
+        while isinstance(body, Exists):
+            body = body.sub
+        parts = body.subs if isinstance(body, And) else (body,)
+        atoms = []
+        for part in parts:
+            if not isinstance(part, RelAtom):
+                raise SyntaxError_(
+                    "conjunctive queries are ∃-prefixed conjunctions of "
+                    f"relation atoms; found {type(part).__name__}"
+                )
+            atoms.append(part)
+        return cls(tuple(atoms), tuple(output_vars))
+
+    def to_formula(self) -> Formula:
+        """Back to an FO formula (∃ over the non-head variables)."""
+        body_vars = sorted(
+            {
+                t.name
+                for atom in self.atoms
+                for t in atom.terms
+                if isinstance(t, Var)
+            }
+            - set(self.head)
+        )
+        matrix = and_(*self.atoms) if self.atoms else _true()
+        return exists(body_vars, matrix) if body_vars else matrix
+
+    def variables(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for atom in self.atoms:
+            for t in atom.terms:
+                if isinstance(t, Var) and t.name not in seen:
+                    seen.append(t.name)
+        return tuple(seen)
+
+
+def _true():
+    from repro.logic.builders import true_
+
+    return true_()
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Dict[str, Term]]:
+    """A homomorphism ``source → target``: a variable mapping preserving
+    every atom (into the target's atom set) and fixing the head.
+
+    Head variables must map to the target's head variables positionally
+    (the queries' answers line up column by column).  Returns the mapping
+    or ``None``.
+    """
+    if len(source.head) != len(target.head):
+        return None
+    mapping: Dict[str, Term] = {}
+    for s_var, t_var in zip(source.head, target.head):
+        existing = mapping.get(s_var)
+        if existing is not None and existing != Var(t_var):
+            return None
+        mapping[s_var] = Var(t_var)
+    target_atoms = set(target.atoms)
+
+    def image(term: Term, binding: Dict[str, Term]) -> Optional[Term]:
+        if isinstance(term, Const):
+            return term
+        return binding.get(term.name)
+
+    def backtrack(index: int, binding: Dict[str, Term]) -> Optional[Dict[str, Term]]:
+        if index == len(source.atoms):
+            return dict(binding)
+        atom = source.atoms[index]
+        for candidate in target_atoms:
+            if candidate.name != atom.name or len(candidate.terms) != len(
+                atom.terms
+            ):
+                continue
+            extended = dict(binding)
+            ok = True
+            for s_term, t_term in zip(atom.terms, candidate.terms):
+                if isinstance(s_term, Const):
+                    if s_term != t_term:
+                        ok = False
+                        break
+                    continue
+                bound = extended.get(s_term.name)
+                if bound is None:
+                    extended[s_term.name] = t_term
+                elif bound != t_term:
+                    ok = False
+                    break
+            if ok:
+                solution = backtrack(index + 1, extended)
+                if solution is not None:
+                    return solution
+        return None
+
+    return backtrack(0, mapping)
+
+
+def is_contained(smaller: ConjunctiveQuery, larger: ConjunctiveQuery) -> bool:
+    """``smaller ⊆ larger`` on every database (the [CM77] criterion:
+    a homomorphism from ``larger`` into ``smaller``)."""
+    return find_homomorphism(larger, smaller) is not None
+
+
+def are_equivalent(a: ConjunctiveQuery, b: ConjunctiveQuery) -> bool:
+    """Containment both ways."""
+    return is_contained(a, b) and is_contained(b, a)
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The [CM77] core: drop atoms while an endomorphism justifies it.
+
+    Repeatedly try removing one atom; the smaller query is equivalent iff
+    it is still contained in the original (the other containment is free
+    — removing atoms only relaxes).  The result is the unique minimal
+    equivalent query up to renaming.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.atoms)):
+            candidate_atoms = (
+                current.atoms[:index] + current.atoms[index + 1:]
+            )
+            try:
+                candidate = ConjunctiveQuery(candidate_atoms, current.head)
+            except SyntaxError_:
+                continue  # removal would orphan a head variable
+            if is_contained(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return current

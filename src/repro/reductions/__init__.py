@@ -1,0 +1,56 @@
+"""Lower-bound reductions (Prop 3.2, Theorems 4.4, 4.5, 4.6).
+
+Each module pairs a *reference solver* for the hard problem with the
+paper's reduction into a bounded-variable query, so agreement is testable
+end to end:
+
+* :mod:`~repro.reductions.path_systems` — Cook's Path Systems problem,
+  its Datalog-style closure solver, and the Prop 3.2 reduction to FO^3
+  (PTIME-hardness of combined FO^k evaluation);
+* :mod:`~repro.reductions.qbf` — quantified Boolean formulas and a
+  brute-force solver;
+* :mod:`~repro.reductions.qbf_to_pfp` — the Theorem 4.6 reduction of QBF
+  to PFP^2 over the fixed two-element database ``B0`` (PSPACE-hardness of
+  PFP^k expression complexity);
+* :mod:`~repro.reductions.sat_to_eso` — the Theorem 4.5 reduction of
+  propositional satisfiability to ESO^k over *any* fixed database
+  (NP-hardness of ESO^k expression complexity);
+* :mod:`~repro.reductions.boolean_value` — the Boolean formula value
+  problem and its embedding into ``Answer_{FO^k}(B)`` (Theorem 4.4's
+  ALOGTIME-hardness, observed as linear-time evaluation).
+"""
+
+from repro.reductions.path_systems import (
+    PathSystem,
+    path_system_database,
+    path_system_query,
+    random_path_system,
+    solve_path_system,
+)
+from repro.reductions.qbf import QBF, random_qbf, solve_qbf
+from repro.reductions.qbf_to_pfp import qbf_database, qbf_to_pfp_query
+from repro.reductions.sat_to_eso import sat_to_eso_query
+from repro.reductions.boolean_value import (
+    bfvp_database,
+    bfvp_to_fo_query,
+    eval_boolean_formula,
+    random_boolean_formula,
+)
+
+__all__ = [
+    "PathSystem",
+    "solve_path_system",
+    "path_system_database",
+    "path_system_query",
+    "random_path_system",
+    "QBF",
+    "solve_qbf",
+    "random_qbf",
+    "qbf_database",
+    "qbf_to_pfp_query",
+    "sat_to_eso_query",
+    "eval_boolean_formula",
+    "random_boolean_formula",
+    "bfvp_to_fo_query",
+    "bfvp_database",
+]

@@ -1,0 +1,98 @@
+"""The Boolean formula value problem and Theorem 4.4.
+
+The Boolean formula value problem (BFVP) — evaluate a propositional
+formula built from constants — is ALOGTIME-complete [Bus87], and
+Theorem 4.4 exhibits a fixed database ``B`` such that BFVP reduces to
+``Answer_{FO^k}(B)``: hardness of FO^k expression complexity.
+
+The reduction: over ``B1 = ({0,1}, P = {1})`` map ``true ↦ ∃x P(x)``,
+``false ↦ ∀x P(x)`` (false on B1 since 0 ∉ P), and connectives to
+themselves.  The resulting sentence has size linear in the formula, uses
+one individual variable, and holds on ``B1`` iff the formula evaluates to
+true.  On a sequential machine the observable consequence is that
+evaluation over the *fixed* B1 is a single linear pass (the
+expression-complexity benchmark measures exactly that).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import ReductionError
+from repro.core.engine import Query
+from repro.logic.builders import atom, exists, forall
+from repro.logic.syntax import And, Formula, Not, Or
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    PropFormula,
+)
+
+
+def eval_boolean_formula(formula: PropFormula) -> bool:
+    """Reference BFVP evaluator (constants only; variables are an error)."""
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, BoolVar):
+        raise ReductionError(
+            f"BFVP formulas are variable-free, found {formula.name!r}"
+        )
+    if isinstance(formula, BoolNot):
+        return not eval_boolean_formula(formula.sub)
+    if isinstance(formula, BoolAnd):
+        return all(eval_boolean_formula(s) for s in formula.subs)
+    if isinstance(formula, BoolOr):
+        return any(eval_boolean_formula(s) for s in formula.subs)
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def bfvp_database() -> Database:
+    """The fixed database ``B1 = ({0,1}, P = {1})`` of the reduction."""
+    return Database(Domain.range(2), {"P": Relation(1, [(1,)])})
+
+
+def _embed(formula: PropFormula) -> Formula:
+    if isinstance(formula, BoolConst):
+        if formula.value:
+            return exists("x", atom("P", "x"))      # true on B1
+        return forall("x", atom("P", "x"))          # false on B1
+    if isinstance(formula, BoolVar):
+        raise ReductionError(
+            f"BFVP formulas are variable-free, found {formula.name!r}"
+        )
+    if isinstance(formula, BoolNot):
+        return Not(_embed(formula.sub))
+    if isinstance(formula, BoolAnd):
+        return And(tuple(_embed(s) for s in formula.subs))
+    if isinstance(formula, BoolOr):
+        return Or(tuple(_embed(s) for s in formula.subs))
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def bfvp_to_fo_query(formula: PropFormula) -> Query:
+    """The FO^1 sentence over ``B1`` whose truth is the formula's value."""
+    return Query(_embed(formula), output_vars=(), name="bfvp-to-fo1")
+
+
+def random_boolean_formula(
+    depth: int, seed: int = 0, fanout: int = 2
+) -> PropFormula:
+    """A seeded random constant-only formula of the given depth."""
+    rng = random.Random(seed)
+
+    def build(remaining: int) -> PropFormula:
+        if remaining <= 0:
+            return BoolConst(rng.random() < 0.5)
+        choice = rng.randrange(3)
+        if choice == 0:
+            return BoolNot(build(remaining - 1))
+        parts = tuple(build(remaining - 1) for _ in range(fanout))
+        return BoolAnd(parts) if choice == 1 else BoolOr(parts)
+
+    return build(depth)

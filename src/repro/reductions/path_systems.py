@@ -1,0 +1,159 @@
+"""Path Systems and the Proposition 3.2 reduction to FO^3.
+
+Cook's Path Systems problem [Coo74] is the canonical PTIME-complete
+problem the paper reduces from.  An instance is a ternary relation ``Q``
+and unary relations ``S`` (sources) and ``T`` (targets); the reachable
+set is the least ``P`` with::
+
+    P(x) ← S(x)
+    P(x) ← Q(x, y, z), P(y), P(z)
+
+and the question is whether ``T`` contains a reachable element.
+
+Prop 3.2 unfolds the closure into FO^3: with
+
+``φ(x) = S(x) ∨ ∃y∃z (Q(x,y,z) ∧ ∀x ((x=y ∨ x=z) → P(x)))``
+
+define ``φ_1 = φ[P(x) := false]`` and ``φ_n = φ[P(x) := φ_{n-1}(x)]``;
+then ``ψ_m = ∃x (T(x) ∧ φ_m(x))`` decides the instance for a database
+with ``m`` elements, ``ψ_m`` has size ``O(m)`` and uses three variables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import ReductionError
+from repro.core.engine import Query
+from repro.logic.builders import and_, atom, eq, exists, false_, forall, or_
+from repro.logic.substitution import substitute_relation
+from repro.logic.syntax import Formula, Not, Var
+
+
+@dataclass(frozen=True)
+class PathSystem:
+    """A Path Systems instance over elements ``0 .. size-1``."""
+
+    size: int
+    rules: FrozenSet[Tuple[int, int, int]]   # Q(x, y, z)
+    sources: FrozenSet[int]                  # S
+    targets: FrozenSet[int]                  # T
+
+    def __post_init__(self) -> None:
+        for triple in self.rules:
+            if any(not 0 <= v < self.size for v in triple):
+                raise ReductionError(f"rule {triple} out of range")
+        for group in (self.sources, self.targets):
+            if any(not 0 <= v < self.size for v in group):
+                raise ReductionError("source/target out of range")
+
+
+def solve_path_system(instance: PathSystem) -> bool:
+    """Reference solver: the Datalog closure, then check the targets."""
+    reachable: Set[int] = set(instance.sources)
+    changed = True
+    while changed:
+        changed = False
+        for x, y, z in instance.rules:
+            if x not in reachable and y in reachable and z in reachable:
+                reachable.add(x)
+                changed = True
+    return bool(reachable & instance.targets)
+
+
+def reachable_set(instance: PathSystem) -> FrozenSet[int]:
+    """The full closure (useful for per-element agreement tests)."""
+    reachable: Set[int] = set(instance.sources)
+    changed = True
+    while changed:
+        changed = False
+        for x, y, z in instance.rules:
+            if x not in reachable and y in reachable and z in reachable:
+                reachable.add(x)
+                changed = True
+    return frozenset(reachable)
+
+
+def path_system_database(instance: PathSystem) -> Database:
+    """The instance as a relational database (Q/3, S/1, T/1)."""
+    return Database(
+        Domain.range(instance.size),
+        {
+            "Q": Relation(3, instance.rules),
+            "S": Relation(1, [(s,) for s in instance.sources]),
+            "T": Relation(1, [(t,) for t in instance.targets]),
+        },
+    )
+
+
+def _phi_step() -> Tuple[Formula, Tuple[Var, ...]]:
+    """The one-step formula ``φ(x)`` with its recursion atom ``P(x)``."""
+    body = or_(
+        atom("S", "x"),
+        exists(
+            ["y", "z"],
+            and_(
+                atom("Q", "x", "y", "z"),
+                forall(
+                    "x",
+                    or_(
+                        Not(or_(eq("x", "y"), eq("x", "z"))),
+                        atom("P", "x"),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return body, (Var("x"),)
+
+
+def unfolded_reachability(iterations: int) -> Formula:
+    """``φ_m(x)``: the closure unfolded ``iterations`` times (size O(m))."""
+    if iterations < 1:
+        raise ReductionError(f"need at least one unfolding, got {iterations}")
+    step, params = _phi_step()
+    current = substitute_relation(step, "P", params, false_())
+    for _ in range(iterations - 1):
+        current = substitute_relation(step, "P", params, current)
+    return current
+
+
+def path_system_query(instance: PathSystem) -> Query:
+    """The Prop 3.2 query ``ψ_m = ∃x (T(x) ∧ φ_m(x))`` for this instance.
+
+    ``m`` is the number of elements: the closure converges within ``m``
+    rounds, so ``ψ_m`` holds on the instance's database exactly when the
+    Path Systems question answers yes.
+    """
+    m = max(instance.size, 1)
+    phi_m = unfolded_reachability(m)
+    sentence = exists("x", and_(atom("T", "x"), phi_m))
+    return Query(sentence, output_vars=(), name=f"path-system-{m}")
+
+
+def random_path_system(
+    size: int,
+    num_rules: int,
+    num_sources: int = 1,
+    num_targets: int = 1,
+    seed: int = 0,
+) -> PathSystem:
+    """A seeded random instance (rules sampled uniformly)."""
+    rng = random.Random(seed)
+    rules = set()
+    while len(rules) < num_rules:
+        rules.add(
+            (
+                rng.randrange(size),
+                rng.randrange(size),
+                rng.randrange(size),
+            )
+        )
+    sources = frozenset(rng.sample(range(size), min(num_sources, size)))
+    targets = frozenset(rng.sample(range(size), min(num_targets, size)))
+    return PathSystem(size, frozenset(rules), sources, targets)

@@ -1,0 +1,130 @@
+"""Quantified Boolean formulas and a reference solver.
+
+QBF is the canonical PSPACE-complete problem [GJ79]; Theorem 4.6 reduces
+it to the expression complexity of PFP^k.  Instances here are a
+quantifier prefix over named Boolean variables plus a propositional
+matrix built from :mod:`repro.sat.cnf` formula nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ReductionError
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    PropFormula,
+)
+
+FORALL = "forall"
+EXISTS = "exists"
+
+
+@dataclass(frozen=True)
+class QBF:
+    """``Q_1 Y_1 ... Q_l Y_l . matrix`` with ``Q_i ∈ {forall, exists}``."""
+
+    prefix: Tuple[Tuple[str, str], ...]   # (quantifier, variable name)
+    matrix: PropFormula
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for quantifier, name in self.prefix:
+            if quantifier not in (FORALL, EXISTS):
+                raise ReductionError(f"unknown quantifier {quantifier!r}")
+            if name in seen:
+                raise ReductionError(f"variable {name!r} quantified twice")
+            seen.add(name)
+        for var in _prop_vars(self.matrix):
+            if var not in seen:
+                raise ReductionError(
+                    f"matrix variable {var!r} is not quantified (QBF "
+                    f"instances here are closed)"
+                )
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.prefix)
+
+
+def _prop_vars(formula: PropFormula) -> set:
+    if isinstance(formula, BoolVar):
+        return {formula.name}
+    if isinstance(formula, BoolConst):
+        return set()
+    if isinstance(formula, BoolNot):
+        return _prop_vars(formula.sub)
+    if isinstance(formula, (BoolAnd, BoolOr)):
+        out = set()
+        for sub in formula.subs:
+            out |= _prop_vars(sub)
+        return out
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def eval_matrix(formula: PropFormula, assignment: Dict[str, bool]) -> bool:
+    """Evaluate a propositional formula under a total assignment."""
+    if isinstance(formula, BoolVar):
+        try:
+            return assignment[formula.name]
+        except KeyError:
+            raise ReductionError(f"unbound variable {formula.name!r}") from None
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, BoolNot):
+        return not eval_matrix(formula.sub, assignment)
+    if isinstance(formula, BoolAnd):
+        return all(eval_matrix(s, assignment) for s in formula.subs)
+    if isinstance(formula, BoolOr):
+        return any(eval_matrix(s, assignment) for s in formula.subs)
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def solve_qbf(instance: QBF) -> bool:
+    """Reference solver: straightforward recursion over the prefix."""
+
+    def recurse(index: int, assignment: Dict[str, bool]) -> bool:
+        if index == len(instance.prefix):
+            return eval_matrix(instance.matrix, assignment)
+        quantifier, name = instance.prefix[index]
+        outcomes = []
+        for value in (False, True):
+            assignment[name] = value
+            outcomes.append(recurse(index + 1, assignment))
+            del assignment[name]
+        if quantifier == FORALL:
+            return outcomes[0] and outcomes[1]
+        return outcomes[0] or outcomes[1]
+
+    return recurse(0, {})
+
+
+def random_qbf(
+    num_variables: int,
+    matrix_depth: int = 4,
+    seed: int = 0,
+) -> QBF:
+    """A seeded random closed QBF with alternating-ish prefix."""
+    rng = random.Random(seed)
+    names = [f"Y{i}" for i in range(1, num_variables + 1)]
+    prefix = tuple(
+        (FORALL if rng.random() < 0.5 else EXISTS, name) for name in names
+    )
+
+    def build(depth: int) -> PropFormula:
+        if depth <= 0 or rng.random() < 0.3:
+            return BoolVar(rng.choice(names))
+        choice = rng.randrange(3)
+        if choice == 0:
+            return BoolNot(build(depth - 1))
+        if choice == 1:
+            return BoolAnd((build(depth - 1), build(depth - 1)))
+        return BoolOr((build(depth - 1), build(depth - 1)))
+
+    return QBF(prefix, build(matrix_depth))

@@ -1,0 +1,127 @@
+"""Theorem 4.6: QBF reduces to PFP^2 over a fixed two-element database.
+
+The fixed database is ``B0 = ({0, 1}, P = {0})``.  Each Boolean variable
+``Y_i`` is simulated by a unary relation variable ``X_i`` — "``X_i``
+nonempty" means "``Y_i`` is true" — and iterating a partial fixpoint
+walks ``X_i`` through the values needed to try both truth assignments:
+
+``∀Y_i ψ`` becomes ``∃x [pfp X_i(x). ρ_i](x)`` where::
+
+    ρ_i(x) =   (X_i = ∅   ∧  P(x) ∧ ψ)     -- try Y_i = false; advance to {0}
+             ∨ (X_i = {0} ∧ ¬P(x) ∧ ψ)     -- try Y_i = true;  advance to {1}
+             ∨ (X_i = {1} ∧ ¬P(x))          -- accept: {1} is a fixpoint
+
+The iteration from ``∅`` converges to ``{1}`` (a nonempty relation —
+"true") exactly when ``ψ`` holds under both values of ``Y_i``; otherwise
+it converges to ``∅`` or cycles, and the partial fixpoint is empty by
+convention.  ``∃Y_i ψ`` is ``¬∀Y_i ¬ψ``.  The whole sentence uses two
+individual variables and has size linear in the QBF, witnessing the
+PSPACE-hardness of PFP^2 *expression* complexity (the database is fixed).
+"""
+
+from __future__ import annotations
+
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import ReductionError
+from repro.core.engine import Query
+from repro.logic.builders import and_, atom, exists, forall, not_, or_, pfp
+from repro.logic.syntax import Formula, Not
+from repro.reductions.qbf import EXISTS, FORALL, QBF
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    PropFormula,
+)
+
+
+def qbf_database() -> Database:
+    """The fixed database ``B0 = ({0,1}, P = {0})`` of Theorem 4.6."""
+    return Database(Domain.range(2), {"P": Relation(1, [(0,)])})
+
+
+def _rel_for(name: str) -> str:
+    return f"X_{name}"
+
+
+def _is_empty(rel: str) -> Formula:
+    return not_(exists("y", atom(rel, "y")))
+
+
+def _is_zero(rel: str) -> Formula:
+    """``X = {0}`` — nonempty and every member satisfies P."""
+    return and_(
+        exists("y", atom(rel, "y")),
+        forall("y", or_(not_(atom(rel, "y")), atom("P", "y"))),
+    )
+
+
+def _is_one(rel: str) -> Formula:
+    """``X = {1}`` — nonempty and no member satisfies P."""
+    return and_(
+        exists("y", atom(rel, "y")),
+        forall("y", or_(not_(atom(rel, "y")), not_(atom("P", "y")))),
+    )
+
+
+def _embed_matrix(formula: PropFormula) -> Formula:
+    """Propositional matrix → FO over the ``X_i``: ``Y_i ↦ ∃y X_i(y)``."""
+    if isinstance(formula, BoolVar):
+        return exists("y", atom(_rel_for(str(formula.name)), "y"))
+    if isinstance(formula, BoolConst):
+        from repro.logic.builders import false_, true_
+
+        return true_() if formula.value else false_()
+    if isinstance(formula, BoolNot):
+        return Not(_embed_matrix(formula.sub))
+    if isinstance(formula, BoolAnd):
+        return and_(*(_embed_matrix(s) for s in formula.subs)) if formula.subs else (
+            _embed_matrix(BoolConst(True))
+        )
+    if isinstance(formula, BoolOr):
+        return or_(*(_embed_matrix(s) for s in formula.subs)) if formula.subs else (
+            _embed_matrix(BoolConst(False))
+        )
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def _forall_gadget(rel: str, psi: Formula) -> Formula:
+    """``∀Y`` as the three-phase partial fixpoint described above.
+
+    ``ψ`` is shared by the two advancing phases (it must hold both when
+    ``Y`` reads false and when it reads true), so it appears *once* —
+    duplicating it per phase would make the whole reduction exponential
+    in the prefix length instead of linear.
+    """
+    advance = or_(
+        and_(_is_empty(rel), atom("P", "x")),
+        and_(_is_zero(rel), not_(atom("P", "x"))),
+    )
+    rho = or_(
+        and_(psi, advance),
+        and_(_is_one(rel), not_(atom("P", "x"))),
+    )
+    return exists("x", pfp(rel, ["x"], rho, ["x"]))
+
+
+def qbf_to_pfp_query(instance: QBF) -> Query:
+    """The Theorem 4.6 sentence for ``instance`` (evaluate on B0).
+
+    Linear size, two individual variables, one pfp operator per Boolean
+    variable.
+    """
+    body = _embed_matrix(instance.matrix)
+    for quantifier, name in reversed(instance.prefix):
+        rel = _rel_for(name)
+        if quantifier == FORALL:
+            body = _forall_gadget(rel, body)
+        elif quantifier == EXISTS:
+            body = not_(_forall_gadget(rel, not_(body)))
+        else:  # pragma: no cover - QBF validates quantifiers
+            raise ReductionError(f"unknown quantifier {quantifier!r}")
+    return Query(body, output_vars=(), name="qbf-to-pfp2")

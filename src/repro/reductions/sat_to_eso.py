@@ -1,0 +1,53 @@
+"""Theorem 4.5: SAT reduces to ESO^k over *any* fixed database.
+
+A propositional formula ``φ`` over ``P_1 .. P_l`` is satisfiable iff
+``∃P_1 ... ∃P_l φ`` holds — where each ``P_i`` is quantified as a 0-ary
+(propositional) relation — in *any* database whatsoever.  No individual
+variables are needed at all, so the reduction lands in ESO^k for every
+``k ≥ 0`` and shows the NP-hardness of ESO^k *expression* complexity
+(the database is fixed and irrelevant).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReductionError
+from repro.core.engine import Query
+from repro.logic.builders import false_, true_
+from repro.logic.syntax import And, Formula, Not, Or, RelAtom, SOExists
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    PropFormula,
+)
+
+
+def _embed(formula: PropFormula) -> Formula:
+    """Propositional formula → FO with 0-ary atoms for the propositions."""
+    if isinstance(formula, BoolVar):
+        return RelAtom(f"P_{formula.name}", ())
+    if isinstance(formula, BoolConst):
+        return true_() if formula.value else false_()
+    if isinstance(formula, BoolNot):
+        return Not(_embed(formula.sub))
+    if isinstance(formula, BoolAnd):
+        return And(tuple(_embed(s) for s in formula.subs))
+    if isinstance(formula, BoolOr):
+        return Or(tuple(_embed(s) for s in formula.subs))
+    raise ReductionError(f"unknown propositional node {formula!r}")
+
+
+def sat_to_eso_query(formula: PropFormula) -> Query:
+    """``∃P_1 ... ∃P_l φ`` — satisfiable iff true on any database.
+
+    The sentence's size is linear in ``|φ|`` and it uses zero individual
+    variables.
+    """
+    from repro.reductions.qbf import _prop_vars
+
+    body = _embed(formula)
+    for name in sorted(str(v) for v in _prop_vars(formula)):
+        body = SOExists(f"P_{name}", 0, body)
+    return Query(body, output_vars=(), name="sat-to-eso")

@@ -1,0 +1,188 @@
+"""Propositional formulas and CNF.
+
+Variables are identified by arbitrary hashable *names* (the ESO grounder
+uses tuples like ``("S", (0, 1))`` meaning "tuple (0,1) is in relation S");
+the solver works on integer-indexed literals internally, and :class:`CNF`
+maintains the name↔index mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import ReproError
+
+VarName = Hashable
+
+
+class CnfError(ReproError):
+    """Malformed propositional input."""
+
+
+# ---------------------------------------------------------------------------
+# Propositional formula trees (input to Tseitin)
+# ---------------------------------------------------------------------------
+
+
+class PropFormula:
+    """Base class for propositional formula nodes."""
+
+    def __and__(self, other: "PropFormula") -> "PropFormula":
+        return BoolAnd((self, other))
+
+    def __or__(self, other: "PropFormula") -> "PropFormula":
+        return BoolOr((self, other))
+
+    def __invert__(self) -> "PropFormula":
+        return BoolNot(self)
+
+
+@dataclass(frozen=True)
+class BoolVar(PropFormula):
+    """A propositional variable with an arbitrary hashable name."""
+
+    name: VarName
+
+
+@dataclass(frozen=True)
+class BoolConst(PropFormula):
+    """True / False."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class BoolNot(PropFormula):
+    sub: PropFormula
+
+
+@dataclass(frozen=True)
+class BoolAnd(PropFormula):
+    subs: Tuple[PropFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subs", tuple(self.subs))
+
+
+@dataclass(frozen=True)
+class BoolOr(PropFormula):
+    subs: Tuple[PropFormula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subs", tuple(self.subs))
+
+
+# ---------------------------------------------------------------------------
+# CNF
+# ---------------------------------------------------------------------------
+
+
+Literal = int  # DIMACS convention: +v / -v, v >= 1
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals (integers, DIMACS sign convention)."""
+
+    literals: FrozenSet[Literal]
+
+    def __post_init__(self) -> None:
+        lits = frozenset(self.literals)
+        if 0 in lits:
+            raise CnfError("literal 0 is not allowed")
+        object.__setattr__(self, "literals", lits)
+
+    def is_tautology(self) -> bool:
+        return any(-lit in self.literals for lit in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(sorted(self.literals, key=abs))
+
+
+class CNF:
+    """A conjunction of clauses plus a variable-name registry.
+
+    >>> cnf = CNF()
+    >>> x, y = cnf.var("x"), cnf.var("y")
+    >>> cnf.add_clause([x, y]); cnf.add_clause([-x])
+    >>> cnf.num_vars, cnf.num_clauses
+    (2, 2)
+    """
+
+    def __init__(self) -> None:
+        self._clauses: List[Clause] = []
+        self._name_to_index: Dict[VarName, int] = {}
+        self._index_to_name: List[VarName] = []
+
+    # -- variables -------------------------------------------------------
+
+    def var(self, name: VarName) -> int:
+        """The positive literal for ``name``, allocating it if new."""
+        index = self._name_to_index.get(name)
+        if index is None:
+            index = len(self._index_to_name) + 1
+            self._name_to_index[name] = index
+            self._index_to_name.append(name)
+        return index
+
+    def fresh_var(self, hint: str = "aux") -> int:
+        """A variable guaranteed not to clash with any named variable."""
+        return self.var(("_fresh", hint, len(self._index_to_name)))
+
+    def has_var(self, name: VarName) -> bool:
+        return name in self._name_to_index
+
+    def name_of(self, index: int) -> VarName:
+        if not 1 <= index <= len(self._index_to_name):
+            raise CnfError(f"variable index {index} out of range")
+        return self._index_to_name[index - 1]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._index_to_name)
+
+    # -- clauses ----------------------------------------------------------
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        clause = Clause(frozenset(literals))
+        for lit in clause.literals:
+            if abs(lit) > len(self._index_to_name):
+                raise CnfError(
+                    f"literal {lit} references an unallocated variable"
+                )
+        if not clause.is_tautology():
+            self._clauses.append(clause)
+
+    def add_named_clause(
+        self, positives: Iterable[VarName], negatives: Iterable[VarName]
+    ) -> None:
+        """Add a clause given by variable names instead of literals."""
+        literals = [self.var(name) for name in positives]
+        literals += [-self.var(name) for name in negatives]
+        self.add_clause(literals)
+
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def total_literals(self) -> int:
+        """Encoding-size proxy: the sum of clause lengths."""
+        return sum(len(c) for c in self._clauses)
+
+    def decode(self, assignment: Dict[int, bool]) -> Dict[VarName, bool]:
+        """Map a solver assignment back to variable names."""
+        return {
+            self._index_to_name[i - 1]: assignment.get(i, False)
+            for i in range(1, self.num_vars + 1)
+        }
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"

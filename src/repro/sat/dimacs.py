@@ -1,0 +1,74 @@
+"""DIMACS CNF import/export.
+
+The standard interchange format, so grounded ESO^k instances can be
+inspected with external tools and external benchmarks can be fed to the
+library's solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sat.cnf import CNF, CnfError
+
+
+def to_dimacs(cnf: CNF, comments: Iterable[str] = ()) -> str:
+    """Serialize to the DIMACS ``p cnf`` format."""
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> CNF:
+    """Parse a DIMACS ``p cnf`` document into a :class:`CNF`.
+
+    Variable ``i`` is registered under the name ``i`` (an int).
+    """
+    cnf = CNF()
+    declared_vars = None
+    declared_clauses = None
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise CnfError(f"malformed problem line: {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise CnfError(f"malformed problem line: {line!r}") from None
+            if declared_vars < 0 or declared_clauses < 0:
+                raise CnfError(f"negative counts in problem line: {line!r}")
+            for i in range(1, declared_vars + 1):
+                cnf.var(i)
+            continue
+        if declared_vars is None:
+            raise CnfError("clause before the 'p cnf' problem line")
+        try:
+            literals = [int(tok) for tok in line.split()]
+        except ValueError:
+            raise CnfError(f"malformed clause line: {line!r}") from None
+        if not literals or literals[-1] != 0:
+            raise CnfError(f"clause line must end with 0: {line!r}")
+        body = literals[:-1]
+        for lit in body:
+            if abs(lit) > declared_vars:
+                raise CnfError(
+                    f"literal {lit} exceeds declared variable count "
+                    f"{declared_vars}"
+                )
+        cnf.add_clause(body)
+    if declared_vars is None:
+        raise CnfError("missing 'p cnf' problem line")
+    if declared_clauses is not None and cnf.num_clauses > declared_clauses:
+        # tautological clauses are dropped on input, so fewer is fine
+        raise CnfError(
+            f"more clauses ({cnf.num_clauses}) than declared "
+            f"({declared_clauses})"
+        )
+    return cnf

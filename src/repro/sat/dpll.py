@@ -1,0 +1,172 @@
+"""A DPLL SAT solver with unit propagation and activity-guided branching.
+
+Iterative (explicit trail, no recursion) so deep problems cannot blow the
+Python stack.  Good enough for the grounded ESO^k instances and the
+Theorem 4.5 reductions this library generates; it is a decision procedure,
+not a competition solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solver run."""
+
+    satisfiable: bool
+    assignment: Dict[int, bool]
+    decisions: int
+    propagations: int
+
+    def named_assignment(self, cnf: CNF) -> Dict[object, bool]:
+        return cnf.decode(self.assignment)
+
+
+def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> SatResult:
+    """Decide satisfiability of ``cnf`` under optional assumption literals."""
+    solver = _DPLL(cnf)
+    return solver.run(list(assumptions))
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class _DPLL:
+    def __init__(self, cnf: CNF):
+        self._num_vars = cnf.num_vars
+        self._clauses: List[Tuple[int, ...]] = [
+            tuple(sorted(c.literals, key=abs)) for c in cnf.clauses
+        ]
+        # occurrence lists: literal -> clause indices containing it
+        self._occurs: Dict[int, List[int]] = {}
+        for ci, clause in enumerate(self._clauses):
+            for lit in clause:
+                self._occurs.setdefault(lit, []).append(ci)
+        self._value = [_UNASSIGNED] * (self._num_vars + 1)
+        self._trail: List[int] = []          # assigned literals in order
+        self._trail_marks: List[int] = []    # trail length at each decision
+        self._decisions = 0
+        self._propagations = 0
+        # static activity: frequency of each variable across clauses
+        self._activity = [0] * (self._num_vars + 1)
+        for clause in self._clauses:
+            for lit in clause:
+                self._activity[abs(lit)] += 1
+        self._order = sorted(
+            range(1, self._num_vars + 1),
+            key=lambda v: -self._activity[v],
+        )
+
+    # -- assignment plumbing ---------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._value[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _assign(self, lit: int) -> None:
+        self._value[abs(lit)] = _TRUE if lit > 0 else _FALSE
+        self._trail.append(lit)
+
+    def _unassign_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            lit = self._trail.pop()
+            self._value[abs(lit)] = _UNASSIGNED
+
+    # -- core loop ---------------------------------------------------------
+
+    def run(self, assumptions: List[int]) -> SatResult:
+        if any(not clause for clause in self._clauses):
+            return SatResult(False, {}, 0, 0)
+        for lit in assumptions:
+            value = self._lit_value(lit)
+            if value == _FALSE:
+                return self._unsat()
+            if value == _UNASSIGNED:
+                self._assign(lit)
+        if not self._propagate():
+            return self._unsat()
+        while True:
+            branch = self._pick_branch()
+            if branch is None:
+                return self._sat()
+            self._decisions += 1
+            self._trail_marks.append(len(self._trail))
+            self._assign(branch)
+            while not self._propagate():
+                # conflict: backtrack, flipping the most recent decision
+                flipped = self._backtrack()
+                if flipped is None:
+                    return self._unsat()
+                self._assign(flipped)
+
+    def _pick_branch(self) -> Optional[int]:
+        for var in self._order:
+            if self._value[var] == _UNASSIGNED:
+                return var  # positive phase first
+        return None
+
+    def _backtrack(self) -> Optional[int]:
+        """Undo the most recent un-flipped decision; None when exhausted.
+
+        Decisions are always positive literals; a flipped decision is
+        recorded as a negative literal at its trail mark, so a decision
+        whose literal is negative has already tried both phases.
+        """
+        while self._trail_marks:
+            mark = self._trail_marks.pop()
+            decision = self._trail[mark]
+            self._unassign_to(mark)
+            if decision > 0:
+                self._trail_marks.append(mark)
+                return -decision
+        return None
+
+    def _propagate(self) -> bool:
+        """Exhaustive unit propagation; False on conflict."""
+        changed = True
+        while changed:
+            changed = False
+            for ci, clause in enumerate(self._clauses):
+                status = self._clause_status(clause)
+                if status == "conflict":
+                    return False
+                if isinstance(status, int):
+                    self._assign(status)
+                    self._propagations += 1
+                    changed = True
+        return True
+
+    def _clause_status(self, clause: Tuple[int, ...]):
+        """'sat', 'conflict', 'open', or the unit literal to assign."""
+        unassigned: Optional[int] = None
+        count = 0
+        for lit in clause:
+            value = self._lit_value(lit)
+            if value == _TRUE:
+                return "sat"
+            if value == _UNASSIGNED:
+                unassigned = lit
+                count += 1
+                if count > 1:
+                    return "open"
+        if count == 0:
+            return "conflict"
+        return unassigned
+
+    def _sat(self) -> SatResult:
+        assignment = {
+            v: self._value[v] == _TRUE
+            for v in range(1, self._num_vars + 1)
+            if self._value[v] != _UNASSIGNED
+        }
+        return SatResult(True, assignment, self._decisions, self._propagations)
+
+    def _unsat(self) -> SatResult:
+        return SatResult(False, {}, self._decisions, self._propagations)

@@ -1,0 +1,89 @@
+"""Tseitin transformation: propositional formulas → equisatisfiable CNF.
+
+Each internal connective gets a definition variable; the output CNF has
+size linear in the formula, which is what keeps the ESO^k grounding
+(Corollary 3.7) polynomial in ``|B| + |e|``.  Shared subformulas (the
+grounder reuses node objects heavily) are translated once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sat.cnf import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    CNF,
+    CnfError,
+    PropFormula,
+)
+
+
+def to_cnf(formula: PropFormula, cnf: CNF = None) -> Tuple[CNF, int]:
+    """Translate ``formula`` and assert it; returns ``(cnf, root_literal)``.
+
+    The returned CNF is satisfiable iff the formula is, and any model of
+    the CNF restricted to the original variables is a model of the
+    formula.  Passing an existing ``cnf`` accumulates several assertions
+    into one problem (conjunction).
+    """
+    if cnf is None:
+        cnf = CNF()
+    converter = _Tseitin(cnf)
+    root = converter.literal(formula)
+    cnf.add_clause([root])
+    return cnf, root
+
+
+class _Tseitin:
+    def __init__(self, cnf: CNF):
+        self._cnf = cnf
+        self._cache: Dict[int, int] = {}
+        self._true_lit: int = 0
+
+    def _true(self) -> int:
+        """A literal constrained to be true (allocated on demand)."""
+        if self._true_lit == 0:
+            self._true_lit = self._cnf.fresh_var("true")
+            self._cnf.add_clause([self._true_lit])
+        return self._true_lit
+
+    def literal(self, formula: PropFormula) -> int:
+        cached = self._cache.get(id(formula))
+        if cached is not None:
+            return cached
+        lit = self._translate(formula)
+        self._cache[id(formula)] = lit
+        return lit
+
+    def _translate(self, formula: PropFormula) -> int:
+        cnf = self._cnf
+        if isinstance(formula, BoolVar):
+            return cnf.var(formula.name)
+        if isinstance(formula, BoolConst):
+            true = self._true()
+            return true if formula.value else -true
+        if isinstance(formula, BoolNot):
+            return -self.literal(formula.sub)
+        if isinstance(formula, BoolAnd):
+            if not formula.subs:
+                return self._true()
+            parts = [self.literal(s) for s in formula.subs]
+            out = cnf.fresh_var("and")
+            for part in parts:
+                cnf.add_clause([-out, part])         # out -> part
+            cnf.add_clause([out] + [-p for p in parts])  # all parts -> out
+            return out
+        if isinstance(formula, BoolOr):
+            if not formula.subs:
+                return -self._true()
+            parts = [self.literal(s) for s in formula.subs]
+            out = cnf.fresh_var("or")
+            for part in parts:
+                cnf.add_clause([out, -part])         # part -> out
+            cnf.add_clause([-out] + parts)           # out -> some part
+            return out
+        raise CnfError(f"unknown propositional node {formula!r}")

@@ -1,0 +1,107 @@
+"""Ordered databases and capture-theorem demonstrations (Section 2.2).
+
+"Over ordered databases, FP expresses precisely all queries whose data
+complexity is in PTIME [Imm86, Var82]" and "PFP expresses precisely all
+queries whose data complexity is in PSPACE [Var82, AV89]".  The capture
+proofs are constructive simulations of Turing machines; what is cleanly
+demonstrable at library scale is the *role of the order*:
+
+* :func:`with_order` equips any database with a strict linear order
+  ``LT``, a successor relation ``SUCC``, and endpoint labels
+  ``FIRST``/``LAST`` over the canonical domain order;
+* :func:`even_cardinality_query` — the textbook example: EVEN(|D|) is a
+  PTIME property that is *not* expressible without the order in any
+  bounded-variable logic (the k-pebble game shows ``K_n ≡^k K_{n+1}``
+  for n ≥ k), but with the order it is a plain FP² query walking SUCC
+  and flipping a parity bit;
+* :func:`domain_parity` — the reference implementation of the property.
+
+Tests pair this with :mod:`repro.games` to exhibit both halves:
+inexpressibility without order, expressibility with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.core.engine import Query
+from repro.logic.builders import and_, atom, exists, lfp, or_
+
+
+def with_order(db: Database) -> Database:
+    """A copy of ``db`` extended with LT, SUCC, FIRST, and LAST.
+
+    The order is the canonical order of the domain.  Existing relations
+    with those names are an error (they would silently change meaning).
+    """
+    values = db.domain.values
+    reserved = {"LT", "SUCC", "FIRST", "LAST"}
+    clash = reserved & set(db.relation_names())
+    if clash:
+        from repro.errors import SchemaError
+
+        raise SchemaError(
+            f"database already defines order relations {sorted(clash)}"
+        )
+    lt = [
+        (values[i], values[j])
+        for i in range(len(values))
+        for j in range(i + 1, len(values))
+    ]
+    succ = [(values[i], values[i + 1]) for i in range(len(values) - 1)]
+    first = [(values[0],)] if values else []
+    last = [(values[-1],)] if values else []
+    extended: Dict[str, Relation] = {
+        name: db.relation(name) for name in db.relation_names()
+    }
+    extended["LT"] = Relation(2, lt)
+    extended["SUCC"] = Relation(2, succ)
+    extended["FIRST"] = Relation(1, first)
+    extended["LAST"] = Relation(1, last)
+    return Database(db.domain, extended)
+
+
+def domain_parity(db: Database) -> bool:
+    """Reference: is ``|D|`` even?  (A trivially-PTIME property.)"""
+    return db.size() % 2 == 0
+
+
+def even_cardinality_query() -> Query:
+    """EVEN(|D|) as an FP² sentence over an ordered database.
+
+    ``ODD(x)`` — "x is at an odd (1-based) position" — is the least
+    fixpoint of "x is first, or x is two SUCC-steps after an odd
+    element" (negation may not appear under the lfp, so positions are
+    tracked two at a time)::
+
+        ODD(x) ← FIRST(x)
+        ODD(x) ← ∃y (SUCC(y, x) ∧ ∃x (SUCC(x, y) ∧ ODD(x)))
+
+    Two individual variables suffice (the inner ``x`` re-binds), and the
+    domain size is even iff the last element is *not* odd.  The property
+    is PTIME-trivial yet provably outside order-free FO^k/L^k_∞ω — the
+    tests exhibit that with the k-pebble game — which is the point of
+    the paper's "over *ordered* databases" proviso.
+    """
+    odd = lfp(
+        "ODD",
+        ["x"],
+        or_(
+            atom("FIRST", "x"),
+            exists(
+                "y",
+                and_(
+                    atom("SUCC", "y", "x"),
+                    exists("x", and_(atom("SUCC", "x", "y"), atom("ODD", "x"))),
+                ),
+            ),
+        ),
+        ["x"],
+    )
+    # even size ⟺ no odd-positioned last element
+    from repro.logic.builders import forall, not_
+
+    sentence = forall("x", or_(not_(atom("LAST", "x")), not_(odd)))
+    return Query(sentence, output_vars=(), name="even-cardinality")

@@ -1,0 +1,165 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The central idea of the suite: :mod:`repro.core.naive_eval` is the
+obviously-correct reference semantics, and every other engine, rewrite,
+compiler and optimizer is property-tested against it on random small
+databases and formulas.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.logic.syntax import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    GFP,
+    LFP,
+    Not,
+    Or,
+    RelAtom,
+    Truth,
+    Var,
+)
+
+# keep hypothesis fast and deterministic-ish for CI-style runs
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile("repro")
+
+#: The standard test schema: one edge relation, two unary labels.
+SCHEMA = (("E", 2), ("P", 1), ("Q", 1))
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def databases(draw, min_size: int = 1, max_size: int = 4):
+    """Random small databases over the standard schema."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    relations = {}
+    for name, arity in SCHEMA:
+        universe = [
+            tuple(t)
+            for t in _tuples(n, arity)
+        ]
+        chosen = draw(st.sets(st.sampled_from(universe))) if universe else set()
+        relations[name] = Relation(arity, chosen)
+    return Database(Domain.range(n), relations)
+
+
+def _tuples(n: int, arity: int):
+    import itertools
+
+    return list(itertools.product(range(n), repeat=arity))
+
+
+def _atoms():
+    options = []
+    for name, arity in SCHEMA:
+        options.append(
+            st.tuples(*[st.sampled_from(VARS) for _ in range(arity)]).map(
+                lambda vs, name=name: RelAtom(name, tuple(Var(v) for v in vs))
+            )
+        )
+    options.append(
+        st.tuples(st.sampled_from(VARS), st.sampled_from(VARS)).map(
+            lambda pair: Equals(Var(pair[0]), Var(pair[1]))
+        )
+    )
+    options.append(st.booleans().map(Truth))
+    return st.one_of(options)
+
+
+def fo_formulas(max_depth: int = 4):
+    """Random FO formulas over the standard schema, width ≤ 3."""
+    return st.recursive(
+        _atoms(),
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(p)),
+            st.tuples(children, children).map(lambda p: Or(p)),
+            st.tuples(st.sampled_from(VARS), children).map(
+                lambda p: Exists(Var(p[0]), p[1])
+            ),
+            st.tuples(st.sampled_from(VARS), children).map(
+                lambda p: Forall(Var(p[0]), p[1])
+            ),
+        ),
+        max_leaves=2**max_depth,
+    )
+
+
+@st.composite
+def fp_formulas(draw, max_fixpoints: int = 2):
+    """Random FP formulas: FO skeleton with positive lfp/gfp fixpoints.
+
+    Recursion atoms appear only in positive positions (never under a Not
+    generated around them), so :func:`repro.logic.analysis.check_positivity`
+    always passes.
+    """
+    counter = draw(st.integers(min_value=0, max_value=10**6))
+
+    def fresh_rel(i):
+        return f"S{counter}_{i}"
+
+    index = [0]
+
+    def build(depth: int, rec_vars: tuple) -> object:
+        choice = draw(
+            st.integers(min_value=0, max_value=7 if depth > 0 else 1)
+        )
+        if choice == 0 or depth == 0:
+            if rec_vars and draw(st.booleans()):
+                rel = draw(st.sampled_from(list(rec_vars)))
+                return RelAtom(rel, (Var(draw(st.sampled_from(VARS))),))
+            return draw(_atoms())
+        if choice == 1:
+            return draw(_atoms())
+        if choice == 2:
+            # negation: the subformula must not mention recursion variables
+            return Not(build(depth - 1, ()))
+        if choice == 3:
+            return And((build(depth - 1, rec_vars), build(depth - 1, rec_vars)))
+        if choice == 4:
+            return Or((build(depth - 1, rec_vars), build(depth - 1, rec_vars)))
+        if choice == 5:
+            v = draw(st.sampled_from(VARS))
+            return Exists(Var(v), build(depth - 1, rec_vars))
+        if choice == 6:
+            v = draw(st.sampled_from(VARS))
+            return Forall(Var(v), build(depth - 1, rec_vars))
+        # fixpoint
+        if index[0] >= max_fixpoints:
+            return draw(_atoms())
+        rel = fresh_rel(index[0])
+        index[0] += 1
+        kind = LFP if draw(st.booleans()) else GFP
+        bound = draw(st.sampled_from(VARS))
+        body = build(depth - 1, rec_vars + (rel,))
+        arg = draw(st.sampled_from(VARS))
+        return kind(rel, (Var(bound),), body, (Var(arg),))
+
+    return build(3, ())
+
+
+@pytest.fixture
+def tiny_graph():
+    """A small deterministic graph database used across tests."""
+    return Database.from_tuples(
+        range(4),
+        {
+            "E": (2, [(0, 1), (1, 2), (2, 3), (3, 1)]),
+            "P": (1, [(0,), (2,)]),
+            "Q": (1, [(3,)]),
+        },
+    )

@@ -1,0 +1,97 @@
+"""Tests for the fixpoint abstraction (the simultaneous system)."""
+
+import pytest
+
+from repro.core.abstraction import abstract_query
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import RelAtom
+from repro.logic.variables import free_relation_variables, free_variables
+
+
+class TestAbstraction:
+    def test_fo_formula_has_no_nodes(self):
+        aq = abstract_query(parse_formula("exists y. E(x, y)"))
+        assert aq.nodes == ()
+        assert aq.top == ()
+
+    def test_single_fixpoint(self):
+        aq = abstract_query(
+            parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        )
+        assert len(aq.nodes) == 1
+        node = aq.nodes[0]
+        assert node.kind == "lfp"
+        assert node.params == ()
+        assert node.value_arity == 1
+        # skeleton mentions the abstract atom, not the fixpoint
+        assert node.name in free_relation_variables(aq.skeleton)
+
+    def test_negated_fixpoint_dualized(self):
+        aq = abstract_query(
+            parse_formula("~[lfp S(x). P(x) | S(x)](u)")
+        )
+        assert aq.nodes[0].kind == "gfp"
+
+    def test_nested_children_recorded(self):
+        aq = abstract_query(
+            parse_formula(
+                "[gfp S(x). [lfp T(z). S(z) | (P(z) & T(z))](x)](u)"
+            )
+        )
+        assert len(aq.nodes) == 2
+        outer, inner = aq.nodes
+        assert outer.children == (1,)
+        assert inner.children == ()
+        assert aq.top == (0,)
+
+    def test_inner_inherits_outer_params_through_dependence(self):
+        # outer has parameter w; inner body mentions S, so the inner value
+        # depends on w too and must carry the parameter column
+        phi = parse_formula(
+            "[lfp S(x). E(w, x) | [lfp T(z). S(z) | T(z)](x)](u)"
+        )
+        aq = abstract_query(phi)
+        outer = aq.nodes[0]
+        inner = aq.nodes[1]
+        assert "w" in outer.params
+        assert set(outer.params) <= set(inner.params)
+
+    def test_independent_inner_keeps_no_params(self):
+        phi = parse_formula(
+            "[lfp S(x). E(w, x) | [lfp T(z). P(z) | T(z)](x)](u)"
+        )
+        aq = abstract_query(phi)
+        assert aq.nodes[1].params == ()
+
+    def test_skeleton_free_variables_match_original(self):
+        phi = parse_formula("[lfp S(x). x = y | S(x)](u)")
+        aq = abstract_query(phi)
+        assert free_variables(aq.skeleton) == free_variables(phi)
+
+    def test_pfp_rejected(self):
+        with pytest.raises(EvaluationError):
+            abstract_query(parse_formula("[pfp X(x). ~X(x)](u)"))
+
+    def test_so_rejected(self):
+        with pytest.raises(EvaluationError):
+            abstract_query(parse_formula("exists2 R/1. R(x)"))
+
+    def test_deterministic(self):
+        phi = parse_formula(
+            "[gfp S(x). [lfp T(z). S(z) | (P(z) & T(z))](x)](u)"
+        )
+        assert abstract_query(phi) == abstract_query(phi)
+
+    def test_recursion_atoms_extended_with_params(self):
+        phi = parse_formula("[lfp S(x). E(y, x) | exists z. (E(z, x) & S(z))](u)")
+        aq = abstract_query(phi)
+        node = aq.nodes[0]
+        assert node.params == ("y",)
+        self_atoms = [
+            a
+            for a in node.body.walk()
+            if isinstance(a, RelAtom) and a.name == node.name
+        ]
+        assert self_atoms, "self atom should be rewritten to the _fp name"
+        assert all(len(a.terms) == 2 for a in self_atoms)

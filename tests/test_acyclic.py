@@ -1,0 +1,142 @@
+"""Tests for acyclic joins (GYO + Yannakakis) — the Section 1 precedent."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.acyclic import (
+    YannakakisStats,
+    gyo_reduction,
+    is_acyclic,
+    yannakakis,
+)
+from repro.core.naive_eval import naive_answer
+from repro.errors import EvaluationError
+from repro.logic.builders import and_, atom, exists
+from repro.logic.variables import free_variables
+from repro.workloads.graphs import random_graph
+
+from tests.conftest import databases
+
+
+def chain_atoms(width):
+    names = [f"v{i}" for i in range(width + 1)]
+    return [atom("E", names[i], names[i + 1]) for i in range(width)]
+
+
+class TestGYO:
+    def test_chain_is_acyclic(self):
+        tree = gyo_reduction(chain_atoms(4))
+        assert tree is not None
+        assert tree.size() == 4
+
+    def test_triangle_is_cyclic(self):
+        tri = [atom("E", "x", "y"), atom("E", "y", "z"), atom("E", "z", "x")]
+        assert not is_acyclic(tri)
+
+    def test_star_is_acyclic(self):
+        star = [atom("E", "c", f"l{i}") for i in range(4)]
+        assert is_acyclic(star)
+
+    def test_single_atom(self):
+        assert is_acyclic([atom("E", "x", "y")])
+
+    def test_empty_query(self):
+        assert gyo_reduction([]) is None
+
+    def test_company_chain_with_salary_comparison_is_cyclic(self):
+        # a finding worth keeping: the paper's intro query closes a cycle
+        # through the LT comparison (e-d-m-s-t-u-e), so bounded-variable
+        # evaluation genuinely goes beyond the acyclic-join precedent
+        atoms = [
+            atom("EMP", "e", "d"),
+            atom("MGR", "d", "m"),
+            atom("SCY", "m", "s"),
+            atom("SAL", "s", "t"),
+            atom("SAL", "e", "u"),
+            atom("LT", "u", "t"),
+        ]
+        assert not is_acyclic(atoms)
+        assert is_acyclic(atoms[:4])
+
+    def test_alpha_acyclic_but_not_berge(self):
+        # a hyperedge containing another: α-acyclic, handled by GYO
+        atoms = [atom("R", "x", "y", "z"), atom("S", "x", "y")]
+        assert is_acyclic(atoms)
+
+
+class TestYannakakis:
+    def test_chain_agrees_with_reference(self):
+        g = random_graph(6, 0.4, seed=2)
+        atoms = chain_atoms(3)
+        got = yannakakis(atoms, g, ("v0", "v3"))
+        expected = set(
+            naive_answer(
+                exists(["v1", "v2"], and_(*atoms)), g, ("v0", "v3")
+            ).tuples
+        )
+        assert got == expected
+
+    @given(databases(max_size=4), st.integers(2, 4))
+    @settings(max_examples=15)
+    def test_property_agreement_on_chains(self, db, width):
+        atoms = chain_atoms(width)
+        out = ("v0", f"v{width}")
+        middles = [f"v{i}" for i in range(1, width)]
+        got = yannakakis(atoms, db, out)
+        expected = set(
+            naive_answer(exists(middles, and_(*atoms)), db, out).tuples
+        )
+        assert got == expected
+
+    def test_intermediates_bounded_by_inputs_plus_output(self):
+        g = random_graph(8, 0.35, seed=5)
+        atoms = chain_atoms(4)
+        stats = YannakakisStats()
+        result = yannakakis(atoms, g, ("v0", "v4"), stats)
+        input_rows = len(g.relation("E"))
+        # Yannakakis' guarantee: intermediates are bounded by
+        # input + output sizes (no blow-up), up to per-join duplicates
+        bound = (input_rows + len(result)) * (input_rows)
+        assert stats.max_intermediate_rows <= bound
+        assert stats.semijoins >= 2 * (len(atoms) - 1)
+
+    def test_constants_in_atoms(self):
+        g = random_graph(5, 0.5, seed=1)
+        from repro.logic.syntax import Const, RelAtom, Var
+
+        atoms = [RelAtom("E", (Const(0), Var("y"))), atom("E", "y", "z")]
+        got = yannakakis(atoms, g, ("z",))
+        expected = set(
+            naive_answer(
+                exists("y", and_(RelAtom("E", (Const(0), Var("y"))), atom("E", "y", "z"))),
+                g,
+                ("z",),
+            ).tuples
+        )
+        assert got == expected
+
+    def test_cyclic_rejected(self):
+        g = random_graph(4, 0.5, seed=0)
+        tri = [atom("E", "x", "y"), atom("E", "y", "z"), atom("E", "z", "x")]
+        with pytest.raises(EvaluationError):
+            yannakakis(tri, g, ("x",))
+
+    def test_unknown_output_variable_rejected(self):
+        g = random_graph(3, 0.5, seed=0)
+        with pytest.raises(EvaluationError):
+            yannakakis([atom("E", "x", "y")], g, ("zz",))
+
+    def test_empty_answer(self):
+        from repro.database import Database
+
+        db = Database.from_tuples(range(3), {"E": (2, [])})
+        assert yannakakis(chain_atoms(2), db, ("v0", "v2")) == set()
+
+    def test_repeated_variable_in_atom(self):
+        from repro.database import Database
+
+        db = Database.from_tuples(
+            range(3), {"E": (2, [(0, 0), (0, 1)])}
+        )
+        got = yannakakis([atom("E", "x", "x")], db, ("x",))
+        assert got == {(0,)}

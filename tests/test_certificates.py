@@ -1,0 +1,208 @@
+"""Tests for Theorem 3.5 certificates: extraction, verification, tampering."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.alternation import (
+    Cert,
+    FixpointCertificate,
+    LfpStep,
+    alternation_answer_with_trace,
+)
+from repro.core.certificates import (
+    certificate_size,
+    extract_membership,
+    extract_non_membership,
+    verify_membership,
+    verify_non_membership,
+)
+from repro.core.naive_eval import naive_answer
+from repro.database import Relation
+from repro.errors import CertificateError
+from repro.logic.parser import parse_formula
+from repro.logic.variables import free_variables
+from repro.workloads.graphs import labeled_graph, random_graph
+
+from tests.conftest import databases, fp_formulas
+
+ALTERNATING = parse_formula(
+    "[gfp S(x). [lfp T(z). forall y. (~E(z, y) | S(y) | (P(y) & T(y)))](x)](u)"
+)
+
+# "on every infinite path, P holds infinitely often" — a ν/μ alternation
+# whose greatest fixpoint is a proper subset on the fixture below
+FAIR = parse_formula(
+    "[gfp S(x). [lfp T(z). forall y. (~E(z, y) | (P(y) & S(y)) | T(y))](x)](u)"
+)
+
+
+class TestExtraction:
+    def test_member_gets_certificate(self, tiny_graph):
+        ans = naive_answer(ALTERNATING, tiny_graph, ("u",))
+        member = next(iter(sorted(ans.tuples)))
+        cert = extract_membership(ALTERNATING, tiny_graph, ("u",), member)
+        assert cert is not None
+        assert cert.row == member
+
+    def test_non_member_gets_none(self, tiny_graph):
+        ans = naive_answer(ALTERNATING, tiny_graph, ("u",))
+        non_members = [
+            (v,) for v in range(tiny_graph.size()) if (v,) not in ans
+        ]
+        for row in non_members:
+            assert extract_membership(ALTERNATING, tiny_graph, ("u",), row) is None
+
+    def test_certificate_size_is_reasonable(self, tiny_graph):
+        ans = naive_answer(ALTERNATING, tiny_graph, ("u",))
+        member = next(iter(sorted(ans.tuples)))
+        cert = extract_membership(ALTERNATING, tiny_graph, ("u",), member)
+        n, k = tiny_graph.size(), 3
+        # a loose polynomial envelope: l * n^k with l = 2 fixpoints, plus slack
+        assert certificate_size(cert) <= 4 * n**k
+
+
+class TestVerification:
+    def test_extracted_certificates_verify(self, tiny_graph):
+        ans = naive_answer(ALTERNATING, tiny_graph, ("u",))
+        for member in sorted(ans.tuples):
+            cert = extract_membership(ALTERNATING, tiny_graph, ("u",), member)
+            assert verify_membership(cert, ALTERNATING, tiny_graph) is True
+
+    @given(fp_formulas(), databases(max_size=3))
+    def test_property_extract_then_verify(self, phi, db):
+        out = sorted(free_variables(phi))
+        answer = naive_answer(phi, db, out)
+        rows = sorted(answer.tuples)[:2]
+        for row in rows:
+            cert = extract_membership(phi, db, out, row)
+            assert cert is not None
+            assert verify_membership(cert, phi, db)
+
+    def test_wrong_query_rejected(self, tiny_graph):
+        ans = naive_answer(ALTERNATING, tiny_graph, ("u",))
+        member = next(iter(sorted(ans.tuples)))
+        cert = extract_membership(ALTERNATING, tiny_graph, ("u",), member)
+        other = parse_formula("[lfp S(x). P(x) | S(x)](u)")
+        with pytest.raises(CertificateError):
+            verify_membership(cert, other, tiny_graph)
+
+
+class TestTampering:
+    @pytest.fixture
+    def partial_graph(self):
+        """A graph where FAIR holds at some states but not all.
+
+        From 0 the path 0→1→1→... eventually avoids P forever, so FAIR
+        fails at 0 and 1; the dead-end chain 2→3 satisfies it vacuously.
+        """
+        from repro.database import Database
+
+        return Database.from_tuples(
+            range(4),
+            {
+                "E": (2, [(0, 1), (1, 1), (2, 3)]),
+                "P": (1, [(0,)]),
+                "Q": (1, []),
+            },
+        )
+
+    def _certificate(self, db):
+        ans = naive_answer(FAIR, db, ("u",))
+        assert ans and len(ans) < db.size(), "fixture must be non-trivial"
+        member = next(iter(sorted(ans.tuples)))
+        return extract_membership(FAIR, db, ("u",), member)
+
+    def test_inflated_gfp_guess_rejected(self, partial_graph):
+        tiny_graph = partial_graph
+        cert = self._certificate(tiny_graph)
+        fixcert = cert.certificate
+        top = fixcert.top_certs[0]
+        assert fixcert.query.nodes[top.node_index].kind == "gfp"
+        universe = Relation(
+            top.value.arity, tiny_graph.domain.tuples(top.value.arity)
+        )
+        if universe == top.value:
+            pytest.skip("guess already full; nothing to inflate")
+        tampered_top = Cert(
+            top.node_index, universe, children=top.children, steps=top.steps
+        )
+        tampered = type(cert)(
+            cert.output_vars,
+            cert.row,
+            FixpointCertificate(fixcert.query, (tampered_top,)),
+        )
+        with pytest.raises(CertificateError):
+            verify_membership(tampered, FAIR, tiny_graph)
+
+    def test_false_tuple_claim_rejected(self, partial_graph):
+        cert = self._certificate(partial_graph)
+        ans = naive_answer(FAIR, partial_graph, ("u",))
+        fake_rows = [
+            (v,) for v in range(partial_graph.size()) if (v,) not in ans
+        ]
+        assert fake_rows
+        tampered = type(cert)(cert.output_vars, fake_rows[0], cert.certificate)
+        with pytest.raises(CertificateError):
+            verify_membership(tampered, FAIR, partial_graph)
+
+    def test_non_monotone_chain_rejected(self, tiny_graph):
+        phi = parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        ans = naive_answer(phi, tiny_graph, ("u",))
+        member = next(iter(sorted(ans.tuples)))
+        cert = extract_membership(phi, tiny_graph, ("u",), member)
+        top = cert.certificate.top_certs[0]
+        if len(top.steps) < 2:
+            pytest.skip("chain too short to scramble")
+        scrambled_steps = (top.steps[-1],) + top.steps[:-1]
+        tampered_top = Cert(
+            top.node_index, top.value, steps=scrambled_steps
+        )
+        tampered = type(cert)(
+            cert.output_vars,
+            cert.row,
+            FixpointCertificate(cert.certificate.query, (tampered_top,)),
+        )
+        with pytest.raises(CertificateError):
+            verify_membership(tampered, phi, tiny_graph)
+
+    def test_overgrown_lfp_step_rejected(self, tiny_graph):
+        phi = parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        ans = naive_answer(phi, tiny_graph, ("u",))
+        member = next(iter(sorted(ans.tuples)))
+        cert = extract_membership(phi, tiny_graph, ("u",), member)
+        top = cert.certificate.top_certs[0]
+        universe = Relation(1, tiny_graph.domain.tuples(1))
+        if top.steps and top.steps[0].value == universe:
+            pytest.skip("first step already full")
+        cheat_steps = (LfpStep(universe, ()),)
+        tampered_top = Cert(top.node_index, universe, steps=cheat_steps)
+        tampered = type(cert)(
+            cert.output_vars,
+            cert.row,
+            FixpointCertificate(cert.certificate.query, (tampered_top,)),
+        )
+        with pytest.raises(CertificateError):
+            verify_membership(tampered, phi, tiny_graph)
+
+
+class TestCoNP:
+    def test_non_membership_certified_via_negation(self):
+        from repro.database import Database
+
+        db = Database.from_tuples(
+            range(4), {"E": (2, [(0, 1), (1, 2)]), "P": (1, [(0,)])}
+        )
+        phi = parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        ans = naive_answer(phi, db, ("u",))
+        outside = [(v,) for v in range(db.size()) if (v,) not in ans]
+        assert outside
+        cert = extract_non_membership(phi, db, ("u",), outside[0])
+        assert cert is not None
+        assert verify_non_membership(cert, phi, db)
+
+    def test_membership_and_non_membership_partition(self, tiny_graph):
+        phi = ALTERNATING
+        for v in range(tiny_graph.size()):
+            m = extract_membership(phi, tiny_graph, ("u",), (v,))
+            nm = extract_non_membership(phi, tiny_graph, ("u",), (v,))
+            assert (m is None) != (nm is None)

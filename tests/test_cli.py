@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.database.encoding import encode_database
+from repro.workloads.graphs import labeled_graph, path_graph
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = labeled_graph(path_graph(4), {"P": [0, 2]})
+    path = tmp_path / "graph.db"
+    path.write_text(encode_database(db))
+    return str(path)
+
+
+class TestEval:
+    def test_relation_output(self, db_file, capsys):
+        code = main(["eval", "--db", db_file, "--query", "P(x)", "--out", "x"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0] == "x"
+        assert out[1:] == ["0", "2"]
+
+    def test_sentence_output(self, db_file, capsys):
+        code = main(
+            ["eval", "--db", db_file, "--query", "exists x. P(x)", "--out"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_default_output_vars(self, db_file, capsys):
+        code = main(["eval", "--db", db_file, "--query", "E(x, y)"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "x\ty"
+        assert len(lines) == 1 + 3
+
+    def test_fp_with_strategy_and_stats(self, db_file, capsys):
+        code = main(
+            [
+                "eval",
+                "--db",
+                db_file,
+                "--query",
+                "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)",
+                "--out",
+                "u",
+                "--strategy",
+                "alternation",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "language=FP" in captured.err
+
+    def test_parse_error_is_reported(self, db_file, capsys):
+        code = main(["eval", "--db", db_file, "--query", "P(x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        code = main(["eval", "--db", "/nonexistent.db", "--query", "P(x)"])
+        assert code == 1
+
+
+class TestInfo:
+    def test_info_fields(self, capsys):
+        code = main(
+            ["info", "--query", "[lfp S(x). P(x) | S(x)](u)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "language  : FP" in out
+        assert "width (k) : 2" in out
+        assert "alt depth : 1" in out
+
+
+class TestMinimize:
+    def test_minimize_path_query(self, capsys):
+        code = main(
+            [
+                "minimize",
+                "--query",
+                "exists z1. exists z2. (E(x, z1) & E(z1, z2) & E(z2, y))",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "width 4 -> 3" in captured.err
+
+
+class TestEncode:
+    def test_canonicalize_roundtrip(self, db_file, capsys):
+        code = main(["encode", "--db", db_file])
+        assert code == 0
+        text = capsys.readouterr().out.strip()
+        with open(db_file) as handle:
+            assert text == handle.read().strip()
+
+
+class TestDatalog:
+    def test_run_program(self, tmp_path, capsys):
+        from repro import Database
+
+        db = Database.from_tuples(
+            range(4),
+            {"edge": (2, [(0, 1), (1, 2)]), "source": (1, [(0,)])},
+        )
+        db_path = tmp_path / "g.db"
+        db_path.write_text(encode_database(db))
+        program = tmp_path / "reach.dl"
+        program.write_text(
+            "reach(X) :- source(X).\nreach(X) :- edge(Y, X), reach(Y).\n"
+        )
+        code = main(
+            [
+                "datalog",
+                "--db",
+                str(db_path),
+                "--program",
+                str(program),
+                "--pred",
+                "reach",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["reach(0)", "reach(1)", "reach(2)"]
+
+    def test_unknown_predicate(self, tmp_path, capsys):
+        from repro import Database
+
+        db_path = tmp_path / "g.db"
+        db_path.write_text(
+            encode_database(
+                Database.from_tuples(range(2), {"q": (1, [(0,)])})
+            )
+        )
+        program = tmp_path / "p.dl"
+        program.write_text("p(X) :- q(X).")
+        code = main(
+            [
+                "datalog",
+                "--db",
+                str(db_path),
+                "--program",
+                str(program),
+                "--pred",
+                "nope",
+            ]
+        )
+        assert code == 1

@@ -1,0 +1,112 @@
+"""Tests for the complexity measurement harness."""
+
+import math
+
+import pytest
+
+from repro.complexity import (
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    classify_growth,
+    fit_exponential,
+    fit_polynomial,
+    render_table,
+    run_sweep,
+)
+from repro.complexity.fit import looks_exponential, looks_polynomial
+
+
+class TestFits:
+    NS = [4, 8, 16, 32, 64]
+
+    def test_polynomial_degree_recovered(self):
+        ys = [n**3 for n in self.NS]
+        fit = fit_polynomial(self.NS, ys)
+        assert abs(fit.coefficient - 3.0) < 1e-9
+        assert fit.residual < 1e-12
+
+    def test_exponential_base_recovered(self):
+        ys = [2.0**n for n in self.NS]
+        fit = fit_exponential(self.NS, ys)
+        assert abs(fit.base - 2.0) < 1e-9
+
+    def test_classifier_separates(self):
+        poly = [5 * n**2 for n in self.NS]
+        expo = [1.5**n for n in self.NS]
+        assert classify_growth(self.NS, poly)[0] == "polynomial"
+        assert classify_growth(self.NS, expo)[0] == "exponential"
+
+    def test_classifier_with_noise(self):
+        import random
+
+        rng = random.Random(0)
+        poly = [n**2 * (1 + 0.1 * rng.random()) for n in self.NS]
+        assert looks_polynomial(self.NS, poly)
+        expo = [2**n * (1 + 0.1 * rng.random()) for n in self.NS]
+        assert looks_exponential(self.NS, expo)
+
+    def test_looks_polynomial_rejects_huge_degree(self):
+        ys = [n**12 for n in self.NS]
+        assert not looks_polynomial(self.NS, ys, max_degree=8)
+
+    def test_degenerate_fits_rejected(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([2], [4])
+        with pytest.raises(ValueError):
+            fit_polynomial([2, 2], [4, 4])
+
+    def test_zero_values_clamped(self):
+        fit = fit_polynomial([1, 2, 4], [0, 0, 0])
+        assert math.isfinite(fit.coefficient)
+
+
+class TestSweep:
+    def test_run_sweep_counters(self):
+        def workload(n):
+            return {"work": n * n}
+
+        result = run_sweep("square", [1, 2, 3], workload)
+        assert result.parameters() == [1, 2, 3]
+        assert result.counter_series("work") == [1, 4, 9]
+        assert all(s >= 0 for s in result.seconds())
+
+    def test_missing_counter_raises(self):
+        result = run_sweep("none", [1], lambda n: None)
+        with pytest.raises(KeyError):
+            result.points[0].counter("missing")
+
+    def test_format_rows(self):
+        result = run_sweep("fmt", [1, 2], lambda n: {"c": n})
+        text = result.format_rows(["c"])
+        assert "param" in text and len(text.splitlines()) == 3
+
+    def test_repetitions_take_minimum(self):
+        calls = []
+
+        def workload(n):
+            calls.append(n)
+            return {}
+
+        run_sweep("rep", [5], workload, repetitions=3, warmup=True)
+        assert len(calls) == 4  # 1 warmup + 3 timed
+
+
+class TestTables:
+    def test_all_rows_present(self):
+        assert [r.language for r in TABLE1_ROWS] == ["FO", "FP", "ESO", "PFP"]
+        assert [r.language for r in TABLE2_ROWS] == ["FO", "FP", "ESO", "PFP"]
+        assert [r.language for r in TABLE3_ROWS] == ["FO", "FP", "ESO", "PFP"]
+
+    def test_paper_claims_recorded(self):
+        fp_row = TABLE2_ROWS[1]
+        assert any("NP ∩ co-NP" in claim for _, claim in fp_row.columns)
+        fo_row = TABLE3_ROWS[0]
+        assert any("ALOGTIME" in claim for _, claim in fo_row.columns)
+
+    def test_render(self):
+        text = render_table("Table 2", TABLE2_ROWS)
+        assert "Table 2" in text
+        assert "FO" in text and "witnessed by" in text
+        plain = render_table("T", TABLE2_ROWS, with_witness=False)
+        assert "witnessed" not in plain

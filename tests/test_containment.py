@@ -1,0 +1,164 @@
+"""Tests for [CM77] conjunctive-query containment and minimization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive_eval import naive_answer
+from repro.errors import SyntaxError_
+from repro.logic.builders import atom
+from repro.logic.parser import parse_formula
+from repro.optimize.containment import (
+    ConjunctiveQuery,
+    are_equivalent,
+    find_homomorphism,
+    is_contained,
+    minimize_query,
+)
+
+from tests.conftest import databases
+
+
+def cq(text: str, head) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_formula(parse_formula(text), tuple(head))
+
+
+class TestConstruction:
+    def test_from_formula(self):
+        q = cq("exists y. (E(x, y) & P(y))", ["x"])
+        assert len(q.atoms) == 2
+        assert q.head == ("x",)
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(SyntaxError_):
+            ConjunctiveQuery((atom("P", "y"),), ("x",))
+
+    def test_non_conjunctive_rejected(self):
+        with pytest.raises(SyntaxError_):
+            cq("P(x) | Q(x)", ["x"])
+
+    def test_roundtrip_to_formula(self, tiny_graph):
+        q = cq("exists y. (E(x, y) & P(y))", ["x"])
+        back = q.to_formula()
+        assert naive_answer(back, tiny_graph, ("x",)) == naive_answer(
+            parse_formula("exists y. (E(x, y) & P(y))"), tiny_graph, ("x",)
+        )
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        q = cq("E(x, y)", ["x", "y"])
+        assert find_homomorphism(q, q) is not None
+
+    def test_folding_a_longer_chain(self):
+        # E(x,y) maps into E(x,y),E(y,z) — but not vice versa with heads
+        short = cq("E(x, y)", ["x"])
+        long = cq("exists z. (E(x, y) & E(y, z))", ["x"])
+        assert find_homomorphism(short, long) is not None
+
+    def test_head_must_be_preserved(self):
+        a = cq("E(x, y)", ["x"])
+        b = cq("E(y, x)", ["x"])
+        hom = find_homomorphism(a, b)
+        # x must map to x (head), so E(x,y) needs an edge FROM x in b —
+        # b only has E(y, x); no homomorphism
+        assert hom is None
+
+    def test_constants_must_match(self):
+        a = cq("E(x, 0)", ["x"])
+        b = cq("E(x, 1)", ["x"])
+        assert find_homomorphism(a, b) is None
+        assert find_homomorphism(a, a) is not None
+
+
+class TestContainment:
+    def test_adding_atoms_shrinks(self):
+        bigger = cq("E(x, y)", ["x"])
+        smaller = cq("E(x, y) & P(x)", ["x"])
+        assert is_contained(smaller, bigger)
+        assert not is_contained(bigger, smaller)
+
+    def test_semantic_soundness_on_random_databases(self):
+        smaller = cq("E(x, y) & P(x)", ["x"])
+        bigger = cq("E(x, y)", ["x"])
+        from repro.workloads.graphs import random_graph, labeled_graph
+
+        for seed in range(4):
+            db = labeled_graph(random_graph(4, 0.4, seed=seed), {"P": [0, 1]})
+            small_ans = naive_answer(smaller.to_formula(), db, ("x",))
+            big_ans = naive_answer(bigger.to_formula(), db, ("x",))
+            assert small_ans.issubset(big_ans)
+
+    def test_equivalence_of_renamed_queries(self):
+        a = cq("exists y. E(x, y)", ["x"])
+        b = cq("exists z. E(x, z)", ["x"])
+        assert are_equivalent(a, b)
+
+
+class TestMinimization:
+    def test_redundant_atom_removed(self):
+        # E(x,y) ∧ E(x,z) folds onto E(x,y)
+        q = cq("exists y. exists z. (E(x, y) & E(x, z))", ["x"])
+        minimal = minimize_query(q)
+        assert len(minimal.atoms) == 1
+
+    def test_triangle_is_already_minimal(self):
+        q = cq(
+            "exists y. exists z. (E(x, y) & E(y, z) & E(z, x))", ["x"]
+        )
+        assert len(minimize_query(q).atoms) == 3
+
+    def test_classic_cm77_example(self):
+        # path of length 2 with an extra parallel edge atom folds
+        q = cq(
+            "exists y. exists z. exists w. "
+            "(E(x, y) & E(y, z) & E(x, w) & E(w, z))",
+            ["x"],
+        )
+        minimal = minimize_query(q)
+        assert len(minimal.atoms) == 2
+
+    def test_minimization_preserves_semantics(self):
+        from repro.workloads.graphs import random_graph
+
+        q = cq(
+            "exists y. exists z. (E(x, y) & E(x, z) & E(y, z) & E(x, x))",
+            ["x"],
+        )
+        minimal = minimize_query(q)
+        assert are_equivalent(q, minimal)
+        for seed in range(4):
+            db = random_graph(4, 0.5, seed=seed)
+            assert naive_answer(q.to_formula(), db, ("x",)) == naive_answer(
+                minimal.to_formula(), db, ("x",)
+            )
+
+    def test_head_variables_never_orphaned(self):
+        q = cq("E(x, y) & E(x, x)", ["y"])
+        minimal = minimize_query(q)
+        assert "y" in {
+            t.name
+            for a in minimal.atoms
+            for t in a.terms
+            if hasattr(t, "name")
+        }
+
+    @given(databases(max_size=3), st.integers(0, 20))
+    @settings(max_examples=10)
+    def test_property_minimization_equivalence(self, db, seed):
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(seed)
+        variables = ["x", "y", "z"]
+        atoms = tuple(
+            atom("E", rng.choice(variables), rng.choice(variables))
+            for _ in range(rng.randint(1, 4))
+        )
+        head_var = next(
+            t.name for a in atoms for t in a.terms
+        )
+        q = ConjunctiveQuery(atoms, (head_var,))
+        minimal = minimize_query(q)
+        assert len(minimal.atoms) <= len(q.atoms)
+        assert naive_answer(q.to_formula(), db, (head_var,)) == naive_answer(
+            minimal.to_formula(), db, (head_var,)
+        )

@@ -1,0 +1,203 @@
+"""Tests for the Datalog subpackage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, evaluate
+from repro.errors import EvaluationError, ReductionError, SyntaxError_
+from repro.datalog import (
+    Atom,
+    DatalogProgram,
+    Rule,
+    evaluate_program,
+    parse_program,
+    semi_naive,
+)
+from repro.datalog.engine import DatalogStats
+from repro.datalog.syntax import DatalogConst, DatalogVar
+from repro.datalog.to_fp import program_to_fp_query
+from repro.reductions.path_systems import (
+    path_system_database,
+    random_path_system,
+    reachable_set,
+)
+from repro.workloads.graphs import random_graph
+
+REACH = """
+reach(X) :- source(X).
+reach(X) :- edge(Y, X), reach(Y).
+"""
+
+PATH_SYSTEM = "p(X) :- s(X). p(X) :- q(X, Y, Z), p(Y), p(Z)."
+
+
+class TestSyntax:
+    def test_safety_enforced(self):
+        with pytest.raises(SyntaxError_):
+            Rule(Atom("p", (DatalogVar("X"),)), ())
+
+    def test_facts_with_constants_are_safe(self):
+        rule = Rule(Atom("p", (DatalogConst(3),)), ())
+        assert rule.is_fact()
+
+    def test_arity_consistency(self):
+        with pytest.raises(SyntaxError_):
+            DatalogProgram(
+                (
+                    Rule(Atom("p", (DatalogConst(1),)), ()),
+                    Rule(
+                        Atom("p", (DatalogConst(1), DatalogConst(2))), ()
+                    ),
+                )
+            )
+
+    def test_idb_edb_split(self):
+        program = parse_program(REACH)
+        assert program.idb_predicates() == {"reach"}
+        assert program.edb_predicates() == {"source", "edge"}
+        assert program.max_idb_arity() == 1
+
+
+class TestParser:
+    def test_parses_reach(self):
+        program = parse_program(REACH)
+        assert len(program.rules) == 2
+        assert program.rules[1].body[0].predicate == "edge"
+
+    def test_comments_and_constants(self):
+        program = parse_program(
+            "% a fact\nstart(0).\nlabel(X) :- name(X, 'alice')."
+        )
+        assert program.rules[0].is_fact()
+        assert program.rules[1].body[0].terms[1] == DatalogConst("alice")
+
+    def test_lowercase_names_are_constants(self):
+        program = parse_program("p(X) :- q(X, foo).")
+        assert program.rules[0].body[0].terms[1] == DatalogConst("foo")
+
+    @pytest.mark.parametrize(
+        "bad", ["p(X)", "p(X) :- .", ":- q(X).", "p(X :- q(X)."]
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SyntaxError_):
+            parse_program(bad)
+
+
+def _graph_db(seed: int) -> Database:
+    g = random_graph(6, 0.3, seed=seed)
+    return Database(
+        g.domain,
+        {
+            "edge": g.relation("E"),
+            "source": __import__(
+                "repro.database.relation", fromlist=["Relation"]
+            ).Relation(1, [(0,)]),
+        },
+    )
+
+
+class TestEvaluation:
+    def test_reach_on_chain(self):
+        db = Database.from_tuples(
+            range(4),
+            {"edge": (2, [(0, 1), (1, 2)]), "source": (1, [(0,)])},
+        )
+        program = parse_program(REACH)
+        out = evaluate_program(program, db)
+        assert sorted(out["reach"].tuples) == [(0,), (1,), (2,)]
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10)
+    def test_naive_equals_semi_naive(self, seed):
+        db = _graph_db(seed)
+        program = parse_program(REACH)
+        assert evaluate_program(program, db) == semi_naive(program, db)
+
+    def test_semi_naive_fires_fewer_on_long_chains(self):
+        n = 14
+        db = Database.from_tuples(
+            range(n),
+            {
+                "edge": (2, [(i, i + 1) for i in range(n - 1)]),
+                "source": (1, [(0,)]),
+            },
+        )
+        program = parse_program(REACH)
+        naive_stats, semi_stats = DatalogStats(), DatalogStats()
+        a = evaluate_program(program, db, naive_stats)
+        b = semi_naive(program, db, semi_stats)
+        assert a == b
+        assert semi_stats.tuples_derived == naive_stats.tuples_derived
+        # naive re-derives the whole closure each round
+        assert naive_stats.rule_firings >= semi_stats.rule_firings
+
+    def test_missing_edb_relation(self):
+        program = parse_program("p(X) :- missing(X).")
+        db = Database.from_tuples(range(2), {})
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db)
+
+    def test_edb_arity_mismatch(self):
+        program = parse_program("p(X) :- q(X).")
+        db = Database.from_tuples(range(2), {"q": (2, [])})
+        with pytest.raises(EvaluationError):
+            evaluate_program(program, db)
+
+    def test_constants_in_rules(self):
+        program = parse_program("near(X) :- edge(0, X).")
+        db = Database.from_tuples(
+            range(3), {"edge": (2, [(0, 1), (1, 2)])}
+        )
+        out = semi_naive(program, db)
+        assert sorted(out["near"].tuples) == [(1,)]
+
+    def test_path_system_program_matches_reference(self):
+        for seed in range(4):
+            ps = random_path_system(5, 8, num_sources=2, seed=seed)
+            db = path_system_database(ps)
+            renamed = Database(
+                db.domain,
+                {
+                    "s": db.relation("S"),
+                    "q": db.relation("Q"),
+                    "t": db.relation("T"),
+                },
+            )
+            out = semi_naive(parse_program(PATH_SYSTEM), renamed)
+            assert frozenset(
+                row[0] for row in out["p"].tuples
+            ) == reachable_set(ps)
+
+
+class TestToFP:
+    def test_translation_agrees_with_engine(self):
+        program = parse_program(REACH)
+        for seed in range(3):
+            db = _graph_db(seed)
+            q = program_to_fp_query(program)
+            via_fp = evaluate(q.formula, db, q.output_vars).relation
+            assert via_fp == semi_naive(program, db)["reach"]
+
+    def test_path_system_translation(self):
+        program = parse_program(PATH_SYSTEM)
+        ps = random_path_system(5, 8, num_sources=2, seed=9)
+        db = path_system_database(ps)
+        renamed = Database(
+            db.domain,
+            {"s": db.relation("S"), "q": db.relation("Q")},
+        )
+        q = program_to_fp_query(program)
+        via_fp = evaluate(q.formula, renamed, q.output_vars).relation
+        assert frozenset(r[0] for r in via_fp.tuples) == reachable_set(ps)
+
+    def test_multi_idb_rejected(self):
+        program = parse_program("p(X) :- q(X). r(X) :- p(X).")
+        with pytest.raises(ReductionError):
+            program_to_fp_query(program)
+
+    def test_constants_in_heads(self):
+        program = parse_program("p(0) :- q(X).")
+        db = Database.from_tuples(range(2), {"q": (1, [(1,)])})
+        q = program_to_fp_query(program)
+        via_fp = evaluate(q.formula, db, q.output_vars).relation
+        assert via_fp == semi_naive(program, db)["p"]

@@ -1,0 +1,76 @@
+"""Tests for repro.database.domain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.database.domain import Domain
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_range_constructor(self):
+        d = Domain.range(5)
+        assert len(d) == 5
+        assert list(d) == [0, 1, 2, 3, 4]
+
+    def test_empty_domain(self):
+        d = Domain.range(0)
+        assert len(d) == 0
+        assert list(d.tuples(1)) == []
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain.range(-1)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain([1, 1, 2])
+
+    def test_canonical_order_independent_of_input_order(self):
+        assert Domain([3, 1, 2]).values == Domain([2, 3, 1]).values == (1, 2, 3)
+
+    def test_mixed_type_values_get_stable_order(self):
+        d1 = Domain(["b", 1, "a"])
+        d2 = Domain([1, "a", "b"])
+        assert d1.values == d2.values
+
+    def test_equality_is_set_based(self):
+        assert Domain([1, 2, 3]) == Domain([3, 2, 1])
+        assert Domain([1, 2]) != Domain([1, 2, 3])
+        assert hash(Domain([1, 2])) == hash(Domain([2, 1]))
+
+
+class TestMembershipAndIndex:
+    def test_contains(self):
+        d = Domain([3, 5, 7])
+        assert 5 in d
+        assert 4 not in d
+
+    def test_index_of_roundtrip(self):
+        d = Domain([3, 5, 7])
+        for i, v in enumerate(d.values):
+            assert d.index_of(v) == i
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Domain([1]).index_of(2)
+
+
+class TestTuples:
+    def test_tuple_count(self):
+        d = Domain.range(3)
+        assert len(list(d.tuples(2))) == 9
+        assert len(list(d.tuples(0))) == 1  # the empty tuple
+
+    def test_lexicographic_order(self):
+        d = Domain.range(2)
+        assert list(d.tuples(2)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            list(Domain.range(2).tuples(-1))
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=3))
+    def test_tuple_count_is_n_to_the_k(self, n, k):
+        d = Domain.range(n)
+        assert len(list(d.tuples(k))) == n**k

@@ -1,0 +1,117 @@
+"""Tests for the Earley recognizer, incl. cross-validation of Lemma 4.2."""
+
+import random
+
+import pytest
+
+from repro.database import Database
+from repro.grammar import build_fo_grammar, recognize_parenthesis
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.earley import earley_recognize
+
+
+def balanced() -> Grammar:
+    return Grammar(
+        frozenset({"A"}),
+        (
+            Production("A", ("(", "A", "A", ")")),
+            Production("A", ("(", "a", ")")),
+            Production("A", ("(", ")")),
+        ),
+        "A",
+    )
+
+
+class TestEarleyBasics:
+    def test_simple_grammar(self):
+        g = Grammar(
+            frozenset({"S"}),
+            (
+                Production("S", ("a", "S", "b")),
+                Production("S", ()),
+            ),
+            "S",
+        )
+        assert earley_recognize(g, [])
+        assert earley_recognize(g, ["a", "b"])
+        assert earley_recognize(g, ["a", "a", "b", "b"])
+        assert not earley_recognize(g, ["a"])
+        assert not earley_recognize(g, ["b", "a"])
+
+    def test_ambiguous_grammar(self):
+        g = Grammar(
+            frozenset({"E"}),
+            (
+                Production("E", ("E", "+", "E")),
+                Production("E", ("n",)),
+            ),
+            "E",
+        )
+        assert earley_recognize(g, ["n", "+", "n", "+", "n"])
+        assert not earley_recognize(g, ["n", "+"])
+
+    def test_left_recursion(self):
+        g = Grammar(
+            frozenset({"L"}),
+            (
+                Production("L", ("L", "x")),
+                Production("L", ("x",)),
+            ),
+            "L",
+        )
+        assert earley_recognize(g, ["x"] * 7)
+        assert not earley_recognize(g, [])
+
+    def test_nullable_chains(self):
+        g = Grammar(
+            frozenset({"S", "A", "B"}),
+            (
+                Production("S", ("A", "B", "t")),
+                Production("A", ()),
+                Production("B", ("A",)),
+            ),
+            "S",
+        )
+        assert earley_recognize(g, ["t"])
+        assert not earley_recognize(g, [])
+
+
+class TestCrossValidation:
+    def _random_word(self, rng, depth=3):
+        if depth == 0 or rng.random() < 0.3:
+            return rng.choice([["(", "a", ")"], ["(", ")"]])
+        return (
+            ["("]
+            + self._random_word(rng, depth - 1)
+            + self._random_word(rng, depth - 1)
+            + [")"]
+        )
+
+    def test_agrees_on_balanced_grammar(self):
+        g = balanced()
+        rng = random.Random(4)
+        for _ in range(25):
+            word = self._random_word(rng)
+            if rng.random() < 0.4 and word:
+                # perturb into likely non-members too
+                word = word[:-1] or ["("]
+            try:
+                via_paren = recognize_parenthesis(g, word)
+            except Exception:
+                via_paren = False  # unbalanced input
+            assert earley_recognize(g, word) == via_paren
+
+    def test_agrees_on_lemma_42_grammar(self):
+        db = Database.from_tuples(
+            range(2), {"P": (1, [(0,)])}
+        )
+        fg = build_fo_grammar(db, k=1)
+        from repro.logic.builders import atom, not_
+        from repro.logic.syntax import And
+
+        phi = And((atom("P", "x1"), not_(atom("P", "x1"))))
+        for index in range(len(fg.relations)):
+            word = fg.word_for(phi, index)
+            assert earley_recognize(fg.grammar, word) == (
+                recognize_parenthesis(fg.grammar, word)
+            )

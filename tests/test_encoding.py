@@ -1,0 +1,70 @@
+"""Tests for the standard binary encoding (Section 2.1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.database.encoding import (
+    decode_database,
+    encode_database,
+    encoded_length,
+)
+from repro.database import Database
+from repro.errors import SchemaError
+
+from tests.conftest import databases
+
+
+class TestEncodeDecode:
+    def test_paper_style_example(self):
+        # the paper encodes ({3,5,7}, {<3,5>,<5,7>}); after canonical
+        # renaming the domain indices are 0,1,2
+        db = Database.from_tuples([3, 5, 7], {"R": (2, [(3, 5), (5, 7)])})
+        text = encode_database(db)
+        assert text.startswith("({")
+        decoded = decode_database(text)
+        assert decoded.size() == 3
+        assert sorted(decoded.relation("R").tuples) == [(0, 1), (1, 2)]
+
+    def test_roundtrip_on_canonical_domain(self):
+        db = Database.from_tuples(
+            range(5), {"E": (2, [(0, 1), (3, 4)]), "P": (1, [(2,)])}
+        )
+        assert decode_database(encode_database(db)) == db
+
+    @given(databases())
+    def test_roundtrip_property(self, db):
+        assert decode_database(encode_database(db)) == db
+
+    def test_empty_relation_encodes(self):
+        db = Database.from_tuples(range(2), {"E": (2, [])})
+        assert decode_database(encode_database(db)) == db
+
+    def test_nullary_relation_encodes(self):
+        db = Database.from_tuples(range(2), {"T": (0, [()])})
+        assert decode_database(encode_database(db)) == db
+
+    def test_length_grows_with_data(self):
+        small = Database.from_tuples(range(2), {"E": (2, [(0, 1)])})
+        big = Database.from_tuples(
+            range(16), {"E": (2, [(i, (i + 1) % 16) for i in range(16)])}
+        )
+        assert encoded_length(big) > encoded_length(small)
+
+
+class TestDecodingErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            decode_database("hello")
+
+    def test_trailing_garbage_rejected(self):
+        db = Database.from_tuples(range(2), {})
+        with pytest.raises(SchemaError):
+            decode_database(encode_database(db) + "x")
+
+    def test_out_of_range_tuple_value(self):
+        with pytest.raises(SchemaError):
+            decode_database("({0,1};E:1:{<11>})")
+
+    def test_duplicate_relation_name(self):
+        with pytest.raises(SchemaError):
+            decode_database("({0,1};E:1:{};E:1:{})")

@@ -1,0 +1,127 @@
+"""Tests for the engine front door (Query, evaluate, EvalOptions)."""
+
+import pytest
+
+from repro import (
+    Database,
+    EvalOptions,
+    FixpointStrategy,
+    Language,
+    Query,
+    evaluate,
+)
+from repro.core.naive_eval import naive_answer
+from repro.errors import EvaluationError, PositivityError
+from repro.logic.parser import parse_formula
+
+
+class TestQueryObject:
+    def test_parse_and_metadata(self):
+        q = Query.parse("exists y. E(x, y)", output_vars=("x",), name="succ")
+        assert q.width == 2
+        assert q.arity == 1
+        assert q.language == Language.FO
+        assert "succ" in repr(q)
+
+    def test_text_roundtrips(self):
+        q = Query.parse("[lfp S(x). P(x) | S(x)](u)", output_vars=("u",))
+        assert Query.parse(q.text(), output_vars=("u",)) == q
+
+    def test_output_vars_must_cover_free(self):
+        with pytest.raises(EvaluationError):
+            Query.parse("E(x, y)", output_vars=("x",))
+
+    def test_holds_requires_sentence(self, tiny_graph):
+        q = Query.parse("P(x)", output_vars=("x",))
+        with pytest.raises(EvaluationError):
+            q.holds(tiny_graph)
+
+    def test_run_returns_result(self, tiny_graph):
+        q = Query.parse("P(x)", output_vars=("x",))
+        result = q.run(tiny_graph)
+        assert result.language == Language.FO
+        assert sorted(result.relation.tuples) == [(0,), (2,)]
+
+
+class TestDispatch:
+    def test_fo_dispatch(self, tiny_graph):
+        result = evaluate(parse_formula("exists x. P(x)"), tiny_graph)
+        assert result.language == Language.FO
+        assert result.strategy is None
+        assert result.as_bool() is True
+
+    def test_fp_dispatch_records_strategy(self, tiny_graph):
+        phi = parse_formula("[lfp S(x). P(x) | S(x)](u)")
+        result = evaluate(
+            phi, tiny_graph, ("u",), EvalOptions(strategy=FixpointStrategy.NAIVE)
+        )
+        assert result.language == Language.FP
+        assert result.strategy == FixpointStrategy.NAIVE
+
+    def test_pfp_dispatch_has_space_meter(self, tiny_graph):
+        phi = parse_formula("[pfp X(x). ~X(x)](u)")
+        result = evaluate(phi, tiny_graph, ("u",))
+        assert result.language == Language.PFP
+        assert result.space is not None
+        assert result.space.total_iterations >= 1
+
+    def test_eso_dispatch(self, tiny_graph):
+        phi = parse_formula("exists2 R/1. (R(x) & P(x))")
+        result = evaluate(phi, tiny_graph, ("x",))
+        assert result.language == Language.ESO
+        assert result.relation == naive_answer(phi, tiny_graph, ("x",))
+
+    def test_pfp_mixture_routes_to_pfp_engine(self, tiny_graph):
+        # lfp mixed with ifp classifies as PFP and takes the metered path
+        # regardless of the requested FP strategy
+        phi = parse_formula(
+            "[lfp S(x). P(x) | S(x)](u) & [ifp X(x). ~X(x)](u)"
+        )
+        result = evaluate(
+            phi,
+            tiny_graph,
+            ("u",),
+            EvalOptions(strategy=FixpointStrategy.ALTERNATION),
+        )
+        assert result.language == Language.PFP
+        assert result.strategy is None
+        assert result.space is not None
+        assert result.relation == naive_answer(phi, tiny_graph, ("u",))
+
+    def test_positivity_violations_never_hang(self, tiny_graph):
+        # ~S(x) under lfp is non-monotone: the static check rejects it up
+        # front, and even with the check disabled the iterator detects the
+        # regression at runtime instead of oscillating forever
+        phi = parse_formula("[lfp S(x). P(x) & ~S(x)](u)")
+        with pytest.raises(PositivityError):
+            evaluate(phi, tiny_graph, ("u",))
+        with pytest.raises(EvaluationError):
+            evaluate(
+                phi,
+                tiny_graph,
+                ("u",),
+                EvalOptions(
+                    strategy=FixpointStrategy.NAIVE, check_positive=False
+                ),
+            )
+
+    def test_k_limit_passed_through(self, tiny_graph):
+        from repro.errors import VariableBoundError
+
+        phi = parse_formula("exists x. exists y. exists z. E(x, y) & E(y, z)")
+        with pytest.raises(VariableBoundError):
+            evaluate(phi, tiny_graph, (), EvalOptions(k_limit=2))
+
+
+class TestStats:
+    def test_stats_populated(self, tiny_graph):
+        phi = parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        result = evaluate(phi, tiny_graph, ("u",))
+        assert result.stats.fixpoint_iterations > 0
+        assert result.stats.max_intermediate_arity >= 1
+
+    def test_eso_stats_record_sat_sizes(self, tiny_graph):
+        phi = parse_formula("exists2 R/1. (R(x) & P(x))")
+        result = evaluate(phi, tiny_graph, ("x",))
+        assert result.stats.sat_variables > 0
+        assert result.stats.sat_clauses > 0

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that must not rot; each one is executed in a
+subprocess and must exit 0.  They are small enough to run in seconds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "company_queries",
+        "model_checking",
+        "lower_bounds_tour",
+        "query_optimization",
+        "reproduce_tables",
+    } <= names

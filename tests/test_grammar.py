@@ -1,0 +1,161 @@
+"""Tests for parenthesis grammars and the Lemma 4.2 construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fo_eval import BoundedEvaluator
+from repro.database import Database
+from repro.errors import ReductionError
+from repro.grammar import (
+    Grammar,
+    Production,
+    build_fo_grammar,
+    encode_formula,
+    is_parenthesis_grammar,
+    recognize_parenthesis,
+)
+from repro.grammar.cfg import GrammarError
+from repro.grammar.recognizer import RecognizerStats
+from repro.logic.builders import and_, atom, eq, exists, not_
+from repro.logic.syntax import And, Exists, Not, Var
+
+
+def balanced_grammar() -> Grammar:
+    """L = well-nested words over {(, ), a}: A → (A A) | (a) | ()"""
+    return Grammar(
+        frozenset({"A"}),
+        (
+            Production("A", ("(", "A", "A", ")")),
+            Production("A", ("(", "a", ")")),
+            Production("A", ("(", ")")),
+        ),
+        "A",
+    )
+
+
+class TestCfg:
+    def test_parenthesis_check(self):
+        assert is_parenthesis_grammar(balanced_grammar())
+        bad = Grammar(
+            frozenset({"A"}), (Production("A", ("a",)),), "A"
+        )
+        assert not is_parenthesis_grammar(bad)
+
+    def test_nested_parens_in_interior_rejected(self):
+        bad = Grammar(
+            frozenset({"A"}), (Production("A", ("(", "(", ")", ")")),), "A"
+        )
+        assert not is_parenthesis_grammar(bad)
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar(frozenset({"A"}), (), "S")
+
+    def test_grammar_size(self):
+        assert balanced_grammar().size() == 12
+
+
+class TestRecognizer:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            (["(", ")"], True),
+            (["(", "a", ")"], True),
+            (["(", "(", ")", "(", "a", ")", ")"], True),
+            (["(", "a", "a", ")"], False),
+            (["(", "b", ")"], False),
+            ([], False),
+            (["a"], False),
+        ],
+    )
+    def test_membership(self, word, expected):
+        assert recognize_parenthesis(balanced_grammar(), word) is expected
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(GrammarError):
+            recognize_parenthesis(balanced_grammar(), [")", "("])
+
+    def test_single_pass_linear_work(self):
+        # deep nest: w_0 = (a), w_{i+1} = ( w_i (a) ) — matches A → (A A)
+        word = ["(", "a", ")"]
+        for _ in range(10):
+            word = ["("] + word + ["(", "a", ")", ")"]
+        stats = RecognizerStats()
+        assert recognize_parenthesis(balanced_grammar(), word, stats)
+        assert stats.tokens_scanned == len(word)
+        assert stats.reductions <= len(word)
+
+    def test_non_parenthesis_grammar_rejected(self):
+        bad = Grammar(frozenset({"A"}), (Production("A", ("a",)),), "A")
+        with pytest.raises(GrammarError):
+            recognize_parenthesis(bad, ["a"])
+
+
+def tiny_db() -> Database:
+    return Database.from_tuples(
+        range(2), {"E": (2, [(0, 1)]), "P": (1, [(0,)])}
+    )
+
+
+class TestLemma42:
+    def test_grammar_is_parenthesis(self):
+        fg = build_fo_grammar(tiny_db(), k=1)
+        assert is_parenthesis_grammar(fg.grammar)
+
+    def test_too_large_construction_rejected(self):
+        big = Database.from_tuples(range(5), {"E": (2, [])})
+        with pytest.raises(ReductionError):
+            build_fo_grammar(big, k=2)
+
+    def _check(self, phi, k=2):
+        db = tiny_db()
+        fg = build_fo_grammar(db, k=k)
+        via_grammar = fg.evaluate_via_grammar(phi)
+        variables = tuple(f"x{i}" for i in range(1, k + 1))
+        table = BoundedEvaluator(db).evaluate(phi).cylindrify(
+            variables, db.domain
+        )
+        direct = frozenset(table.to_relation(variables).tuples)
+        assert via_grammar == direct
+
+    @pytest.mark.parametrize(
+        "phi",
+        [
+            atom("P", "x1"),
+            atom("E", "x1", "x2"),
+            atom("E", "x2", "x1"),
+            atom("E", "x1", "x1"),
+            eq("x1", "x2"),
+            not_(atom("P", "x1")),
+            And((atom("E", "x1", "x2"), atom("P", "x1"))),
+            Exists(Var("x2"), And((atom("E", "x1", "x2"), atom("P", "x2")))),
+            Not(Exists(Var("x1"), atom("P", "x1"))),
+        ],
+    )
+    def test_grammar_value_matches_evaluator(self, phi):
+        self._check(phi)
+
+    def test_wrong_claims_rejected(self):
+        db = tiny_db()
+        fg = build_fo_grammar(db, k=1)
+        phi = atom("P", "x1")
+        correct = fg.relation_index(fg.evaluate_via_grammar(phi))
+        for index in range(len(fg.relations)):
+            assert fg.accepts(phi, index) == (index == correct)
+
+    def test_word_length_linear_in_formula(self):
+        db = tiny_db()
+        fg = build_fo_grammar(db, k=1)
+        small = atom("P", "x1")
+        big = small
+        for _ in range(5):
+            big = And((big, atom("P", "x1")))
+        assert len(fg.word_for(big, 0)) > len(fg.word_for(small, 0))
+
+    def test_unsupported_connectives_rejected(self):
+        with pytest.raises(ReductionError):
+            encode_formula(atom("P", "y"), 2)  # variable outside x1..xk
+        from repro.logic.syntax import Or
+
+        with pytest.raises(ReductionError):
+            encode_formula(Or((atom("P", "x1"), atom("P", "x1"))), 2)

@@ -1,0 +1,176 @@
+"""Integration tests: whole-paper scenarios across multiple subsystems."""
+
+import pytest
+
+from repro import (
+    Database,
+    EvalOptions,
+    FixpointStrategy,
+    Query,
+    evaluate,
+)
+from repro.core.certificates import (
+    extract_membership,
+    extract_non_membership,
+    verify_membership,
+    verify_non_membership,
+)
+from repro.core.naive_eval import naive_answer
+from repro.database.encoding import decode_database, encode_database
+from repro.logic.parser import parse_formula
+from repro.mucalculus import KripkeStructure, model_check, mu_to_fp_query, parse_mu
+from repro.optimize import minimize_variables
+from repro.reductions import (
+    path_system_database,
+    path_system_query,
+    qbf_database,
+    qbf_to_pfp_query,
+    random_path_system,
+    random_qbf,
+    solve_path_system,
+    solve_qbf,
+)
+from repro.workloads.company import (
+    company_database,
+    earns_less_bounded,
+    earns_less_naive,
+)
+from repro.workloads.graphs import labeled_graph, random_graph
+
+
+class TestIntroStory:
+    """The paper's introduction, end to end: minimize variables, then
+    evaluate with bounded intermediates, and get the same answer."""
+
+    def test_company_pipeline(self):
+        db = company_database(num_employees=10, num_departments=3, seed=11)
+        naive_q = earns_less_naive()
+        minimized = minimize_variables(naive_q.formula)
+        optimized = Query(minimized, output_vars=("e",))
+        assert optimized.width == 3
+
+        result_naive = evaluate(naive_q.formula, db, ("e",))
+        result_optimized = evaluate(minimized, db, ("e",))
+        hand_written = evaluate(earns_less_bounded().formula, db, ("e",))
+        assert (
+            result_naive.relation
+            == result_optimized.relation
+            == hand_written.relation
+        )
+        # the optimized run really did keep intermediates at ≤ 3 columns
+        assert result_optimized.stats.max_intermediate_arity <= 3
+        assert result_naive.stats.max_intermediate_arity >= 5
+
+
+class TestEncodingRoundTripThroughEvaluation:
+    def test_query_answer_invariant_under_reencoding(self):
+        db = labeled_graph(random_graph(5, 0.4, seed=2), {"P": [0, 1]})
+        rebuilt = decode_database(encode_database(db))
+        phi = parse_formula("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)")
+        assert evaluate(phi, db, ("u",)).relation == evaluate(
+            phi, rebuilt, ("u",)
+        ).relation
+
+
+class TestTheorem35Story:
+    """FP^k membership: evaluate, certify, verify — both directions."""
+
+    def test_full_np_conp_cycle(self):
+        db = Database.from_tuples(
+            range(5),
+            {
+                "E": (2, [(0, 1), (1, 1), (1, 2), (3, 4)]),
+                "P": (1, [(2,)]),
+            },
+        )
+        phi = parse_formula(
+            "[gfp S(x). [lfp T(z). forall y. "
+            "(~E(z, y) | (P(y) & S(y)) | T(y))](x)](u)"
+        )
+        answer = naive_answer(phi, db, ("u",))
+        for v in range(db.size()):
+            row = (v,)
+            if row in answer:
+                cert = extract_membership(phi, db, ("u",), row)
+                assert cert is not None
+                assert verify_membership(cert, phi, db)
+                assert extract_non_membership(phi, db, ("u",), row) is None
+            else:
+                cert = extract_non_membership(phi, db, ("u",), row)
+                assert cert is not None
+                assert verify_non_membership(cert, phi, db)
+
+
+class TestModelCheckingStory:
+    """Section 1's application: program verification as query evaluation."""
+
+    def test_request_response_property(self):
+        # "every request is eventually followed by a grant, along all paths"
+        # AG(req -> AF grant) = nu X. (~req | mu Y. (grant | (<>true & [] Y))) & [] X
+        text = (
+            "nu X. (~req | mu Y. (grant | (<> tt & [] Y))) & [] X"
+        )
+        K = KripkeStructure.build(
+            4,
+            [(0, 1), (1, 2), (2, 0), (0, 3), (3, 3)],
+            {"req": [0], "grant": [2], "tt": [0, 1, 2, 3]},
+        )
+        phi = parse_mu(text)
+        direct = model_check(K, phi)
+        q = mu_to_fp_query(phi)
+        db = K.to_database()
+        for strategy in FixpointStrategy:
+            via_fp = evaluate(
+                q.formula, db, ("x",), EvalOptions(strategy=strategy)
+            ).relation
+            assert frozenset(t[0] for t in via_fp.tuples) == direct
+        # state 0 can get stuck in 3 forever without a grant
+        assert 0 not in direct
+
+    def test_verified_after_fixing_the_model(self):
+        K = KripkeStructure.build(
+            3,
+            [(0, 1), (1, 2), (2, 0)],
+            {"req": [0], "grant": [2], "tt": [0, 1, 2]},
+        )
+        phi = parse_mu(
+            "nu X. (~req | mu Y. (grant | (<> tt & [] Y))) & [] X"
+        )
+        assert model_check(K, phi) == {0, 1, 2}
+
+
+class TestLowerBoundStories:
+    def test_ptime_hardness_instance_family(self):
+        for seed in (0, 1, 2):
+            ps = random_path_system(6, 10, num_sources=2, seed=seed)
+            q = path_system_query(ps)
+            assert q.width == 3
+            assert q.holds(path_system_database(ps)) == solve_path_system(ps)
+
+    def test_pspace_hardness_fixed_database(self):
+        db = qbf_database()
+        assert db.size() == 2  # the database never changes
+        for seed in (0, 1, 2, 3):
+            qbf = random_qbf(3, seed=seed)
+            q = qbf_to_pfp_query(qbf)
+            assert q.width == 2
+            assert q.holds(db) == solve_qbf(qbf)
+
+
+class TestStrategyConsistencyAtScale:
+    def test_three_strategies_one_bigger_graph(self):
+        db = labeled_graph(
+            random_graph(7, 0.25, seed=21), {"P": [0, 3, 5], "Q": [1]}
+        )
+        phi = parse_formula(
+            "[gfp S(x). [lfp T(z). (Q(z) & S(z)) | forall y. "
+            "(~E(z, y) | (P(y) & T(y)))](x)](u)"
+        )
+        results = {
+            strategy: evaluate(
+                phi, db, ("u",), EvalOptions(strategy=strategy)
+            ).relation
+            for strategy in FixpointStrategy
+        }
+        values = list(results.values())
+        assert values[0] == values[1] == values[2]

@@ -1,0 +1,114 @@
+"""Property-based laws of the VarTable algebra (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.interp import VarTable
+from repro.database.domain import Domain
+
+DOMAIN = Domain.range(3)
+VARS = ("x", "y", "z")
+
+
+@st.composite
+def tables(draw, variables=None):
+    if variables is None:
+        count = draw(st.integers(0, 3))
+        variables = VARS[:count]
+    import itertools
+
+    universe = list(itertools.product(DOMAIN.values, repeat=len(variables)))
+    rows = draw(st.sets(st.sampled_from(universe))) if universe else set()
+    return VarTable(tuple(variables), rows)
+
+
+class TestBooleanLaws:
+    @given(tables())
+    def test_complement_is_involutive(self, t):
+        assert t.complement(DOMAIN).complement(DOMAIN) == t
+
+    @given(tables(), tables())
+    def test_de_morgan(self, a, b):
+        lhs = a.union(b, DOMAIN).complement(DOMAIN)
+        rhs = a.complement(DOMAIN).intersect(b.complement(DOMAIN), DOMAIN)
+        assert lhs == rhs
+
+    @given(tables(), tables())
+    def test_union_commutes(self, a, b):
+        assert a.union(b, DOMAIN) == b.union(a, DOMAIN)
+
+    @given(tables(), tables(), tables())
+    def test_union_associates(self, a, b, c):
+        assert a.union(b, DOMAIN).union(c, DOMAIN) == a.union(
+            b.union(c, DOMAIN), DOMAIN
+        )
+
+    @given(tables())
+    def test_union_idempotent(self, t):
+        assert t.union(t, DOMAIN) == t
+
+    @given(tables(), tables())
+    def test_intersect_via_join_on_same_schema(self, a, b):
+        full = a.cylindrify(("x", "y", "z"), DOMAIN)
+        other = b.cylindrify(("x", "y", "z"), DOMAIN)
+        assert full.join(other) == full.intersect(other, DOMAIN)
+
+
+class TestJoinLaws:
+    @given(tables(), tables())
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(tables(), tables(), tables())
+    def test_join_associates(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(tables())
+    def test_tautology_is_join_identity(self, t):
+        assert t.join(VarTable.tautology()) == t
+
+    @given(tables())
+    def test_contradiction_annihilates(self, t):
+        joined = t.join(VarTable.contradiction())
+        assert joined.is_empty()
+
+    @given(tables())
+    def test_join_with_full_is_cylindrification(self, t):
+        full = VarTable.full(("x", "y", "z"), DOMAIN)
+        assert t.join(full) == t.cylindrify(("x", "y", "z"), DOMAIN)
+
+
+class TestQuantifierLaws:
+    @given(tables(variables=("x", "y")))
+    def test_exists_forall_duality(self, t):
+        # ∀y φ = ¬∃y ¬φ
+        direct = t.forall_out("y", DOMAIN)
+        dual = t.complement(DOMAIN).project_out("y").complement(DOMAIN)
+        assert direct == dual
+
+    @given(tables(variables=("x", "y")))
+    def test_project_then_cylindrify_grows(self, t):
+        # φ ⊆ ∃y φ (as a cylinder)
+        projected = t.project_out("y").cylindrify(("x", "y"), DOMAIN)
+        assert t.rows <= projected.rows
+
+    @given(tables(variables=("x", "y")))
+    def test_forall_implies_exists_on_nonempty_domain(self, t):
+        assert t.forall_out("y", DOMAIN).rows <= t.project_out("y").rows
+
+    @given(tables(variables=("x", "y")), tables(variables=("x",)))
+    def test_projection_distributes_over_union(self, a, b):
+        wide_b = b.cylindrify(("x", "y"), DOMAIN)
+        lhs = a.union(wide_b, DOMAIN).project_out("y")
+        rhs = a.project_out("y").union(wide_b.project_out("y"), DOMAIN)
+        assert lhs == rhs
+
+
+class TestRenameLaws:
+    @given(tables(variables=("x", "y")))
+    def test_rename_roundtrip(self, t):
+        renamed = t.rename({"x": "w"}).rename({"w": "x"})
+        assert renamed == t
+
+    @given(tables(variables=("x", "y")))
+    def test_rename_preserves_cardinality(self, t):
+        assert len(t.rename({"x": "a", "y": "b"})) == len(t)

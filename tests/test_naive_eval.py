@@ -1,0 +1,105 @@
+"""Tests for the reference semantics (repro.core.naive_eval)."""
+
+import pytest
+
+from repro.core.naive_eval import holds, naive_answer
+from repro.database import Database
+from repro.errors import EvaluationError
+from repro.logic.parser import parse_formula
+
+
+class TestFirstOrder:
+    def test_atoms_and_equality(self, tiny_graph):
+        assert holds(parse_formula("E(x, y)"), tiny_graph, {"x": 0, "y": 1})
+        assert not holds(parse_formula("E(x, y)"), tiny_graph, {"x": 1, "y": 0})
+        assert holds(parse_formula("x = x"), tiny_graph, {"x": 2})
+
+    def test_quantifiers(self, tiny_graph):
+        assert holds(parse_formula("exists y. E(x, y)"), tiny_graph, {"x": 0})
+        assert not holds(parse_formula("forall y. E(x, y)"), tiny_graph, {"x": 0})
+
+    def test_unbound_variable_raises(self, tiny_graph):
+        with pytest.raises(EvaluationError):
+            holds(parse_formula("P(x)"), tiny_graph)
+
+    def test_arity_mismatch_raises(self, tiny_graph):
+        with pytest.raises(EvaluationError):
+            holds(parse_formula("E(x, x, x)"), tiny_graph, {"x": 0})
+
+    def test_constants(self, tiny_graph):
+        assert holds(parse_formula("P(0)"), tiny_graph)
+        assert not holds(parse_formula("P(1)"), tiny_graph)
+
+    def test_empty_domain_quantifiers(self):
+        db = Database.from_tuples([], {})
+        assert not holds(parse_formula("exists x. x = x"), db)
+        assert holds(parse_formula("forall x. P(x) & ~P(x)"), db) is True
+
+
+class TestFixpoints:
+    def test_lfp_reachability(self, tiny_graph):
+        reach = parse_formula(
+            "[lfp S(x). x = y | exists z. (E(z, x) & S(z))](x)"
+        )
+        ans = naive_answer(reach, tiny_graph, ("x", "y"))
+        assert (3, 0) in ans           # 0 reaches 3
+        assert (0, 1) not in ans       # 1 does not reach 0
+
+    def test_gfp_is_complement_of_dual_lfp(self, tiny_graph):
+        gfp_phi = parse_formula("[gfp S(x). exists y. (E(x, y) & S(y))](u)")
+        # states with an infinite outgoing path: here the cycle 1→2→3→1
+        ans = naive_answer(gfp_phi, tiny_graph, ("u",))
+        assert sorted(ans.tuples) == [(0,), (1,), (2,), (3,)]
+
+    def test_ifp_converges_on_nonmonotone_body(self, tiny_graph):
+        # body ~X(x) is not monotone; inflationary iteration still converges
+        phi = parse_formula("[ifp X(x). ~X(x)](u)")
+        ans = naive_answer(phi, tiny_graph, ("u",))
+        assert len(ans) == 4  # first step adds everything, then stable
+
+    def test_pfp_no_limit_is_empty(self, tiny_graph):
+        phi = parse_formula("[pfp X(x). ~X(x)](u)")
+        assert len(naive_answer(phi, tiny_graph, ("u",))) == 0
+
+    def test_pfp_converging(self, tiny_graph):
+        phi = parse_formula(
+            "[pfp X(x). P(x) | exists y. (E(y, x) & X(y))](u)"
+        )
+        lfp_phi = parse_formula(
+            "[lfp X(x). P(x) | exists y. (E(y, x) & X(y))](u)"
+        )
+        assert naive_answer(phi, tiny_graph, ("u",)) == naive_answer(
+            lfp_phi, tiny_graph, ("u",)
+        )
+
+    def test_parameterized_fixpoint(self, tiny_graph):
+        # y is a parameter of the fixpoint body
+        phi = parse_formula("[lfp S(x). E(y, x) | exists z. (E(z, x) & S(z))](x)")
+        ans = naive_answer(phi, tiny_graph, ("x", "y"))
+        assert (1, 0) in ans
+
+
+class TestSecondOrder:
+    def test_so_exists_finds_witness(self, tiny_graph):
+        # there is a set containing 0 and closed under nothing: trivially yes
+        phi = parse_formula("exists2 R/1. R(x)")
+        assert holds(phi, tiny_graph, {"x": 2})
+
+    def test_so_exists_unsatisfiable(self, tiny_graph):
+        phi = parse_formula("exists2 R/1. R(x) & ~R(x)")
+        assert not holds(phi, tiny_graph, {"x": 2})
+
+    def test_budget_guard(self, tiny_graph):
+        phi = parse_formula("exists2 R/4. R(x, x, x, x)")
+        with pytest.raises(EvaluationError):
+            holds(phi, tiny_graph, {"x": 0}, so_budget=16)
+
+
+class TestNaiveAnswer:
+    def test_extra_output_vars_range_over_domain(self, tiny_graph):
+        ans = naive_answer(parse_formula("P(x)"), tiny_graph, ("x", "w"))
+        assert len(ans) == 2 * 4
+
+    def test_missing_output_vars_rejected(self, tiny_graph):
+        with pytest.raises(EvaluationError):
+            naive_answer(parse_formula("E(x, y)"), tiny_graph, ("x",))

@@ -1,0 +1,119 @@
+"""Tests for variable minimization (the paper's optimization methodology)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.naive_eval import naive_answer
+from repro.logic.builders import and_, atom, exists, forall
+from repro.logic.parser import parse_formula
+from repro.logic.variables import free_variables, variable_width
+from repro.optimize import minimize_variables
+from repro.optimize.variable_min import miniscope
+from repro.workloads.company import earns_less_naive
+from repro.workloads.formulas import path_query_naive
+
+from tests.conftest import databases, fo_formulas
+
+
+class TestMiniscope:
+    def test_pushes_exists_past_independent_conjunct(self):
+        phi = parse_formula("exists z. (P(x) & E(x, z))")
+        out = miniscope(phi)
+        assert variable_width(out) == variable_width(phi)
+        # the quantifier now scopes only over E(x, z)
+        from repro.logic.syntax import And
+
+        assert isinstance(out, And)
+
+    def test_distributes_exists_over_or(self):
+        phi = parse_formula("exists z. (E(x, z) | E(z, x))")
+        out = miniscope(phi)
+        from repro.logic.syntax import Or
+
+        assert isinstance(out, Or)
+
+    def test_distributes_forall_over_and(self):
+        phi = parse_formula("forall z. (E(x, z) & E(z, x))")
+        out = miniscope(phi)
+        from repro.logic.syntax import And
+
+        assert isinstance(out, And)
+
+    def test_drops_vacuous_quantifier(self):
+        phi = parse_formula("exists z. P(x)")
+        assert miniscope(phi) == parse_formula("P(x)")
+
+    @given(fo_formulas(), databases(min_size=1, max_size=3))
+    def test_semantics_preserved_on_nonempty_domains(self, phi, db):
+        out = sorted(free_variables(phi))
+        assert naive_answer(phi, db, out) == naive_answer(
+            miniscope(phi), db, out
+        )
+
+
+class TestMinimizeVariables:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_path_queries_drop_to_three_variables(self, n):
+        q = path_query_naive(n)
+        mini = minimize_variables(q.formula)
+        assert variable_width(mini) == 3
+        assert free_variables(mini) == {"x", "y"}
+
+    def test_single_step_path_stays_small(self):
+        q = path_query_naive(1)
+        assert variable_width(minimize_variables(q.formula)) == 2
+
+    def test_company_query_drops_to_three(self):
+        q = earns_less_naive()
+        assert variable_width(minimize_variables(q.formula)) == 3
+
+    def test_never_increases_width(self):
+        phi = parse_formula("exists z. (E(x, z) & exists x. (x = z & E(x, y)))")
+        assert variable_width(minimize_variables(phi)) <= variable_width(phi)
+
+    @given(fo_formulas(), databases(min_size=1, max_size=3))
+    def test_equivalence_property(self, phi, db):
+        out = sorted(free_variables(phi))
+        mini = minimize_variables(phi)
+        assert variable_width(mini) <= variable_width(phi)
+        assert naive_answer(phi, db, out) == naive_answer(mini, db, out)
+
+    @given(databases(min_size=1, max_size=3))
+    def test_path_rewrites_equivalent_to_fo3_form(self, db):
+        from repro.workloads.formulas import path_query_fo3
+
+        naive = path_query_naive(4).formula
+        mini = minimize_variables(naive)
+        fo3 = path_query_fo3(4).formula
+        a = naive_answer(mini, db, ("x", "y"))
+        b = naive_answer(fo3, db, ("x", "y"))
+        assert a == b
+
+    def test_interleaved_scopes_conflict_correctly(self):
+        # z1 is live across z2's scope: they must keep distinct names
+        phi = exists(
+            "z1",
+            and_(
+                atom("E", "x", "z1"),
+                exists("z2", and_(atom("E", "z1", "z2"), atom("E", "z2", "z1"))),
+            ),
+        )
+        mini = minimize_variables(phi)
+        db_check = __import__(
+            "repro.workloads.graphs", fromlist=["random_graph"]
+        )
+        for seed in range(3):
+            g = db_check.random_graph(4, 0.4, seed=seed)
+            assert naive_answer(phi, g, ("x",)) == naive_answer(
+                mini, g, ("x",)
+            )
+
+    def test_fixpoint_bound_variables_stay_distinct(self):
+        phi = parse_formula("[lfp S(a, b). E(a, b)](x, y)")
+        mini = minimize_variables(phi)
+        from repro.logic.syntax import _FixpointBase
+
+        for node in mini.walk():
+            if isinstance(node, _FixpointBase):
+                names = [v.name for v in node.bound_vars]
+                assert len(set(names)) == len(names)

@@ -1,0 +1,97 @@
+"""Tests for ordered databases and the capture-theorem demonstration."""
+
+import pytest
+
+from repro import Database, EvalOptions, FixpointStrategy, evaluate
+from repro.errors import SchemaError
+from repro.games import k_equivalent
+from repro.workloads.graphs import path_graph
+from repro.workloads.ordered import (
+    domain_parity,
+    even_cardinality_query,
+    with_order,
+)
+
+
+class TestWithOrder:
+    def test_order_relations_added(self):
+        db = with_order(path_graph(4))
+        assert len(db.relation("LT")) == 6
+        assert len(db.relation("SUCC")) == 3
+        assert db.relation("FIRST").tuples == frozenset({(0,)})
+        assert db.relation("LAST").tuples == frozenset({(3,)})
+
+    def test_lt_is_a_strict_linear_order(self):
+        db = with_order(path_graph(5))
+        lt = db.relation("LT")
+        values = db.domain.values
+        for a in values:
+            assert (a, a) not in lt
+            for b in values:
+                if a != b:
+                    assert ((a, b) in lt) != ((b, a) in lt)
+
+    def test_existing_relations_kept(self):
+        db = with_order(path_graph(3))
+        assert len(db.relation("E")) == 2
+
+    def test_name_clash_rejected(self):
+        db = Database.from_tuples(range(2), {"LT": (2, [])})
+        with pytest.raises(SchemaError):
+            with_order(db)
+
+    def test_empty_database(self):
+        db = with_order(Database.from_tuples([], {}))
+        assert len(db.relation("FIRST")) == 0
+
+
+class TestEvenCardinality:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_matches_reference_on_all_sizes(self, n):
+        db = with_order(path_graph(n))
+        q = even_cardinality_query()
+        assert q.holds(db) == domain_parity(db), n
+
+    def test_all_strategies_agree(self):
+        q = even_cardinality_query()
+        for n in (3, 4):
+            db = with_order(path_graph(n))
+            values = {
+                strategy: evaluate(
+                    q.formula, db, (), EvalOptions(strategy=strategy)
+                ).as_bool()
+                for strategy in FixpointStrategy
+            }
+            assert len(set(values.values())) == 1
+
+    def test_query_is_fp2(self):
+        q = even_cardinality_query()
+        assert q.width == 2
+        from repro.logic.analysis import Language, classify_language
+
+        assert classify_language(q.formula) == Language.FP
+
+
+class TestWhyTheOrderIsNeeded:
+    """The other half of the capture story: parity is invisible to
+    order-free bounded-variable logics."""
+
+    def _bare(self, n: int) -> Database:
+        # pure sets: no relations at all beyond an empty unary marker
+        return Database.from_tuples(range(n), {"U": (1, [])})
+
+    def test_sets_of_different_parity_are_k_equivalent(self):
+        # with k pebbles, bare sets of size >= k are indistinguishable,
+        # so NO order-free FO^k (or L^k_∞ω) sentence defines EVEN
+        assert k_equivalent(self._bare(3), self._bare(4), 2)
+        assert k_equivalent(self._bare(4), self._bare(5), 3)
+
+    def test_with_order_the_game_separates_them(self):
+        left = with_order(self._bare(3))
+        right = with_order(self._bare(4))
+        assert not k_equivalent(left, right, 2)
+
+    def test_parity_decided_once_ordered(self):
+        q = even_cardinality_query()
+        assert not q.holds(with_order(self._bare(3)))
+        assert q.holds(with_order(self._bare(4)))

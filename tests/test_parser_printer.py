@@ -1,0 +1,140 @@
+"""Round-trip tests for the concrete syntax (parser + printer)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SyntaxError_
+from repro.logic.parser import parse_formula
+from repro.logic.printer import format_formula, format_term, formula_length
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    GFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Truth,
+    Var,
+)
+
+from tests.conftest import fo_formulas
+
+
+EXAMPLES = [
+    "E(x, y)",
+    "true",
+    "false",
+    "~P(x)",
+    "P(x) & Q(y) & E(x, y)",
+    "P(x) | Q(x)",
+    "(P(x) | Q(x)) & E(x, x)",
+    "x = y",
+    "~(x = y)",
+    "exists x. P(x)",
+    "forall x. exists y. E(x, y)",
+    "exists x. P(x) & Q(x)",          # quantifier takes maximal scope
+    "(exists x. P(x)) & Q(x)",
+    "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)",
+    "[gfp S(x). forall y. (~E(x, y) | S(y))](u)",
+    "[pfp X(x). ~X(x)](u)",
+    "[ifp X(x). P(x)](u)",
+    "exists2 S/2. forall x. S(x, x)",
+    "P(3)",
+    "E(x, 'alice')",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_examples_reparse_to_same_ast(self, text):
+        ast = parse_formula(text)
+        assert parse_formula(format_formula(ast)) == ast
+
+    @given(fo_formulas())
+    def test_property_roundtrip(self, phi):
+        assert parse_formula(format_formula(phi)) == phi
+
+
+class TestParsing:
+    def test_quantifier_scope_is_maximal(self):
+        phi = parse_formula("exists x. P(x) & Q(x)")
+        assert isinstance(phi, Exists)
+        assert isinstance(phi.sub, And)
+
+    def test_parenthesized_quantifier_scope(self):
+        phi = parse_formula("(exists x. P(x)) & Q(x)")
+        assert isinstance(phi, And)
+
+    def test_precedence_and_over_or(self):
+        phi = parse_formula("P(x) | Q(x) & R(x)")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.subs[1], And)
+
+    def test_implication_desugars(self):
+        phi = parse_formula("P(x) -> Q(x)")
+        assert isinstance(phi, Or) and isinstance(phi.subs[0], Not)
+
+    def test_biconditional_desugars(self):
+        phi = parse_formula("P(x) <-> Q(x)")
+        assert isinstance(phi, And)
+
+    def test_inequality(self):
+        phi = parse_formula("x != y")
+        assert isinstance(phi, Not) and isinstance(phi.sub, Equals)
+
+    def test_constants(self):
+        phi = parse_formula("E(1, 'bob')")
+        assert phi == RelAtom("E", (Const(1), Const("bob")))
+
+    def test_nullary_atom(self):
+        assert parse_formula("T()") == RelAtom("T", ())
+
+    def test_fixpoint_structure(self):
+        phi = parse_formula("[lfp S(x, y). E(x, y)](u, v)")
+        assert isinstance(phi, LFP)
+        assert phi.arity == 2
+        assert phi.args == (Var("u"), Var("v"))
+
+    def test_second_order(self):
+        phi = parse_formula("exists2 R/3. R(x, y, z)")
+        assert isinstance(phi, SOExists) and phi.arity == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "P(x",
+            "exists . P(x)",
+            "P(x) &",
+            "[lfp S(x). P(x)]",          # missing argument list
+            "[lfp S(x, x). P(x)](u, v)",  # duplicate bound variable
+            "exists2 S. P(x)",            # missing arity
+            "x",                          # bare term is not a formula
+            "P(x) Q(x)",
+            "[nope S(x). P(x)](u)",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SyntaxError_):
+            parse_formula(bad)
+
+
+class TestPrinter:
+    def test_term_formatting(self):
+        assert format_term(Var("x")) == "x"
+        assert format_term(Const(7)) == "7"
+        assert format_term(Const("a'b")) == r"'a\'b'"
+
+    def test_formula_length_positive(self):
+        assert formula_length(parse_formula("P(x)")) == 4
+
+    def test_empty_connectives_print_as_constants(self):
+        assert format_formula(And(())) == "true"
+        assert format_formula(Or(())) == "false"

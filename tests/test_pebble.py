@@ -1,0 +1,135 @@
+"""Tests for the k-pebble game (expressive power of FO^k)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive_eval import holds
+from repro.database import Database
+from repro.errors import EvaluationError
+from repro.games import duplicator_wins, k_equivalent, pebble_game_winning_positions
+from repro.workloads.formulas import random_fo_formula
+from repro.logic.variables import free_variables
+
+
+def complete_graph(n: int) -> Database:
+    return Database.from_tuples(
+        range(n), {"E": (2, [(i, j) for i in range(n) for j in range(n) if i != j])}
+    )
+
+
+def directed_path(n: int) -> Database:
+    return Database.from_tuples(
+        range(n), {"E": (2, [(i, i + 1) for i in range(n - 1)])}
+    )
+
+
+class TestKnownEquivalences:
+    def test_structure_is_equivalent_to_itself(self):
+        g = directed_path(3)
+        assert k_equivalent(g, g, 2)
+
+    def test_large_complete_graphs_are_k_equivalent(self):
+        # with only k pebbles, K_m and K_n look alike once m, n >= k
+        assert k_equivalent(complete_graph(3), complete_graph(4), 2)
+        assert k_equivalent(complete_graph(4), complete_graph(5), 3)
+
+    def test_small_complete_graphs_are_separated(self):
+        # K_1 vs K_2: ∃x∃y E(x,y) needs only 2 pebbles
+        assert not k_equivalent(complete_graph(1), complete_graph(2), 2)
+
+    def test_missing_edge_detected_with_two_pebbles(self):
+        k4 = complete_graph(4)
+        broken = Database.from_tuples(
+            range(4),
+            {
+                "E": (
+                    2,
+                    [
+                        (i, j)
+                        for i in range(4)
+                        for j in range(4)
+                        if i != j and (i, j) != (0, 1)
+                    ],
+                )
+            },
+        )
+        assert not k_equivalent(k4, broken, 2)
+
+    def test_unary_label_counts_matter(self):
+        one = Database.from_tuples(range(3), {"P": (1, [(0,)])})
+        two = Database.from_tuples(range(3), {"P": (1, [(0,), (1,)])})
+        # 2 pebbles can count up to 2: |P|=1 vs |P|=2 is separable
+        assert not k_equivalent(one, two, 2)
+
+    def test_path_lengths_separated_with_two_pebbles(self):
+        # the endpoint of a short path has no successor chain: P_2 vs P_3
+        assert not k_equivalent(directed_path(2), directed_path(3), 2)
+
+    def test_empty_structures(self):
+        e1 = Database.from_tuples([], {"E": (2, [])})
+        e2 = Database.from_tuples([], {"E": (2, [])})
+        assert k_equivalent(e1, e2, 2)
+        assert not k_equivalent(e1, directed_path(2), 2)
+
+
+class TestGameMechanics:
+    def test_schema_mismatch_rejected(self):
+        a = Database.from_tuples(range(2), {"E": (2, [])})
+        b = Database.from_tuples(range(2), {"R": (2, [])})
+        with pytest.raises(EvaluationError):
+            k_equivalent(a, b, 2)
+
+    def test_zero_pebbles_rejected(self):
+        g = directed_path(2)
+        with pytest.raises(EvaluationError):
+            k_equivalent(g, g, 0)
+
+    def test_bad_start_position_rejected(self):
+        g = directed_path(2)
+        with pytest.raises(EvaluationError):
+            duplicator_wins(g, g, 2, start=(None,))
+
+    def test_winning_positions_contain_identity_placements(self):
+        g = directed_path(3)
+        winning = pebble_game_winning_positions(g, g, 2)
+        assert ((0, 0), (2, 2)) in winning
+        assert ((0, 0), None) in winning
+
+    def test_non_iso_positions_lose_immediately(self):
+        g = directed_path(3)
+        winning = pebble_game_winning_positions(g, g, 2)
+        # pebbles on (0↦1, 1↦0) break the edge relation
+        assert ((0, 1), (1, 0)) not in winning
+
+
+class TestFundamentalTheorem:
+    """k-equivalence implies agreement on FO^k sentences."""
+
+    @given(st.integers(0, 30), st.integers(0, 30))
+    @settings(max_examples=12, deadline=None)
+    def test_equivalent_structures_agree_on_random_sentences(
+        self, seed_a, seed_b
+    ):
+        # complete graphs of sizes >= k are k-equivalent; every random
+        # FO^2 sentence must agree on them
+        a = complete_graph(3)
+        b = complete_graph(4)
+        assert k_equivalent(a, b, 2)
+        phi = random_fo_formula([("E", 2)], ["x", "y"], depth=4, seed=seed_a)
+        # close the formula existentially over its free variables
+        from repro.logic.builders import exists
+
+        sentence = exists(sorted(free_variables(phi)), phi)
+        assert holds(sentence, a) == holds(sentence, b), sentence
+
+    def test_inequivalent_structures_have_a_separating_sentence(self):
+        from repro.logic.parser import parse_formula
+
+        short, long = directed_path(2), directed_path(3)
+        assert not k_equivalent(short, long, 3)
+        # an explicit FO^3 separator: a path of length 2 exists
+        separator = parse_formula(
+            "exists x. exists y. (E(x, y) & exists x. E(y, x))"
+        )
+        assert not holds(separator, short)
+        assert holds(separator, long)

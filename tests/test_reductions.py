@@ -1,0 +1,199 @@
+"""End-to-end tests for the lower-bound reductions (Sections 3.1, 4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import evaluate
+from repro.errors import ReductionError
+from repro.logic.analysis import Language, classify_language
+from repro.logic.variables import variable_width
+from repro.reductions import (
+    PathSystem,
+    bfvp_database,
+    bfvp_to_fo_query,
+    eval_boolean_formula,
+    path_system_database,
+    path_system_query,
+    qbf_database,
+    qbf_to_pfp_query,
+    random_boolean_formula,
+    random_path_system,
+    random_qbf,
+    sat_to_eso_query,
+    solve_path_system,
+    solve_qbf,
+)
+from repro.reductions.path_systems import reachable_set, unfolded_reachability
+from repro.reductions.qbf import QBF, eval_matrix
+from repro.sat.cnf import BoolAnd, BoolConst, BoolNot, BoolOr, BoolVar
+from repro.workloads.graphs import path_graph
+
+
+class TestPathSystems:
+    def test_reference_solver(self):
+        ps = PathSystem(
+            4,
+            frozenset({(2, 0, 1), (3, 2, 2)}),
+            frozenset({0, 1}),
+            frozenset({3}),
+        )
+        assert reachable_set(ps) == {0, 1, 2, 3}
+        assert solve_path_system(ps)
+
+    def test_unreachable_target(self):
+        ps = PathSystem(3, frozenset(), frozenset({0}), frozenset({2}))
+        assert not solve_path_system(ps)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReductionError):
+            PathSystem(2, frozenset({(0, 1, 5)}), frozenset(), frozenset())
+
+    def test_query_is_fo3(self):
+        ps = random_path_system(5, 8, seed=1)
+        q = path_system_query(ps)
+        assert classify_language(q.formula) == Language.FO
+        assert variable_width(q.formula) == 3
+
+    def test_query_size_linear_in_instance(self):
+        small = path_system_query(random_path_system(4, 4, seed=0))
+        large = path_system_query(random_path_system(16, 4, seed=0))
+        assert small.formula.size() < large.formula.size()
+        # linear-ish: the ratio of sizes tracks the ratio of m
+        assert large.formula.size() < 8 * small.formula.size()
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=12)
+    def test_reduction_agrees_with_solver(self, seed):
+        ps = random_path_system(5, 9, num_sources=2, num_targets=2, seed=seed)
+        assert path_system_query(ps).holds(
+            path_system_database(ps)
+        ) == solve_path_system(ps)
+
+    def test_unfolding_validates_iterations(self):
+        with pytest.raises(ReductionError):
+            unfolded_reachability(0)
+
+
+class TestQBFToPFP:
+    def test_query_is_pfp2(self):
+        q = qbf_to_pfp_query(random_qbf(3, seed=0))
+        assert classify_language(q.formula) == Language.PFP
+        assert variable_width(q.formula) == 2
+
+    def test_size_linear_in_qbf(self):
+        small = qbf_to_pfp_query(random_qbf(2, seed=1)).formula.size()
+        large = qbf_to_pfp_query(random_qbf(8, seed=1)).formula.size()
+        assert large < small + 90 * 6  # O(1) gadget per variable
+
+    def test_true_and_false_constants(self):
+        db = qbf_database()
+        taut = QBF((("forall", "Y"),), BoolOr((BoolVar("Y"), BoolNot(BoolVar("Y")))))
+        assert solve_qbf(taut)
+        assert qbf_to_pfp_query(taut).holds(db)
+        contradiction = QBF(
+            (("exists", "Y"),), BoolAnd((BoolVar("Y"), BoolNot(BoolVar("Y"))))
+        )
+        assert not solve_qbf(contradiction)
+        assert not qbf_to_pfp_query(contradiction).holds(db)
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=12)
+    def test_reduction_agrees_with_solver(self, seed):
+        qbf = random_qbf(3, matrix_depth=3, seed=seed)
+        assert qbf_to_pfp_query(qbf).holds(qbf_database()) == solve_qbf(qbf)
+
+    def test_alternating_prefix(self):
+        # ∀Y1 ∃Y2 (Y1 ↔ Y2) is true; ∃Y2 ∀Y1 (Y1 ↔ Y2) is false
+        matrix = BoolOr(
+            (
+                BoolAnd((BoolVar("Y1"), BoolVar("Y2"))),
+                BoolAnd((BoolNot(BoolVar("Y1")), BoolNot(BoolVar("Y2")))),
+            )
+        )
+        forall_exists = QBF((("forall", "Y1"), ("exists", "Y2")), matrix)
+        exists_forall = QBF((("exists", "Y2"), ("forall", "Y1")), matrix)
+        assert solve_qbf(forall_exists) and not solve_qbf(exists_forall)
+        db = qbf_database()
+        assert qbf_to_pfp_query(forall_exists).holds(db)
+        assert not qbf_to_pfp_query(exists_forall).holds(db)
+
+
+class TestSATToESO:
+    @given(st.integers(0, 30))
+    @settings(max_examples=12)
+    def test_agrees_with_dpll(self, seed):
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(seed)
+        names = ["a", "b", "c"]
+
+        def build(depth):
+            if depth == 0:
+                return BoolVar(rng.choice(names))
+            c = rng.randrange(3)
+            if c == 0:
+                return BoolNot(build(depth - 1))
+            if c == 1:
+                return BoolAnd((build(depth - 1), build(depth - 1)))
+            return BoolOr((build(depth - 1), build(depth - 1)))
+
+        formula = build(3)
+        from repro.sat.tseitin import to_cnf
+        from repro.sat.dpll import solve
+
+        cnf, _ = to_cnf(formula)
+        expected = solve(cnf).satisfiable
+        q = sat_to_eso_query(formula)
+        # Theorem 4.5: the database is irrelevant
+        assert q.holds(path_graph(2)) == expected
+        assert q.holds(path_graph(5)) == expected
+
+    def test_zero_individual_variables(self):
+        q = sat_to_eso_query(BoolVar("a"))
+        assert variable_width(q.formula) == 0
+        assert classify_language(q.formula) == Language.ESO
+
+
+class TestBFVP:
+    @given(st.integers(0, 60))
+    @settings(max_examples=25)
+    def test_reduction_agrees_with_evaluator(self, seed):
+        formula = random_boolean_formula(4, seed=seed)
+        assert bfvp_to_fo_query(formula).holds(bfvp_database()) == (
+            eval_boolean_formula(formula)
+        )
+
+    def test_variables_rejected(self):
+        with pytest.raises(ReductionError):
+            eval_boolean_formula(BoolVar("a"))
+        with pytest.raises(ReductionError):
+            bfvp_to_fo_query(BoolVar("a"))
+
+    def test_query_is_fo1(self):
+        q = bfvp_to_fo_query(random_boolean_formula(3, seed=5))
+        assert variable_width(q.formula) == 1
+        assert classify_language(q.formula) == Language.FO
+
+    def test_size_linear(self):
+        small = bfvp_to_fo_query(random_boolean_formula(3, seed=1))
+        large = bfvp_to_fo_query(random_boolean_formula(7, seed=1))
+        assert small.formula.size() < large.formula.size()
+
+
+class TestQBFSolver:
+    def test_eval_matrix_unbound_rejected(self):
+        with pytest.raises(ReductionError):
+            eval_matrix(BoolVar("Y"), {})
+
+    def test_open_qbf_rejected(self):
+        with pytest.raises(ReductionError):
+            QBF((), BoolVar("Y"))
+
+    def test_duplicate_quantifier_rejected(self):
+        with pytest.raises(ReductionError):
+            QBF((("forall", "Y"), ("exists", "Y")), BoolVar("Y"))
+
+    def test_brute_force_semantics(self):
+        # ∀Y. Y is false, ∃Y. Y is true
+        assert not solve_qbf(QBF((("forall", "Y"),), BoolVar("Y")))
+        assert solve_qbf(QBF((("exists", "Y"),), BoolVar("Y")))

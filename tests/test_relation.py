@@ -1,0 +1,97 @@
+"""Tests for repro.database.relation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.database.relation import Relation
+from repro.errors import SchemaError
+
+
+def rel(*tuples, arity=None):
+    if arity is None:
+        arity = len(tuples[0]) if tuples else 0
+    return Relation(arity, tuples)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = rel((1, 2), (2, 3))
+        assert r.arity == 2
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(2, [(1, 2, 3)])
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(-1, [])
+
+    def test_duplicates_collapse(self):
+        assert len(Relation(1, [(1,), (1,)])) == 1
+
+    def test_nullary_truth_values(self):
+        assert Relation.nullary(True).as_bool() is True
+        assert Relation.nullary(False).as_bool() is False
+
+    def test_as_bool_requires_arity_zero(self):
+        with pytest.raises(SchemaError):
+            rel((1,)).as_bool()
+
+    def test_empty_relations_of_different_arity_differ(self):
+        assert Relation.empty(2) != Relation.empty(3)
+
+
+class TestSetOperations:
+    def test_union_intersection_difference(self):
+        a = rel((1,), (2,))
+        b = rel((2,), (3,))
+        assert a.union(b) == rel((1,), (2,), (3,))
+        assert a.intersection(b) == rel((2,))
+        assert a.difference(b) == rel((1,))
+
+    def test_arity_mismatch_in_ops(self):
+        with pytest.raises(SchemaError):
+            rel((1,)).union(rel((1, 2)))
+
+    def test_issubset(self):
+        assert rel((1,)).issubset(rel((1,), (2,)))
+        assert not rel((3,)).issubset(rel((1,)))
+
+    @given(
+        st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3))),
+        st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3))),
+    )
+    def test_union_commutes(self, xs, ys):
+        a, b = Relation(2, xs), Relation(2, ys)
+        assert a.union(b) == b.union(a)
+        assert a.union(b).issubset(a.union(b))
+
+
+class TestProjection:
+    def test_project_reorders_and_drops(self):
+        r = rel((1, 2), (3, 4))
+        assert r.project([1, 0]) == rel((2, 1), (4, 3))
+        assert r.project([0]) == rel((1,), (3,))
+
+    def test_project_duplicates_column(self):
+        assert rel((1, 2)).project([0, 0]) == rel((1, 1))
+
+    def test_project_out_of_range(self):
+        with pytest.raises(SchemaError):
+            rel((1, 2)).project([2])
+
+    def test_project_to_nothing_gives_boolean(self):
+        assert rel((1, 2)).project([]).as_bool() is True
+        assert Relation.empty(2).project([]) == Relation.nullary(False)
+
+
+class TestDunder:
+    def test_bool_and_iter(self):
+        assert not Relation.empty(1)
+        assert rel((1,))
+        assert sorted(rel((2,), (1,))) == [(1,), (2,)]
+
+    def test_hashable(self):
+        assert len({rel((1,)), rel((1,)), rel((2,))}) == 2

@@ -1,0 +1,90 @@
+"""Round-trip tests for the JSON interchange format."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SchemaError, SyntaxError_
+from repro.logic.parser import parse_formula
+from repro.logic.serialize import (
+    database_dumps,
+    database_loads,
+    formula_dumps,
+    formula_from_json,
+    formula_loads,
+    formula_to_json,
+)
+
+from tests.conftest import databases, fo_formulas
+
+EXAMPLES = [
+    "E(x, y) & ~P(x)",
+    "exists x. forall y. (E(x, y) | x = y)",
+    "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)",
+    "[gfp S(x, y). E(x, y)](u, v)",
+    "[pfp X(x). ~X(x)](u)",
+    "[ifp X(x). P(x)](u)",
+    "exists2 R/2. forall x. R(x, x)",
+    "P(3) & E(x, 'alice')",
+    "true | false",
+]
+
+
+class TestFormulaRoundTrip:
+    @pytest.mark.parametrize("text", EXAMPLES)
+    def test_examples(self, text):
+        phi = parse_formula(text)
+        assert formula_loads(formula_dumps(phi)) == phi
+
+    @given(fo_formulas())
+    def test_property_roundtrip(self, phi):
+        assert formula_from_json(formula_to_json(phi)) == phi
+
+    def test_indented_output_still_parses(self):
+        phi = parse_formula("exists x. P(x)")
+        assert formula_loads(formula_dumps(phi, indent=2)) == phi
+
+
+class TestFormulaErrors:
+    def test_bad_json(self):
+        with pytest.raises(SyntaxError_):
+            formula_loads("{not json")
+
+    def test_wrong_version(self):
+        with pytest.raises(SyntaxError_):
+            formula_loads('{"version": 99, "formula": {"op": "true"}}')
+
+    def test_unknown_op(self):
+        with pytest.raises(SyntaxError_):
+            formula_from_json({"op": "xor", "subs": []})
+
+    def test_missing_field(self):
+        with pytest.raises(SyntaxError_):
+            formula_from_json({"op": "atom", "name": "P"})
+
+    def test_malformed_term(self):
+        with pytest.raises(SyntaxError_):
+            formula_from_json(
+                {"op": "atom", "name": "P", "terms": [{"neither": 1}]}
+            )
+
+
+class TestDatabaseRoundTrip:
+    @given(databases())
+    def test_property_roundtrip(self, db):
+        assert database_loads(database_dumps(db)) == db
+
+    def test_string_domain_values(self):
+        from repro.database import Database
+
+        db = Database.from_tuples(
+            ["alice", "bob"], {"knows": (2, [("alice", "bob")])}
+        )
+        assert database_loads(database_dumps(db)) == db
+
+    def test_bad_json(self):
+        with pytest.raises(SchemaError):
+            database_loads("[]")
+
+    def test_wrong_version(self):
+        with pytest.raises(SchemaError):
+            database_loads('{"version": 0, "database": {"domain": []}}')

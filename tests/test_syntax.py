@@ -1,0 +1,110 @@
+"""Tests for the formula AST (repro.logic.syntax)."""
+
+import pytest
+
+from repro.errors import SyntaxError_
+from repro.logic.builders import atom, eq
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    GFP,
+    LFP,
+    Not,
+    Or,
+    PFP,
+    RelAtom,
+    SOExists,
+    Truth,
+    Var,
+)
+
+
+class TestTerms:
+    def test_var_name_rules(self):
+        assert Var("x1").name == "x1"
+        with pytest.raises(SyntaxError_):
+            Var("")
+        with pytest.raises(SyntaxError_):
+            Var("X")  # must start lowercase
+        with pytest.raises(SyntaxError_):
+            Var("1x")
+
+    def test_const_holds_any_hashable(self):
+        assert Const(3).value == 3
+        assert Const("emp").value == "emp"
+
+
+class TestNodes:
+    def test_operator_sugar(self):
+        phi = atom("P", "x") & ~atom("Q", "x") | eq("x", "y")
+        assert isinstance(phi, Or)
+        left = phi.subs[0]
+        assert isinstance(left, And)
+        assert isinstance(left.subs[1], Not)
+
+    def test_implication_sugar_desugars(self):
+        phi = atom("P", "x") >> atom("Q", "x")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.subs[0], Not)
+
+    def test_walk_preorder(self):
+        phi = And((atom("P", "x"), Not(atom("Q", "y"))))
+        names = [type(n).__name__ for n in phi.walk()]
+        assert names == ["And", "RelAtom", "Not", "RelAtom"]
+
+    def test_size_counts_terms(self):
+        assert atom("E", "x", "y").size() == 3
+        assert eq("x", "y").size() == 3
+        assert Truth(True).size() == 1
+
+    def test_atom_rejects_non_terms(self):
+        with pytest.raises(SyntaxError_):
+            RelAtom("P", ("x",))  # bare string is not a term
+
+
+class TestFixpointNodes:
+    def test_arity_and_validation(self):
+        node = LFP("S", (Var("x"), Var("y")), Truth(True), (Var("u"), Var("v")))
+        assert node.arity == 2
+
+    def test_duplicate_bound_vars_rejected(self):
+        with pytest.raises(SyntaxError_):
+            LFP("S", (Var("x"), Var("x")), Truth(True), (Var("u"), Var("v")))
+
+    def test_arg_count_must_match(self):
+        with pytest.raises(SyntaxError_):
+            LFP("S", (Var("x"),), Truth(True), ())
+
+    def test_all_four_fixpoint_kinds_construct(self):
+        for node_type in (LFP, GFP, PFP):
+            node = node_type("S", (Var("x"),), atom("S", "x"), (Var("y"),))
+            assert node.rel == "S"
+
+    def test_empty_rel_name_rejected(self):
+        with pytest.raises(SyntaxError_):
+            LFP("", (Var("x"),), Truth(True), (Var("y"),))
+
+
+class TestSecondOrder:
+    def test_construction(self):
+        node = SOExists("S", 2, Truth(True))
+        assert node.arity == 2
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SyntaxError_):
+            SOExists("S", -1, Truth(True))
+
+    def test_nullary_allowed(self):
+        assert SOExists("S", 0, RelAtom("S", ())).arity == 0
+
+
+class TestEquality:
+    def test_structural_equality_and_hash(self):
+        a = Exists(Var("x"), atom("P", "x"))
+        b = Exists(Var("x"), atom("P", "x"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Forall(Var("x"), atom("P", "x"))
