@@ -1,9 +1,10 @@
 """Shared helpers for the benchmark suite.
 
 Every bench regenerates one experiment from DESIGN.md's per-experiment
-index.  Results are printed and appended to ``benchmarks/out/<id>.txt``
-so EXPERIMENTS.md can quote them; shape claims (polynomial vs exponential,
-who wins) are asserted so a regression breaks the bench.
+index.  Results are printed and written to ``benchmarks/out/<id>.txt``
+(each run overwrites the previous block, so the file always holds the
+latest run) so EXPERIMENTS.md can quote them; shape claims (polynomial
+vs exponential, who wins) are asserted so a regression breaks the bench.
 """
 
 from __future__ import annotations
@@ -15,7 +16,11 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
 def emit(experiment_id: str, title: str, body: str) -> None:
-    """Print one experiment's result block and persist it."""
+    """Print one experiment's result block and persist it.
+
+    The output file is overwritten on every run — it is a regenerable
+    artifact, not a log.
+    """
     banner = f"[{experiment_id}] {title}"
     block = f"{banner}\n{'-' * len(banner)}\n{body}\n"
     print("\n" + block)
@@ -23,6 +28,20 @@ def emit(experiment_id: str, title: str, body: str) -> None:
     path = os.path.join(OUT_DIR, f"{experiment_id}.txt")
     with open(path, "w") as handle:
         handle.write(block)
+
+
+def emit_trace(experiment_id: str, tracer) -> str:
+    """Persist a span trace next to the experiment's text output.
+
+    Writes ``benchmarks/out/<id>.trace.jsonl`` (overwriting, like
+    :func:`emit`) and returns the path.  ``tracer`` is a recording
+    :class:`repro.obs.Tracer`.
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{experiment_id}.trace.jsonl")
+    with open(path, "w") as handle:
+        handle.write(tracer.export_jsonl() + "\n")
+    return path
 
 
 def series_table(

@@ -17,10 +17,12 @@ import time
 from repro.core.fo_eval import BoundedEvaluator
 from repro.core.interp import EvalStats
 from repro.complexity.fit import classify_growth, fit_polynomial
+from repro.complexity.measure import run_sweep
+from repro.obs import Tracer, render_hot_spans
 from repro.workloads.formulas import path_query_fo3
 from repro.workloads.graphs import random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_trace, series_table
 
 DATA_SIZES = [4, 8, 12, 16, 20]
 PATH_LENGTHS = [2, 4, 8, 12, 16]
@@ -35,6 +37,18 @@ def _data_point(n: int):
         q.formula, q.output_vars
     )
     return time.perf_counter() - start, stats
+
+
+def _traced_data_point(n, tracer):
+    # same workload as _data_point, but traced — run_sweep passes a
+    # fresh tracer per timed run so each point carries its own spans
+    db = random_graph(int(n), 0.3, seed=int(n))
+    q = path_query_fo3(4)
+    stats = EvalStats()
+    BoundedEvaluator(db, stats=stats, k_limit=3, tracer=tracer).answer(
+        q.formula, q.output_vars
+    )
+    return {"table_ops": float(stats.table_ops)}
 
 
 def _expression_point(length: int):
@@ -66,6 +80,17 @@ def bench_table2_fo_combined(benchmark):
         )
     benchmark(_data_point, DATA_SIZES[-1])
 
+    # traced sweep over the same workload: per-point span traces let the
+    # bench attribute each point's time to connective phases
+    traced = run_sweep(
+        "t2-fo-data",
+        DATA_SIZES,
+        _traced_data_point,
+        tracer_factory=Tracer,
+    )
+    largest = traced.points[-1]
+    trace_path = emit_trace("T2-FO", largest.trace)
+
     data_kind, data_fit, _ = classify_growth(DATA_SIZES, data_work)
     expr_fit = fit_polynomial(expr_sizes, expr_work)
     body = (
@@ -75,7 +100,10 @@ def bench_table2_fo_combined(benchmark):
         f"(claim: PTIME; bound n^k = n^3)\n\n"
         "expression sweep (n = 9 fixed):\n"
         + series_table(("path len", "|e|", "table ops", "seconds"), expr_rows)
-        + f"\n  -> polynomial in |e|, degree {expr_fit.coefficient:.2f}"
+        + f"\n  -> polynomial in |e|, degree {expr_fit.coefficient:.2f}\n\n"
+        f"phase attribution at n = {DATA_SIZES[-1]} "
+        f"(full trace: {trace_path}):\n"
+        + render_hot_spans(largest.trace, k=5)
     )
     emit("T2-FO", "combined complexity of FO^k is polynomial", body)
 

@@ -45,6 +45,13 @@ from repro.errors import (
     SyntaxError_,
     VariableBoundError,
 )
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    render_report,
+)
 
 __version__ = "1.0.0"
 
@@ -72,5 +79,10 @@ __all__ = [
     "EvaluationError",
     "CertificateError",
     "ReductionError",
+    "Tracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "render_report",
     "__version__",
 ]

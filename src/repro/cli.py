@@ -14,6 +14,9 @@ Usage (also via ``python -m repro``)::
     # run a Datalog program
     python -m repro datalog --db graph.db --program rules.dl --pred reach
 
+    # trace an evaluation: span tree, hot spans, optional JSONL export
+    python -m repro trace "[lfp S(x). P(x) | exists y. (E(y,x) & S(y))](u)" graph.db
+
 Database files contain the standard encoding produced by
 :func:`repro.database.encoding.encode_database`.
 """
@@ -55,13 +58,52 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         for row in sorted(result.relation.tuples, key=repr):
             print("\t".join(str(v) for v in row))
     if args.stats:
+        stats = result.stats
         print(
             f"# language={result.language.value} "
-            f"max_arity={result.stats.max_intermediate_arity} "
-            f"max_rows={result.stats.max_intermediate_rows} "
-            f"fixpoint_iterations={result.stats.fixpoint_iterations}",
+            f"table_ops={stats.table_ops} "
+            f"max_rows={stats.max_intermediate_rows} "
+            f"max_arity={stats.max_intermediate_arity} "
+            f"fixpoint_iterations={stats.fixpoint_iterations} "
+            f"sat_variables={stats.sat_variables} "
+            f"sat_clauses={stats.sat_clauses}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, render_report
+
+    db = _load_db(args.db)
+    formula = parse_formula(args.query)
+    out = tuple(args.out or sorted(free_variables(formula)))
+    tracer = Tracer()
+    options = EvalOptions(
+        strategy=FixpointStrategy(args.strategy),
+        k_limit=args.k_limit,
+        trace=tracer,
+    )
+    result = evaluate(formula, db, out, options)
+    answer = (
+        ("true" if result.as_bool() else "false")
+        if not out
+        else f"{len(result.relation)} row(s)"
+    )
+    print(f"answer: {answer}  (language={result.language.value})")
+    print()
+    print(
+        render_report(
+            tracer,
+            registry=result.stats.registry,
+            top_k=args.top,
+            max_depth=args.max_depth,
+        )
+    )
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(tracer.export_jsonl() + "\n")
+        print(f"\n# wrote {len(tracer.spans)} span(s) to {args.jsonl}")
     return 0
 
 
@@ -136,6 +178,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--k-limit", type=int, default=None)
     p_eval.add_argument("--stats", action="store_true", help="print audit stats")
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="evaluate a query with span tracing and print the trace report",
+    )
+    p_trace.add_argument("query", help="query text")
+    p_trace.add_argument("db", help="database file (§2.1 encoding)")
+    p_trace.add_argument(
+        "--out",
+        nargs="*",
+        help="output variables (default: the free variables, sorted)",
+    )
+    p_trace.add_argument(
+        "--strategy",
+        choices=[s.value for s in FixpointStrategy],
+        default=FixpointStrategy.MONOTONE.value,
+        help="fixpoint strategy for FP queries",
+    )
+    p_trace.add_argument("--k-limit", type=int, default=None)
+    p_trace.add_argument(
+        "--top", type=int, default=10, help="how many hot spans to list"
+    )
+    p_trace.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate the span tree below this depth",
+    )
+    p_trace.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the raw spans as JSONL to this file",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_info = sub.add_parser("info", help="classify and measure a query")
     p_info.add_argument("--query", required=True)

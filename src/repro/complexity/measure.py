@@ -5,6 +5,10 @@ call and optionally collecting a dictionary of work counters (iteration
 counts, intermediate sizes, CNF sizes, ...) that the growth classifier
 can fit alongside raw time — counters are deterministic, so they give
 much cleaner scaling curves than wall-clock noise.
+
+With a ``tracer_factory``, each timed call also records a span trace
+(``workload(parameter, tracer)``), so a bench can attribute a point's
+time to evaluation phases — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -13,20 +17,32 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One measurement: parameter value, seconds, and work counters."""
+    """One measurement: parameter value, seconds, and work counters.
+
+    ``trace`` holds the recording tracer for this point when the sweep
+    was run with a ``tracer_factory`` (``None`` otherwise).
+    """
 
     parameter: float
     seconds: float
     counters: Tuple[Tuple[str, float], ...] = ()
+    trace: Optional[Tracer] = None
 
-    def counter(self, name: str) -> float:
+    def counter(self, name: str, default: object = _MISSING) -> float:
+        """The named counter; ``default`` if given, else ``KeyError``."""
         for key, value in self.counters:
             if key == name:
                 return value
-        raise KeyError(name)
+        if default is _MISSING:
+            raise KeyError(name)
+        return default  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -42,17 +58,28 @@ class SweepResult:
     def seconds(self) -> List[float]:
         return [p.seconds for p in self.points]
 
-    def counter_series(self, name: str) -> List[float]:
-        return [p.counter(name) for p in self.points]
+    def counter_series(
+        self, name: str, default: object = _MISSING
+    ) -> List[float]:
+        """The counter across all points; points missing it get
+        ``default`` when given, else the first miss raises ``KeyError``."""
+        if default is _MISSING:
+            return [p.counter(name) for p in self.points]
+        return [p.counter(name, default) for p in self.points]
 
     def format_rows(self, counter_names: Sequence[str] = ()) -> str:
-        """A plain-text table of the sweep, for bench output."""
+        """A plain-text table of the sweep, for bench output.
+
+        Points that lack one of ``counter_names`` render ``-`` in that
+        column instead of raising.
+        """
         header = ["param", "seconds"] + list(counter_names)
         lines = ["\t".join(header)]
         for point in self.points:
             row = [f"{point.parameter:g}", f"{point.seconds:.6f}"]
             for name in counter_names:
-                row.append(f"{point.counter(name):g}")
+                value = point.counter(name, default=None)
+                row.append("-" if value is None else f"{value:g}")
             lines.append("\t".join(row))
         return "\n".join(lines)
 
@@ -60,26 +87,43 @@ class SweepResult:
 def run_sweep(
     name: str,
     parameters: Sequence[float],
-    workload: Callable[[float], Optional[Dict[str, float]]],
+    workload: Callable[..., Optional[Dict[str, float]]],
     repetitions: int = 1,
     warmup: bool = True,
+    tracer_factory: Optional[Callable[[], Tracer]] = None,
 ) -> SweepResult:
     """Run ``workload`` across ``parameters`` and time each call.
 
     ``workload`` may return a dict of work counters (or ``None``).  With
     ``repetitions > 1`` the *minimum* time across runs is reported (the
     standard noise-robust choice); counters come from the last run.
+
+    With ``tracer_factory``, the workload is called as
+    ``workload(parameter, tracer)`` — a fresh tracer per timed run (the
+    last run's tracer lands on :attr:`SweepPoint.trace`), and the
+    no-op tracer for the warmup call so warmups stay out of the trace.
     """
     points: List[SweepPoint] = []
     for parameter in parameters:
         if warmup:
-            workload(parameter)
+            if tracer_factory is None:
+                workload(parameter)
+            else:
+                workload(parameter, NULL_TRACER)
         best = float("inf")
         counters: Dict[str, float] = {}
+        trace: Optional[Tracer] = None
         for _ in range(max(1, repetitions)):
-            start = time.perf_counter()
-            outcome = workload(parameter)
-            elapsed = time.perf_counter() - start
+            if tracer_factory is None:
+                start = time.perf_counter()
+                outcome = workload(parameter)
+                elapsed = time.perf_counter() - start
+            else:
+                tracer = tracer_factory()
+                start = time.perf_counter()
+                outcome = workload(parameter, tracer)
+                elapsed = time.perf_counter() - start
+                trace = tracer
             best = min(best, elapsed)
             if outcome:
                 counters = dict(outcome)
@@ -88,6 +132,7 @@ def run_sweep(
                 parameter=float(parameter),
                 seconds=best,
                 counters=tuple(sorted(counters.items())),
+                trace=trace,
             )
         )
     return SweepResult(name, tuple(points))

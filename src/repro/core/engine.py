@@ -24,7 +24,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.database.database import Database
 from repro.database.relation import Relation
@@ -33,6 +33,7 @@ from repro.core.fo_eval import BoundedEvaluator
 from repro.core.fp_eval import FixpointStrategy, solve_query
 from repro.core.interp import EvalStats
 from repro.core.pfp_eval import SpaceMeter, pfp_answer
+from repro.obs.tracer import Tracer, TracerLike, resolve_tracer
 from repro.logic.analysis import Language, check_positivity, classify_language
 from repro.logic.parser import parse_formula
 from repro.logic.printer import format_formula
@@ -48,6 +49,11 @@ class EvalOptions:
     enforces the variable bound; ``use_eso_rewrite`` toggles the Lemma 3.6
     arity reduction; ``strict_pfp_space`` selects the textbook PSPACE
     iteration for partial fixpoints.
+
+    ``trace`` turns on span tracing: ``True`` records into a fresh
+    :class:`~repro.obs.tracer.Tracer` (returned on the result), a tracer
+    instance records into that tracer, and ``None``/``False`` (default)
+    uses the shared no-op tracer — the engines then skip all span work.
     """
 
     strategy: FixpointStrategy = FixpointStrategy.MONOTONE
@@ -55,17 +61,24 @@ class EvalOptions:
     use_eso_rewrite: bool = True
     strict_pfp_space: bool = False
     check_positive: bool = True
+    trace: Union[bool, Tracer, None] = None
 
 
 @dataclass
 class EvalResult:
-    """The answer plus the audit trail of how it was computed."""
+    """The answer plus the audit trail of how it was computed.
+
+    ``stats.registry`` is the unified metrics registry for the run;
+    ``tracer`` is the recording tracer when tracing was requested
+    (``None`` otherwise).
+    """
 
     relation: Relation
     language: Language
     strategy: Optional[FixpointStrategy]
     stats: EvalStats
     space: Optional[SpaceMeter] = None
+    tracer: Optional[Tracer] = None
 
     def as_bool(self) -> bool:
         """Boolean answer, for sentence queries (0-ary output)."""
@@ -84,12 +97,39 @@ def evaluate(
     output variables range over the whole domain (the paper's convention).
     """
     options = options if options is not None else EvalOptions()
+    tracer = resolve_tracer(options.trace)
     stats = EvalStats()
     language = classify_language(formula)
+    if tracer.enabled:
+        with tracer.span(
+            "evaluate",
+            language=language.value,
+            width=variable_width(formula),
+        ) as span:
+            result = _dispatch(
+                formula, db, output_vars, options, language, stats, tracer
+            )
+            span.set(answer_rows=len(result.relation))
+        return result
+    return _dispatch(formula, db, output_vars, options, language, stats, tracer)
+
+
+def _dispatch(
+    formula: Formula,
+    db: Database,
+    output_vars: Sequence[str],
+    options: EvalOptions,
+    language: Language,
+    stats: EvalStats,
+    tracer: TracerLike,
+) -> EvalResult:
+    recorded = tracer if tracer.enabled else None
     if language == Language.FO:
-        evaluator = BoundedEvaluator(db, k_limit=options.k_limit, stats=stats)
+        evaluator = BoundedEvaluator(
+            db, k_limit=options.k_limit, stats=stats, tracer=tracer
+        )
         relation = evaluator.answer(formula, tuple(output_vars))
-        return EvalResult(relation, language, None, stats)
+        return EvalResult(relation, language, None, stats, tracer=recorded)
     if language == Language.ESO:
         from repro.core.eso_eval import eso_answer
 
@@ -99,12 +139,13 @@ def evaluate(
             tuple(output_vars),
             use_rewrite=options.use_eso_rewrite,
             stats=stats,
+            tracer=tracer,
         )
-        return EvalResult(relation, language, None, stats)
+        return EvalResult(relation, language, None, stats, tracer=recorded)
     if language == Language.PFP:
         if options.check_positive:
             check_positivity(formula)
-        meter = SpaceMeter()
+        meter = SpaceMeter(registry=stats.registry)
         relation = pfp_answer(
             formula,
             db,
@@ -113,8 +154,11 @@ def evaluate(
             meter=meter,
             strict_space=options.strict_pfp_space,
             k_limit=options.k_limit,
+            tracer=tracer,
         )
-        return EvalResult(relation, language, None, stats, space=meter)
+        return EvalResult(
+            relation, language, None, stats, space=meter, tracer=recorded
+        )
     # FP: pure lfp/gfp formulas — any strategy applies (pfp/ifp mixtures
     # classify as Language.PFP above and never reach this branch)
     strategy = options.strategy
@@ -126,8 +170,9 @@ def evaluate(
         k_limit=options.k_limit,
         stats=stats,
         require_positive=options.check_positive,
+        tracer=tracer,
     )
-    return EvalResult(relation, language, strategy, stats)
+    return EvalResult(relation, language, strategy, stats, tracer=recorded)
 
 
 @dataclass(frozen=True)

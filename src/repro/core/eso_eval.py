@@ -27,6 +27,7 @@ from repro.errors import EvaluationError
 from repro.core.eso_rewrite import RewriteResult, rewrite_eso
 from repro.core.grounding import ground_formula
 from repro.core.interp import EvalStats
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import Formula
 from repro.logic.variables import free_variables
 from repro.sat.cnf import CNF
@@ -50,18 +51,24 @@ def eso_decide(
     assignment: Optional[Dict[str, Value]] = None,
     use_rewrite: bool = True,
     stats: Optional[EvalStats] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> EsoOutcome:
-    """Decide one ESO instance: ``(B, assignment) ⊨ sentence``?"""
+    """Decide one ESO instance: ``(B, assignment) ⊨ sentence``?
+
+    With tracing on, the pipeline shows up as the four stages of
+    Corollary 3.7: ``eso.rewrite`` → ``eso.ground`` → ``eso.tseitin`` →
+    ``eso.dpll``, each annotated with its size numbers.
+    """
     stats = stats if stats is not None else EvalStats()
     working = sentence
     if use_rewrite:
-        working = rewrite_eso(sentence).formula
+        working = rewrite_eso(sentence, tracer=tracer).formula
         stats.bump("eso_rewrites")
-    prop = ground_formula(working, db, assignment)
-    cnf, _root = to_cnf(prop)
+    prop = ground_formula(working, db, assignment, tracer=tracer)
+    cnf, _root = to_cnf(prop, tracer=tracer)
     stats.sat_variables += cnf.num_vars
     stats.sat_clauses += cnf.num_clauses
-    result = solve(cnf)
+    result = solve(cnf, tracer=tracer)
     model = result.named_assignment(cnf) if result.satisfiable else None
     return EsoOutcome(
         truth=result.satisfiable,
@@ -77,6 +84,7 @@ def eso_answer(
     output_vars: Sequence[str],
     use_rewrite: bool = True,
     stats: Optional[EvalStats] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """The answer relation of an ESO^k query, one SAT call per tuple."""
     stats = stats if stats is not None else EvalStats()
@@ -90,9 +98,23 @@ def eso_answer(
     rows = []
     for combo in db.domain.tuples(len(out)):
         assignment = dict(zip(out, combo))
-        outcome = eso_decide(
-            formula, db, assignment, use_rewrite=use_rewrite, stats=stats
-        )
+        if tracer.enabled:
+            with tracer.span(
+                "eso.tuple", tuple=",".join(str(v) for v in combo)
+            ) as span:
+                outcome = eso_decide(
+                    formula,
+                    db,
+                    assignment,
+                    use_rewrite=use_rewrite,
+                    stats=stats,
+                    tracer=tracer,
+                )
+                span.set(truth=outcome.truth)
+        else:
+            outcome = eso_decide(
+                formula, db, assignment, use_rewrite=use_rewrite, stats=stats
+            )
         if outcome.truth:
             rows.append(combo)
     return Relation(len(out), rows)

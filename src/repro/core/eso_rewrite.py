@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.database.domain import Domain
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, SyntaxError_
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.builders import and_, forall, iff
 from repro.logic.syntax import (
     And,
@@ -82,12 +83,25 @@ class RewriteResult:
     views: Tuple[ViewInfo, ...]
 
 
-def rewrite_eso(formula: Formula) -> RewriteResult:
+def rewrite_eso(
+    formula: Formula, tracer: TracerLike = NULL_TRACER
+) -> RewriteResult:
     """Rewrite every second-order quantifier to ≤k-ary view quantifiers.
 
     Works on arbitrarily placed ``∃S`` nodes (each is rewritten in its own
     scope); the paper's prenex ``(∃S̄)ψ`` is the common case.
     """
+    if tracer.enabled:
+        with tracer.span("eso.rewrite") as span:
+            rewriter = _Rewriter()
+            rewritten = rewriter.rewrite(formula)
+            span.set(
+                views=len(rewriter.views),
+                max_view_arity=max(
+                    (v.arity for v in rewriter.views), default=0
+                ),
+            )
+            return RewriteResult(rewritten, tuple(rewriter.views))
     rewriter = _Rewriter()
     rewritten = rewriter.rewrite(formula)
     return RewriteResult(rewritten, tuple(rewriter.views))

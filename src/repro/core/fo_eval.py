@@ -21,6 +21,7 @@ from repro.database.domain import Domain
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, VariableBoundError
 from repro.core.interp import EvalStats, VarTable
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import (
     And,
     Const,
@@ -103,6 +104,10 @@ class BoundedEvaluator:
         building wide intermediates.
     stats:
         Shared audit object; a fresh one is created when omitted.
+    tracer:
+        Span tracer; the shared no-op tracer by default.  When enabled,
+        every subformula evaluation is a ``fo.<Connective>`` span
+        annotated with the resulting table's rows and arity.
     """
 
     def __init__(
@@ -111,12 +116,14 @@ class BoundedEvaluator:
         fixpoint_solver: Optional[FixpointSolver] = None,
         k_limit: Optional[int] = None,
         stats: Optional[EvalStats] = None,
+        tracer: TracerLike = NULL_TRACER,
     ):
         self.db = db
         self.domain = db.domain
         self.fixpoint_solver = fixpoint_solver
         self.k_limit = k_limit
         self.stats = stats if stats is not None else EvalStats()
+        self.tracer = tracer
         # memo entries keep a strong reference to their formula so the
         # id()-based key can never alias a recycled object
         self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
@@ -174,7 +181,13 @@ class BoundedEvaluator:
             # the reference CPython could reuse the id of a dead formula
             self.stats.bump("memo_hits")
             return cached[1]
-        table = self._eval_node(formula, env)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(f"fo.{type(formula).__name__}") as span:
+                table = self._eval_node(formula, env)
+                span.set(rows=len(table), arity=len(table.variables))
+        else:
+            table = self._eval_node(formula, env)
         self.stats.observe_table(table)
         self._memo[key] = (formula, table)
         return table

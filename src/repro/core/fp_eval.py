@@ -39,6 +39,7 @@ from repro.database.relation import Relation
 from repro.errors import EvaluationError
 from repro.core.fo_eval import BoundedEvaluator
 from repro.core.interp import EvalStats
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.analysis import check_positivity, polarity_of
 from repro.logic.syntax import (
     Formula,
@@ -62,10 +63,24 @@ class FixpointStrategy(enum.Enum):
 StepFunction = Callable[[Relation], Relation]
 
 
+def _traced_step(
+    step: StepFunction,
+    current: Relation,
+    index: int,
+    tracer: TracerLike,
+) -> Relation:
+    """One iteration under a ``fp.iteration`` span with the delta size."""
+    with tracer.span("fp.iteration") as span:
+        after = step(current)
+        span.set(index=index, size=len(after), delta=len(after) - len(current))
+    return after
+
+
 def iterate_ascending(
     step: StepFunction,
     start: Relation,
     stats: EvalStats,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """Kleene iteration upward from ``start`` until a fixpoint.
 
@@ -75,9 +90,14 @@ def iterate_ascending(
     on a genuinely non-monotone body).
     """
     current = start
+    index = 0
     while True:
         stats.fixpoint_iterations += 1
-        after = step(current)
+        if tracer.enabled:
+            after = _traced_step(step, current, index, tracer)
+        else:
+            after = step(current)
+        index += 1
         if after == current:
             return current
         if not current.issubset(after):
@@ -93,6 +113,7 @@ def iterate_descending(
     step: StepFunction,
     start: Relation,
     stats: EvalStats,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """Kleene iteration downward from ``start`` until a fixpoint.
 
@@ -100,9 +121,14 @@ def iterate_descending(
     non-monotonicity guard.
     """
     current = start
+    index = 0
     while True:
         stats.fixpoint_iterations += 1
-        after = step(current)
+        if tracer.enabled:
+            after = _traced_step(step, current, index, tracer)
+        else:
+            after = step(current)
+        index += 1
         if after == current:
             return current
         if not after.issubset(current):
@@ -115,13 +141,23 @@ def iterate_descending(
 
 
 def iterate_inflationary(
-    step: StepFunction, arity: int, stats: EvalStats
+    step: StepFunction,
+    arity: int,
+    stats: EvalStats,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """IFP iteration ``S ← S ∪ φ(S)`` from empty; always converges."""
     current = Relation.empty(arity)
+    index = 0
     while True:
         stats.fixpoint_iterations += 1
-        after = current.union(step(current))
+        if tracer.enabled:
+            after = current.union(
+                _traced_step(step, current, index, tracer)
+            )
+        else:
+            after = current.union(step(current))
+        index += 1
         if after == current:
             return current
         current = after
@@ -132,6 +168,7 @@ def iterate_partial(
     arity: int,
     stats: EvalStats,
     iteration_limit: Optional[int] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """PFP iteration from empty (Section 2.2's convention).
 
@@ -146,7 +183,10 @@ def iterate_partial(
     steps = 0
     while True:
         stats.fixpoint_iterations += 1
-        after = step(current)
+        if tracer.enabled:
+            after = _traced_step(step, current, steps, tracer)
+        else:
+            after = step(current)
         if after == current:
             return current
         if after in seen:
@@ -193,9 +233,15 @@ def _step_function(
 class NaiveSolver:
     """Restart-everything nested evaluation — the ``n^{k·l}`` baseline."""
 
-    def __init__(self, stats: EvalStats, pfp_iteration_limit: Optional[int] = None):
+    def __init__(
+        self,
+        stats: EvalStats,
+        pfp_iteration_limit: Optional[int] = None,
+        tracer: TracerLike = NULL_TRACER,
+    ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
+        self._tracer = tracer
 
     def __call__(
         self,
@@ -203,18 +249,39 @@ class NaiveSolver:
         node: _FixpointBase,
         env: Dict[str, Relation],
     ) -> Relation:
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "fp.solve", rel=node.rel, kind=type(node).__name__.lower()
+            ) as span:
+                limit = self._solve(evaluator, node, env)
+                span.set(limit_size=len(limit))
+            return limit
+        return self._solve(evaluator, node, env)
+
+    def _solve(
+        self,
+        evaluator: BoundedEvaluator,
+        node: _FixpointBase,
+        env: Dict[str, Relation],
+    ) -> Relation:
         step = _step_function(evaluator, node, env, self._stats)
+        tracer = self._tracer
         if isinstance(node, LFP):
-            return iterate_ascending(step, Relation.empty(node.arity), self._stats)
+            return iterate_ascending(
+                step, Relation.empty(node.arity), self._stats, tracer
+            )
         if isinstance(node, GFP):
             return iterate_descending(
-                step, _full_relation(node.arity, evaluator.domain), self._stats
+                step,
+                _full_relation(node.arity, evaluator.domain),
+                self._stats,
+                tracer,
             )
         if isinstance(node, IFP):
-            return iterate_inflationary(step, node.arity, self._stats)
+            return iterate_inflationary(step, node.arity, self._stats, tracer)
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit
+                step, node.arity, self._stats, self._pfp_limit, tracer
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -237,9 +304,15 @@ class MonotoneSolver:
     monotone) and always recompute.
     """
 
-    def __init__(self, stats: EvalStats, pfp_iteration_limit: Optional[int] = None):
+    def __init__(
+        self,
+        stats: EvalStats,
+        pfp_iteration_limit: Optional[int] = None,
+        tracer: TracerLike = NULL_TRACER,
+    ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
+        self._tracer = tracer
         self._memory: Dict[_FixpointBase, Tuple[Dict[str, Relation], Relation]] = {}
         # keyed by the node itself (structural): id()-keys would alias
         # recycled transient closed-node objects
@@ -251,11 +324,29 @@ class MonotoneSolver:
         node: _FixpointBase,
         env: Dict[str, Relation],
     ) -> Relation:
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "fp.solve", rel=node.rel, kind=type(node).__name__.lower()
+            ) as span:
+                limit = self._solve(evaluator, node, env)
+                span.set(limit_size=len(limit))
+            return limit
+        return self._solve(evaluator, node, env)
+
+    def _solve(
+        self,
+        evaluator: BoundedEvaluator,
+        node: _FixpointBase,
+        env: Dict[str, Relation],
+    ) -> Relation:
         step = _step_function(evaluator, node, env, self._stats)
+        tracer = self._tracer
         if isinstance(node, IFP):
-            return iterate_inflationary(step, node.arity, self._stats)
+            return iterate_inflationary(step, node.arity, self._stats, tracer)
         if isinstance(node, PFP):
-            return iterate_partial(step, node.arity, self._stats, self._pfp_limit)
+            return iterate_partial(
+                step, node.arity, self._stats, self._pfp_limit, tracer
+            )
         relevant = {
             name: env[name]
             for name in free_relation_variables(node.body)
@@ -273,9 +364,9 @@ class MonotoneSolver:
         else:
             self._stats.bump("warm_starts")
         if ascending:
-            limit = iterate_ascending(step, start, self._stats)
+            limit = iterate_ascending(step, start, self._stats, tracer)
         else:
-            limit = iterate_descending(step, start, self._stats)
+            limit = iterate_descending(step, start, self._stats, tracer)
         self._memory[node] = (relevant, limit)
         return limit
 
@@ -324,12 +415,13 @@ def make_solver(
     strategy: FixpointStrategy,
     stats: EvalStats,
     pfp_iteration_limit: Optional[int] = None,
+    tracer: TracerLike = NULL_TRACER,
 ):
     """Build the fixpoint-solver callback for the bounded evaluator."""
     if strategy == FixpointStrategy.NAIVE:
-        return NaiveSolver(stats, pfp_iteration_limit)
+        return NaiveSolver(stats, pfp_iteration_limit, tracer)
     if strategy == FixpointStrategy.MONOTONE:
-        return MonotoneSolver(stats, pfp_iteration_limit)
+        return MonotoneSolver(stats, pfp_iteration_limit, tracer)
     if strategy == FixpointStrategy.ALTERNATION:
         raise EvaluationError(
             "the ALTERNATION strategy evaluates whole queries; use "
@@ -348,6 +440,7 @@ def solve_query(
     stats: Optional[EvalStats] = None,
     pfp_iteration_limit: Optional[int] = None,
     require_positive: bool = True,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """Evaluate an FO/FP/PFP query under the chosen strategy."""
     stats = stats if stats is not None else EvalStats()
@@ -356,11 +449,16 @@ def solve_query(
     if strategy == FixpointStrategy.ALTERNATION:
         from repro.core.alternation import alternation_answer
 
+        if tracer.enabled:
+            with tracer.span("fp.alternation"):
+                return alternation_answer(
+                    formula, db, output_vars, k_limit=k_limit, stats=stats
+                )
         return alternation_answer(
             formula, db, output_vars, k_limit=k_limit, stats=stats
         )
-    solver = make_solver(strategy, stats, pfp_iteration_limit)
+    solver = make_solver(strategy, stats, pfp_iteration_limit, tracer)
     evaluator = BoundedEvaluator(
-        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats
+        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats, tracer=tracer
     )
     return evaluator.answer(formula, output_vars)

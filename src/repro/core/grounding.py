@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 from repro.database.database import Database
 from repro.database.domain import Value
 from repro.errors import EvaluationError
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import (
     And,
     Const,
@@ -63,6 +64,7 @@ def ground_formula(
     formula: Formula,
     db: Database,
     assignment: Optional[Dict[str, Value]] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> PropFormula:
     """Ground ``formula`` over ``db`` into a propositional formula.
 
@@ -71,7 +73,34 @@ def ground_formula(
     negative occurrence would need QBF and is rejected.  Fixpoints are
     rejected too: the paper's ESO matrices are first-order.
     """
+    if tracer.enabled:
+        with tracer.span("eso.ground", domain_size=len(db.domain)) as span:
+            prop = _ground(
+                formula, db, dict(assignment or {}), positive=True, bound=set()
+            )
+            span.set(prop_nodes=_prop_size(prop))
+            return prop
     return _ground(formula, db, dict(assignment or {}), positive=True, bound=set())
+
+
+def _prop_size(formula: PropFormula) -> int:
+    """Node count of a grounded formula, respecting shared subterms.
+
+    This is the ``O(|e| · n^k)`` quantity of Corollary 3.7; only computed
+    when tracing is on (the walk is not free).
+    """
+    seen: set = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, BoolNot):
+            stack.append(node.sub)
+        elif isinstance(node, (BoolAnd, BoolOr)):
+            stack.extend(node.subs)
+    return len(seen)
 
 
 def _ground(

@@ -26,13 +26,13 @@ intermediate results.  :class:`EvalStats` audits that bound at runtime.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
     Mapping,
+    Optional,
     Sequence,
     Tuple,
 )
@@ -40,12 +40,36 @@ from typing import (
 from repro.database.domain import Domain, Value
 from repro.database.relation import Relation
 from repro.errors import EvaluationError
+from repro.obs.metrics import MetricsRegistry
 
 Row = Tuple[Value, ...]
 Assignment = Mapping[str, Value]
 
+#: Registry names behind each ``EvalStats`` attribute (see
+#: ``docs/observability.md`` for the full catalogue).
+_NOTE_PREFIX = "note."
 
-@dataclass
+
+def _counter_attr(metric: str, slot: str):
+    def getter(self):
+        return getattr(self, slot).value
+
+    def setter(self, value):
+        getattr(self, slot).value = value
+
+    return property(getter, setter, doc=f"backed by counter {metric!r}")
+
+
+def _gauge_attr(metric: str, slot: str):
+    def getter(self):
+        return getattr(self, slot).value
+
+    def setter(self, value):
+        getattr(self, slot).value = value
+
+    return property(getter, setter, doc=f"backed by gauge {metric!r}")
+
+
 class EvalStats:
     """Runtime audit of an evaluation: the quantities the paper bounds.
 
@@ -53,26 +77,93 @@ class EvalStats:
     ``n^k`` bound; ``fixpoint_iterations`` is the quantity Theorem 3.5
     reduces from ``n^{k·l}`` to ``l·n^k``; ``table_ops`` counts elementary
     relation operations (each polynomial-time, per Prop 3.1).
+
+    Every attribute is backed by an instrument in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (attribute reads/writes
+    are views onto it), so the same numbers are exportable by name; pass
+    a shared ``registry`` to aggregate several evaluations into one
+    store.  The classic ``stats.field += n`` call sites work unchanged.
     """
 
-    table_ops: int = 0
-    max_intermediate_rows: int = 0
-    max_intermediate_arity: int = 0
-    fixpoint_iterations: int = 0
-    body_evaluations: int = 0
-    sat_variables: int = 0
-    sat_clauses: int = 0
-    notes: Dict[str, int] = field(default_factory=dict)
+    __slots__ = (
+        "registry",
+        "_table_ops",
+        "_max_rows",
+        "_max_arity",
+        "_fixpoint_iterations",
+        "_body_evaluations",
+        "_sat_variables",
+        "_sat_clauses",
+        "_rows_hist",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._table_ops = self.registry.counter("eval.table_ops")
+        self._max_rows = self.registry.gauge("eval.max_intermediate_rows")
+        self._max_arity = self.registry.gauge("eval.max_intermediate_arity")
+        self._fixpoint_iterations = self.registry.counter(
+            "eval.fixpoint_iterations"
+        )
+        self._body_evaluations = self.registry.counter("eval.body_evaluations")
+        self._sat_variables = self.registry.counter("sat.variables")
+        self._sat_clauses = self.registry.counter("sat.clauses")
+        self._rows_hist = self.registry.histogram("eval.table_rows")
+
+    table_ops = _counter_attr("eval.table_ops", "_table_ops")
+    max_intermediate_rows = _gauge_attr(
+        "eval.max_intermediate_rows", "_max_rows"
+    )
+    max_intermediate_arity = _gauge_attr(
+        "eval.max_intermediate_arity", "_max_arity"
+    )
+    fixpoint_iterations = _counter_attr(
+        "eval.fixpoint_iterations", "_fixpoint_iterations"
+    )
+    body_evaluations = _counter_attr(
+        "eval.body_evaluations", "_body_evaluations"
+    )
+    sat_variables = _counter_attr("sat.variables", "_sat_variables")
+    sat_clauses = _counter_attr("sat.clauses", "_sat_clauses")
+
+    @property
+    def notes(self) -> Dict[str, int]:
+        """Ad-hoc named counters, as a plain dict (read-only view)."""
+        prefix = _NOTE_PREFIX
+        return {
+            metric.name[len(prefix) :]: metric.value
+            for metric in self.registry
+            if metric.name.startswith(prefix)
+        }
 
     def observe_table(self, table: "VarTable") -> None:
-        self.table_ops += 1
-        if len(table.rows) > self.max_intermediate_rows:
-            self.max_intermediate_rows = len(table.rows)
-        if len(table.variables) > self.max_intermediate_arity:
-            self.max_intermediate_arity = len(table.variables)
+        self._table_ops.value += 1
+        rows = len(table.rows)
+        self._rows_hist.observe(rows)
+        if rows > self._max_rows.value:
+            self._max_rows.value = rows
+        if len(table.variables) > self._max_arity.value:
+            self._max_arity.value = len(table.variables)
 
     def bump(self, key: str, amount: int = 1) -> None:
-        self.notes[key] = self.notes.get(key, 0) + amount
+        self.registry.counter(_NOTE_PREFIX + key).inc(amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        """The classic audit fields as a flat dict (for reports/benches)."""
+        return {
+            "table_ops": self.table_ops,
+            "max_intermediate_rows": self.max_intermediate_rows,
+            "max_intermediate_arity": self.max_intermediate_arity,
+            "fixpoint_iterations": self.fixpoint_iterations,
+            "body_evaluations": self.body_evaluations,
+            "sat_variables": self.sat_variables,
+            "sat_clauses": self.sat_clauses,
+            **self.notes,
+        }
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EvalStats({fields})"
 
 
 class VarTable:

@@ -17,7 +17,6 @@ the theorem's proof does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.database.database import Database
@@ -33,17 +32,50 @@ from repro.core.fp_eval import (
     iterate_inflationary,
 )
 from repro.core.interp import EvalStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import Formula, GFP, IFP, LFP, PFP, _FixpointBase
 
 
-@dataclass
 class SpaceMeter:
-    """Peak live-state accounting for the PSPACE bound of Theorem 3.8."""
+    """Peak live-state accounting for the PSPACE bound of Theorem 3.8.
 
-    peak_live_tuples: int = 0
-    peak_live_relations: int = 0
-    total_iterations: int = 0
-    _live: Dict[int, int] = field(default_factory=dict)
+    Backed by gauges/counters in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``pfp.peak_live_tuples``,
+    ``pfp.peak_live_relations``, ``pfp.iterations``); pass the registry of
+    the evaluation's :class:`~repro.core.interp.EvalStats` to keep one
+    unified store per query.
+    """
+
+    __slots__ = ("registry", "_peak_tuples", "_peak_relations", "_iterations", "_live")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._peak_tuples = self.registry.gauge("pfp.peak_live_tuples")
+        self._peak_relations = self.registry.gauge("pfp.peak_live_relations")
+        self._iterations = self.registry.counter("pfp.iterations")
+        self._live: Dict[int, int] = {}
+
+    @property
+    def peak_live_tuples(self) -> int:
+        return self._peak_tuples.value
+
+    @property
+    def peak_live_relations(self) -> int:
+        return self._peak_relations.value
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations.value
+
+    @property
+    def live_tuples(self) -> int:
+        """The current total of live tuples across open fixpoints."""
+        return sum(self._live.values())
+
+    @property
+    def live_relations(self) -> int:
+        return len(self._live)
 
     def enter(self, key: int, tuples: int) -> None:
         self._live[key] = tuples
@@ -51,18 +83,22 @@ class SpaceMeter:
 
     def update(self, key: int, tuples: int) -> None:
         self._live[key] = tuples
-        self.total_iterations += 1
+        self._iterations.inc()
         self._observe()
 
     def leave(self, key: int) -> None:
         self._live.pop(key, None)
 
     def _observe(self) -> None:
-        live_tuples = sum(self._live.values())
-        if live_tuples > self.peak_live_tuples:
-            self.peak_live_tuples = live_tuples
-        if len(self._live) > self.peak_live_relations:
-            self.peak_live_relations = len(self._live)
+        self._peak_tuples.set_max(sum(self._live.values()))
+        self._peak_relations.set_max(len(self._live))
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceMeter(peak_live_tuples={self.peak_live_tuples}, "
+            f"peak_live_relations={self.peak_live_relations}, "
+            f"total_iterations={self.total_iterations})"
+        )
 
 
 class MeteredPFPSolver(NaiveSolver):
@@ -81,13 +117,14 @@ class MeteredPFPSolver(NaiveSolver):
         stats: EvalStats,
         meter: SpaceMeter,
         strict_space: bool = False,
+        tracer: TracerLike = NULL_TRACER,
     ):
-        super().__init__(stats)
+        super().__init__(stats, tracer=tracer)
         self._meter = meter
         self._strict = strict_space
         self._next_key = 0
 
-    def __call__(
+    def _solve(
         self,
         evaluator: BoundedEvaluator,
         node: _FixpointBase,
@@ -96,33 +133,43 @@ class MeteredPFPSolver(NaiveSolver):
         key = self._next_key
         self._next_key += 1
         step = _step_function(evaluator, node, env, self._stats)
+        meter = self._meter
+        tracer = self._tracer
 
         def metered_step(current: Relation) -> Relation:
             after = step(current)
-            self._meter.update(key, len(after))
+            meter.update(key, len(after))
+            if tracer.enabled:
+                # snapshot of the *live* state — the Theorem 3.8 quantity
+                tracer.event(
+                    "pfp.space",
+                    live_tuples=meter.live_tuples,
+                    live_relations=meter.live_relations,
+                )
             return after
 
-        self._meter.enter(key, 0)
+        meter.enter(key, 0)
         try:
             if isinstance(node, LFP):
                 return iterate_ascending(
-                    metered_step, Relation.empty(node.arity), self._stats
+                    metered_step, Relation.empty(node.arity), self._stats, tracer
                 )
             if isinstance(node, GFP):
                 return iterate_descending(
                     metered_step,
                     _full_relation(node.arity, evaluator.domain),
                     self._stats,
+                    tracer,
                 )
             if isinstance(node, IFP):
                 return iterate_inflationary(
-                    metered_step, node.arity, self._stats
+                    metered_step, node.arity, self._stats, tracer
                 )
             if isinstance(node, PFP):
                 return self._partial(metered_step, node, evaluator)
             raise EvaluationError(f"unknown fixpoint node {node!r}")
         finally:
-            self._meter.leave(key)
+            meter.leave(key)
 
     def _partial(
         self,
@@ -132,11 +179,23 @@ class MeteredPFPSolver(NaiveSolver):
     ) -> Relation:
         arity = node.arity
         current = Relation.empty(arity)
+        tracer = self._tracer
+        index = 0
         if not self._strict:
             seen = {current}
             while True:
                 self._stats.fixpoint_iterations += 1
-                after = step(current)
+                if tracer.enabled:
+                    with tracer.span("fp.iteration") as span:
+                        after = step(current)
+                        span.set(
+                            index=index,
+                            size=len(after),
+                            delta=len(after) - len(current),
+                        )
+                else:
+                    after = step(current)
+                index += 1
                 if after == current:
                     return current
                 if after in seen:
@@ -146,9 +205,18 @@ class MeteredPFPSolver(NaiveSolver):
         # strict PSPACE mode: count to 2^{n^k} with O(1) extra memory
         n = len(evaluator.domain)
         distinct_relations = 2 ** (n**arity)
-        for _ in range(distinct_relations):
+        for index in range(distinct_relations):
             self._stats.fixpoint_iterations += 1
-            after = step(current)
+            if tracer.enabled:
+                with tracer.span("fp.iteration") as span:
+                    after = step(current)
+                    span.set(
+                        index=index,
+                        size=len(after),
+                        delta=len(after) - len(current),
+                    )
+            else:
+                after = step(current)
             if after == current:
                 return current
             current = after
@@ -165,6 +233,7 @@ def pfp_answer(
     meter: Optional[SpaceMeter] = None,
     strict_space: bool = False,
     k_limit: Optional[int] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Relation:
     """Evaluate a PFP^k query with live-space accounting.
 
@@ -172,9 +241,11 @@ def pfp_answer(
     ``meter`` (pass one in to read them back).
     """
     stats = stats if stats is not None else EvalStats()
-    meter = meter if meter is not None else SpaceMeter()
-    solver = MeteredPFPSolver(stats, meter, strict_space=strict_space)
+    meter = meter if meter is not None else SpaceMeter(registry=stats.registry)
+    solver = MeteredPFPSolver(
+        stats, meter, strict_space=strict_space, tracer=tracer
+    )
     evaluator = BoundedEvaluator(
-        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats
+        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats, tracer=tracer
     )
     return evaluator.answer(formula, output_vars)

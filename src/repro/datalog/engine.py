@@ -15,6 +15,7 @@ from repro.database.database import Database
 from repro.database.relation import Relation
 from repro.errors import EvaluationError
 from repro.datalog.syntax import Atom, DatalogConst, DatalogProgram, Rule
+from repro.obs.tracer import NULL_TRACER, TracerLike
 
 Row = Tuple[object, ...]
 
@@ -134,6 +135,7 @@ def evaluate_program(
     program: DatalogProgram,
     db: Database,
     stats: Optional[DatalogStats] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Dict[str, Relation]:
     """Naive bottom-up evaluation: re-derive everything each round."""
     stats = stats if stats is not None else DatalogStats()
@@ -143,40 +145,61 @@ def evaluate_program(
     changed = True
     while changed:
         stats.rounds += 1
-        changed = False
-        for rule in program.rules:
-            for row in _fire_rule(rule, db, idb, stats):
-                if row not in idb[rule.head.predicate]:
-                    idb[rule.head.predicate].add(row)
-                    stats.tuples_derived += 1
-                    changed = True
+        if tracer.enabled:
+            with tracer.span("datalog.round") as span:
+                changed = _naive_round(program, db, idb, stats)
+                span.set(
+                    index=stats.rounds - 1,
+                    total_tuples=sum(len(rows) for rows in idb.values()),
+                )
+        else:
+            changed = _naive_round(program, db, idb, stats)
     return {
         pred: Relation(program.arity_of(pred), rows)
         for pred, rows in idb.items()
     }
 
 
+def _naive_round(
+    program: DatalogProgram,
+    db: Database,
+    idb: Dict[str, Set[Row]],
+    stats: DatalogStats,
+) -> bool:
+    changed = False
+    for rule in program.rules:
+        for row in _fire_rule(rule, db, idb, stats):
+            if row not in idb[rule.head.predicate]:
+                idb[rule.head.predicate].add(row)
+                stats.tuples_derived += 1
+                changed = True
+    return changed
+
+
 def semi_naive(
     program: DatalogProgram,
     db: Database,
     stats: Optional[DatalogStats] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> Dict[str, Relation]:
     """Semi-naive evaluation: join against the per-round deltas only."""
     stats = stats if stats is not None else DatalogStats()
     idb: Dict[str, Set[Row]] = {
         pred: set() for pred in program.idb_predicates()
     }
-    # round 0: rules fired with empty IDB (facts and EDB-only rules)
-    delta: Dict[str, Set[Row]] = {pred: set() for pred in idb}
-    stats.rounds += 1
-    for rule in program.rules:
-        for row in _fire_rule(rule, db, idb, stats):
-            if row not in idb[rule.head.predicate]:
-                idb[rule.head.predicate].add(row)
-                delta[rule.head.predicate].add(row)
-                stats.tuples_derived += 1
-    while any(delta.values()):
-        stats.rounds += 1
+
+    def seed_round() -> Dict[str, Set[Row]]:
+        # round 0: rules fired with empty IDB (facts and EDB-only rules)
+        delta: Dict[str, Set[Row]] = {pred: set() for pred in idb}
+        for rule in program.rules:
+            for row in _fire_rule(rule, db, idb, stats):
+                if row not in idb[rule.head.predicate]:
+                    idb[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+                    stats.tuples_derived += 1
+        return delta
+
+    def delta_round(delta: Dict[str, Set[Row]]) -> Dict[str, Set[Row]]:
         next_delta: Dict[str, Set[Row]] = {pred: set() for pred in idb}
         for rule in program.rules:
             for row in _fire_rule(rule, db, idb, stats, delta=delta):
@@ -184,7 +207,28 @@ def semi_naive(
                     idb[rule.head.predicate].add(row)
                     next_delta[rule.head.predicate].add(row)
                     stats.tuples_derived += 1
-        delta = next_delta
+        return next_delta
+
+    stats.rounds += 1
+    if tracer.enabled:
+        with tracer.span("datalog.round") as span:
+            delta = seed_round()
+            span.set(
+                index=0, delta=sum(len(rows) for rows in delta.values())
+            )
+    else:
+        delta = seed_round()
+    while any(delta.values()):
+        stats.rounds += 1
+        if tracer.enabled:
+            with tracer.span("datalog.round") as span:
+                delta = delta_round(delta)
+                span.set(
+                    index=stats.rounds - 1,
+                    delta=sum(len(rows) for rows in delta.values()),
+                )
+        else:
+            delta = delta_round(delta)
     return {
         pred: Relation(program.arity_of(pred), rows)
         for pred, rows in idb.items()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional
 
 from repro.errors import EvaluationError
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.mucalculus.kripke import KripkeStructure
 from repro.mucalculus.syntax import (
     Box,
@@ -35,12 +36,18 @@ def model_check(
     structure: KripkeStructure,
     formula: MuFormula,
     environment: Optional[Dict[str, StateSet]] = None,
+    tracer: TracerLike = NULL_TRACER,
 ) -> StateSet:
-    """The denotation ``‖formula‖`` ⊆ states of ``structure``."""
+    """The denotation ``‖formula‖`` ⊆ states of ``structure``.
+
+    With tracing on, every µ/ν subformula shows up as a ``mu.fixpoint``
+    span annotated with its recursion variable, iteration count, and
+    final denotation size.
+    """
     if environment is None:
         check_closed(formula)
     env = dict(environment or {})
-    return _denote(structure, formula, env)
+    return _denote(structure, formula, env, tracer)
 
 
 def holds_at(structure: KripkeStructure, formula: MuFormula, state: int) -> bool:
@@ -52,6 +59,7 @@ def _denote(
     structure: KripkeStructure,
     formula: MuFormula,
     env: Dict[str, StateSet],
+    tracer: TracerLike = NULL_TRACER,
 ) -> StateSet:
     all_states = frozenset(range(structure.num_states))
     if isinstance(formula, Prop):
@@ -74,39 +82,56 @@ def _denote(
     if isinstance(formula, MuAnd):
         result = all_states
         for sub in formula.subs:
-            result &= _denote(structure, sub, env)
+            result &= _denote(structure, sub, env, tracer)
         return result
     if isinstance(formula, MuOr):
         result: StateSet = frozenset()
         for sub in formula.subs:
-            result |= _denote(structure, sub, env)
+            result |= _denote(structure, sub, env, tracer)
         return result
     if isinstance(formula, Diamond):
-        target = _denote(structure, formula.sub, env)
+        target = _denote(structure, formula.sub, env, tracer)
         return frozenset(
             u for u, v in structure.transitions if v in target
         )
     if isinstance(formula, Box):
-        target = _denote(structure, formula.sub, env)
+        target = _denote(structure, formula.sub, env, tracer)
         return frozenset(
             s for s in all_states if structure.successors(s) <= target
         )
-    if isinstance(formula, Mu):
-        current: StateSet = frozenset()
-        while True:
-            env[formula.var] = current
-            after = _denote(structure, formula.sub, env)
-            del env[formula.var]
-            if after == current:
-                return current
-            current = after
-    if isinstance(formula, Nu):
-        current = all_states
-        while True:
-            env[formula.var] = current
-            after = _denote(structure, formula.sub, env)
-            del env[formula.var]
-            if after == current:
-                return current
-            current = after
+    if isinstance(formula, (Mu, Nu)):
+        if tracer.enabled:
+            kind = "mu" if isinstance(formula, Mu) else "nu"
+            with tracer.span(
+                "mu.fixpoint", var=formula.var, kind=kind
+            ) as span:
+                current, iterations = _iterate_fixpoint(
+                    structure, formula, env, all_states, tracer
+                )
+                span.set(iterations=iterations, size=len(current))
+            return current
+        current, _ = _iterate_fixpoint(
+            structure, formula, env, all_states, tracer
+        )
+        return current
     raise EvaluationError(f"unknown µ-calculus node {formula!r}")
+
+
+def _iterate_fixpoint(
+    structure: KripkeStructure,
+    formula: MuFormula,
+    env: Dict[str, StateSet],
+    all_states: StateSet,
+    tracer: TracerLike,
+):
+    """Kleene iteration for a µ (from ∅) or ν (from all states) node."""
+    current: StateSet = frozenset() if isinstance(formula, Mu) else all_states
+    iterations = 0
+    while True:
+        iterations += 1
+        env[formula.var] = current
+        after = _denote(structure, formula.sub, env, tracer)
+        del env[formula.var]
+        if after == current:
+            return current, iterations
+        current = after

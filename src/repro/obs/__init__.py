@@ -1,0 +1,57 @@
+"""Observability: span-based tracing and a unified metrics registry.
+
+The paper's headline claims are claims about internal quantities —
+intermediate relation sizes (Prop 3.1), fixpoint iteration counts
+(Theorem 3.5), live PFP space (Theorem 3.8), grounded CNF sizes
+(Lemma 3.6 / Corollary 3.7).  This package makes them observable:
+
+* :mod:`repro.obs.tracer` — nested, timed, attributed spans with JSONL
+  export; the shared no-op :data:`NULL_TRACER` keeps disabled runs free.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms; the store
+  behind ``EvalStats`` and ``SpaceMeter``.
+* :mod:`repro.obs.report` — plain-text span-tree / hot-span / metrics
+  rendering (the ``repro trace`` CLI output).
+
+See ``docs/observability.md`` for the span and metric catalogue and how
+each maps back to a bound in the paper.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    render_hot_spans,
+    render_metrics,
+    render_report,
+    render_span_tree,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    TracerLike,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "TracerLike",
+    "resolve_tracer",
+    "render_hot_spans",
+    "render_metrics",
+    "render_report",
+    "render_span_tree",
+]

@@ -1,0 +1,195 @@
+"""A unified metrics registry: counters, gauges, and histograms.
+
+Every quantity the paper bounds is a metric here.  The registry is the
+single store behind :class:`~repro.core.interp.EvalStats` (Prop 3.1 /
+Theorem 3.5 counters) and :class:`~repro.core.pfp_eval.SpaceMeter`
+(Theorem 3.8 space gauges), so the classic stats objects keep their
+attribute API while every reading is also available by name for export
+and reporting.
+
+Three instrument kinds:
+
+``Counter``
+    A monotone total (``table_ops``, ``fixpoint_iterations``,
+    ``sat_clauses``).  Supports ``inc`` and — for the stats facades that
+    expose settable attributes — a raw ``set``.
+``Gauge``
+    A last-value-or-peak reading (``max_intermediate_rows``,
+    ``pfp.peak_live_tuples``).  ``set_max`` keeps the running maximum.
+``Histogram``
+    A distribution (per-iteration delta sizes, span durations), bucketed
+    by powers of two.
+
+All instruments are plain Python objects with no locks: the library is
+single-threaded per evaluation, and a registry is cheap enough to create
+per query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """A metric name was reused with a different instrument kind."""
+
+
+class Counter:
+    """A monotone running total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Union[int, float]) -> None:
+        """Raw overwrite — for facades that expose settable attributes."""
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time reading, with an optional running-maximum helper."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def set_max(self, value: Union[int, float]) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+#: Default histogram bucket upper bounds: powers of two, then overflow.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(2.0**i for i in range(0, 21))
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(
+            bounds if bounds is not None else DEFAULT_BUCKETS
+        )
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.buckets[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.3g})"
+        )
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created on first access and shared thereafter;
+    re-requesting a name with a different kind is an error (it would
+    silently split one quantity across two stores).
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise MetricsError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"requested as {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """All readings as a plain name → value dict (JSON-friendly)."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

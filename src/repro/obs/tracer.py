@@ -1,0 +1,290 @@
+"""Span-based tracing for the query engines.
+
+A :class:`Span` is one timed phase of an evaluation — a connective of the
+bottom-up FO pass, one fixpoint iteration, one SAT stage — with attached
+attributes (delta sizes, CNF sizes, ...).  Spans nest: the tracer keeps a
+stack of open spans and links each new span to the innermost open one, so
+an exported trace reconstructs the call tree exactly.
+
+Two tracers exist:
+
+* :class:`Tracer` — records spans with wall-clock timings and exports
+  them as JSONL (one span per line, with ``name``, ``start``,
+  ``duration``, ``attrs`` and ``span_id``/``parent_id`` linkage).
+* :data:`NULL_TRACER` — the shared no-op singleton used by default
+  everywhere.  Its ``span()`` returns one preallocated context manager,
+  so the instrumented hot paths cost a guarded attribute check and
+  nothing else when tracing is off.
+
+Hot-path convention: every call site that computes attributes guards on
+``tracer.enabled`` so a disabled run allocates nothing::
+
+    if tracer.enabled:
+        with tracer.span("fp.iteration") as span:
+            after = step(current)
+            span.set(size=len(after))
+    else:
+        after = step(current)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+
+class Span:
+    """One timed, attributed phase; nodes of the trace tree."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attrs",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration: float = 0.0
+        self.attrs: Dict[str, object] = {}
+        self.children: List["Span"] = []
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def self_duration(self) -> float:
+        """Time spent in this span excluding its children."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration:.6f}, attrs={self.attrs})"
+        )
+
+
+class _SpanContext:
+    """Context manager wrapping one span's open/close."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        span = self._tracer._open(self._name)
+        if self._attrs:
+            span.attrs.update(self._attrs)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class _NullSpan:
+    """The no-op span/context-manager: one shared, attribute-immune object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op with no allocation."""
+
+    __slots__ = ()
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        return None
+
+    def export_jsonl(self) -> str:
+        return ""
+
+    def roots(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The shared no-op tracer every engine defaults to.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records a tree of timed spans.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic seconds-valued callable.  Span ``start`` values are
+    relative to the tracer's creation, so exported traces are
+    self-contained.
+    """
+
+    __slots__ = ("_clock", "_epoch", "_stack", "_next_id", "spans")
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.spans: List[Span] = []
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a nested span for the duration of a ``with`` block."""
+        return _SpanContext(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> Span:
+        """A zero-duration span — a point-in-time snapshot (space, etc.)."""
+        span = self._open(name)
+        if attrs:
+            span.attrs.update(attrs)
+        self._close(span)
+        return span
+
+    def _open(self, name: str) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name,
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            self._clock() - self._epoch,
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Optional[Span]) -> None:
+        if span is None:
+            return
+        span.duration = (self._clock() - self._epoch) - span.start
+        # pop back to the span being closed; tolerates a child left open
+        # by an exception unwinding through several frames
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- reading -------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Top-level spans, in start order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def total_duration(self) -> float:
+        return sum(s.duration for s in self.roots())
+
+    def walk(self) -> Iterator[Span]:
+        """All spans, depth-first in tree order."""
+
+        def visit(span: Span) -> Iterator[Span]:
+            yield span
+            for child in span.children:
+                yield from visit(child)
+
+        for root in self.roots():
+            yield from visit(root)
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals: count, total/self wall-clock seconds."""
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            agg = out.setdefault(
+                span.name, {"count": 0, "total": 0.0, "self": 0.0}
+            )
+            agg["count"] += 1
+            agg["total"] += span.duration
+            agg["self"] += span.self_duration()
+        return out
+
+    def hot_spans(self, k: int = 10) -> List[Dict[str, object]]:
+        """The ``k`` span names with the largest *self* time, descending."""
+        rows = [
+            {"name": name, **agg} for name, agg in self.aggregate().items()
+        ]
+        rows.sort(key=lambda r: r["self"], reverse=True)
+        return rows[:k]
+
+    # -- export --------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        """One JSON object per span, in span-id order.
+
+        Each line carries ``span_id``, ``parent_id`` (``null`` for
+        roots), ``name``, ``start`` (seconds since the tracer was
+        created), ``duration`` (seconds), and ``attrs``.
+        """
+        return "\n".join(
+            json.dumps(span.to_dict(), default=str) for span in self.spans
+        )
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans)"
+
+
+TracerLike = Union[Tracer, NullTracer]
+
+
+def resolve_tracer(trace: Union[bool, TracerLike, None]) -> TracerLike:
+    """Normalize an ``EvalOptions.trace`` value to a tracer instance.
+
+    ``None``/``False`` → the shared no-op tracer; ``True`` → a fresh
+    recording tracer; a tracer instance is used as-is.
+    """
+    if trace is None or trace is False:
+        return NULL_TRACER
+    if trace is True:
+        return Tracer()
+    return trace

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sat.cnf import CNF
 
 
@@ -27,8 +28,23 @@ class SatResult:
         return cnf.decode(self.assignment)
 
 
-def solve(cnf: CNF, assumptions: Sequence[int] = ()) -> SatResult:
+def solve(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    tracer: TracerLike = NULL_TRACER,
+) -> SatResult:
     """Decide satisfiability of ``cnf`` under optional assumption literals."""
+    if tracer.enabled:
+        with tracer.span(
+            "eso.dpll", variables=cnf.num_vars, clauses=cnf.num_clauses
+        ) as span:
+            result = _DPLL(cnf).run(list(assumptions))
+            span.set(
+                satisfiable=result.satisfiable,
+                decisions=result.decisions,
+                propagations=result.propagations,
+            )
+            return result
     solver = _DPLL(cnf)
     return solver.run(list(assumptions))
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sat.cnf import (
     BoolAnd,
     BoolConst,
@@ -22,7 +23,11 @@ from repro.sat.cnf import (
 )
 
 
-def to_cnf(formula: PropFormula, cnf: CNF = None) -> Tuple[CNF, int]:
+def to_cnf(
+    formula: PropFormula,
+    cnf: CNF = None,
+    tracer: TracerLike = NULL_TRACER,
+) -> Tuple[CNF, int]:
     """Translate ``formula`` and assert it; returns ``(cnf, root_literal)``.
 
     The returned CNF is satisfiable iff the formula is, and any model of
@@ -32,6 +37,13 @@ def to_cnf(formula: PropFormula, cnf: CNF = None) -> Tuple[CNF, int]:
     """
     if cnf is None:
         cnf = CNF()
+    if tracer.enabled:
+        with tracer.span("eso.tseitin") as span:
+            converter = _Tseitin(cnf)
+            root = converter.literal(formula)
+            cnf.add_clause([root])
+            span.set(variables=cnf.num_vars, clauses=cnf.num_clauses)
+            return cnf, root
     converter = _Tseitin(cnf)
     root = converter.literal(formula)
     cnf.add_clause([root])

@@ -76,10 +76,46 @@ class TestSweep:
         with pytest.raises(KeyError):
             result.points[0].counter("missing")
 
+    def test_missing_counter_default(self):
+        result = run_sweep("none", [1], lambda n: None)
+        assert result.points[0].counter("missing", 0.0) == 0.0
+        assert result.counter_series("missing", default=-1.0) == [-1.0]
+
     def test_format_rows(self):
         result = run_sweep("fmt", [1, 2], lambda n: {"c": n})
         text = result.format_rows(["c"])
         assert "param" in text and len(text.splitlines()) == 3
+
+    def test_format_rows_tolerates_missing_counters(self):
+        # points without the requested counter render "-", not KeyError
+        result = run_sweep(
+            "mixed", [1, 2], lambda n: {"c": n} if n == 1 else None
+        )
+        text = result.format_rows(["c"])
+        lines = text.splitlines()
+        assert lines[1].split("\t")[-1] == "1"
+        assert lines[2].split("\t")[-1] == "-"
+
+    def test_tracer_factory_records_per_point_traces(self):
+        from repro.obs import Tracer
+
+        def workload(n, tracer):
+            with tracer.span("work", n=n):
+                pass
+            return {"c": n}
+
+        result = run_sweep(
+            "traced", [1, 2], workload, tracer_factory=Tracer
+        )
+        for point in result.points:
+            assert point.trace is not None
+            # warmup ran against the no-op tracer: exactly one recorded span
+            assert [s.name for s in point.trace.spans] == ["work"]
+        assert result.counter_series("c") == [1, 2]
+
+    def test_no_tracer_factory_leaves_trace_unset(self):
+        result = run_sweep("plain", [1], lambda n: {})
+        assert result.points[0].trace is None
 
     def test_repetitions_take_minimum(self):
         calls = []
