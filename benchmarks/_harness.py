@@ -10,9 +10,36 @@ vs exponential, who wins) are asserted so a regression breaks the bench.
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import Optional, Sequence
+
+from repro.guard.budget import Budget
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Environment variable overriding the per-point deadline (seconds).
+DEADLINE_ENV = "REPRO_BENCH_DEADLINE"
+
+#: Default per-point deadline: generous for any healthy bench point, but
+#: a diverging configuration is cut off instead of hanging the suite.
+DEFAULT_POINT_DEADLINE = 60.0
+
+
+def point_budget(deadline_seconds: Optional[float] = None) -> Budget:
+    """The per-sweep-point budget for bench workloads.
+
+    Benches thread this into their workloads' ``EvalOptions`` so every
+    point is individually deadlined; :func:`repro.complexity.run_sweep`
+    then records an over-deadline point as ``outcome="timeout"`` and the
+    sweep keeps going.  ``REPRO_BENCH_DEADLINE`` overrides the default
+    (``0`` disables the deadline entirely).
+    """
+    if deadline_seconds is None:
+        deadline_seconds = float(
+            os.environ.get(DEADLINE_ENV, DEFAULT_POINT_DEADLINE)
+        )
+    if deadline_seconds <= 0:
+        return Budget()
+    return Budget(deadline_seconds=deadline_seconds)
 
 
 def emit(experiment_id: str, title: str, body: str) -> None:

@@ -14,10 +14,11 @@ import time
 
 from repro.core.eso_eval import eso_decide, grounded_cnf
 from repro.complexity.fit import classify_growth
+from repro.guard.budget import resolve_guard
 from repro.logic.parser import parse_formula
 from repro.workloads.graphs import cycle_graph, random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, point_budget, series_table
 
 SIZES = [4, 6, 8, 10, 12]
 TWO_COLOR = parse_formula(
@@ -29,8 +30,10 @@ TWO_COLOR = parse_formula(
 def _point(n: int):
     db = random_graph(n, 0.25, seed=n)
     cnf, _ = grounded_cnf(TWO_COLOR, db)
+    # per-point deadline: an exploding instance times out, not the suite
+    guard = resolve_guard(point_budget())
     start = time.perf_counter()
-    outcome = eso_decide(TWO_COLOR, db)
+    outcome = eso_decide(TWO_COLOR, db, guard=guard)
     return cnf, outcome, time.perf_counter() - start
 
 

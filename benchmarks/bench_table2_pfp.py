@@ -12,10 +12,11 @@ import time
 from repro.core.naive_eval import naive_answer
 from repro.core.pfp_eval import SpaceMeter, pfp_answer
 from repro.complexity.fit import classify_growth
+from repro.guard.budget import resolve_guard
 from repro.logic.parser import parse_formula
 from repro.workloads.graphs import labeled_graph, path_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, point_budget, series_table
 
 SIZES = [2, 3, 4, 5, 6, 7]
 
@@ -42,8 +43,10 @@ def _database(n: int):
 def _point(n: int):
     db = _database(n)
     meter = SpaceMeter()
+    # per-point deadline: a diverging pfp cannot hang the bench suite
+    guard = resolve_guard(point_budget())
     start = time.perf_counter()
-    answer = pfp_answer(COUNTER, db, ("u",), meter=meter)
+    answer = pfp_answer(COUNTER, db, ("u",), meter=meter, guard=guard)
     seconds = time.perf_counter() - start
     return answer, meter, seconds
 

@@ -37,14 +37,19 @@ from repro.core import (
 )
 from repro.errors import (
     CertificateError,
+    DeadlineExceeded,
     EvaluationError,
+    IterationBudgetExceeded,
     PositivityError,
     ReductionError,
     ReproError,
+    ResourceExhausted,
     SchemaError,
+    SpaceBudgetExceeded,
     SyntaxError_,
     VariableBoundError,
 )
+from repro.guard import Budget, ChaosPolicy, ResourceGuard
 from repro.obs import (
     NULL_TRACER,
     MetricsRegistry,
@@ -79,6 +84,13 @@ __all__ = [
     "EvaluationError",
     "CertificateError",
     "ReductionError",
+    "ResourceExhausted",
+    "DeadlineExceeded",
+    "IterationBudgetExceeded",
+    "SpaceBudgetExceeded",
+    "Budget",
+    "ChaosPolicy",
+    "ResourceGuard",
     "Tracer",
     "NULL_TRACER",
     "Span",

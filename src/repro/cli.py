@@ -19,6 +19,23 @@ Usage (also via ``python -m repro``)::
 
 Database files contain the standard encoding produced by
 :func:`repro.database.encoding.encode_database`.
+
+Resource budgets: ``eval``, ``trace``, and ``datalog`` accept
+``--timeout SECONDS``, ``--max-iterations N``, and ``--max-rows N``;
+exceeding any of them aborts the evaluation cleanly (see
+``docs/robustness.md``).
+
+Exit codes:
+
+====  =============================================================
+0     success
+1     a :class:`~repro.errors.ReproError` (bad query, missing
+      relation, …) or missing file
+2     usage error (argparse)
+124   a resource budget or deadline was exhausted
+      (:class:`~repro.errors.ResourceExhausted` — same convention as
+      ``timeout(1)``)
+====  =============================================================
 """
 
 from __future__ import annotations
@@ -30,7 +47,11 @@ from typing import List, Optional
 from repro.core.engine import EvalOptions, evaluate
 from repro.core.fp_eval import FixpointStrategy
 from repro.database.encoding import decode_database, encode_database
-from repro.errors import ReproError
+from repro.errors import ReproError, ResourceExhausted
+from repro.guard.budget import Budget
+
+#: Exit code for exhausted budgets/deadlines, matching ``timeout(1)``.
+EXIT_RESOURCE_EXHAUSTED = 124
 from repro.logic.analysis import alternation_depth, classify_language
 from repro.logic.parser import parse_formula
 from repro.logic.printer import format_formula, formula_length
@@ -42,6 +63,39 @@ def _load_db(path: str):
         return decode_database(handle.read().strip())
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
+    budget = Budget(
+        deadline_seconds=getattr(args, "timeout", None),
+        max_iterations=getattr(args, "max_iterations", None),
+        max_rows=getattr(args, "max_rows", None),
+    )
+    return None if budget.is_unlimited() else budget
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; exceeding it exits with code 124",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on fixpoint/round iterations",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on any single intermediate relation (the n^k invariant)",
+    )
+
+
 def _cmd_eval(args: argparse.Namespace) -> int:
     db = _load_db(args.db)
     formula = parse_formula(args.query)
@@ -49,6 +103,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     options = EvalOptions(
         strategy=FixpointStrategy(args.strategy),
         k_limit=args.k_limit,
+        budget=_budget_from_args(args),
     )
     result = evaluate(formula, db, out, options)
     if not out:
@@ -83,6 +138,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         strategy=FixpointStrategy(args.strategy),
         k_limit=args.k_limit,
         trace=tracer,
+        budget=_budget_from_args(args),
     )
     result = evaluate(formula, db, out, options)
     answer = (
@@ -140,11 +196,13 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
 def _cmd_datalog(args: argparse.Namespace) -> int:
     from repro.datalog import parse_program, semi_naive
+    from repro.guard.budget import resolve_guard
 
     db = _load_db(args.db)
     with open(args.program) as handle:
         program = parse_program(handle.read())
-    results = semi_naive(program, db)
+    guard = resolve_guard(_budget_from_args(args))
+    results = semi_naive(program, db, guard=guard)
     predicates = [args.pred] if args.pred else sorted(results)
     for predicate in predicates:
         if predicate not in results:
@@ -177,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_eval.add_argument("--k-limit", type=int, default=None)
     p_eval.add_argument("--stats", action="store_true", help="print audit stats")
+    _add_budget_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_eval)
 
     p_trace = sub.add_parser(
@@ -212,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the raw spans as JSONL to this file",
     )
+    _add_budget_arguments(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
 
     p_info = sub.add_parser("info", help="classify and measure a query")
@@ -230,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dl.add_argument("--db", required=True)
     p_dl.add_argument("--program", required=True)
     p_dl.add_argument("--pred", default=None, help="predicate to print")
+    _add_budget_arguments(p_dl)
     p_dl.set_defaults(func=_cmd_datalog)
     return parser
 
@@ -239,6 +300,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ResourceExhausted as exc:
+        # before the generic ReproError handler: budget exhaustion gets
+        # its own exit code so scripts can tell "too big" from "wrong"
+        print(f"resource exhausted: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -9,6 +9,13 @@ much cleaner scaling curves than wall-clock noise.
 With a ``tracer_factory``, each timed call also records a span trace
 (``workload(parameter, tracer)``), so a bench can attribute a point's
 time to evaluation phases — see :mod:`repro.obs`.
+
+Failures do not abort a sweep: a point whose workload raises is recorded
+with ``outcome`` ``"timeout"`` (a :class:`~repro.errors.ResourceExhausted`
+— typically a per-point deadline, see ``benchmarks/_harness.py``) or
+``"error"`` (anything else) plus the message, and the sweep continues
+with the next parameter.  Pass ``capture_failures=False`` for the old
+fail-fast behavior.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ResourceExhausted
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 _MISSING = object()
@@ -28,12 +36,25 @@ class SweepPoint:
 
     ``trace`` holds the recording tracer for this point when the sweep
     was run with a ``tracer_factory`` (``None`` otherwise).
+
+    ``outcome`` is ``"ok"``, ``"timeout"`` (the workload raised
+    :class:`~repro.errors.ResourceExhausted` — budget or deadline), or
+    ``"error"`` (any other exception); ``error`` carries the message for
+    the failing cases.  Failing points keep whatever counters the
+    workload did not get to report (usually none) and the time spent
+    until the failure.
     """
 
     parameter: float
     seconds: float
     counters: Tuple[Tuple[str, float], ...] = ()
     trace: Optional[Tracer] = None
+    outcome: str = "ok"
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
     def counter(self, name: str, default: object = _MISSING) -> float:
         """The named counter; ``default`` if given, else ``KeyError``."""
@@ -58,6 +79,10 @@ class SweepResult:
     def seconds(self) -> List[float]:
         return [p.seconds for p in self.points]
 
+    def failures(self) -> List[SweepPoint]:
+        """The points that did not complete (timeout or error)."""
+        return [p for p in self.points if not p.ok]
+
     def counter_series(
         self, name: str, default: object = _MISSING
     ) -> List[float]:
@@ -71,15 +96,21 @@ class SweepResult:
         """A plain-text table of the sweep, for bench output.
 
         Points that lack one of ``counter_names`` render ``-`` in that
-        column instead of raising.
+        column instead of raising.  When any point failed, an ``outcome``
+        column is appended so timeouts/errors are visible in the table.
         """
+        show_outcome = any(not p.ok for p in self.points)
         header = ["param", "seconds"] + list(counter_names)
+        if show_outcome:
+            header.append("outcome")
         lines = ["\t".join(header)]
         for point in self.points:
             row = [f"{point.parameter:g}", f"{point.seconds:.6f}"]
             for name in counter_names:
                 value = point.counter(name, default=None)
                 row.append("-" if value is None else f"{value:g}")
+            if show_outcome:
+                row.append(point.outcome)
             lines.append("\t".join(row))
         return "\n".join(lines)
 
@@ -91,6 +122,7 @@ def run_sweep(
     repetitions: int = 1,
     warmup: bool = True,
     tracer_factory: Optional[Callable[[], Tracer]] = None,
+    capture_failures: bool = True,
 ) -> SweepResult:
     """Run ``workload`` across ``parameters`` and time each call.
 
@@ -102,37 +134,61 @@ def run_sweep(
     ``workload(parameter, tracer)`` — a fresh tracer per timed run (the
     last run's tracer lands on :attr:`SweepPoint.trace`), and the
     no-op tracer for the warmup call so warmups stay out of the trace.
+
+    With ``capture_failures`` (the default), a workload that raises is
+    recorded as a failing :class:`SweepPoint` (``outcome`` ``"timeout"``
+    for :class:`~repro.errors.ResourceExhausted`, ``"error"`` otherwise)
+    and the sweep moves on — one diverging point no longer loses the
+    whole table.  Failures during warmup count against the point too
+    (the workload is deterministic, so the timed run would fail the
+    same way).
     """
     points: List[SweepPoint] = []
     for parameter in parameters:
-        if warmup:
-            if tracer_factory is None:
-                workload(parameter)
-            else:
-                workload(parameter, NULL_TRACER)
         best = float("inf")
         counters: Dict[str, float] = {}
         trace: Optional[Tracer] = None
-        for _ in range(max(1, repetitions)):
-            if tracer_factory is None:
-                start = time.perf_counter()
-                outcome = workload(parameter)
-                elapsed = time.perf_counter() - start
-            else:
-                tracer = tracer_factory()
-                start = time.perf_counter()
-                outcome = workload(parameter, tracer)
-                elapsed = time.perf_counter() - start
-                trace = tracer
-            best = min(best, elapsed)
-            if outcome:
-                counters = dict(outcome)
+        failure: Optional[BaseException] = None
+        start = time.perf_counter()
+        try:
+            if warmup:
+                if tracer_factory is None:
+                    workload(parameter)
+                else:
+                    workload(parameter, NULL_TRACER)
+            for _ in range(max(1, repetitions)):
+                if tracer_factory is None:
+                    start = time.perf_counter()
+                    outcome = workload(parameter)
+                    elapsed = time.perf_counter() - start
+                else:
+                    tracer = tracer_factory()
+                    start = time.perf_counter()
+                    outcome = workload(parameter, tracer)
+                    elapsed = time.perf_counter() - start
+                    trace = tracer
+                best = min(best, elapsed)
+                if outcome:
+                    counters = dict(outcome)
+        except Exception as exc:
+            if not capture_failures:
+                raise
+            failure = exc
+            best = min(best, time.perf_counter() - start)
         points.append(
             SweepPoint(
                 parameter=float(parameter),
                 seconds=best,
                 counters=tuple(sorted(counters.items())),
                 trace=trace,
+                outcome=(
+                    "ok"
+                    if failure is None
+                    else "timeout"
+                    if isinstance(failure, ResourceExhausted)
+                    else "error"
+                ),
+                error="" if failure is None else str(failure),
             )
         )
     return SweepResult(name, tuple(points))

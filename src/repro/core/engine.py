@@ -33,6 +33,8 @@ from repro.core.fo_eval import BoundedEvaluator
 from repro.core.fp_eval import FixpointStrategy, solve_query
 from repro.core.interp import EvalStats
 from repro.core.pfp_eval import SpaceMeter, pfp_answer
+from repro.guard.budget import Budget, GuardLike, resolve_guard
+from repro.guard.chaos import ChaosPolicy
 from repro.obs.tracer import Tracer, TracerLike, resolve_tracer
 from repro.logic.analysis import Language, check_positivity, classify_language
 from repro.logic.parser import parse_formula
@@ -54,6 +56,14 @@ class EvalOptions:
     :class:`~repro.obs.tracer.Tracer` (returned on the result), a tracer
     instance records into that tracer, and ``None``/``False`` (default)
     uses the shared no-op tracer — the engines then skip all span work.
+
+    ``budget`` bounds the evaluation (see :class:`~repro.guard.Budget`);
+    exhausting a limit raises the matching
+    :class:`~repro.errors.ResourceExhausted` subclass.  ``degrade``
+    (default on) lets the ESO engine walk its fallback ladder and PFP
+    switch to strict counting instead of failing outright where a sound
+    cheaper mode exists.  ``chaos`` installs a deterministic
+    fault-injection policy — testing only.
     """
 
     strategy: FixpointStrategy = FixpointStrategy.MONOTONE
@@ -62,6 +72,9 @@ class EvalOptions:
     strict_pfp_space: bool = False
     check_positive: bool = True
     trace: Union[bool, Tracer, None] = None
+    budget: Optional[Budget] = None
+    chaos: Optional[ChaosPolicy] = None
+    degrade: bool = True
 
 
 @dataclass
@@ -79,6 +92,7 @@ class EvalResult:
     stats: EvalStats
     space: Optional[SpaceMeter] = None
     tracer: Optional[Tracer] = None
+    guard: Optional[GuardLike] = None
 
     def as_bool(self) -> bool:
         """Boolean answer, for sentence queries (0-ary output)."""
@@ -99,6 +113,9 @@ def evaluate(
     options = options if options is not None else EvalOptions()
     tracer = resolve_tracer(options.trace)
     stats = EvalStats()
+    guard = resolve_guard(
+        options.budget, chaos=options.chaos, registry=stats.registry
+    )
     language = classify_language(formula)
     if tracer.enabled:
         with tracer.span(
@@ -107,11 +124,13 @@ def evaluate(
             width=variable_width(formula),
         ) as span:
             result = _dispatch(
-                formula, db, output_vars, options, language, stats, tracer
+                formula, db, output_vars, options, language, stats, tracer, guard
             )
             span.set(answer_rows=len(result.relation))
         return result
-    return _dispatch(formula, db, output_vars, options, language, stats, tracer)
+    return _dispatch(
+        formula, db, output_vars, options, language, stats, tracer, guard
+    )
 
 
 def _dispatch(
@@ -122,14 +141,18 @@ def _dispatch(
     language: Language,
     stats: EvalStats,
     tracer: TracerLike,
+    guard: GuardLike,
 ) -> EvalResult:
     recorded = tracer if tracer.enabled else None
+    watched = guard if guard.enabled else None
     if language == Language.FO:
         evaluator = BoundedEvaluator(
-            db, k_limit=options.k_limit, stats=stats, tracer=tracer
+            db, k_limit=options.k_limit, stats=stats, tracer=tracer, guard=guard
         )
         relation = evaluator.answer(formula, tuple(output_vars))
-        return EvalResult(relation, language, None, stats, tracer=recorded)
+        return EvalResult(
+            relation, language, None, stats, tracer=recorded, guard=watched
+        )
     if language == Language.ESO:
         from repro.core.eso_eval import eso_answer
 
@@ -140,8 +163,12 @@ def _dispatch(
             use_rewrite=options.use_eso_rewrite,
             stats=stats,
             tracer=tracer,
+            guard=guard,
+            degrade=options.degrade,
         )
-        return EvalResult(relation, language, None, stats, tracer=recorded)
+        return EvalResult(
+            relation, language, None, stats, tracer=recorded, guard=watched
+        )
     if language == Language.PFP:
         if options.check_positive:
             check_positivity(formula)
@@ -155,9 +182,17 @@ def _dispatch(
             strict_space=options.strict_pfp_space,
             k_limit=options.k_limit,
             tracer=tracer,
+            guard=guard,
+            degrade=options.degrade,
         )
         return EvalResult(
-            relation, language, None, stats, space=meter, tracer=recorded
+            relation,
+            language,
+            None,
+            stats,
+            space=meter,
+            tracer=recorded,
+            guard=watched,
         )
     # FP: pure lfp/gfp formulas — any strategy applies (pfp/ifp mixtures
     # classify as Language.PFP above and never reach this branch)
@@ -171,8 +206,11 @@ def _dispatch(
         stats=stats,
         require_positive=options.check_positive,
         tracer=tracer,
+        guard=guard,
     )
-    return EvalResult(relation, language, strategy, stats, tracer=recorded)
+    return EvalResult(
+        relation, language, strategy, stats, tracer=recorded, guard=watched
+    )
 
 
 @dataclass(frozen=True)

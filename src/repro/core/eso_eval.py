@@ -23,10 +23,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.database.database import Database
 from repro.database.domain import Value
 from repro.database.relation import Relation
-from repro.errors import EvaluationError
+from repro.errors import ClauseBudgetExceeded, EvaluationError
 from repro.core.eso_rewrite import RewriteResult, rewrite_eso
 from repro.core.grounding import ground_formula
 from repro.core.interp import EvalStats
+from repro.core.naive_eval import DEFAULT_SO_BUDGET, holds as naive_holds
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import Formula
 from repro.logic.variables import free_variables
@@ -45,30 +47,22 @@ class EsoOutcome:
     model: Optional[Dict[object, bool]]
 
 
-def eso_decide(
-    sentence: Formula,
+def _decide_ground(
+    working: Formula,
     db: Database,
-    assignment: Optional[Dict[str, Value]] = None,
-    use_rewrite: bool = True,
-    stats: Optional[EvalStats] = None,
-    tracer: TracerLike = NULL_TRACER,
+    assignment: Optional[Dict[str, Value]],
+    stats: EvalStats,
+    tracer: TracerLike,
+    guard: GuardLike,
 ) -> EsoOutcome:
-    """Decide one ESO instance: ``(B, assignment) ⊨ sentence``?
-
-    With tracing on, the pipeline shows up as the four stages of
-    Corollary 3.7: ``eso.rewrite`` → ``eso.ground`` → ``eso.tseitin`` →
-    ``eso.dpll``, each annotated with its size numbers.
-    """
-    stats = stats if stats is not None else EvalStats()
-    working = sentence
-    if use_rewrite:
-        working = rewrite_eso(sentence, tracer=tracer).formula
-        stats.bump("eso_rewrites")
-    prop = ground_formula(working, db, assignment, tracer=tracer)
+    """One rung of the ladder: ground → Tseitin → DPLL."""
+    prop = ground_formula(working, db, assignment, tracer=tracer, guard=guard)
     cnf, _root = to_cnf(prop, tracer=tracer)
+    if guard.enabled:
+        guard.charge_clauses(cnf.num_clauses, stage="tseitin")
     stats.sat_variables += cnf.num_vars
     stats.sat_clauses += cnf.num_clauses
-    result = solve(cnf, tracer=tracer)
+    result = solve(cnf, tracer=tracer, guard=guard)
     model = result.named_assignment(cnf) if result.satisfiable else None
     return EsoOutcome(
         truth=result.satisfiable,
@@ -78,6 +72,80 @@ def eso_decide(
     )
 
 
+def eso_decide(
+    sentence: Formula,
+    db: Database,
+    assignment: Optional[Dict[str, Value]] = None,
+    use_rewrite: bool = True,
+    stats: Optional[EvalStats] = None,
+    tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
+    degrade: bool = False,
+    so_budget: int = DEFAULT_SO_BUDGET,
+) -> EsoOutcome:
+    """Decide one ESO instance: ``(B, assignment) ⊨ sentence``?
+
+    With tracing on, the pipeline shows up as the four stages of
+    Corollary 3.7: ``eso.rewrite`` → ``eso.ground`` → ``eso.tseitin`` →
+    ``eso.dpll``, each annotated with its size numbers.
+
+    The guard's clause budget bounds each grounding *stage*.  With
+    ``degrade`` set, exceeding it walks down a ladder instead of failing:
+
+    1. Lemma 3.6 rewrite + grounding (polynomial, but the consistency
+       axioms cost a constant factor);
+    2. naive grounding of the original sentence (no view axioms — smaller
+       for tiny instances, exponential in the quantified arities);
+    3. the reference model checker (:mod:`repro.core.naive_eval`) under
+       its own ``so_budget``, which grounds nothing at all.
+
+    Each rung restarts the stage budget (the metrics registry keeps the
+    cumulative total under ``guard.clauses``).  If the last rung fails
+    too, the *original* :class:`~repro.errors.ClauseBudgetExceeded` is
+    re-raised — the degradation never misreports a budget failure as
+    success.  Fallbacks are counted in ``stats`` under
+    ``eso_fallback_naive_ground`` / ``eso_fallback_naive_eval``.
+    """
+    stats = stats if stats is not None else EvalStats()
+    if guard.enabled:
+        # each decision instance is its own clause-budget stage
+        guard.reset_clauses()
+    working = sentence
+    if use_rewrite:
+        working = rewrite_eso(sentence, tracer=tracer).formula
+        stats.bump("eso_rewrites")
+    try:
+        return _decide_ground(working, db, assignment, stats, tracer, guard)
+    except ClauseBudgetExceeded as first:
+        if not degrade:
+            raise
+        if use_rewrite:
+            # rung 2: ground the original sentence without the view axioms
+            guard.reset_clauses()
+            stats.bump("eso_fallback_naive_ground")
+            if tracer.enabled:
+                tracer.event("eso.fallback", stage="naive_ground")
+            try:
+                return _decide_ground(
+                    sentence, db, assignment, stats, tracer, guard
+                )
+            except ClauseBudgetExceeded:
+                pass
+        # rung 3: no grounding at all — the reference model checker with
+        # its own second-order enumeration budget
+        guard.reset_clauses()
+        stats.bump("eso_fallback_naive_eval")
+        if tracer.enabled:
+            tracer.event("eso.fallback", stage="naive_eval")
+        try:
+            truth = naive_holds(sentence, db, assignment, so_budget=so_budget)
+        except EvaluationError:
+            # the last rung is out of budget too: report the original
+            # exhaustion truthfully rather than a converted error
+            raise first
+        return EsoOutcome(truth=truth, num_vars=0, num_clauses=0, model=None)
+
+
 def eso_answer(
     formula: Formula,
     db: Database,
@@ -85,8 +153,16 @@ def eso_answer(
     use_rewrite: bool = True,
     stats: Optional[EvalStats] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
+    degrade: bool = False,
+    so_budget: int = DEFAULT_SO_BUDGET,
 ) -> Relation:
-    """The answer relation of an ESO^k query, one SAT call per tuple."""
+    """The answer relation of an ESO^k query, one SAT call per tuple.
+
+    Every tuple boundary is a cooperative checkpoint, so a deadline can
+    interrupt the sweep between SAT calls; ``guard``/``degrade`` are
+    threaded into each :func:`eso_decide` (see its ladder).
+    """
     stats = stats if stats is not None else EvalStats()
     out = tuple(output_vars)
     missing = free_variables(formula) - set(out)
@@ -98,6 +174,8 @@ def eso_answer(
     rows = []
     for combo in db.domain.tuples(len(out)):
         assignment = dict(zip(out, combo))
+        if guard.enabled:
+            guard.checkpoint("eso.tuple", answered_rows=len(rows))
         if tracer.enabled:
             with tracer.span(
                 "eso.tuple", tuple=",".join(str(v) for v in combo)
@@ -109,11 +187,21 @@ def eso_answer(
                     use_rewrite=use_rewrite,
                     stats=stats,
                     tracer=tracer,
+                    guard=guard,
+                    degrade=degrade,
+                    so_budget=so_budget,
                 )
                 span.set(truth=outcome.truth)
         else:
             outcome = eso_decide(
-                formula, db, assignment, use_rewrite=use_rewrite, stats=stats
+                formula,
+                db,
+                assignment,
+                use_rewrite=use_rewrite,
+                stats=stats,
+                guard=guard,
+                degrade=degrade,
+                so_budget=so_budget,
             )
         if outcome.truth:
             rows.append(combo)

@@ -21,6 +21,7 @@ from repro.database.domain import Domain
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, VariableBoundError
 from repro.core.interp import EvalStats, VarTable
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import (
     And,
@@ -108,6 +109,11 @@ class BoundedEvaluator:
         Span tracer; the shared no-op tracer by default.  When enabled,
         every subformula evaluation is a ``fo.<Connective>`` span
         annotated with the resulting table's rows and arity.
+    guard:
+        Resource guard; the shared no-op guard by default.  When enabled,
+        every subformula evaluation is a cooperative checkpoint and every
+        intermediate table is charged against the row budget (the
+        enforced version of Prop 3.1's ``n^k`` invariant).
     """
 
     def __init__(
@@ -117,6 +123,7 @@ class BoundedEvaluator:
         k_limit: Optional[int] = None,
         stats: Optional[EvalStats] = None,
         tracer: TracerLike = NULL_TRACER,
+        guard: GuardLike = NULL_GUARD,
     ):
         self.db = db
         self.domain = db.domain
@@ -124,6 +131,7 @@ class BoundedEvaluator:
         self.k_limit = k_limit
         self.stats = stats if stats is not None else EvalStats()
         self.tracer = tracer
+        self.guard = guard
         # memo entries keep a strong reference to their formula so the
         # id()-based key can never alias a recycled object
         self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
@@ -167,6 +175,8 @@ class BoundedEvaluator:
             )
         table = self.evaluate(formula, rel_env)
         table = table.cylindrify(out, self.domain)
+        if self.guard.enabled:
+            self.guard.charge_rows(len(table), node="answer")
         self.stats.observe_table(table)
         return table.to_relation(out)
 
@@ -188,6 +198,9 @@ class BoundedEvaluator:
                 span.set(rows=len(table), arity=len(table.variables))
         else:
             table = self._eval_node(formula, env)
+        guard = self.guard
+        if guard.enabled:
+            guard.charge_rows(len(table), node=type(formula).__name__)
         self.stats.observe_table(table)
         self._memo[key] = (formula, table)
         return table
@@ -220,6 +233,8 @@ class BoundedEvaluator:
             table = self._eval(formula.subs[0], env)
             for part in formula.subs[1:]:
                 table = table.join(self._eval(part, env))
+                if self.guard.enabled:
+                    self.guard.charge_rows(len(table), node="And")
                 self.stats.observe_table(table)
             return table
         if isinstance(formula, Or):
@@ -228,6 +243,8 @@ class BoundedEvaluator:
             table = self._eval(formula.subs[0], env)
             for part in formula.subs[1:]:
                 table = table.union(self._eval(part, env), self.domain)
+                if self.guard.enabled:
+                    self.guard.charge_rows(len(table), node="Or")
                 self.stats.observe_table(table)
             return table
         if isinstance(formula, Exists):

@@ -39,6 +39,7 @@ from repro.database.relation import Relation
 from repro.errors import EvaluationError
 from repro.core.fo_eval import BoundedEvaluator
 from repro.core.interp import EvalStats
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.analysis import check_positivity, polarity_of
 from repro.logic.syntax import (
@@ -81,6 +82,7 @@ def iterate_ascending(
     start: Relation,
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Relation:
     """Kleene iteration upward from ``start`` until a fixpoint.
 
@@ -93,6 +95,8 @@ def iterate_ascending(
     index = 0
     while True:
         stats.fixpoint_iterations += 1
+        if guard.enabled:
+            guard.charge_iteration(index=index, size=len(current))
         if tracer.enabled:
             after = _traced_step(step, current, index, tracer)
         else:
@@ -114,6 +118,7 @@ def iterate_descending(
     start: Relation,
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Relation:
     """Kleene iteration downward from ``start`` until a fixpoint.
 
@@ -124,6 +129,8 @@ def iterate_descending(
     index = 0
     while True:
         stats.fixpoint_iterations += 1
+        if guard.enabled:
+            guard.charge_iteration(index=index, size=len(current))
         if tracer.enabled:
             after = _traced_step(step, current, index, tracer)
         else:
@@ -145,12 +152,15 @@ def iterate_inflationary(
     arity: int,
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Relation:
     """IFP iteration ``S ← S ∪ φ(S)`` from empty; always converges."""
     current = Relation.empty(arity)
     index = 0
     while True:
         stats.fixpoint_iterations += 1
+        if guard.enabled:
+            guard.charge_iteration(index=index, size=len(current))
         if tracer.enabled:
             after = current.union(
                 _traced_step(step, current, index, tracer)
@@ -169,6 +179,7 @@ def iterate_partial(
     stats: EvalStats,
     iteration_limit: Optional[int] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Relation:
     """PFP iteration from empty (Section 2.2's convention).
 
@@ -183,6 +194,8 @@ def iterate_partial(
     steps = 0
     while True:
         stats.fixpoint_iterations += 1
+        if guard.enabled:
+            guard.charge_iteration(index=steps, size=len(current))
         if tracer.enabled:
             after = _traced_step(step, current, steps, tracer)
         else:
@@ -191,6 +204,8 @@ def iterate_partial(
             return current
         if after in seen:
             return Relation.empty(arity)
+        if guard.enabled:
+            guard.charge_state(index=steps, states=len(seen))
         seen.add(after)
         current = after
         steps += 1
@@ -238,10 +253,12 @@ class NaiveSolver:
         stats: EvalStats,
         pfp_iteration_limit: Optional[int] = None,
         tracer: TracerLike = NULL_TRACER,
+        guard: GuardLike = NULL_GUARD,
     ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
         self._tracer = tracer
+        self._guard = guard
 
     def __call__(
         self,
@@ -266,9 +283,10 @@ class NaiveSolver:
     ) -> Relation:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
+        guard = self._guard
         if isinstance(node, LFP):
             return iterate_ascending(
-                step, Relation.empty(node.arity), self._stats, tracer
+                step, Relation.empty(node.arity), self._stats, tracer, guard
             )
         if isinstance(node, GFP):
             return iterate_descending(
@@ -276,12 +294,15 @@ class NaiveSolver:
                 _full_relation(node.arity, evaluator.domain),
                 self._stats,
                 tracer,
+                guard,
             )
         if isinstance(node, IFP):
-            return iterate_inflationary(step, node.arity, self._stats, tracer)
+            return iterate_inflationary(
+                step, node.arity, self._stats, tracer, guard
+            )
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit, tracer
+                step, node.arity, self._stats, self._pfp_limit, tracer, guard
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -309,10 +330,12 @@ class MonotoneSolver:
         stats: EvalStats,
         pfp_iteration_limit: Optional[int] = None,
         tracer: TracerLike = NULL_TRACER,
+        guard: GuardLike = NULL_GUARD,
     ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
         self._tracer = tracer
+        self._guard = guard
         self._memory: Dict[_FixpointBase, Tuple[Dict[str, Relation], Relation]] = {}
         # keyed by the node itself (structural): id()-keys would alias
         # recycled transient closed-node objects
@@ -341,11 +364,14 @@ class MonotoneSolver:
     ) -> Relation:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
+        guard = self._guard
         if isinstance(node, IFP):
-            return iterate_inflationary(step, node.arity, self._stats, tracer)
+            return iterate_inflationary(
+                step, node.arity, self._stats, tracer, guard
+            )
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit, tracer
+                step, node.arity, self._stats, self._pfp_limit, tracer, guard
             )
         relevant = {
             name: env[name]
@@ -364,9 +390,9 @@ class MonotoneSolver:
         else:
             self._stats.bump("warm_starts")
         if ascending:
-            limit = iterate_ascending(step, start, self._stats, tracer)
+            limit = iterate_ascending(step, start, self._stats, tracer, guard)
         else:
-            limit = iterate_descending(step, start, self._stats, tracer)
+            limit = iterate_descending(step, start, self._stats, tracer, guard)
         self._memory[node] = (relevant, limit)
         return limit
 
@@ -416,12 +442,13 @@ def make_solver(
     stats: EvalStats,
     pfp_iteration_limit: Optional[int] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ):
     """Build the fixpoint-solver callback for the bounded evaluator."""
     if strategy == FixpointStrategy.NAIVE:
-        return NaiveSolver(stats, pfp_iteration_limit, tracer)
+        return NaiveSolver(stats, pfp_iteration_limit, tracer, guard)
     if strategy == FixpointStrategy.MONOTONE:
-        return MonotoneSolver(stats, pfp_iteration_limit, tracer)
+        return MonotoneSolver(stats, pfp_iteration_limit, tracer, guard)
     if strategy == FixpointStrategy.ALTERNATION:
         raise EvaluationError(
             "the ALTERNATION strategy evaluates whole queries; use "
@@ -441,6 +468,7 @@ def solve_query(
     pfp_iteration_limit: Optional[int] = None,
     require_positive: bool = True,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Relation:
     """Evaluate an FO/FP/PFP query under the chosen strategy."""
     stats = stats if stats is not None else EvalStats()
@@ -457,8 +485,13 @@ def solve_query(
         return alternation_answer(
             formula, db, output_vars, k_limit=k_limit, stats=stats
         )
-    solver = make_solver(strategy, stats, pfp_iteration_limit, tracer)
+    solver = make_solver(strategy, stats, pfp_iteration_limit, tracer, guard)
     evaluator = BoundedEvaluator(
-        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats, tracer=tracer
+        db,
+        fixpoint_solver=solver,
+        k_limit=k_limit,
+        stats=stats,
+        tracer=tracer,
+        guard=guard,
     )
     return evaluator.answer(formula, output_vars)

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 from repro.database.database import Database
 from repro.database.domain import Value
 from repro.errors import EvaluationError
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import (
     And,
@@ -65,6 +66,7 @@ def ground_formula(
     db: Database,
     assignment: Optional[Dict[str, Value]] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> PropFormula:
     """Ground ``formula`` over ``db`` into a propositional formula.
 
@@ -72,15 +74,32 @@ def ground_formula(
     of negations) — satisfiability handles the existential guessing; a
     negative occurrence would need QBF and is rejected.  Fixpoints are
     rejected too: the paper's ESO matrices are first-order.
+
+    ``guard`` charges one clause per grounded node, so a clause budget
+    bounds the Corollary 3.7 output size *while it is being built* — the
+    grounding stops with :class:`~repro.errors.ClauseBudgetExceeded`
+    instead of materializing an oversized formula.
     """
     if tracer.enabled:
         with tracer.span("eso.ground", domain_size=len(db.domain)) as span:
             prop = _ground(
-                formula, db, dict(assignment or {}), positive=True, bound=set()
+                formula,
+                db,
+                dict(assignment or {}),
+                positive=True,
+                bound=set(),
+                guard=guard,
             )
             span.set(prop_nodes=_prop_size(prop))
             return prop
-    return _ground(formula, db, dict(assignment or {}), positive=True, bound=set())
+    return _ground(
+        formula,
+        db,
+        dict(assignment or {}),
+        positive=True,
+        bound=set(),
+        guard=guard,
+    )
 
 
 def _prop_size(formula: PropFormula) -> int:
@@ -109,7 +128,11 @@ def _ground(
     assignment: Dict[str, Value],
     positive: bool,
     bound: set,
+    guard: GuardLike = NULL_GUARD,
 ) -> PropFormula:
+    if guard.enabled:
+        # one grounded node = one unit of the O(|e| · n^k) output size
+        guard.charge_clauses(node=type(formula).__name__)
     if isinstance(formula, RelAtom):
         row = tuple(_term_value(t, assignment) for t in formula.terms)
         if formula.name in bound:
@@ -129,17 +152,21 @@ def _ground(
     if isinstance(formula, Truth):
         return BoolConst(formula.value)
     if isinstance(formula, Not):
-        return BoolNot(_ground(formula.sub, db, assignment, not positive, bound))
+        return BoolNot(
+            _ground(formula.sub, db, assignment, not positive, bound, guard)
+        )
     if isinstance(formula, And):
         return BoolAnd(
             tuple(
-                _ground(s, db, assignment, positive, bound) for s in formula.subs
+                _ground(s, db, assignment, positive, bound, guard)
+                for s in formula.subs
             )
         )
     if isinstance(formula, Or):
         return BoolOr(
             tuple(
-                _ground(s, db, assignment, positive, bound) for s in formula.subs
+                _ground(s, db, assignment, positive, bound, guard)
+                for s in formula.subs
             )
         )
     if isinstance(formula, (Exists, Forall)):
@@ -150,7 +177,7 @@ def _ground(
             for value in db.domain:
                 assignment[name] = value
                 parts.append(
-                    _ground(formula.sub, db, assignment, positive, bound)
+                    _ground(formula.sub, db, assignment, positive, bound, guard)
                 )
         finally:
             if saved is _MISSING:
@@ -168,7 +195,9 @@ def _ground(
             )
         inner_bound = set(bound)
         inner_bound.add(formula.rel)
-        return _ground(formula.body, db, assignment, positive, inner_bound)
+        return _ground(
+            formula.body, db, assignment, positive, inner_bound, guard
+        )
     if isinstance(formula, _FixpointBase):
         raise EvaluationError(
             "fixpoint operators cannot be grounded; ESO matrices are "

@@ -32,6 +32,7 @@ from repro.core.fp_eval import (
     iterate_inflationary,
 )
 from repro.core.interp import EvalStats
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import Formula, GFP, IFP, LFP, PFP, _FixpointBase
@@ -110,6 +111,14 @@ class MeteredPFPSolver(NaiveSolver):
     exceeded without convergence — the textbook PSPACE algorithm.  When
     false (the default), cycles are detected by hashing previous states,
     trading space for time.
+
+    The guard's state budget caps the non-strict mode's ``seen`` set
+    (worst case ``2^{n^k}`` stored relations): exhausting it does not
+    fail the query — the evaluator discards the set and *degrades* to
+    the strict counting mode mid-iteration, which is sound because the
+    stage sequence from ``∅`` is deterministic (no convergence within
+    ``2^{n^k}`` total steps implies a cycle).  Fallbacks are counted in
+    ``stats`` under ``pfp_strict_fallbacks``.
     """
 
     def __init__(
@@ -118,10 +127,13 @@ class MeteredPFPSolver(NaiveSolver):
         meter: SpaceMeter,
         strict_space: bool = False,
         tracer: TracerLike = NULL_TRACER,
+        guard: GuardLike = NULL_GUARD,
+        degrade: bool = True,
     ):
-        super().__init__(stats, tracer=tracer)
+        super().__init__(stats, tracer=tracer, guard=guard)
         self._meter = meter
         self._strict = strict_space
+        self._degrade = degrade
         self._next_key = 0
 
     def _solve(
@@ -180,33 +192,18 @@ class MeteredPFPSolver(NaiveSolver):
         arity = node.arity
         current = Relation.empty(arity)
         tracer = self._tracer
-        index = 0
-        if not self._strict:
-            seen = {current}
-            while True:
-                self._stats.fixpoint_iterations += 1
-                if tracer.enabled:
-                    with tracer.span("fp.iteration") as span:
-                        after = step(current)
-                        span.set(
-                            index=index,
-                            size=len(after),
-                            delta=len(after) - len(current),
-                        )
-                else:
-                    after = step(current)
-                index += 1
-                if after == current:
-                    return current
-                if after in seen:
-                    return Relation.empty(arity)
-                seen.add(after)
-                current = after
-        # strict PSPACE mode: count to 2^{n^k} with O(1) extra memory
+        guard = self._guard
+        # 2^{n^k} distinct k-ary relations: past this many steps the
+        # deterministic stage sequence must have revisited a state, so it
+        # cycles and the partial fixpoint is empty by convention
         n = len(evaluator.domain)
         distinct_relations = 2 ** (n**arity)
-        for index in range(distinct_relations):
+        seen: Optional[set] = None if self._strict else {current}
+        index = 0
+        while index < distinct_relations:
             self._stats.fixpoint_iterations += 1
+            if guard.enabled:
+                guard.charge_iteration(index=index, live_rows=len(current))
             if tracer.enabled:
                 with tracer.span("fp.iteration") as span:
                     after = step(current)
@@ -217,11 +214,24 @@ class MeteredPFPSolver(NaiveSolver):
                     )
             else:
                 after = step(current)
+            index += 1
             if after == current:
                 return current
+            if seen is not None:
+                if after in seen:
+                    return Relation.empty(arity)
+                if guard.try_charge_state():
+                    seen.add(after)
+                elif self._degrade:
+                    # state budget exhausted: degrade to the strict
+                    # O(1)-memory counting mode (sound — see class doc)
+                    seen = None
+                    self._stats.bump("pfp_strict_fallbacks")
+                    if tracer.enabled:
+                        tracer.event("pfp.strict_fallback", index=index)
+                else:
+                    guard.charge_state(0, index=index, states=len(seen))
             current = after
-        # the sequence never converged within the state-space bound, so it
-        # cycles: the partial fixpoint is empty by convention
         return Relation.empty(arity)
 
 
@@ -234,18 +244,34 @@ def pfp_answer(
     strict_space: bool = False,
     k_limit: Optional[int] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
+    degrade: bool = True,
 ) -> Relation:
     """Evaluate a PFP^k query with live-space accounting.
 
     Returns the answer relation; peak-space/iteration numbers accumulate in
-    ``meter`` (pass one in to read them back).
+    ``meter`` (pass one in to read them back).  ``guard`` bounds the work:
+    iterations/deadline exhaustion raises, while the state budget only
+    degrades cycle detection to strict counting (see
+    :class:`MeteredPFPSolver`).  The meter is released on the way out even
+    when a budget trips mid-fixpoint.
     """
     stats = stats if stats is not None else EvalStats()
     meter = meter if meter is not None else SpaceMeter(registry=stats.registry)
     solver = MeteredPFPSolver(
-        stats, meter, strict_space=strict_space, tracer=tracer
+        stats,
+        meter,
+        strict_space=strict_space,
+        tracer=tracer,
+        guard=guard,
+        degrade=degrade,
     )
     evaluator = BoundedEvaluator(
-        db, fixpoint_solver=solver, k_limit=k_limit, stats=stats, tracer=tracer
+        db,
+        fixpoint_solver=solver,
+        k_limit=k_limit,
+        stats=stats,
+        tracer=tracer,
+        guard=guard,
     )
     return evaluator.answer(formula, output_vars)

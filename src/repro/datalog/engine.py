@@ -15,6 +15,7 @@ from repro.database.database import Database
 from repro.database.relation import Relation
 from repro.errors import EvaluationError
 from repro.datalog.syntax import Atom, DatalogConst, DatalogProgram, Rule
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 
 Row = Tuple[object, ...]
@@ -136,8 +137,13 @@ def evaluate_program(
     db: Database,
     stats: Optional[DatalogStats] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Dict[str, Relation]:
-    """Naive bottom-up evaluation: re-derive everything each round."""
+    """Naive bottom-up evaluation: re-derive everything each round.
+
+    Each round is a guarded iteration; the total IDB size is charged
+    against the row budget per round.
+    """
     stats = stats if stats is not None else DatalogStats()
     idb: Dict[str, Set[Row]] = {
         pred: set() for pred in program.idb_predicates()
@@ -145,6 +151,8 @@ def evaluate_program(
     changed = True
     while changed:
         stats.rounds += 1
+        if guard.enabled:
+            _charge_round(guard, stats, idb)
         if tracer.enabled:
             with tracer.span("datalog.round") as span:
                 changed = _naive_round(program, db, idb, stats)
@@ -158,6 +166,17 @@ def evaluate_program(
         pred: Relation(program.arity_of(pred), rows)
         for pred, rows in idb.items()
     }
+
+
+def _charge_round(
+    guard: GuardLike, stats: DatalogStats, idb: Dict[str, Set[Row]]
+) -> None:
+    """One round = one iteration charge plus a row-budget check on the IDB."""
+    total = sum(len(rows) for rows in idb.values())
+    guard.charge_iteration(rounds=stats.rounds, idb_tuples=total)
+    guard.charge_rows(
+        total, rounds=stats.rounds, tuples_derived=stats.tuples_derived
+    )
 
 
 def _naive_round(
@@ -181,8 +200,13 @@ def semi_naive(
     db: Database,
     stats: Optional[DatalogStats] = None,
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> Dict[str, Relation]:
-    """Semi-naive evaluation: join against the per-round deltas only."""
+    """Semi-naive evaluation: join against the per-round deltas only.
+
+    Guarded identically to :func:`evaluate_program`: every round charges
+    one iteration and re-checks the IDB against the row budget.
+    """
     stats = stats if stats is not None else DatalogStats()
     idb: Dict[str, Set[Row]] = {
         pred: set() for pred in program.idb_predicates()
@@ -210,6 +234,8 @@ def semi_naive(
         return next_delta
 
     stats.rounds += 1
+    if guard.enabled:
+        _charge_round(guard, stats, idb)
     if tracer.enabled:
         with tracer.span("datalog.round") as span:
             delta = seed_round()
@@ -220,6 +246,8 @@ def semi_naive(
         delta = seed_round()
     while any(delta.values()):
         stats.rounds += 1
+        if guard.enabled:
+            _charge_round(guard, stats, idb)
         if tracer.enabled:
             with tracer.span("datalog.round") as span:
                 delta = delta_round(delta)

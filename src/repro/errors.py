@@ -58,3 +58,82 @@ class CertificateError(ReproError):
 
 class ReductionError(ReproError):
     """A lower-bound reduction received an instance it cannot translate."""
+
+
+class ResourceExhausted(ReproError):
+    """A configured resource budget was exhausted during evaluation.
+
+    Raised by the cooperative checkpoints of :mod:`repro.guard` when an
+    evaluation crosses one of its :class:`~repro.guard.Budget` limits.
+    The exception is structured so callers (sweeps, servers, the CLI) can
+    act on it without parsing the message:
+
+    ``kind``
+        Which budget tripped (``"deadline"``, ``"iterations"``, ``"rows"``,
+        ``"decisions"``, ``"clauses"``, ``"states"``).
+    ``limit`` / ``used``
+        The configured bound and the amount consumed when it tripped.
+    ``partial``
+        A small dict of partial-progress readings supplied by the raising
+        engine (iteration index, live relation size, rounds completed, ...).
+    ``metrics``
+        A snapshot of the run's unified
+        :class:`~repro.obs.metrics.MetricsRegistry` at raise time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "",
+        limit: float = 0,
+        used: float = 0,
+        partial: object = None,
+        metrics: object = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+        self.partial = dict(partial or {})
+        self.metrics = dict(metrics or {})
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline passed before the evaluation finished."""
+
+
+class IterationBudgetExceeded(ResourceExhausted):
+    """A fixpoint/round iteration budget was exhausted.
+
+    Iterations are the possibly-exponential quantity of Theorem 3.8
+    (up to ``2^{n^k}`` for a partial fixpoint).
+    """
+
+
+class SpaceBudgetExceeded(ResourceExhausted):
+    """An intermediate relation outgrew the row budget.
+
+    Rows are the paper's polynomial quantity: Prop 3.1 bounds every
+    intermediate result of an ``L^k`` query by ``n^k`` rows.
+    """
+
+
+class DecisionBudgetExceeded(ResourceExhausted):
+    """The SAT solver exhausted its decision budget."""
+
+
+class ClauseBudgetExceeded(ResourceExhausted):
+    """A grounded formula / CNF outgrew the clause budget.
+
+    Clauses are the Corollary 3.7 quantity: the grounded instance of an
+    ESO^k query is polynomial after the Lemma 3.6 rewriting.
+    """
+
+
+class StateBudgetExceeded(ResourceExhausted):
+    """A cycle-detection state set outgrew the state budget.
+
+    PFP cycle detection may remember up to ``2^{n^k}`` stage relations;
+    the budget caps that set (engines with a strict O(1)-memory mode fall
+    back to it instead of raising).
+    """

@@ -1,0 +1,54 @@
+"""Resource-guarded evaluation: budgets, deadlines, and fault injection.
+
+The paper proves bounds; this package *enforces* them at runtime:
+
+* :mod:`repro.guard.budget` — :class:`Budget` (declarative limits for
+  rows/iterations/states/clauses/decisions/wall-clock, each mapping to a
+  bound in the paper) and :class:`ResourceGuard` (cheap cooperative
+  checkpoints threaded through every engine's hot loop, raising
+  structured :class:`~repro.errors.ResourceExhausted` subclasses that
+  carry partial progress plus a metrics snapshot).
+* :mod:`repro.guard.chaos` — deterministic seeded fault injection
+  (:class:`ChaosPolicy`), used by tests to prove every engine unwinds
+  cleanly.
+
+See ``docs/robustness.md`` for the failure taxonomy, the budget →
+paper-bound mapping, and the graceful-degradation ladder.
+"""
+
+from repro.errors import (
+    ClauseBudgetExceeded,
+    DeadlineExceeded,
+    DecisionBudgetExceeded,
+    IterationBudgetExceeded,
+    ResourceExhausted,
+    SpaceBudgetExceeded,
+    StateBudgetExceeded,
+)
+from repro.guard.budget import (
+    Budget,
+    GuardLike,
+    NULL_GUARD,
+    NullGuard,
+    ResourceGuard,
+    resolve_guard,
+)
+from repro.guard.chaos import ChaosPolicy, InjectedFault
+
+__all__ = [
+    "Budget",
+    "ChaosPolicy",
+    "ClauseBudgetExceeded",
+    "DeadlineExceeded",
+    "DecisionBudgetExceeded",
+    "GuardLike",
+    "InjectedFault",
+    "IterationBudgetExceeded",
+    "NULL_GUARD",
+    "NullGuard",
+    "ResourceExhausted",
+    "ResourceGuard",
+    "SpaceBudgetExceeded",
+    "StateBudgetExceeded",
+    "resolve_guard",
+]

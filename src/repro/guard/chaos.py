@@ -1,0 +1,81 @@
+"""Deterministic, seeded fault injection for unwind testing.
+
+A :class:`ChaosPolicy` hooks into a
+:class:`~repro.guard.budget.ResourceGuard` and fires at its cooperative
+checkpoints.  Three failure modes, all deterministic:
+
+* **raise-at-Nth-checkpoint** — ``fail_at=N`` raises
+  :class:`InjectedFault` at exactly the Nth checkpoint; ``fail_within=M``
+  picks N from ``random.Random(seed)`` in ``[1, M]`` so a seed sweep
+  exercises many unwind points reproducibly.
+* **inject-slow-step** — ``slow_step_seconds`` sleeps at every
+  ``slow_every``-th checkpoint, forcing deadline paths without a slow
+  query (pair with an injectable clock for instant tests).
+* **inject-oversized-relation** — ``oversize_rows`` inflates every row
+  charge, forcing :class:`~repro.errors.SpaceBudgetExceeded` on demand.
+
+Tests use these to prove every engine unwinds cleanly: releases its
+:class:`~repro.core.pfp_eval.SpaceMeter`, keeps its metrics registry
+coherent, and reports a truthful partial result.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+
+
+class InjectedFault(ReproError):
+    """A fault raised on purpose by a :class:`ChaosPolicy`.
+
+    Deriving from :class:`~repro.errors.ReproError` (not
+    :class:`~repro.errors.ResourceExhausted`) keeps injected failures
+    distinguishable from genuine budget exhaustion in sweep outcomes.
+    """
+
+    def __init__(self, message: str, checkpoint: int = 0, where: str = ""):
+        super().__init__(message)
+        self.checkpoint = checkpoint
+        self.where = where
+
+
+@dataclass
+class ChaosPolicy:
+    """Deterministic fault-injection configuration.
+
+    ``sleep`` is injectable so tests can pair the policy with a fake
+    clock and never actually block.
+    """
+
+    seed: int = 0
+    fail_at: Optional[int] = None
+    fail_within: Optional[int] = None
+    slow_step_seconds: float = 0.0
+    slow_every: int = 1
+    oversize_rows: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fail_at is None and self.fail_within is not None:
+            self.fail_at = random.Random(self.seed).randint(
+                1, max(1, self.fail_within)
+            )
+
+    def on_checkpoint(self, count: int, where: str = "") -> None:
+        """Guard hook: runs at every cooperative checkpoint."""
+        if self.slow_step_seconds > 0.0 and count % max(1, self.slow_every) == 0:
+            self.sleep(self.slow_step_seconds)
+        if self.fail_at is not None and count == self.fail_at:
+            raise InjectedFault(
+                f"chaos: injected fault at checkpoint {count}"
+                + (f" ({where})" if where else ""),
+                checkpoint=count,
+                where=where,
+            )
+
+
+__all__ = ["ChaosPolicy", "InjectedFault"]

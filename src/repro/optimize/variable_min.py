@@ -73,7 +73,10 @@ def minimize_variables(formula: Formula, miniscope_first: bool = True) -> Formul
     """
     apart = rename_bound_apart(formula)
     if miniscope_first:
-        apart = miniscope(apart)
+        # miniscoping can duplicate a binder (∃x.(φ ∨ ψ) → ∃x.φ ∨ ∃x.ψ),
+        # so the result must be renamed apart again: two binders sharing
+        # a name would collide in the coloring and capture free variables
+        apart = rename_bound_apart(miniscope(apart))
     binders: List[_Binder] = []
     _collect(apart, 0, binders, ())
     free = sorted(free_variables(apart))

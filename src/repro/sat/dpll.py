@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sat.cnf import CNF
 
@@ -32,20 +33,28 @@ def solve(
     cnf: CNF,
     assumptions: Sequence[int] = (),
     tracer: TracerLike = NULL_TRACER,
+    guard: GuardLike = NULL_GUARD,
 ) -> SatResult:
-    """Decide satisfiability of ``cnf`` under optional assumption literals."""
+    """Decide satisfiability of ``cnf`` under optional assumption literals.
+
+    ``guard`` makes the search interruptible: every decision is charged
+    against the decision budget and every propagation pass is a
+    cooperative checkpoint, so a deadline can cut an exponential search
+    short with :class:`~repro.errors.DecisionBudgetExceeded` /
+    :class:`~repro.errors.DeadlineExceeded`.
+    """
     if tracer.enabled:
         with tracer.span(
             "eso.dpll", variables=cnf.num_vars, clauses=cnf.num_clauses
         ) as span:
-            result = _DPLL(cnf).run(list(assumptions))
+            result = _DPLL(cnf, guard=guard).run(list(assumptions))
             span.set(
                 satisfiable=result.satisfiable,
                 decisions=result.decisions,
                 propagations=result.propagations,
             )
             return result
-    solver = _DPLL(cnf)
+    solver = _DPLL(cnf, guard=guard)
     return solver.run(list(assumptions))
 
 
@@ -55,7 +64,8 @@ _FALSE = -1
 
 
 class _DPLL:
-    def __init__(self, cnf: CNF):
+    def __init__(self, cnf: CNF, guard: GuardLike = NULL_GUARD):
+        self._guard = guard
         self._num_vars = cnf.num_vars
         self._clauses: List[Tuple[int, ...]] = [
             tuple(sorted(c.literals, key=abs)) for c in cnf.clauses
@@ -108,11 +118,18 @@ class _DPLL:
                 self._assign(lit)
         if not self._propagate():
             return self._unsat()
+        guard = self._guard
         while True:
             branch = self._pick_branch()
             if branch is None:
                 return self._sat()
             self._decisions += 1
+            if guard.enabled:
+                guard.charge_decision(
+                    decisions=self._decisions,
+                    propagations=self._propagations,
+                    trail=len(self._trail),
+                )
             self._trail_marks.append(len(self._trail))
             self._assign(branch)
             while not self._propagate():
@@ -146,9 +163,16 @@ class _DPLL:
 
     def _propagate(self) -> bool:
         """Exhaustive unit propagation; False on conflict."""
+        guard = self._guard
         changed = True
         while changed:
             changed = False
+            if guard.enabled:
+                guard.checkpoint(
+                    "dpll.propagate",
+                    decisions=self._decisions,
+                    propagations=self._propagations,
+                )
             for ci, clause in enumerate(self._clauses):
                 status = self._clause_status(clause)
                 if status == "conflict":

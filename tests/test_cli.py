@@ -153,3 +153,71 @@ class TestDatalog:
             ]
         )
         assert code == 1
+
+
+class TestExitCodes:
+    """The documented taxonomy: 0 ok, 1 ReproError, 2 usage, 124 budget."""
+
+    FP_QUERY = "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+
+    def test_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["eval"])  # missing required --db/--query
+        assert info.value.code == 2
+
+    def test_budget_exhaustion_exits_124(self, db_file, capsys):
+        code = main(
+            [
+                "eval", "--db", db_file, "--query", self.FP_QUERY,
+                "--out", "u", "--max-iterations", "1",
+            ]
+        )
+        assert code == 124
+        assert "resource exhausted" in capsys.readouterr().err
+
+    def test_max_rows_exits_124(self, db_file, capsys):
+        code = main(
+            [
+                "eval", "--db", db_file, "--query", "E(x, y) | E(y, x)",
+                "--max-rows", "1",
+            ]
+        )
+        assert code == 124
+
+    def test_ample_budget_exits_0(self, db_file, capsys):
+        code = main(
+            [
+                "eval", "--db", db_file, "--query", self.FP_QUERY,
+                "--out", "u", "--max-iterations", "1000",
+                "--max-rows", "1000", "--timeout", "60",
+            ]
+        )
+        assert code == 0
+
+    def test_trace_budget_exits_124(self, db_file, capsys):
+        code = main(
+            ["trace", self.FP_QUERY, db_file, "--out", "u",
+             "--max-iterations", "1"]
+        )
+        assert code == 124
+
+    def test_datalog_budget_exits_124(self, tmp_path, capsys):
+        from repro import Database
+
+        db = Database.from_tuples(
+            range(5),
+            {"edge": (2, [(i, i + 1) for i in range(4)]), "source": (1, [(0,)])},
+        )
+        db_path = tmp_path / "g.db"
+        db_path.write_text(encode_database(db))
+        program = tmp_path / "reach.dl"
+        program.write_text(
+            "reach(X) :- source(X).\nreach(X) :- edge(Y, X), reach(Y).\n"
+        )
+        code = main(
+            [
+                "datalog", "--db", str(db_path), "--program", str(program),
+                "--pred", "reach", "--max-iterations", "1",
+            ]
+        )
+        assert code == 124

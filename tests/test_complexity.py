@@ -146,3 +146,76 @@ class TestTables:
         assert "FO" in text and "witnessed by" in text
         plain = render_table("T", TABLE2_ROWS, with_witness=False)
         assert "witnessed" not in plain
+
+
+class TestSweepFailureCapture:
+    """run_sweep records timeouts/errors per point and keeps going."""
+
+    @staticmethod
+    def _flaky(n):
+        from repro.errors import DeadlineExceeded
+
+        if n == 2:
+            raise DeadlineExceeded("deadline of 1s exceeded", kind="deadline")
+        if n == 3:
+            raise ValueError("boom")
+        return {"work": n * 10}
+
+    def test_outcomes_recorded_and_sweep_continues(self):
+        result = run_sweep("flaky", [1, 2, 3, 4], self._flaky, warmup=False)
+        outcomes = [p.outcome for p in result.points]
+        assert outcomes == ["ok", "timeout", "error", "ok"]
+        assert result.points[1].error.startswith("deadline")
+        assert result.points[2].error == "boom"
+        assert [p.parameter for p in result.failures()] == [2.0, 3.0]
+        # the healthy points still carry their counters
+        assert result.points[0].counter("work") == 10
+        assert result.points[3].counter("work") == 40
+
+    def test_warmup_failure_counts_against_the_point(self):
+        calls = []
+
+        def workload(n):
+            calls.append(n)
+            raise RuntimeError("always")
+
+        result = run_sweep("w", [1], workload, warmup=True)
+        assert result.points[0].outcome == "error"
+        assert calls == [1]  # the timed run is not attempted after a warmup failure
+
+    def test_capture_failures_off_restores_fail_fast(self):
+        with pytest.raises(ValueError):
+            run_sweep("strict", [3], self._flaky, warmup=False,
+                      capture_failures=False)
+
+    def test_format_rows_shows_outcome_column_only_on_failure(self):
+        healthy = run_sweep("ok", [1, 4], self._flaky, warmup=False)
+        assert "outcome" not in healthy.format_rows(["work"])
+        mixed = run_sweep("mixed", [1, 2], self._flaky, warmup=False)
+        rendered = mixed.format_rows(["work"])
+        lines = rendered.splitlines()
+        assert lines[0].split("\t") == ["param", "seconds", "work", "outcome"]
+        assert lines[1].endswith("ok")
+        assert lines[2].split("\t")[-2:] == ["-", "timeout"]
+
+    def test_guarded_workload_times_out_in_sweep(self):
+        # end-to-end: a per-point budget inside the workload surfaces as
+        # outcome="timeout" without losing the rest of the table
+        from repro.core.engine import EvalOptions, evaluate
+        from repro.guard import Budget
+        from repro.logic.parser import parse_formula
+        from repro.workloads.graphs import path_graph
+
+        phi = parse_formula(
+            "[lfp S(x). (~ exists y. E(y, x)) | exists y. (E(y, x) & S(y))](u)"
+        )
+
+        def workload(n):
+            n = int(n)
+            db = path_graph(5)
+            budget = Budget(max_iterations=(2 if n == 7 else 10_000))
+            result = evaluate(phi, db, ("u",), EvalOptions(budget=budget))
+            return {"rows": float(len(result.relation))}
+
+        result = run_sweep("guarded", [5, 7, 9], workload, warmup=False)
+        assert [p.outcome for p in result.points] == ["ok", "timeout", "ok"]

@@ -117,3 +117,27 @@ class TestMinimizeVariables:
             if isinstance(node, _FixpointBase):
                 names = [v.name for v in node.bound_vars]
                 assert len(set(names)) == len(names)
+
+
+class TestMiniscopeDuplicatedBinders:
+    """Miniscoping duplicates binders (∃x.(φ∨ψ) → ∃x.φ ∨ ∃x.ψ); the
+    duplicated binders share a unique name and must be renamed apart
+    again before coloring, or the coloring captures free variables."""
+
+    def test_duplicated_binder_does_not_capture_free_variable(self):
+        from repro.database import Database
+
+        # ∃x.(E(x, y) ∨ P(x)): miniscoping splits the binder into
+        # (∃x. E(x, y)) ∨ (∃x. P(x)).  Before the fix, both copies were
+        # colored as one binder, both were renamed to the free name y,
+        # and the left disjunct became ∃y. E(y, y) — capturing y.
+        phi = parse_formula("exists x. (E(x, y) | P(x))")
+        mini = minimize_variables(phi)
+        db = Database.from_tuples(
+            range(3), {"E": (2, [(0, 1)]), "P": (1, [])}
+        )
+        assert naive_answer(mini, db, ("y",)) == naive_answer(phi, db, ("y",))
+
+    def test_duplicated_binder_width_never_regresses(self):
+        phi = parse_formula("exists x. (E(x, y) | P(x))")
+        assert variable_width(minimize_variables(phi)) <= variable_width(phi)
