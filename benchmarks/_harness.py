@@ -23,6 +23,25 @@ DEADLINE_ENV = "REPRO_BENCH_DEADLINE"
 #: a diverging configuration is cut off instead of hanging the suite.
 DEFAULT_POINT_DEADLINE = 60.0
 
+#: Environment variable selecting the sweep worker-process count.
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+
+def bench_jobs(default: int = 1) -> int:
+    """Worker processes for sweep-based benches (``run_sweep(parallel=)``).
+
+    Defaults to serial — parallel workers share cores, so per-point
+    wall-clock comparisons are only meaningful at ``1``.  Set
+    ``REPRO_BENCH_JOBS`` to fan points out when total sweep throughput
+    matters more than clean per-point times; outcomes and counters are
+    identical either way.
+    """
+    try:
+        jobs = int(os.environ.get(JOBS_ENV, default))
+    except ValueError:
+        return default
+    return max(1, jobs)
+
 
 def point_budget(deadline_seconds: Optional[float] = None) -> Budget:
     """The per-sweep-point budget for bench workloads.

@@ -8,8 +8,12 @@ What is measurable about an NP∩co-NP bound:
 2. verification is fast — the verifier's work grows polynomially in n.
 
 Both are swept on the ν/µ "P infinitely often on every path" property.
+
+A third bench pits the SEMINAIVE fixpoint strategy against NAIVE on
+transitive closure — the workload semi-naive evaluation exists for.
 """
 
+import functools
 import time
 
 from repro.core.certificates import (
@@ -19,18 +23,108 @@ from repro.core.certificates import (
     verify_membership,
     verify_non_membership,
 )
+from repro.core.fp_eval import FixpointStrategy, solve_query
 from repro.core.interp import EvalStats
 from repro.core.naive_eval import naive_answer
 from repro.complexity.fit import classify_growth
+from repro.complexity.measure import run_sweep
 from repro.logic.parser import parse_formula
-from repro.workloads.graphs import labeled_graph, random_graph
+from repro.workloads.graphs import labeled_graph, path_graph, random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import bench_jobs, emit, series_table
 
 SIZES = [3, 4, 5, 6, 7]
 FAIR = parse_formula(
     "[gfp S(x). [lfp T(z). forall y. (~E(z, y) | (P(y) & S(y)) | T(y))](x)](u)"
 )
+
+#: Path lengths for the transitive-closure strategy shoot-out: a path
+#: graph maximizes fixpoint depth (n-1 rounds), the semi-naive sweet spot.
+TC_SIZES = [6, 10, 14, 18]
+TC_QUERY = "[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)"
+
+
+def _tc_workload(parameter: float, strategy: str = "naive") -> dict:
+    """Transitive closure of a path graph under one fixpoint strategy.
+
+    Module-level (picklable) so ``REPRO_BENCH_JOBS`` can parallelize the
+    sweep; parses the query per call so no formula objects cross process
+    boundaries.
+    """
+    n = int(parameter)
+    stats = EvalStats()
+    answer = solve_query(
+        parse_formula(TC_QUERY),
+        path_graph(n),
+        ("u", "v"),
+        strategy=FixpointStrategy(strategy),
+        stats=stats,
+    )
+    return {
+        "answer_rows": float(len(answer)),
+        "iterations": float(stats.fixpoint_iterations),
+        "body_evals": float(stats.body_evaluations),
+        "delta_rounds": float(stats.notes.get("seminaive_delta_rounds", 0)),
+    }
+
+
+def bench_table2_fp_seminaive_vs_naive(benchmark):
+    """Semi-naive vs naive LFP ascent on path-graph transitive closure.
+
+    Naive ascent re-joins ``E`` against the whole accumulated closure
+    every round (``Θ(n)`` rounds of ``Θ(n²)``-row work); semi-naive joins
+    only against the previous round's delta.  The speedup at each ``n``
+    is recorded in the bench output — the differential test suite, not
+    this bench, owns the equivalence guarantee, but tuple counts are
+    cross-checked here too.
+    """
+    jobs = bench_jobs()
+    sweeps = {
+        strategy: run_sweep(
+            f"tc-{strategy}",
+            TC_SIZES,
+            functools.partial(_tc_workload, strategy=strategy),
+            repetitions=3,
+            parallel=jobs,
+        )
+        for strategy in ("naive", "seminaive")
+    }
+    rows = []
+    for naive_pt, semi_pt in zip(
+        sweeps["naive"].points, sweeps["seminaive"].points
+    ):
+        assert naive_pt.ok and semi_pt.ok, (naive_pt, semi_pt)
+        # same closure, and the semi-naive run really ran delta rounds
+        assert naive_pt.counter("answer_rows") == semi_pt.counter(
+            "answer_rows"
+        )
+        assert semi_pt.counter("delta_rounds") >= 1
+        rows.append(
+            (
+                int(naive_pt.parameter),
+                int(naive_pt.counter("answer_rows")),
+                f"{naive_pt.seconds:.5f}",
+                f"{semi_pt.seconds:.5f}",
+                f"{naive_pt.seconds / semi_pt.seconds:.2f}x",
+            )
+        )
+    benchmark(functools.partial(_tc_workload, strategy="seminaive"), TC_SIZES[-1])
+    largest = rows[-1]
+    body = (
+        series_table(
+            ("n", "closure rows", "naive s", "seminaive s", "speedup"),
+            rows,
+        )
+        + f"\n\nlargest n={largest[0]}: naive {largest[2]}s vs semi-naive "
+        f"{largest[3]}s ({largest[4]}) — recorded, not asserted; both "
+        f"strategies agree tuple-for-tuple (checked per point)"
+        + ("" if jobs == 1 else f"\nsweep ran with {jobs} worker processes")
+    )
+    emit(
+        "T2-FP-SEMINAIVE",
+        "semi-naive vs naive LFP ascent on transitive closure",
+        body,
+    )
 
 
 def _database(n: int):

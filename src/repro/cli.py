@@ -17,6 +17,10 @@ Usage (also via ``python -m repro``)::
     # trace an evaluation: span tree, hot spans, optional JSONL export
     python -m repro trace "[lfp S(x). P(x) | exists y. (E(y,x) & S(y))](u)" graph.db
 
+    # scaling sweep over seeded random databases, 2 worker processes
+    python -m repro sweep --query "[lfp S(x,y). E(x,y) | exists z. (E(x,z) & S(z,y))](u,v)" \
+        --sizes 4 8 12 --jobs 2 --strategy seminaive --cache
+
 Database files contain the standard encoding produced by
 :func:`repro.database.encoding.encode_database`.
 
@@ -163,6 +167,108 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_database(n: int, seed: int, edge_prob: float):
+    """A seeded random labeled digraph over ``{0, …, n-1}``.
+
+    ``E`` holds each ordered pair independently with ``edge_prob``;
+    ``P`` marks the even elements and ``Q`` the multiples of three, so
+    FO^k corpus queries over the standard test schema run unchanged.
+    """
+    import random
+
+    from repro.database.database import Database
+
+    rng = random.Random(seed * 1_000_003 + n)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < edge_prob
+    ]
+    return Database.from_tuples(
+        range(n),
+        {
+            "E": (2, edges),
+            "P": (1, [(i,) for i in range(0, n, 2)]),
+            "Q": (1, [(i,) for i in range(0, n, 3)]),
+        },
+    )
+
+
+def _sweep_workload(
+    parameter: float,
+    query: str = "",
+    out: tuple = (),
+    strategy: str = FixpointStrategy.MONOTONE.value,
+    cache: bool = False,
+    budget: Optional[Budget] = None,
+    k_limit: Optional[int] = None,
+    seed: int = 0,
+    edge_prob: float = 0.3,
+) -> dict:
+    """One sweep point: evaluate the query at database size ``parameter``.
+
+    Module-level so ``functools.partial`` over it stays picklable —
+    ``--jobs N`` ships it to worker processes.  The budget's deadline is
+    anchored when the evaluation starts, i.e. per point and per worker.
+    """
+    db = _sweep_database(int(parameter), seed, edge_prob)
+    formula = parse_formula(query)
+    options = EvalOptions(
+        strategy=FixpointStrategy(strategy),
+        k_limit=k_limit,
+        budget=budget,
+        subquery_cache=cache,
+    )
+    result = evaluate(formula, db, out, options)
+    counters = {"answer_rows": float(len(result.relation))}
+    for key, value in result.stats.as_dict().items():
+        counters[key] = float(value)
+    return counters
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.complexity.measure import run_sweep
+
+    formula = parse_formula(args.query)
+    out = tuple(args.out or sorted(free_variables(formula)))
+    workload = functools.partial(
+        _sweep_workload,
+        query=args.query,
+        out=out,
+        strategy=args.strategy,
+        cache=args.cache,
+        budget=_budget_from_args(args),
+        k_limit=args.k_limit,
+        seed=args.seed,
+        edge_prob=args.edge_prob,
+    )
+    result = run_sweep(
+        "cli-sweep",
+        args.sizes,
+        workload,
+        repetitions=args.repetitions,
+        warmup=args.repetitions > 1,
+        parallel=args.jobs,
+    )
+    print(
+        result.format_rows(
+            ["answer_rows", "fixpoint_iterations", "max_intermediate_rows"]
+        )
+    )
+    failures = result.failures()
+    for point in failures:
+        print(
+            f"# n={point.parameter:g}: {point.outcome}: {point.error}",
+            file=sys.stderr,
+        )
+    if any(p.outcome == "timeout" for p in failures):
+        return EXIT_RESOURCE_EXHAUSTED
+    return 1 if failures else 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     formula = parse_formula(args.query)
     print(f"formula   : {format_formula(formula)}")
@@ -273,6 +379,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="scaling sweep of a query over seeded random databases",
+    )
+    p_sweep.add_argument("--query", required=True, help="query text")
+    p_sweep.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        required=True,
+        metavar="N",
+        help="database sizes to sweep",
+    )
+    p_sweep.add_argument(
+        "--out",
+        nargs="*",
+        help="output variables (default: the free variables, sorted)",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = serial; results are identical)",
+    )
+    p_sweep.add_argument(
+        "--strategy",
+        choices=[s.value for s in FixpointStrategy],
+        default=FixpointStrategy.MONOTONE.value,
+        help="fixpoint strategy for FP queries",
+    )
+    p_sweep.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the subquery result cache (per point)",
+    )
+    p_sweep.add_argument("--k-limit", type=int, default=None)
+    p_sweep.add_argument(
+        "--seed", type=int, default=0, help="random-database seed"
+    )
+    p_sweep.add_argument(
+        "--edge-prob",
+        type=float,
+        default=0.3,
+        metavar="P",
+        help="edge probability of the random digraph",
+    )
+    p_sweep.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        metavar="R",
+        help="timed runs per point (minimum time is reported)",
+    )
+    _add_budget_arguments(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_info = sub.add_parser("info", help="classify and measure a query")
     p_info.add_argument("--query", required=True)

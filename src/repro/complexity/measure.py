@@ -16,11 +16,19 @@ with ``outcome`` ``"timeout"`` (a :class:`~repro.errors.ResourceExhausted`
 ``"error"`` (anything else) plus the message, and the sweep continues
 with the next parameter.  Pass ``capture_failures=False`` for the old
 fail-fast behavior.
+
+With ``parallel=N`` the points are fanned across a
+``ProcessPoolExecutor``; results come back in parameter order and carry
+the same counters/outcomes/traces as a serial run (the parallel-sweep
+tests assert the sequences are identical point for point).  Workloads
+must then be picklable — module-level functions or ``functools.partial``
+over them, not lambdas or closures.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -115,6 +123,67 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _measure_point(
+    parameter: float,
+    workload: Callable[..., Optional[Dict[str, float]]],
+    repetitions: int,
+    warmup: bool,
+    tracer_factory: Optional[Callable[[], Tracer]],
+    capture_failures: bool,
+) -> SweepPoint:
+    """Measure one sweep point — the shared serial/parallel work unit.
+
+    Module-level (not a closure) so that parallel sweeps can ship it to
+    ``ProcessPoolExecutor`` workers; everything it touches (workload,
+    tracer factory, the returned :class:`SweepPoint` with its tracer)
+    must therefore be picklable in the parallel case.
+    """
+    best = float("inf")
+    counters: Dict[str, float] = {}
+    trace: Optional[Tracer] = None
+    failure: Optional[BaseException] = None
+    start = time.perf_counter()
+    try:
+        if warmup:
+            if tracer_factory is None:
+                workload(parameter)
+            else:
+                workload(parameter, NULL_TRACER)
+        for _ in range(max(1, repetitions)):
+            if tracer_factory is None:
+                start = time.perf_counter()
+                outcome = workload(parameter)
+                elapsed = time.perf_counter() - start
+            else:
+                tracer = tracer_factory()
+                start = time.perf_counter()
+                outcome = workload(parameter, tracer)
+                elapsed = time.perf_counter() - start
+                trace = tracer
+            best = min(best, elapsed)
+            if outcome:
+                counters = dict(outcome)
+    except Exception as exc:
+        if not capture_failures:
+            raise
+        failure = exc
+        best = min(best, time.perf_counter() - start)
+    return SweepPoint(
+        parameter=float(parameter),
+        seconds=best,
+        counters=tuple(sorted(counters.items())),
+        trace=trace,
+        outcome=(
+            "ok"
+            if failure is None
+            else "timeout"
+            if isinstance(failure, ResourceExhausted)
+            else "error"
+        ),
+        error="" if failure is None else str(failure),
+    )
+
+
 def run_sweep(
     name: str,
     parameters: Sequence[float],
@@ -123,6 +192,7 @@ def run_sweep(
     warmup: bool = True,
     tracer_factory: Optional[Callable[[], Tracer]] = None,
     capture_failures: bool = True,
+    parallel: int = 1,
 ) -> SweepResult:
     """Run ``workload`` across ``parameters`` and time each call.
 
@@ -142,53 +212,36 @@ def run_sweep(
     whole table.  Failures during warmup count against the point too
     (the workload is deterministic, so the timed run would fail the
     same way).
+
+    With ``parallel > 1``, points are distributed across that many
+    worker processes.  The result is deterministic in everything but
+    wall-clock: points come back in parameter order with the same
+    counters, outcomes, errors, and traces a serial run would produce.
+    Per-point guard budgets keep working unchanged — a workload builds
+    its budget/deadline when called, i.e. inside its own worker, so a
+    fault or timeout in one point is isolated to that process and is
+    captured the same way as in a serial sweep.  With
+    ``capture_failures=False`` a failing point raises at collection
+    time, like the serial fail-fast path.  Workloads, tracer factories,
+    and tracers must be picklable.
     """
-    points: List[SweepPoint] = []
-    for parameter in parameters:
-        best = float("inf")
-        counters: Dict[str, float] = {}
-        trace: Optional[Tracer] = None
-        failure: Optional[BaseException] = None
-        start = time.perf_counter()
-        try:
-            if warmup:
-                if tracer_factory is None:
-                    workload(parameter)
-                else:
-                    workload(parameter, NULL_TRACER)
-            for _ in range(max(1, repetitions)):
-                if tracer_factory is None:
-                    start = time.perf_counter()
-                    outcome = workload(parameter)
-                    elapsed = time.perf_counter() - start
-                else:
-                    tracer = tracer_factory()
-                    start = time.perf_counter()
-                    outcome = workload(parameter, tracer)
-                    elapsed = time.perf_counter() - start
-                    trace = tracer
-                best = min(best, elapsed)
-                if outcome:
-                    counters = dict(outcome)
-        except Exception as exc:
-            if not capture_failures:
-                raise
-            failure = exc
-            best = min(best, time.perf_counter() - start)
-        points.append(
-            SweepPoint(
-                parameter=float(parameter),
-                seconds=best,
-                counters=tuple(sorted(counters.items())),
-                trace=trace,
-                outcome=(
-                    "ok"
-                    if failure is None
-                    else "timeout"
-                    if isinstance(failure, ResourceExhausted)
-                    else "error"
-                ),
-                error="" if failure is None else str(failure),
+    if parallel <= 1:
+        points = [
+            _measure_point(
+                parameter, workload, repetitions, warmup,
+                tracer_factory, capture_failures,
             )
-        )
+            for parameter in parameters
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            futures = [
+                pool.submit(
+                    _measure_point,
+                    parameter, workload, repetitions, warmup,
+                    tracer_factory, capture_failures,
+                )
+                for parameter in parameters
+            ]
+            points = [future.result() for future in futures]
     return SweepResult(name, tuple(points))

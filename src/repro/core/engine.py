@@ -41,6 +41,7 @@ from repro.logic.parser import parse_formula
 from repro.logic.printer import format_formula
 from repro.logic.syntax import Formula
 from repro.logic.variables import free_variables, variable_width
+from repro.perf.cache import SubqueryCache, resolve_subquery_cache
 
 
 @dataclass
@@ -64,6 +65,13 @@ class EvalOptions:
     switch to strict counting instead of failing outright where a sound
     cheaper mode exists.  ``chaos`` installs a deterministic
     fault-injection policy — testing only.
+
+    ``subquery_cache`` memoizes subformula tables in the FO/FP engines
+    (see :mod:`repro.perf.cache`): ``True`` uses a fresh private cache
+    for the evaluation, a :class:`~repro.perf.cache.SubqueryCache`
+    instance shares cached tables across evaluations, and
+    ``None``/``False`` (default) disables caching — the reference
+    configuration the differential tests compare against.
     """
 
     strategy: FixpointStrategy = FixpointStrategy.MONOTONE
@@ -75,6 +83,7 @@ class EvalOptions:
     budget: Optional[Budget] = None
     chaos: Optional[ChaosPolicy] = None
     degrade: bool = True
+    subquery_cache: Union[bool, "SubqueryCache", None] = None
 
 
 @dataclass
@@ -145,9 +154,15 @@ def _dispatch(
 ) -> EvalResult:
     recorded = tracer if tracer.enabled else None
     watched = guard if guard.enabled else None
+    cache = resolve_subquery_cache(options.subquery_cache)
     if language == Language.FO:
         evaluator = BoundedEvaluator(
-            db, k_limit=options.k_limit, stats=stats, tracer=tracer, guard=guard
+            db,
+            k_limit=options.k_limit,
+            stats=stats,
+            tracer=tracer,
+            guard=guard,
+            subquery_cache=cache,
         )
         relation = evaluator.answer(formula, tuple(output_vars))
         return EvalResult(
@@ -207,6 +222,7 @@ def _dispatch(
         require_positive=options.check_positive,
         tracer=tracer,
         guard=guard,
+        subquery_cache=cache,
     )
     return EvalResult(
         relation, language, strategy, stats, tracer=recorded, guard=watched

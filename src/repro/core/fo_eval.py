@@ -114,6 +114,14 @@ class BoundedEvaluator:
         every subformula evaluation is a cooperative checkpoint and every
         intermediate table is charged against the row budget (the
         enforced version of Prop 3.1's ``n^k`` invariant).
+    subquery_cache:
+        Optional :class:`repro.perf.cache.SubqueryCache`.  Unlike the
+        internal per-evaluation memo (which keys on formula *identity*),
+        the cache keys on formula *structure* plus the relevant relation
+        environment, so it also serves repeated subtrees, fixpoint
+        parameter assignments, and — when one instance is shared —
+        entirely separate evaluations.  Served tables are charged to the
+        guard's row budget and counted in ``stats`` like computed ones.
     """
 
     def __init__(
@@ -124,6 +132,7 @@ class BoundedEvaluator:
         stats: Optional[EvalStats] = None,
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
+        subquery_cache=None,
     ):
         self.db = db
         self.domain = db.domain
@@ -132,6 +141,7 @@ class BoundedEvaluator:
         self.stats = stats if stats is not None else EvalStats()
         self.tracer = tracer
         self.guard = guard
+        self.subquery_cache = subquery_cache
         # memo entries keep a strong reference to their formula so the
         # id()-based key can never alias a recycled object
         self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
@@ -191,6 +201,22 @@ class BoundedEvaluator:
             # the reference CPython could reuse the id of a dead formula
             self.stats.bump("memo_hits")
             return cached[1]
+        cache = self.subquery_cache
+        ckey = None
+        if cache is not None and cache.cacheable(formula):
+            ckey = cache.key_for(formula, env, self.db)
+            if ckey is not None:
+                hit = cache.get(ckey)
+                if hit is not None:
+                    self.stats.bump("subquery_cache_hits")
+                    if self.guard.enabled:
+                        self.guard.charge_rows(
+                            len(hit), node=type(formula).__name__
+                        )
+                    self.stats.observe_table(hit)
+                    self._memo[key] = (formula, hit)
+                    return hit
+                self.stats.bump("subquery_cache_misses")
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span(f"fo.{type(formula).__name__}") as span:
@@ -202,6 +228,8 @@ class BoundedEvaluator:
         if guard.enabled:
             guard.charge_rows(len(table), node=type(formula).__name__)
         self.stats.observe_table(table)
+        if ckey is not None:
+            cache.put(ckey, table)
         self._memo[key] = (formula, table)
         return table
 

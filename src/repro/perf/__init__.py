@@ -1,0 +1,25 @@
+"""Performance layer: subquery caching and semi-naive fixpoints.
+
+Both optimizations are off by default and switched on through
+:class:`repro.core.engine.EvalOptions` —
+``EvalOptions(subquery_cache=True)`` and
+``EvalOptions(strategy=FixpointStrategy.SEMINAIVE)`` — so the reference
+semantics stay untouched and the differential test harness
+(``tests/test_differential.py``) can pit optimized evaluation against
+it.  See ``docs/performance.md``.
+"""
+
+from repro.perf.cache import SubqueryCache, resolve_subquery_cache
+from repro.perf.seminaive import (
+    SemiNaiveSolver,
+    delta_relation_name,
+    differential,
+)
+
+__all__ = [
+    "SemiNaiveSolver",
+    "SubqueryCache",
+    "delta_relation_name",
+    "differential",
+    "resolve_subquery_cache",
+]

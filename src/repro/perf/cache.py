@@ -1,0 +1,231 @@
+"""A shared, bounded subquery-result cache for bottom-up evaluation.
+
+Bounded-variable evaluation (Prop 3.1) computes one :class:`VarTable` per
+subformula, and that table depends only on
+
+* the subformula itself (structurally — formulas are frozen dataclasses
+  with structural equality),
+* the *relevant* relation environment: the value of every relation name
+  occurring free in the subformula, resolved through the fixpoint/SO
+  bindings first and the database second, and
+* the domain.
+
+Nothing else — in particular not the surrounding assignment context.  So a
+table computed once can be served for every later occurrence of an equal
+subtree under an equal relevant environment: repeated subtrees inside one
+query, repeated closed subformulas across fixpoint parameter assignments,
+and whole repeated queries across evaluations that share a cache instance.
+
+The cache key *contains* the relevant relation values, so a mutated
+environment (a fixpoint iteration's new recursion relation, a modified
+database relation) can never produce a stale hit — it simply misses.  The
+price is hashing those relations; :class:`~repro.database.relation.Relation`
+hashes its frozenset, which CPython caches after the first computation.
+
+Capacity is bounded two ways, both LRU:
+
+* ``max_entries`` bounds the number of retained tables;
+* ``max_total_rows`` bounds the *sum of retained rows* — the cache's
+  answer to the row budget of :mod:`repro.guard` (a cache must not hoard
+  more tuples than the evaluation itself is allowed to materialize).
+  Served hits are additionally charged against the active guard's row
+  budget by the evaluator, exactly like freshly computed tables.
+
+Hits, misses, and evictions are counters in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``cache.hits`` /
+``cache.misses`` / ``cache.evictions``, plus ``cache.entries`` /
+``cache.rows`` gauges), so ``repro`` metric reports show cache behaviour
+alongside the engine counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.interp import VarTable
+from repro.database.database import Database
+from repro.database.relation import Relation
+from repro.logic.syntax import Formula
+from repro.logic.variables import free_relation_variables
+from repro.obs.metrics import MetricsRegistry
+
+#: Default bound on retained tables.
+DEFAULT_MAX_ENTRIES = 512
+
+#: Default bound on the sum of retained rows across all tables.
+DEFAULT_MAX_TOTAL_ROWS = 1 << 20
+
+#: Nodes smaller than this are cheaper to recompute than to hash/lookup.
+DEFAULT_MIN_FORMULA_SIZE = 3
+
+CacheKey = Tuple[Formula, Tuple[object, ...], Tuple[Tuple[str, Relation], ...]]
+
+
+class SubqueryCache:
+    """A bounded LRU of ``(formula, environment) → VarTable`` entries.
+
+    One instance may be shared across many evaluators and evaluations
+    (it is not thread-safe — share within one process/thread only, which
+    matches the engines' single-threaded-per-evaluation design).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_total_rows: int = DEFAULT_MAX_TOTAL_ROWS,
+        min_formula_size: int = DEFAULT_MIN_FORMULA_SIZE,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.max_total_rows = max_total_rows
+        self.min_formula_size = min_formula_size
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("cache.hits")
+        self._misses = self.registry.counter("cache.misses")
+        self._evictions = self.registry.counter("cache.evictions")
+        self._entries_gauge = self.registry.gauge("cache.entries")
+        self._rows_gauge = self.registry.gauge("cache.rows")
+        self._entries: "OrderedDict[CacheKey, VarTable]" = OrderedDict()
+        self._total_rows = 0
+        # formula → its free relation names; keyed by the formula object
+        # itself (strong reference), so the analysis runs once per subtree
+        self._free_rels: Dict[Formula, FrozenSet[str]] = {}
+
+    # -- readings --------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def total_rows(self) -> int:
+        return self._total_rows
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ----------------------------------------------------------
+
+    def cacheable(self, formula: Formula) -> bool:
+        """Is this node worth caching?  Leaves are cheaper recomputed."""
+        return bool(formula.children()) and formula.size() >= self.min_formula_size
+
+    def key_for(
+        self,
+        formula: Formula,
+        env: Dict[str, Relation],
+        db: Database,
+    ) -> Optional[CacheKey]:
+        """The structural cache key, or ``None`` when the formula cannot
+        be keyed (a relation name that resolves nowhere — the evaluation
+        itself will fail, so there is nothing to cache)."""
+        rels = self._free_rels.get(formula)
+        if rels is None:
+            rels = free_relation_variables(formula)
+            self._free_rels[formula] = rels
+        fingerprint = []
+        for name in sorted(rels):
+            relation = env.get(name)
+            if relation is None:
+                try:
+                    relation = db.relation(name)
+                except Exception:
+                    return None
+            fingerprint.append((name, relation))
+        return (formula, db.domain.values, tuple(fingerprint))
+
+    # -- lookup / store --------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[VarTable]:
+        """The cached table for ``key``, refreshing its LRU position."""
+        table = self._entries.get(key)
+        if table is None:
+            self._misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._hits.inc()
+        return table
+
+    def put(self, key: CacheKey, table: VarTable) -> None:
+        """Store a table, evicting least-recently-used entries as needed.
+
+        A table larger than ``max_total_rows`` on its own is not retained
+        at all (retaining it would evict everything else for one entry).
+        """
+        rows = len(table)
+        if rows > self.max_total_rows:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total_rows -= len(old)
+        self._entries[key] = table
+        self._total_rows += rows
+        while (
+            len(self._entries) > self.max_entries
+            or self._total_rows > self.max_total_rows
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._total_rows -= len(evicted)
+            self._evictions.inc()
+        self._entries_gauge.set(len(self._entries))
+        self._rows_gauge.set(self._total_rows)
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, formula: Optional[Formula] = None) -> int:
+        """Drop entries; all of them, or those of one (structural) formula.
+
+        Keys embed the full relevant relation environment, so invalidation
+        is never *required* for correctness — it exists to release memory
+        (e.g. after a database is discarded).  Returns the number of
+        entries dropped.
+        """
+        if formula is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._free_rels.clear()
+            self._total_rows = 0
+        else:
+            stale = [k for k in self._entries if k[0] == formula]
+            for key in stale:
+                self._total_rows -= len(self._entries.pop(key))
+            dropped = len(stale)
+        self._entries_gauge.set(len(self._entries))
+        self._rows_gauge.set(self._total_rows)
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"SubqueryCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"rows={self._total_rows}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+def resolve_subquery_cache(value) -> Optional[SubqueryCache]:
+    """Normalize an ``EvalOptions.subquery_cache`` value.
+
+    ``None``/``False`` → no cache; ``True`` → a fresh private cache (still
+    useful: repeated subtrees and fixpoint parameter assignments within one
+    query hit it); a :class:`SubqueryCache` instance is used as-is, which
+    is how results are shared across evaluations.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return SubqueryCache()
+    return value
+
+
+__all__ = ["CacheKey", "SubqueryCache", "resolve_subquery_cache"]

@@ -18,11 +18,16 @@ from repro.errors import EvaluationError, PositivityError
 from repro.logic.parser import parse_formula
 from repro.logic.variables import free_variables
 from repro.workloads.formulas import alternating_fixpoint_family
-from repro.workloads.graphs import labeled_graph, random_graph
+from repro.workloads.graphs import labeled_graph, path_graph, random_graph
 
 from tests.conftest import databases, fp_formulas
 
-STRATEGIES = [FixpointStrategy.NAIVE, FixpointStrategy.MONOTONE, FixpointStrategy.ALTERNATION]
+STRATEGIES = [
+    FixpointStrategy.NAIVE,
+    FixpointStrategy.MONOTONE,
+    FixpointStrategy.ALTERNATION,
+    FixpointStrategy.SEMINAIVE,
+]
 
 
 class TestBasicFixpoints:
@@ -141,10 +146,52 @@ class TestPartialIteration:
 
 class TestSolverFactory:
     def test_make_solver_kinds(self):
+        from repro.perf.seminaive import SemiNaiveSolver
+
         stats = EvalStats()
         assert isinstance(make_solver(FixpointStrategy.NAIVE, stats), NaiveSolver)
         assert isinstance(
             make_solver(FixpointStrategy.MONOTONE, stats), MonotoneSolver
         )
+        assert isinstance(
+            make_solver(FixpointStrategy.SEMINAIVE, stats), SemiNaiveSolver
+        )
         with pytest.raises(EvaluationError):
             make_solver(FixpointStrategy.ALTERNATION, stats)
+
+
+class TestInflationaryEarlyExit:
+    """Regression: the converging IFP round must exit on the empty delta
+    instead of unioning (re-materializing) the full relation first."""
+
+    def _chain(self, n):
+        return labeled_graph(path_graph(n), {"P": [0]})
+
+    def test_iteration_count_and_exit_note(self):
+        n = 5
+        phi = parse_formula(
+            "[ifp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+        )
+        db = self._chain(n)
+        stats = EvalStats()
+        got = solve_query(
+            phi, db, ("u",), strategy=FixpointStrategy.NAIVE, stats=stats
+        )
+        assert got == naive_answer(phi, db, ("u",))
+        # one productive round per chain element, plus exactly one
+        # converging round that exits on the empty delta
+        assert stats.fixpoint_iterations == n + 1
+        assert stats.notes["empty_delta_exits"] == 1
+
+    def test_early_exit_matches_reference_across_strategies(self):
+        phi = parse_formula(
+            "[ifp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+        )
+        db = self._chain(4)
+        expected = naive_answer(phi, db, ("u",))
+        for strategy in (
+            FixpointStrategy.NAIVE,
+            FixpointStrategy.MONOTONE,
+            FixpointStrategy.SEMINAIVE,
+        ):
+            assert solve_query(phi, db, ("u",), strategy=strategy) == expected

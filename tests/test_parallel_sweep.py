@@ -1,0 +1,156 @@
+"""Parallel sweeps must be observably identical to serial ones.
+
+``run_sweep(parallel=N)`` fans points across worker processes; the
+contract is that everything except wall-clock time — parameter order,
+counters, outcomes, error messages, trace presence and span structure —
+matches the serial run point for point, including when a
+:class:`~repro.guard.chaos.ChaosPolicy` injects a fault into one point
+and when a budget times another out.
+
+All workloads live at module level: the parallel path pickles them into
+``ProcessPoolExecutor`` workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.measure import run_sweep
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.fp_eval import FixpointStrategy
+from repro.errors import ReproError
+from repro.guard.budget import Budget
+from repro.guard.chaos import ChaosPolicy
+from repro.logic.parser import parse_formula
+from repro.obs.tracer import Tracer
+from repro.workloads.graphs import path_graph
+
+TC_QUERY = "[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)"
+
+#: The parameter value at which the chaotic/timeout workloads fail.
+FAULT_PARAMETER = 5
+
+
+def _evaluate_tc(n, options):
+    result = evaluate(
+        parse_formula(TC_QUERY), path_graph(n), ("u", "v"), options
+    )
+    return {
+        "answer_rows": float(len(result.relation)),
+        "iterations": float(result.stats.fixpoint_iterations),
+    }
+
+
+def _tc_workload(parameter):
+    return _evaluate_tc(
+        int(parameter), EvalOptions(strategy=FixpointStrategy.SEMINAIVE)
+    )
+
+
+def _chaotic_workload(parameter):
+    """Deterministic workload with one sabotaged point: at the fault
+    parameter a ChaosPolicy fires an InjectedFault (a ReproError, so the
+    sweep records ``outcome="error"``)."""
+    chaos = (
+        ChaosPolicy(seed=1, fail_at=2)
+        if int(parameter) == FAULT_PARAMETER
+        else None
+    )
+    return _evaluate_tc(
+        int(parameter),
+        EvalOptions(strategy=FixpointStrategy.SEMINAIVE, chaos=chaos),
+    )
+
+
+def _timeout_workload(parameter):
+    budget = (
+        Budget(max_iterations=1)
+        if int(parameter) == FAULT_PARAMETER
+        else None
+    )
+    return _evaluate_tc(int(parameter), EvalOptions(budget=budget))
+
+
+def _raising_workload(parameter):
+    raise ReproError(f"boom at {parameter:g}")
+
+
+def _traced_workload(parameter, tracer):
+    result = evaluate(
+        parse_formula(TC_QUERY),
+        path_graph(int(parameter)),
+        ("u", "v"),
+        EvalOptions(trace=tracer),
+    )
+    return {"answer_rows": float(len(result.relation))}
+
+
+def _comparable(point):
+    """Everything a SweepPoint promises to keep deterministic."""
+    return (
+        point.parameter,
+        point.counters,
+        point.outcome,
+        point.error,
+        point.trace is None,
+    )
+
+
+def _both_ways(workload, parameters, **kwargs):
+    serial = run_sweep("serial", parameters, workload, **kwargs)
+    fanned = run_sweep(
+        "parallel", parameters, workload, parallel=2, **kwargs
+    )
+    return serial, fanned
+
+
+def test_parallel_points_identical_to_serial():
+    serial, fanned = _both_ways(_tc_workload, [3, 4, 5, 6])
+    assert [_comparable(p) for p in fanned.points] == [
+        _comparable(p) for p in serial.points
+    ]
+    assert all(p.ok for p in fanned.points)
+
+
+def test_parallel_identical_under_injected_fault():
+    serial, fanned = _both_ways(_chaotic_workload, [3, 4, 5, 6])
+    assert [_comparable(p) for p in fanned.points] == [
+        _comparable(p) for p in serial.points
+    ]
+    outcomes = [p.outcome for p in fanned.points]
+    assert outcomes == ["ok", "ok", "error", "ok"]
+    assert "chaos" in fanned.points[2].error
+
+
+def test_parallel_identical_under_timeout():
+    serial, fanned = _both_ways(_timeout_workload, [3, 5, 4])
+    assert [_comparable(p) for p in fanned.points] == [
+        _comparable(p) for p in serial.points
+    ]
+    assert [p.outcome for p in fanned.points] == ["ok", "timeout", "ok"]
+
+
+def test_parallel_traces_match_serial_structure():
+    serial, fanned = _both_ways(
+        _traced_workload, [3, 4], tracer_factory=Tracer
+    )
+    for s_point, p_point in zip(serial.points, fanned.points):
+        assert p_point.trace is not None
+        assert [sp.name for sp in p_point.trace.spans] == [
+            sp.name for sp in s_point.trace.spans
+        ]
+
+
+def test_parallel_fail_fast_raises_like_serial():
+    with pytest.raises(ReproError, match="boom"):
+        run_sweep(
+            "serial", [1.0], _raising_workload, capture_failures=False
+        )
+    with pytest.raises(ReproError, match="boom"):
+        run_sweep(
+            "parallel",
+            [1.0, 2.0],
+            _raising_workload,
+            capture_failures=False,
+            parallel=2,
+        )

@@ -1,0 +1,178 @@
+"""Unit tests for the SubqueryCache: LRU bounds, invalidation, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.interp import VarTable
+from repro.database.database import Database
+from repro.logic.parser import parse_formula
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import SubqueryCache
+from repro.perf.cache import resolve_subquery_cache
+
+
+def _db(n=3):
+    return Database.from_tuples(
+        range(n), {"E": (2, [(i, i + 1) for i in range(n - 1)])}
+    )
+
+
+def _key(cache, text, db):
+    return cache.key_for(parse_formula(text), {}, db)
+
+
+def _table(rows):
+    return VarTable(("x",), [(r,) for r in rows])
+
+
+class TestLRUBounds:
+    def test_max_entries_evicts_least_recently_used(self):
+        cache = SubqueryCache(max_entries=2)
+        db = _db()
+        keys = [
+            _key(cache, text, db)
+            for text in ("exists y. E(x, y)", "E(x, x)", "~E(x, x)")
+        ]
+        cache.put(keys[0], _table([0]))
+        cache.put(keys[1], _table([1]))
+        assert cache.get(keys[0]) is not None  # refresh: [1] is now LRU
+        cache.put(keys[2], _table([2]))
+        assert cache.evictions == 1
+        assert cache.get(keys[1]) is None  # the unrefreshed entry went
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+        assert len(cache) == 2
+
+    def test_max_total_rows_bounds_retained_tuples(self):
+        cache = SubqueryCache(max_entries=100, max_total_rows=5)
+        db = _db(8)
+        k1 = _key(cache, "E(x, x)", db)
+        k2 = _key(cache, "~E(x, x)", db)
+        cache.put(k1, _table(range(3)))
+        cache.put(k2, _table(range(3)))  # 6 rows total > 5: k1 evicted
+        assert cache.evictions == 1
+        assert cache.total_rows == 3
+        assert cache.get(k1) is None
+
+    def test_oversized_table_is_not_retained(self):
+        cache = SubqueryCache(max_total_rows=2)
+        db = _db(8)
+        k1 = _key(cache, "E(x, x)", db)
+        k2 = _key(cache, "~E(x, x)", db)
+        cache.put(k2, _table([0]))
+        cache.put(k1, _table(range(5)))  # larger than the whole budget
+        assert cache.get(k1) is None
+        assert cache.get(k2) is not None  # and it displaced nothing
+
+    def test_replacing_an_entry_does_not_double_count_rows(self):
+        cache = SubqueryCache()
+        key = _key(cache, "E(x, x)", _db())
+        cache.put(key, _table(range(4)))
+        cache.put(key, _table(range(2)))
+        assert cache.total_rows == 2
+        assert len(cache) == 1
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SubqueryCache(max_entries=0)
+
+
+class TestInvalidation:
+    def test_invalidate_all(self):
+        cache = SubqueryCache()
+        db = _db()
+        k1 = _key(cache, "E(x, x)", db)
+        k2 = _key(cache, "~E(x, x)", db)
+        cache.put(k1, _table([0]))
+        cache.put(k2, _table([1]))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0 and cache.total_rows == 0
+        assert cache.get(k1) is None
+
+    def test_invalidate_single_formula_is_structural(self):
+        cache = SubqueryCache()
+        db = _db()
+        keep = _key(cache, "~E(x, x)", db)
+        drop = _key(cache, "E(x, x)", db)
+        cache.put(keep, _table([0]))
+        cache.put(drop, _table([1]))
+        # a *fresh* parse of the same text: equal by structure, not id
+        assert cache.invalidate(parse_formula("E(x, x)")) == 1
+        assert cache.get(drop) is None
+        assert cache.get(keep) is not None
+
+
+class TestMetricsAndKeys:
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        cache = SubqueryCache(registry=registry)
+        key = _key(cache, "E(x, x)", _db())
+        assert cache.get(key) is None
+        cache.put(key, _table([0]))
+        assert cache.get(key) is not None
+        snapshot = {m.name: m.value for m in registry}
+        assert snapshot["cache.hits"] == 1
+        assert snapshot["cache.misses"] == 1
+        assert snapshot["cache.evictions"] == 0
+        assert snapshot["cache.entries"] == 1
+        assert snapshot["cache.rows"] == 1
+
+    def test_key_distinguishes_environments(self):
+        cache = SubqueryCache()
+        formula = parse_formula("exists y. E(x, y)")
+        db = _db()
+        grown = db.with_relation(
+            "E", db.relation("E").union(db.relation("E"))
+        )
+        mutated = _db(3).with_relation(
+            "E", _db(3).relation("E").__class__(2, [(2, 0)])
+        )
+        assert cache.key_for(formula, {}, db) == cache.key_for(
+            formula, {}, grown
+        )  # same relation value → same key
+        assert cache.key_for(formula, {}, db) != cache.key_for(
+            formula, {}, mutated
+        )
+
+    def test_key_is_none_for_unresolvable_relation(self):
+        cache = SubqueryCache()
+        assert cache.key_for(parse_formula("R(x)"), {}, _db()) is None
+
+    def test_leaves_are_not_cacheable(self):
+        cache = SubqueryCache()
+        assert not cache.cacheable(parse_formula("E(x, y)"))
+        assert cache.cacheable(parse_formula("exists y. (E(x, y) & P(y))"))
+
+    def test_resolve_subquery_cache(self):
+        assert resolve_subquery_cache(None) is None
+        assert resolve_subquery_cache(False) is None
+        assert isinstance(resolve_subquery_cache(True), SubqueryCache)
+        cache = SubqueryCache()
+        assert resolve_subquery_cache(cache) is cache
+
+
+class TestEngineIntegration:
+    def test_options_true_uses_a_private_cache(self):
+        db = _db(4)
+        formula = parse_formula(
+            "[lfp S(x). E(x, x) | exists y. (E(y, x) & S(y))](u) | "
+            "[lfp S(x). E(x, x) | exists y. (E(y, x) & S(y))](u)"
+        )
+        plain = evaluate(formula, db, ("u",), EvalOptions())
+        cached = evaluate(
+            formula, db, ("u",), EvalOptions(subquery_cache=True)
+        )
+        assert cached.relation == plain.relation
+
+    def test_shared_cache_hit_counts_surface_in_stats(self):
+        db = _db(4)
+        formula = parse_formula("exists y. (E(x, y) & exists x. E(y, x))")
+        cache = SubqueryCache()
+        evaluate(formula, db, ("x",), EvalOptions(subquery_cache=cache))
+        second = evaluate(
+            formula, db, ("x",), EvalOptions(subquery_cache=cache)
+        )
+        assert cache.hits >= 1
+        assert second.stats.notes.get("subquery_cache_hits", 0) >= 1
