@@ -19,7 +19,7 @@ from repro.core.interp import EvalStats
 from repro.logic.builders import and_, atom, exists
 from repro.workloads.graphs import random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 WIDTHS = [2, 3, 4]
 GRAPH = random_graph(8, 0.3, seed=31)
@@ -105,5 +105,22 @@ def bench_acyclic_joins(benchmark):
         "acyclic — bounded-variable evaluation covers both"
     )
     emit("F7", "acyclic joins: the Yannakakis precedent", body)
+    emit_record(
+        "F7",
+        "chain joins three ways: peak intermediate rows",
+        parameters=[float(w) for w in WIDTHS],
+        seconds=[float(r[5]) for r in rows],
+        counters=[
+            {
+                "cross_max_rows": float(r[1]),
+                "yannakakis_max_rows": float(r[2]),
+                "semijoins": float(r[3]),
+                "bounded_max_rows": float(r[4]),
+            }
+            for r in rows
+        ],
+        fit_counters=("cross_max_rows", "yannakakis_max_rows"),
+        meta={"graph_size": 8},
+    )
 
     assert cross_growth > 3 * yk_growth

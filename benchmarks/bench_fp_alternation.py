@@ -26,7 +26,7 @@ from repro.core.naive_eval import naive_answer
 from repro.workloads.formulas import alternating_fixpoint_family, nested_lfp_family
 from repro.workloads.graphs import labeled_graph, path_graph, random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 DEPTHS = [1, 2, 3]
 N = 8
@@ -106,5 +106,21 @@ def bench_fp_alternation_ablation(benchmark):
         + series_table(("alt depth l", "cert tuples", "l*n^k envelope"), cert_rows)
     )
     emit("F3", "restart-everything vs reuse: the Theorem 3.5 ablation", body)
+    emit_record(
+        "F3",
+        "nested-lfp ablation: naive vs warm-started body evaluations",
+        parameters=[float(d) for d in DEPTHS],
+        seconds=[float(r[2]) for r in rows],
+        counters=[
+            {
+                "naive_body_evals": float(r[1]),
+                "monotone_body_evals": float(r[3]),
+                "warm_starts": float(r[4]),
+            }
+            for r in rows
+        ],
+        fit_counters=("naive_body_evals", "monotone_body_evals"),
+        meta={"path_length": N},
+    )
 
     assert naive_growth > 2.0 * monotone_growth

@@ -17,7 +17,7 @@ from repro.workloads.company import (
     earns_less_naive_algebra,
 )
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 COMPANY_SIZES = [4, 6, 8, 10]
 
@@ -86,6 +86,22 @@ def bench_intro_join_plans(benchmark):
         "every instance"
     )
     emit("F1", "intro example: 12-ary cross product vs arity-3 joins", body)
+    emit_record(
+        "F1",
+        "company example: naive vs bounded join-plan row high-water",
+        parameters=[float(n) for n in COMPANY_SIZES],
+        seconds=[float(r[3]) for r in rows],
+        counters=[
+            {
+                "naive_max_rows": float(r[2]),
+                "naive_arity": float(r[1]),
+                "bounded_max_rows": float(r[5]),
+                "bounded_arity": float(r[4]),
+            }
+            for r in rows
+        ],
+        fit_counters=("naive_max_rows", "bounded_max_rows"),
+    )
 
     gap_small = naive_rows_series[0] / bounded_rows_series[0]
     gap_large = naive_rows_series[-1] / bounded_rows_series[-1]

@@ -13,7 +13,7 @@ from repro.complexity.fit import classify_growth
 from repro import EvalOptions, FixpointStrategy, evaluate
 from repro.mucalculus import KripkeStructure, model_check, mu_to_fp_query, parse_mu
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 SIZES = [4, 6, 8, 10, 12]
 PROPERTY = parse_mu("nu X. mu Y. <>((p & X) | Y)")
@@ -72,5 +72,20 @@ def bench_mucalculus_model_checking(benchmark):
         "model checker at every size"
     )
     emit("F5", "µ-calculus model checking as FP² evaluation", body)
+    emit_record(
+        "F5",
+        "mu-calculus fairness property through the FP^2 route",
+        parameters=[float(n) for n in SIZES],
+        seconds=fp_times,
+        counters=[
+            {
+                "answer_states": float(r[1]),
+                "fixpoint_iterations": float(r[4]),
+            }
+            for r in rows
+        ],
+        fit_counters=("fixpoint_iterations",),
+        meta={"property": "nu X. mu Y. <>((p & X) | Y)"},
+    )
 
     assert kind == "polynomial" or fit.coefficient <= 4.0

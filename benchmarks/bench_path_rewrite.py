@@ -17,7 +17,7 @@ from repro.logic.variables import variable_width
 from repro.workloads.formulas import path_query_fo3, path_query_naive
 from repro.workloads.graphs import random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 LENGTHS = [2, 3, 4, 5]
 GRAPH = random_graph(10, 0.25, seed=77)
@@ -85,3 +85,20 @@ def bench_path_rewrite(benchmark):
         "every n"
     )
     emit("F2", "path queries: n+1 variables vs the FO^3 rewrite", body)
+    emit_record(
+        "F2",
+        "path queries: naive vs FO^3 peak intermediate rows",
+        parameters=[float(n) for n in LENGTHS],
+        seconds=[float(r[7]) for r in rows],
+        counters=[
+            {
+                "naive_width": float(r[1]),
+                "naive_max_rows": float(r[3]),
+                "minimized_width": float(r[4]),
+                "fo3_max_rows": float(r[6]),
+            }
+            for r in rows
+        ],
+        fit_counters=("naive_max_rows", "fo3_max_rows"),
+        meta={"graph_size": 10},
+    )

@@ -19,7 +19,7 @@ from repro.reductions import (
     solve_path_system,
 )
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 SIZES = [4, 6, 8, 10, 12]
 
@@ -85,6 +85,22 @@ def bench_path_systems_reduction(benchmark):
         "PTIME)"
     )
     emit("F4", "Prop 3.2: Path Systems as FO^3 queries", body)
+    emit_record(
+        "F4",
+        "Path Systems to FO^3: query width and size per instance",
+        parameters=[float(s) for s in sizes],
+        seconds=times,
+        counters=[
+            {
+                "width": float(r[1]),
+                "expr_length": float(r[2]),
+                "solvable": float(bool(r[3])),
+            }
+            for r in rows
+        ],
+        fit_counters=("expr_length",),
+        meta={"rules_per_size": 2, "sources": 2, "targets": 2},
+    )
 
     assert length_fit.coefficient <= 1.4
     assert time_kind == "polynomial" or time_fit.coefficient <= 4.0

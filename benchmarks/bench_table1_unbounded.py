@@ -18,7 +18,7 @@ from repro.optimize import minimize_variables
 from repro.workloads.formulas import chain_join_query
 from repro.workloads.graphs import random_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 WIDTHS = [2, 3, 4, 5]
 GRAPH = random_graph(7, 0.35, seed=13)
@@ -70,6 +70,23 @@ def bench_table1_expression_blowup(benchmark):
         f"{bounded_costs[-1] / max(bounded_costs[0], 1):.2f}x over the sweep"
     )
     emit("T1", "unbounded evaluation is exponential in the expression", body)
+    emit_record(
+        "T1",
+        "chain joins: naive vs bounded-variable row production",
+        parameters=[float(w) for w in WIDTHS],
+        seconds=[0.0] * len(WIDTHS),
+        counters=[
+            {
+                "naive_arity": float(r[1]),
+                "naive_rows": float(r[2]),
+                "bounded_arity": float(r[3]),
+                "bounded_rows": float(r[4]),
+            }
+            for r in rows
+        ],
+        fit_counters=("naive_rows", "bounded_rows"),
+        meta={"graph_size": 7},
+    )
 
     # shape assertions: the naive cost explodes with width, bounded doesn't
     assert naive_costs[-1] / naive_costs[0] > 20

@@ -18,7 +18,7 @@ from repro.guard.budget import resolve_guard
 from repro.logic.parser import parse_formula
 from repro.workloads.graphs import cycle_graph, random_graph
 
-from benchmarks._harness import emit, point_budget, series_table
+from benchmarks._harness import emit, emit_record, point_budget, series_table
 
 SIZES = [4, 6, 8, 10, 12]
 TWO_COLOR = parse_formula(
@@ -39,10 +39,19 @@ def _point(n: int):
 
 def bench_table2_eso_encoding(benchmark):
     rows, variables, clauses = [], [], []
+    point_seconds, point_counters = [], []
     for n in SIZES:
         cnf, outcome, seconds = _point(n)
         variables.append(cnf.num_vars)
         clauses.append(cnf.num_clauses)
+        point_seconds.append(seconds)
+        point_counters.append(
+            {
+                "cnf_vars": float(cnf.num_vars),
+                "cnf_clauses": float(cnf.num_clauses),
+                "two_colorable": float(bool(outcome.truth)),
+            }
+        )
         rows.append(
             (n, cnf.num_vars, cnf.num_clauses, outcome.truth, f"{seconds:.4f}")
         )
@@ -66,6 +75,15 @@ def bench_table2_eso_encoding(benchmark):
         "family behaves)"
     )
     emit("T2-ESO", "ESO^k grounds to polynomial CNF, one SAT call decides", body)
+    emit_record(
+        "T2-ESO-ENC",
+        "ESO^k grounding: CNF variable and clause counts",
+        parameters=[float(n) for n in SIZES],
+        seconds=point_seconds,
+        counters=point_counters,
+        fit_counters=("cnf_vars", "cnf_clauses"),
+        meta={"query": "2-colorability", "edge_prob": 0.25},
+    )
 
     assert var_kind == "polynomial" and var_fit.coefficient <= 3.0
     assert clause_kind == "polynomial" and clause_fit.coefficient <= 3.0

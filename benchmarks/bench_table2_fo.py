@@ -22,7 +22,7 @@ from repro.obs import Tracer, render_hot_spans
 from repro.workloads.formulas import path_query_fo3
 from repro.workloads.graphs import random_graph
 
-from benchmarks._harness import emit, emit_trace, series_table
+from benchmarks._harness import emit, emit_record, emit_trace, series_table
 
 DATA_SIZES = [4, 8, 12, 16, 20]
 PATH_LENGTHS = [2, 4, 8, 12, 16]
@@ -64,9 +64,17 @@ def _expression_point(length: int):
 
 def bench_table2_fo_combined(benchmark):
     data_rows, data_work = [], []
+    data_seconds, data_counters = [], []
     for n in DATA_SIZES:
         seconds, stats = _data_point(n)
         data_work.append(stats.table_ops + stats.max_intermediate_rows)
+        data_seconds.append(seconds)
+        data_counters.append(
+            {
+                "table_ops": float(stats.table_ops),
+                "max_intermediate_rows": float(stats.max_intermediate_rows),
+            }
+        )
         data_rows.append(
             (n, stats.table_ops, stats.max_intermediate_rows, f"{seconds:.4f}")
         )
@@ -106,6 +114,15 @@ def bench_table2_fo_combined(benchmark):
         + render_hot_spans(largest.trace, k=5)
     )
     emit("T2-FO", "combined complexity of FO^k is polynomial", body)
+    emit_record(
+        "T2-FO-DATA",
+        "FO^3 data sweep: table ops and row high-water",
+        parameters=[float(n) for n in DATA_SIZES],
+        seconds=data_seconds,
+        counters=data_counters,
+        fit_counters=("table_ops", "max_intermediate_rows"),
+        meta={"query": "path-4", "k_limit": 3},
+    )
 
     assert data_kind == "polynomial" and data_fit.coefficient <= 4.0
     assert expr_fit.coefficient <= 2.5

@@ -31,7 +31,7 @@ from repro.complexity.measure import run_sweep
 from repro.logic.parser import parse_formula
 from repro.workloads.graphs import labeled_graph, path_graph, random_graph
 
-from benchmarks._harness import bench_jobs, emit, series_table
+from benchmarks._harness import bench_jobs, emit, emit_record, series_table
 
 SIZES = [3, 4, 5, 6, 7]
 FAIR = parse_formula(
@@ -125,6 +125,13 @@ def bench_table2_fp_seminaive_vs_naive(benchmark):
         "semi-naive vs naive LFP ascent on transitive closure",
         body,
     )
+    emit_record(
+        "T2-FP-SEMINAIVE",
+        "semi-naive LFP ascent on transitive closure",
+        sweep=sweeps["seminaive"],
+        fit_counters=("answer_rows", "iterations"),
+        meta={"strategy": "seminaive", "versus": "naive"},
+    )
 
 
 def _database(n: int):
@@ -162,6 +169,7 @@ def _sweep_point(n: int):
 
 def bench_table2_fp_certificates(benchmark):
     rows, max_sizes, verify_ops = [], [], []
+    cert_seconds, cert_counters = [], []
     k, fixpoints = 3, 2
     for n in SIZES:
         sizes, verify_work = _sweep_point(n)
@@ -171,6 +179,14 @@ def bench_table2_fp_certificates(benchmark):
         seconds = max((s for s, _ in verify_work), default=0.0)
         max_sizes.append(max(biggest, 1))
         verify_ops.append(max(ops, 1))
+        cert_seconds.append(seconds)
+        cert_counters.append(
+            {
+                "cert_tuples": float(biggest),
+                "envelope": float(envelope),
+                "verify_ops": float(ops),
+            }
+        )
         rows.append((n, biggest, envelope, ops, f"{seconds:.4f}"))
         assert biggest <= envelope, (n, biggest, envelope)
     benchmark(_sweep_point, SIZES[2])
@@ -191,6 +207,15 @@ def bench_table2_fp_certificates(benchmark):
         + "\nnon-membership certified via the dual query (co-NP side)"
     )
     emit("T2-FP", "FP^k certificates are small and quickly verifiable", body)
+    emit_record(
+        "T2-FP-CERT",
+        "FP^k certificate sizes and verification work",
+        parameters=[float(n) for n in SIZES],
+        seconds=cert_seconds,
+        counters=cert_counters,
+        fit_counters=("cert_tuples", "verify_ops"),
+        meta={"k": k, "fixpoints": fixpoints},
+    )
 
     # the meaningful bound is the per-point envelope (asserted in the loop);
     # the fitted degrees are reported and loosely sanity-checked — random
@@ -249,6 +274,22 @@ def bench_table3_fp_expression(benchmark):
         "T3-FP",
         "FP^k expression complexity: certificates stay l*n^k on a fixed B",
         body,
+    )
+    emit_record(
+        "T3-FP",
+        "FP^k expression complexity: certificate size vs alternation depth",
+        parameters=[float(d) for d in depths],
+        seconds=[0.0] * len(depths),
+        counters=[
+            {
+                "expr_nodes": float(expr),
+                "cert_tuples": float(size),
+                "envelope": float(env),
+            }
+            for _, expr, size, env in rows
+        ],
+        fit_counters=("cert_tuples",),
+        meta={"database_size": 5},
     )
 
 

@@ -16,7 +16,7 @@ from repro.guard.budget import resolve_guard
 from repro.logic.parser import parse_formula
 from repro.workloads.graphs import labeled_graph, path_graph
 
-from benchmarks._harness import emit, point_budget, series_table
+from benchmarks._harness import emit, emit_record, point_budget, series_table
 
 SIZES = [2, 3, 4, 5, 6, 7]
 
@@ -53,11 +53,13 @@ def _point(n: int):
 
 def bench_table2_pfp_space(benchmark):
     rows, live, iterations = [], [], []
+    point_seconds = []
     for n in SIZES:
         answer, meter, seconds = _point(n)
         assert answer == naive_answer(COUNTER, _database(n), ("u",))
         live.append(max(meter.peak_live_tuples, 1))
         iterations.append(meter.total_iterations)
+        point_seconds.append(seconds)
         rows.append(
             (n, meter.peak_live_tuples, meter.total_iterations, f"{seconds:.4f}")
         )
@@ -78,6 +80,20 @@ def bench_table2_pfp_space(benchmark):
         + " (allowed: up to 2^(n^k))"
     )
     emit("T2-PFP", "PFP^k: polynomial space, possibly exponential time", body)
+    emit_record(
+        "T2-PFP",
+        "PFP^k binary counter: live space vs iteration count",
+        parameters=[float(n) for n in SIZES],
+        seconds=point_seconds,
+        counters=[
+            {
+                "peak_live_tuples": float(r[1]),
+                "iterations": float(r[2]),
+            }
+            for r in rows
+        ],
+        fit_counters=("peak_live_tuples", "iterations"),
+    )
 
     assert live_kind == "polynomial" and live_fit.coefficient <= 2.0
     assert iter_kind == "exponential"

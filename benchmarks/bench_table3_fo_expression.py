@@ -27,7 +27,7 @@ from repro.reductions import (
     random_boolean_formula,
 )
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 FIXED_DB = Database.from_tuples(
     range(2), {"E": (2, [(0, 1)]), "P": (1, [(0,)])}
@@ -112,6 +112,22 @@ def bench_table3_fo_expression(benchmark):
         "(claim: linear in the expression)"
     )
     emit("T3-FO", "expression complexity of FO^k: one linear pass", body)
+    emit_record(
+        "T3-FO",
+        "parenthesis-language route: scans and reductions per word",
+        parameters=[float(d) for d in DEPTHS],
+        seconds=[float(r[4]) for r in rows],
+        counters=[
+            {
+                "word_len": float(r[1]),
+                "tokens_scanned": float(r[2]),
+                "reductions": float(r[3]),
+            }
+            for r in rows
+        ],
+        fit_counters=("tokens_scanned",),
+        meta={"k": 2},
+    )
 
     assert 0.8 <= scan_fit.coefficient <= 1.3
     assert ops_fit.coefficient <= 1.3

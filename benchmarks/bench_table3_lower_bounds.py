@@ -25,7 +25,7 @@ from repro.reductions import (
 from repro.sat.cnf import BoolAnd, BoolNot, BoolOr, BoolVar
 from repro.workloads.graphs import path_graph
 
-from benchmarks._harness import emit, series_table
+from benchmarks._harness import emit, emit_record, series_table
 
 import random
 
@@ -79,6 +79,22 @@ def bench_table3_sat_to_eso(benchmark):
         f"{size_fit.coefficient:.2f} (claim: linear)"
     )
     emit("T3-ESO", "SAT embeds into ESO^k expressions", body)
+    emit_record(
+        "T3-ESO",
+        "SAT to ESO^k: reduction output size vs input size",
+        parameters=[float(r[0]) for r in rows],
+        seconds=[float(r[4]) for r in rows],
+        counters=[
+            {
+                "input_size": float(r[1]),
+                "expr_length": float(r[2]),
+                "satisfiable": float(bool(r[3])),
+            }
+            for r in rows
+        ],
+        fit_counters=("expr_length",),
+        meta={"database": "path_graph(3)"},
+    )
     assert size_fit.coefficient <= 1.4
 
 
@@ -114,4 +130,19 @@ def bench_table3_qbf_to_pfp(benchmark):
         f"(base {time_fit.base:.1f}/var) — the PSPACE-flavoured cost"
     )
     emit("T3-PFP", "QBF embeds into PFP^2 expressions over a fixed B0", body)
+    emit_record(
+        "T3-PFP",
+        "QBF to PFP^2: sentence size and evaluation cost vs prefix",
+        parameters=[float(p) for p in prefix_lengths],
+        seconds=seconds_series,
+        counters=[
+            {
+                "expr_length": float(r[1]),
+                "value": float(bool(r[2])),
+            }
+            for r in rows
+        ],
+        fit_counters=("expr_length",),
+        meta={"database": "B0"},
+    )
     assert size_fit.coefficient <= 1.6

@@ -21,6 +21,13 @@ Usage (also via ``python -m repro``)::
     python -m repro sweep --query "[lfp S(x,y). E(x,y) | exists z. (E(x,z) & S(z,y))](u,v)" \
         --sizes 4 8 12 --jobs 2 --strategy seminaive --cache
 
+    # perf observatory: record a run, gate it against its baseline,
+    # inspect the trajectory, profile where the time goes as n grows
+    python -m repro perf record bench_table2_fp
+    python -m repro perf compare T2-FP --counters-only
+    python -m repro perf report T2-FP
+    python -m repro perf profile T2-FP --top 8
+
 Database files contain the standard encoding produced by
 :func:`repro.database.encoding.encode_database`.
 
@@ -34,7 +41,7 @@ Exit codes:
 ====  =============================================================
 0     success
 1     a :class:`~repro.errors.ReproError` (bad query, missing
-      relation, …) or missing file
+      relation, …), a missing file, or a ``perf compare`` regression
 2     usage error (argparse)
 124   a resource budget or deadline was exhausted
       (:class:`~repro.errors.ResourceExhausted` — same convention as
@@ -318,6 +325,193 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default run-store root, relative to the invocation directory — the
+#: same place the benchmarks write to (``benchmarks/out/records``).
+DEFAULT_STORE = "benchmarks/out/records"
+
+
+def _parse_overrides(pairs) -> dict:
+    overrides = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ReproError(
+                f"--set expects KEY=VALUE, got {pair!r}"
+            )
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = value.strip()
+    return overrides
+
+
+def _perf_fresh_record(args: argparse.Namespace, trace: bool = False):
+    """Run the named experiment and build its run record."""
+    from repro.obs.runstore import record_from_sweep
+    from repro.perf.experiments import get_experiment, run_experiment
+
+    experiment = get_experiment(args.experiment)
+    overrides = _parse_overrides(getattr(args, "set", None))
+    sweep = run_experiment(
+        experiment,
+        overrides=overrides,
+        sizes=getattr(args, "sizes", None),
+        deadline=getattr(args, "deadline", None),
+        repetitions=getattr(args, "repetitions", None),
+        trace=trace or getattr(args, "spans", False),
+        jobs=getattr(args, "jobs", 1),
+    )
+    meta = {"options": dict(experiment.options, **overrides)}
+    record = record_from_sweep(
+        experiment.experiment_id,
+        experiment.title,
+        sweep,
+        fit_counters=experiment.fit_counters,
+        deadline=getattr(args, "deadline", None),
+        meta=meta,
+        include_spans=getattr(args, "spans", False),
+    )
+    return experiment, sweep, record
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.obs.runstore import RunStore, format_fingerprint
+
+    experiment, sweep, record = _perf_fresh_record(args)
+    store = RunStore(args.store)
+    digest, path = store.save(record)
+    print(f"[{record.experiment_id}] {record.title}")
+    print(f"# env: {format_fingerprint(record.env)}")
+    print(sweep.format_rows(experiment.fit_counters))
+    for series, fit in sorted(record.fits.items()):
+        if fit.get("model") == "polynomial":
+            print(f"# fit {series}: degree {fit['coefficient']:.2f}")
+        elif fit.get("model") == "exponential":
+            print(f"# fit {series}: base {fit['base']:.2f}")
+    print(f"# record {digest} -> {path}")
+    baseline_path = store.baseline_path(record.experiment_id)
+    if args.baseline or store.load_baseline(record.experiment_id) is None:
+        store.save_baseline(record)
+        print(f"# baseline -> {baseline_path}")
+    failures = sweep.failures()
+    if any(p.outcome == "timeout" for p in failures):
+        return EXIT_RESOURCE_EXHAUSTED
+    return 1 if failures else 0
+
+
+def _perf_policy(args: argparse.Namespace):
+    from repro.obs.regress import RegressionPolicy
+
+    if args.counters_only:
+        return RegressionPolicy.counters_only()
+    return RegressionPolicy(
+        seconds_ratio=args.seconds_ratio,
+        degree_band=args.degree_band,
+    )
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.regress import compare_records
+    from repro.obs.runstore import RunStore
+    from repro.perf.experiments import get_experiment
+
+    store = RunStore(args.store)
+    experiment_id = get_experiment(args.experiment).experiment_id
+    baseline = store.load_baseline(experiment_id)
+    if baseline is None:
+        raise ReproError(
+            f"no baseline {store.baseline_path(experiment_id)!r} — run "
+            f"`repro perf record {args.experiment} --baseline` first"
+        )
+    if args.use_latest:
+        fresh = store.latest(experiment_id)
+        if fresh is None:
+            raise ReproError(
+                f"--use-latest: no archived records for {experiment_id!r} "
+                f"under {args.store}"
+            )
+    else:
+        _, _, fresh = _perf_fresh_record(args)
+        if args.save:
+            digest, path = store.save(fresh)
+            print(f"# record {digest} -> {path}", file=sys.stderr)
+    report = compare_records(baseline, fresh, _perf_policy(args))
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.obs.runstore import RunStore
+    from repro.perf.experiments import get_experiment
+
+    store = RunStore(args.store)
+    if args.experiment is None:
+        ids = store.experiments()
+        if not ids:
+            print(f"(no records under {args.store})")
+            return 0
+        for experiment_id in ids:
+            entries = store.index(experiment_id)
+            print(f"{experiment_id}: {len(entries)} record(s)")
+        return 0
+    experiment_id = get_experiment(args.experiment).experiment_id
+    entries = store.index(experiment_id)
+    if not entries:
+        print(f"(no records for {experiment_id} under {args.store})")
+        return 0
+    shown = entries[-args.limit :] if args.limit else entries
+    print(f"[{experiment_id}] {len(entries)} record(s), newest last:")
+    for entry in shown:
+        failures = entry.get("failures", 0)
+        print(
+            f"  {entry.get('created', '?'):20}  "
+            f"git={entry.get('git_sha') or '-':10}  "
+            f"{entry.get('digest')}  points={entry.get('points')}"
+            + (f"  failures={failures}" if failures else "")
+        )
+    latest = store.latest(experiment_id)
+    baseline = store.load_baseline(experiment_id)
+    for label, record in (("latest", latest), ("baseline", baseline)):
+        if record is None:
+            continue
+        fits = ", ".join(
+            f"{series}: {fit.get('model')} "
+            f"{float(fit.get('coefficient', 0.0)):.2f}"
+            for series, fit in sorted(record.fits.items())
+            if fit.get("model") != "none"
+        )
+        print(f"  {label}: {fits or '(no fits)'}")
+    return 0
+
+
+def _cmd_perf_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import (
+        SpanProfile,
+        parse_trace_jsonl,
+        profile_sweep,
+        render_profile,
+    )
+
+    if args.jsonl:
+        with open(args.jsonl) as handle:
+            spans = parse_trace_jsonl(handle.read())
+        profile = SpanProfile().add_spans(args.param, spans)
+        print(render_profile(profile, top=args.top))
+        return 0
+    if args.experiment is None:
+        raise ReproError("perf profile needs an EXPERIMENT or --jsonl PATH")
+    experiment, sweep, _ = _perf_fresh_record(args, trace=True)
+    profile = profile_sweep(sweep)
+    print(
+        f"[{experiment.experiment_id}] hot-span profile "
+        f"(self time per sweep point):"
+    )
+    print(render_profile(profile, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +630,180 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="perf observatory: run records, baselines, regression gate",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_run_arguments(p, with_jobs=True):
+        p.add_argument(
+            "--sizes",
+            nargs="+",
+            type=float,
+            default=None,
+            metavar="N",
+            help="override the experiment's swept parameters",
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-point deadline (0 disables)",
+        )
+        p.add_argument(
+            "--set",
+            action="append",
+            default=None,
+            metavar="KEY=VALUE",
+            help="override an experiment option (repeatable)",
+        )
+        p.add_argument(
+            "--repetitions",
+            type=int,
+            default=None,
+            metavar="R",
+            help="timed runs per point (minimum time is recorded)",
+        )
+        if with_jobs:
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                metavar="N",
+                help="worker processes for the sweep",
+            )
+        p.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            metavar="DIR",
+            help=f"run-store root (default: {DEFAULT_STORE})",
+        )
+
+    p_record = perf_sub.add_parser(
+        "record",
+        help="run an experiment and archive a machine-readable run record",
+    )
+    p_record.add_argument("experiment", help="experiment id or bench module")
+    _add_run_arguments(p_record)
+    p_record.add_argument(
+        "--baseline",
+        action="store_true",
+        help="(re)write BENCH_<id>.json from this run "
+        "(always written when missing)",
+    )
+    p_record.add_argument(
+        "--spans",
+        action="store_true",
+        help="embed per-point span traces in the record (for profiling)",
+    )
+    p_record.set_defaults(func=_cmd_perf_record)
+
+    p_compare = perf_sub.add_parser(
+        "compare",
+        help="gate a fresh (or the latest archived) run against the baseline",
+    )
+    p_compare.add_argument("experiment", help="experiment id or bench module")
+    _add_run_arguments(p_compare)
+    p_compare.add_argument(
+        "--use-latest",
+        action="store_true",
+        help="compare the latest archived record instead of running fresh",
+    )
+    p_compare.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="tier-1 policy: deterministic counters only (the CI gate)",
+    )
+    p_compare.add_argument(
+        "--seconds-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="tier-2 wall-clock band: fresh <= X * baseline per point",
+    )
+    p_compare.add_argument(
+        "--degree-band",
+        type=float,
+        default=0.5,
+        metavar="D",
+        help="tier-2 band on fitted growth coefficients",
+    )
+    p_compare.add_argument(
+        "--save",
+        action="store_true",
+        help="also archive the fresh record into the store",
+    )
+    p_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured diff report as JSON",
+    )
+    p_compare.add_argument("--spans", action="store_true", help=argparse.SUPPRESS)
+    p_compare.set_defaults(func=_cmd_perf_compare)
+
+    p_report = perf_sub.add_parser(
+        "report",
+        help="show an experiment's recorded perf trajectory",
+    )
+    p_report.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (omit to list all recorded experiments)",
+    )
+    p_report.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        metavar="DIR",
+        help=f"run-store root (default: {DEFAULT_STORE})",
+    )
+    p_report.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show at most the newest N index entries",
+    )
+    p_report.set_defaults(func=_cmd_perf_report)
+
+    p_profile = perf_sub.add_parser(
+        "profile",
+        help="cross-run hot-span profile: self time by span name per point",
+    )
+    p_profile.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id or bench module (traced sweep)",
+    )
+    _add_run_arguments(p_profile, with_jobs=False)
+    p_profile.add_argument(
+        "--jobs", type=int, default=1, help=argparse.SUPPRESS
+    )
+    p_profile.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="profile an exported trace JSONL file instead of running",
+    )
+    p_profile.add_argument(
+        "--param",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="parameter label for --jsonl input (default 0)",
+    )
+    p_profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many span names to list",
+    )
+    p_profile.set_defaults(func=_cmd_perf_profile)
 
     p_info = sub.add_parser("info", help="classify and measure a query")
     p_info.add_argument("--query", required=True)

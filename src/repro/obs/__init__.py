@@ -11,9 +11,16 @@ intermediate relation sizes (Prop 3.1), fixpoint iteration counts
   behind ``EvalStats`` and ``SpaceMeter``.
 * :mod:`repro.obs.report` — plain-text span-tree / hot-span / metrics
   rendering (the ``repro trace`` CLI output).
+* :mod:`repro.obs.runstore` — machine-readable run records and the
+  content-addressed archive under ``benchmarks/out/records/``.
+* :mod:`repro.obs.regress` — the two-tier regression gate comparing a
+  fresh record against its committed ``BENCH_<id>.json`` baseline.
+* :mod:`repro.obs.profile` — cross-run span profiles: self-time by span
+  name, keyed by sweep parameter.
 
 See ``docs/observability.md`` for the span and metric catalogue and how
-each maps back to a bound in the paper.
+each maps back to a bound in the paper, and ``docs/benchmarking.md``
+for the run-record / baseline / profile workflow.
 """
 
 from repro.obs.metrics import (
@@ -23,11 +30,35 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    SpanProfile,
+    parse_trace_jsonl,
+    profile_record,
+    profile_sweep,
+    render_profile,
+)
+from repro.obs.regress import (
+    Band,
+    RegressionPolicy,
+    RegressionReport,
+    Violation,
+    compare_records,
+)
 from repro.obs.report import (
     render_hot_spans,
     render_metrics,
     render_report,
     render_span_tree,
+)
+from repro.obs.runstore import (
+    PointRecord,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    build_record,
+    env_fingerprint,
+    format_fingerprint,
+    record_from_sweep,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -54,4 +85,22 @@ __all__ = [
     "render_metrics",
     "render_report",
     "render_span_tree",
+    "Band",
+    "PointRecord",
+    "RegressionPolicy",
+    "RegressionReport",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "SpanProfile",
+    "Violation",
+    "build_record",
+    "compare_records",
+    "env_fingerprint",
+    "format_fingerprint",
+    "parse_trace_jsonl",
+    "profile_record",
+    "profile_sweep",
+    "record_from_sweep",
+    "render_profile",
 ]

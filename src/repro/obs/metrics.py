@@ -116,6 +116,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Standard bucketed estimation: walk the cumulative counts to the
+        bucket containing rank ``q·count``, then interpolate linearly
+        inside it.  The observed ``min``/``max`` clamp the extreme
+        buckets, so the estimate never leaves the observed range; the
+        error is bounded by the bucket width (a factor of two with the
+        default power-of-two bounds).
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1]")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.max if self.max is not None else low
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = low + fraction * (high - low)
+                lo = self.min if self.min is not None else estimate
+                hi = self.max if self.max is not None else estimate
+                return min(max(estimate, lo), hi)
+            cumulative += bucket_count
+        return self.max if self.max is not None else 0.0
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -123,6 +157,9 @@ class Histogram:
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,235 @@
+"""Cross-run span profiles: where the time went as the parameter grew.
+
+A single trace answers "where did *this* evaluation spend its time";
+what the scaling tables need is the same question *across a sweep* —
+which phase's self-time grows with ``n``, and at what shape.  A
+:class:`SpanProfile` aggregates span traces (live tracers, exported
+JSONL, or the span dicts embedded in a run record) into per-span-name,
+per-parameter self-time totals, so "where did the time go as n grew"
+is one table:
+
+    span             n=4        n=8        n=12      total self
+    fo.Exists        1.2ms      9.8ms      41.3ms    52.3ms
+    fp.iteration     0.8ms      2.1ms      4.0ms     6.9ms
+
+Self-time is computed exactly as :meth:`repro.obs.tracer.Span.self_duration`
+does — a span's duration minus its direct children's — reconstructed
+from ``parent_id`` linkage when the input is serialized spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: One aggregation cell: span count, total duration, self duration.
+Cell = Dict[str, float]
+
+
+class ProfileError(ReproError):
+    """Malformed trace input handed to the profiler."""
+
+
+def parse_trace_jsonl(text: str) -> List[Dict[str, object]]:
+    """Span dicts from a ``Tracer.export_jsonl()`` document."""
+    spans: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(span, dict) or "name" not in span:
+            raise ProfileError(
+                f"trace line {lineno} is not a span object"
+            )
+        spans.append(span)
+    return spans
+
+
+def self_durations(
+    spans: Sequence[Mapping[str, object]],
+) -> List[Tuple[str, float, float]]:
+    """``(name, total, self)`` per span, from serialized span dicts.
+
+    Self-time is reconstructed from the ``parent_id`` links: each span's
+    duration is subtracted from its parent's self bucket, mirroring
+    ``Span.self_duration()`` on the live objects.
+    """
+    selfs: Dict[object, float] = {}
+    names: Dict[object, str] = {}
+    totals: Dict[object, float] = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        duration = float(span.get("duration", 0.0))  # type: ignore[arg-type]
+        selfs[span_id] = selfs.get(span_id, 0.0) + duration
+        names[span_id] = str(span.get("name", "?"))
+        totals[span_id] = duration
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in selfs:
+            selfs[parent] -= float(span.get("duration", 0.0))  # type: ignore[arg-type]
+    return [
+        (names[span_id], totals[span_id], selfs[span_id])
+        for span_id in names
+    ]
+
+
+class SpanProfile:
+    """Per-span-name, per-parameter aggregation of self/total time."""
+
+    def __init__(self) -> None:
+        # name -> parameter -> {"count", "total", "self"}
+        self._cells: Dict[str, Dict[float, Cell]] = {}
+        self.parameters: List[float] = []
+
+    # -- building ------------------------------------------------------
+
+    def _cell(self, name: str, parameter: float) -> Cell:
+        if parameter not in self.parameters:
+            self.parameters.append(parameter)
+            self.parameters.sort()
+        by_param = self._cells.setdefault(name, {})
+        return by_param.setdefault(
+            parameter, {"count": 0.0, "total": 0.0, "self": 0.0}
+        )
+
+    def add_tracer(self, parameter: float, tracer) -> "SpanProfile":
+        """Fold one live :class:`repro.obs.tracer.Tracer` in."""
+        for name, agg in tracer.aggregate().items():
+            cell = self._cell(name, float(parameter))
+            cell["count"] += agg["count"]
+            cell["total"] += agg["total"]
+            cell["self"] += agg["self"]
+        return self
+
+    def add_spans(
+        self, parameter: float, spans: Sequence[Mapping[str, object]]
+    ) -> "SpanProfile":
+        """Fold serialized span dicts (JSONL lines / record points) in."""
+        for name, total, self_time in self_durations(spans):
+            cell = self._cell(name, float(parameter))
+            cell["count"] += 1
+            cell["total"] += total
+            cell["self"] += self_time
+        return self
+
+    def merge(self, other: "SpanProfile") -> "SpanProfile":
+        for name, by_param in other._cells.items():
+            for parameter, cell in by_param.items():
+                mine = self._cell(name, parameter)
+                for key in ("count", "total", "self"):
+                    mine[key] += cell[key]
+        return self
+
+    # -- reading -------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._cells)
+
+    def cell(self, name: str, parameter: float) -> Optional[Cell]:
+        return self._cells.get(name, {}).get(parameter)
+
+    def self_series(self, name: str) -> List[Tuple[float, float]]:
+        """``(parameter, self_seconds)`` for one span name, sorted."""
+        by_param = self._cells.get(name, {})
+        return sorted(
+            (parameter, cell["self"]) for parameter, cell in by_param.items()
+        )
+
+    def total_self(self, name: str) -> float:
+        return sum(
+            cell["self"] for cell in self._cells.get(name, {}).values()
+        )
+
+    def hot(self, k: int = 10) -> List[str]:
+        """The ``k`` span names with the largest summed self-time."""
+        ranked = sorted(
+            self._cells, key=self.total_self, reverse=True
+        )
+        return ranked[:k]
+
+    def is_empty(self) -> bool:
+        return not self._cells
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "parameters": list(self.parameters),
+            "spans": {
+                name: {
+                    f"{parameter:g}": dict(cell)
+                    for parameter, cell in sorted(by_param.items())
+                }
+                for name, by_param in sorted(self._cells.items())
+            },
+        }
+
+
+def profile_sweep(sweep) -> SpanProfile:
+    """A profile from a traced :class:`~repro.complexity.measure.SweepResult`.
+
+    Points without a recorded tracer (failed points, untraced sweeps)
+    are skipped.
+    """
+    profile = SpanProfile()
+    for point in sweep.points:
+        if point.trace is not None:
+            profile.add_tracer(point.parameter, point.trace)
+    return profile
+
+
+def profile_record(record) -> SpanProfile:
+    """A profile from the span dicts embedded in a run record's points."""
+    profile = SpanProfile()
+    for point in record.points:
+        if point.spans:
+            profile.add_spans(point.parameter, point.spans)
+    return profile
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_profile(profile: SpanProfile, top: int = 10) -> str:
+    """The hot-span matrix: rows = span names, columns = parameters.
+
+    Cells are *self* time; the final column sums a row across the sweep
+    so the table ranks by where the time actually went as the parameter
+    grew.
+    """
+    if profile.is_empty():
+        return "(no spans profiled)"
+    names = profile.hot(top)
+    header = ["span"] + [
+        f"n={parameter:g}" for parameter in profile.parameters
+    ] + ["total self"]
+    rows: List[List[str]] = []
+    for name in names:
+        row = [name]
+        for parameter in profile.parameters:
+            cell = profile.cell(name, parameter)
+            row.append("-" if cell is None else _format_seconds(cell["self"]))
+        row.append(_format_seconds(profile.total_self(name)))
+        rows.append(row)
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(v.ljust(w) for v, w in zip(cells, widths))
+
+    lines = [fmt(header), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -116,6 +116,9 @@ def render_metrics(registry: MetricsRegistry) -> str:
             lines.append(
                 f"{name} = count={metric.count} mean={metric.mean:.3g} "
                 f"min={metric.min if metric.min is not None else 0} "
+                f"p50={metric.quantile(0.50):.3g} "
+                f"p95={metric.quantile(0.95):.3g} "
+                f"p99={metric.quantile(0.99):.3g} "
                 f"max={metric.max if metric.max is not None else 0}"
             )
         else:

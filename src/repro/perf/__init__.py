@@ -7,9 +7,22 @@ Both optimizations are off by default and switched on through
 semantics stay untouched and the differential test harness
 (``tests/test_differential.py``) can pit optimized evaluation against
 it.  See ``docs/performance.md``.
+
+:mod:`repro.perf.experiments` keeps the speedups honest over time: it
+registers deterministic, runnable perf experiments for the
+``repro perf`` observatory (run records, committed baselines, the
+regression gate — see ``docs/benchmarking.md``).
 """
 
 from repro.perf.cache import SubqueryCache, resolve_subquery_cache
+from repro.perf.experiments import (
+    EXPERIMENTS,
+    ExperimentError,
+    PerfExperiment,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
 from repro.perf.seminaive import (
     SemiNaiveSolver,
     delta_relation_name,
@@ -17,9 +30,15 @@ from repro.perf.seminaive import (
 )
 
 __all__ = [
+    "EXPERIMENTS",
+    "ExperimentError",
+    "PerfExperiment",
     "SemiNaiveSolver",
     "SubqueryCache",
     "delta_relation_name",
     "differential",
+    "experiment_ids",
+    "get_experiment",
     "resolve_subquery_cache",
+    "run_experiment",
 ]
