@@ -185,9 +185,12 @@ class CrossProduct(PlanNode):
     def _run(self, db: Database, tracker) -> Table:
         tables = [child.evaluate(db, tracker) for child in self.inputs]
         columns: List[str] = []
+        seen_cols = set()
         for i, table in enumerate(tables):
             for col in table.columns:
-                columns.append(f"{col}@{i}" if col in columns else col)
+                name = f"{col}@{i}" if col in seen_cols else col
+                columns.append(name)
+                seen_cols.add(name)
         rows = tuple(
             tuple(itertools.chain.from_iterable(combo))
             for combo in itertools.product(*(t.rows for t in tables))
@@ -208,11 +211,13 @@ class Join(PlanNode):
     def _run(self, db: Database, tracker) -> Table:
         left = self.left.evaluate(db, tracker)
         right = self.right.evaluate(db, tracker)
-        shared = [c for c in left.columns if c in right.columns]
+        right_cols = set(right.columns)
+        shared = [c for c in left.columns if c in right_cols]
+        shared_set = set(shared)
         left_pos = [left.column_index(c) for c in shared]
         right_pos = [right.column_index(c) for c in shared]
         right_extra = [
-            i for i, c in enumerate(right.columns) if c not in shared
+            i for i, c in enumerate(right.columns) if c not in shared_set
         ]
         index: Dict[Row, List[Row]] = {}
         for row in left.rows:

@@ -83,6 +83,16 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
     return None if budget.is_unlimited() else budget
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["sparse", "packed"],
+        default=None,
+        help="table representation for the FO/FP/PFP engines (default: "
+        "the REPRO_BENCH_BACKEND environment variable, else 'sparse')",
+    )
+
+
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--timeout",
@@ -115,6 +125,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         strategy=FixpointStrategy(args.strategy),
         k_limit=args.k_limit,
         budget=_budget_from_args(args),
+        backend=args.backend,
     )
     result = evaluate(formula, db, out, options)
     if not out:
@@ -150,6 +161,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         k_limit=args.k_limit,
         trace=tracer,
         budget=_budget_from_args(args),
+        backend=args.backend,
     )
     result = evaluate(formula, db, out, options)
     answer = (
@@ -212,6 +224,7 @@ def _sweep_workload(
     k_limit: Optional[int] = None,
     seed: int = 0,
     edge_prob: float = 0.3,
+    backend: Optional[str] = None,
 ) -> dict:
     """One sweep point: evaluate the query at database size ``parameter``.
 
@@ -226,6 +239,7 @@ def _sweep_workload(
         k_limit=k_limit,
         budget=budget,
         subquery_cache=cache,
+        backend=backend,
     )
     result = evaluate(formula, db, out, options)
     counters = {"answer_rows": float(len(result.relation))}
@@ -251,6 +265,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         k_limit=args.k_limit,
         seed=args.seed,
         edge_prob=args.edge_prob,
+        backend=args.backend,
     )
     result = run_sweep(
         "cli-sweep",
@@ -535,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_eval.add_argument("--k-limit", type=int, default=None)
     p_eval.add_argument("--stats", action="store_true", help="print audit stats")
+    _add_backend_argument(p_eval)
     _add_budget_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_eval)
 
@@ -565,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="truncate the span tree below this depth",
     )
+    _add_backend_argument(p_trace)
     p_trace.add_argument(
         "--jsonl",
         default=None,
@@ -611,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the subquery result cache (per point)",
     )
     p_sweep.add_argument("--k-limit", type=int, default=None)
+    _add_backend_argument(p_sweep)
     p_sweep.add_argument(
         "--seed", type=int, default=0, help="random-database seed"
     )

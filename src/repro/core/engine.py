@@ -72,6 +72,14 @@ class EvalOptions:
     instance shares cached tables across evaluations, and
     ``None``/``False`` (default) disables caching — the reference
     configuration the differential tests compare against.
+
+    ``backend`` selects the table representation for the FO/FP/PFP
+    engines: ``"sparse"`` (reference frozensets), ``"packed"`` (the
+    :mod:`repro.kernel` ``n^k``-bit masks), or ``None`` (default) to
+    consult the ``REPRO_BENCH_BACKEND`` environment variable.  Backends
+    never change answers or the representation-independent stats
+    counters.  The ESO engine grounds to SAT rather than iterating
+    tables, so it ignores the backend.
     """
 
     strategy: FixpointStrategy = FixpointStrategy.MONOTONE
@@ -84,6 +92,7 @@ class EvalOptions:
     chaos: Optional[ChaosPolicy] = None
     degrade: bool = True
     subquery_cache: Union[bool, "SubqueryCache", None] = None
+    backend: Union[str, None] = None
 
 
 @dataclass
@@ -163,6 +172,7 @@ def _dispatch(
             tracer=tracer,
             guard=guard,
             subquery_cache=cache,
+            backend=options.backend,
         )
         relation = evaluator.answer(formula, tuple(output_vars))
         return EvalResult(
@@ -199,6 +209,7 @@ def _dispatch(
             tracer=tracer,
             guard=guard,
             degrade=options.degrade,
+            backend=options.backend,
         )
         return EvalResult(
             relation,
@@ -223,6 +234,7 @@ def _dispatch(
         tracer=tracer,
         guard=guard,
         subquery_cache=cache,
+        backend=options.backend,
     )
     return EvalResult(
         relation, language, strategy, stats, tracer=recorded, guard=watched

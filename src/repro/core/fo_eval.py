@@ -21,6 +21,7 @@ from repro.database.domain import Domain
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, VariableBoundError
 from repro.core.interp import EvalStats, VarTable
+from repro.kernel.backend import resolve_backend
 from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import (
@@ -122,6 +123,13 @@ class BoundedEvaluator:
         parameter assignments, and — when one instance is shared —
         entirely separate evaluations.  Served tables are charged to the
         guard's row budget and counted in ``stats`` like computed ones.
+    backend:
+        Table representation: ``"sparse"`` (reference), ``"packed"``
+        (the :mod:`repro.kernel` bitmask kernel), an already-built
+        backend instance, or ``None`` to consult ``REPRO_BENCH_BACKEND``
+        (see :func:`repro.kernel.backend.resolve_backend`).  Backends
+        change only the representation of intermediate tables — answers
+        and all :class:`EvalStats` counters are identical.
     """
 
     def __init__(
@@ -133,18 +141,24 @@ class BoundedEvaluator:
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
         subquery_cache=None,
+        backend=None,
     ):
         self.db = db
         self.domain = db.domain
         self.fixpoint_solver = fixpoint_solver
         self.k_limit = k_limit
         self.stats = stats if stats is not None else EvalStats()
+        self.backend = resolve_backend(
+            backend, db.domain, registry=self.stats.registry
+        )
         self.tracer = tracer
         self.guard = guard
         self.subquery_cache = subquery_cache
         # memo entries keep a strong reference to their formula so the
         # id()-based key can never alias a recycled object
         self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
+        # free-relation-variable sets per formula, same strong-ref scheme
+        self._free_rels: Dict[int, tuple] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -188,6 +202,7 @@ class BoundedEvaluator:
         if self.guard.enabled:
             self.guard.charge_rows(len(table), node="answer")
         self.stats.observe_table(table)
+        self.backend.observe(table)
         return table.to_relation(out)
 
     # -- recursive evaluation ------------------------------------------
@@ -204,7 +219,7 @@ class BoundedEvaluator:
         cache = self.subquery_cache
         ckey = None
         if cache is not None and cache.cacheable(formula):
-            ckey = cache.key_for(formula, env, self.db)
+            ckey = cache.key_for(formula, env, self.db, self.backend.name)
             if ckey is not None:
                 hit = cache.get(ckey)
                 if hit is not None:
@@ -214,6 +229,7 @@ class BoundedEvaluator:
                             len(hit), node=type(formula).__name__
                         )
                     self.stats.observe_table(hit)
+                    self.backend.observe(hit)
                     self._memo[key] = (formula, hit)
                     return hit
                 self.stats.bump("subquery_cache_misses")
@@ -228,17 +244,24 @@ class BoundedEvaluator:
         if guard.enabled:
             guard.charge_rows(len(table), node=type(formula).__name__)
         self.stats.observe_table(table)
+        self.backend.observe(table)
         if ckey is not None:
             cache.put(ckey, table)
         self._memo[key] = (formula, table)
         return table
 
     def _memo_key(self, formula: Formula, env: Dict[str, Relation]):
-        from repro.logic.variables import free_relation_variables
+        cached = self._free_rels.get(id(formula))
+        if cached is None:
+            from repro.logic.variables import free_relation_variables
 
-        rels = free_relation_variables(formula)
+            cached = (formula, tuple(sorted(free_relation_variables(formula))))
+            self._free_rels[id(formula)] = cached
+        rels = cached[1]
+        # state_key lets packed relations key by mask instead of hashing
+        # their materialized tuple sets
         bound_here = tuple(
-            sorted((name, env[name]) for name in rels if name in env)
+            (name, env[name].state_key()) for name in rels if name in env
         )
         return (id(formula), bound_here)
 
@@ -247,17 +270,21 @@ class BoundedEvaluator:
             relation = env.get(formula.name)
             if relation is None:
                 relation = self.db.relation(formula.name)
-            return atom_table(relation, formula.terms, self.domain)
+            return self.backend.atom_table(relation, formula.terms)
         if isinstance(formula, Equals):
             return self._eval_equals(formula)
         if isinstance(formula, Truth):
-            return VarTable.tautology() if formula.value else VarTable.contradiction()
+            return (
+                self.backend.tautology()
+                if formula.value
+                else self.backend.contradiction()
+            )
         if isinstance(formula, Not):
             sub = self._eval(formula.sub, env)
             return sub.complement(self.domain)
         if isinstance(formula, And):
             if not formula.subs:
-                return VarTable.tautology()
+                return self.backend.tautology()
             table = self._eval(formula.subs[0], env)
             for part in formula.subs[1:]:
                 table = table.join(self._eval(part, env))
@@ -267,7 +294,7 @@ class BoundedEvaluator:
             return table
         if isinstance(formula, Or):
             if not formula.subs:
-                return VarTable.contradiction()
+                return self.backend.contradiction()
             table = self._eval(formula.subs[0], env)
             for part in formula.subs[1:]:
                 table = table.union(self._eval(part, env), self.domain)
@@ -281,7 +308,7 @@ class BoundedEvaluator:
                 return sub.project_out(formula.var.name)
             # vacuous quantification: true iff the domain is non-empty
             if len(self.domain) == 0:
-                return VarTable(sub.variables, [])
+                return self.backend.table(sub.variables, [])
             return sub
         if isinstance(formula, Forall):
             sub = self._eval(formula.sub, env)
@@ -290,7 +317,7 @@ class BoundedEvaluator:
             if len(self.domain) == 0:
                 # vacuously true; with free variables present there are no
                 # assignments at all, otherwise the single empty assignment
-                return VarTable(
+                return self.backend.table(
                     sub.variables, [()] if not sub.variables else []
                 )
             return sub
@@ -307,8 +334,8 @@ class BoundedEvaluator:
         left, right = formula.left, formula.right
         if isinstance(left, Var) and isinstance(right, Var):
             if left.name == right.name:
-                return VarTable((left.name,), ((v,) for v in self.domain))
-            return VarTable(
+                return self.backend.full((left.name,))
+            return self.backend.table(
                 (left.name, right.name),
                 ((v, v) for v in self.domain),
             )
@@ -316,13 +343,13 @@ class BoundedEvaluator:
             left, right = right, left
         if isinstance(left, Var) and isinstance(right, Const):
             if right.value not in self.domain:
-                return VarTable((left.name,), [])
-            return VarTable((left.name,), [(right.value,)])
+                return self.backend.table((left.name,), [])
+            return self.backend.table((left.name,), [(right.value,)])
         if isinstance(left, Const) and isinstance(right, Const):
             return (
-                VarTable.tautology()
+                self.backend.tautology()
                 if left.value == right.value
-                else VarTable.contradiction()
+                else self.backend.contradiction()
             )
         raise EvaluationError(f"malformed equality {formula!r}")
 
@@ -361,8 +388,12 @@ class BoundedEvaluator:
             # rows of the node's table: assignments to arg variables (and
             # the parameters) whose argument tuple lands in the limit
             param_assignment = dict(zip(params, combo))
-            member_table = atom_table(limit, node.args, self.domain)
+            member_table = self.backend.atom_table(limit, node.args)
             member_table = member_table.cylindrify(arg_vars, self.domain)
+            if not params:
+                # no parameters: the member table over the (sorted) arg
+                # variables IS the node's table — skip the per-row merge
+                return member_table
             for assignment in member_table.assignments():
                 merged = dict(param_assignment)
                 consistent = True
@@ -375,4 +406,4 @@ class BoundedEvaluator:
                     merged[var] = value
                 if consistent:
                     rows.append(tuple(merged[c] for c in out_columns))
-        return VarTable(out_columns, rows)
+        return self.backend.table(out_columns, rows)

@@ -162,6 +162,7 @@ def iterate_inflationary(
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
+    empty: Optional[Relation] = None,
 ) -> Relation:
     """IFP iteration ``S ← S ∪ φ(S)`` from empty; always converges.
 
@@ -169,9 +170,10 @@ def iterate_inflationary(
     the union: re-materializing the full relation just to discover the
     delta was empty would do ``O(|S|)`` extra work on every solve (the
     ``empty_delta_exits`` note counts these exits for the regression
-    test).
+    test).  ``empty`` optionally supplies the backend's empty relation
+    so packed iterates stay packed end-to-end.
     """
-    current = Relation.empty(arity)
+    current = empty if empty is not None else Relation.empty(arity)
     index = 0
     while True:
         stats.fixpoint_iterations += 1
@@ -195,6 +197,7 @@ def iterate_partial(
     iteration_limit: Optional[int] = None,
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
+    empty: Optional[Relation] = None,
 ) -> Relation:
     """PFP iteration from empty (Section 2.2's convention).
 
@@ -202,10 +205,13 @@ def iterate_partial(
     it enters a cycle without converging.  ``iteration_limit`` optionally
     bounds the work for space-restricted experiments (Theorem 3.8 allows
     counting to ``2^{n^k}`` instead of remembering states; we remember
-    hashes for speed but the live state is still one relation).
+    hashes for speed but the live state is still one relation).  The
+    seen-set stores :meth:`~repro.database.relation.Relation.state_key`
+    tokens, so packed iterates are remembered by mask without ever
+    materializing their tuple sets.
     """
-    current = Relation.empty(arity)
-    seen = {current}
+    current = empty if empty is not None else Relation.empty(arity)
+    seen = {current.state_key()}
     steps = 0
     while True:
         stats.fixpoint_iterations += 1
@@ -217,11 +223,11 @@ def iterate_partial(
             after = step(current)
         if after == current:
             return current
-        if after in seen:
-            return Relation.empty(arity)
+        if after.state_key() in seen:
+            return empty if empty is not None else Relation.empty(arity)
         if guard.enabled:
             guard.charge_state(index=steps, states=len(seen))
-        seen.add(after)
+        seen.add(after.state_key())
         current = after
         steps += 1
         if iteration_limit is not None and steps > iteration_limit:
@@ -299,25 +305,41 @@ class NaiveSolver:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
         guard = self._guard
+        backend = evaluator.backend
         if isinstance(node, LFP):
             return iterate_ascending(
-                step, Relation.empty(node.arity), self._stats, tracer, guard
+                step,
+                backend.empty_relation(node.arity),
+                self._stats,
+                tracer,
+                guard,
             )
         if isinstance(node, GFP):
             return iterate_descending(
                 step,
-                _full_relation(node.arity, evaluator.domain),
+                backend.full_relation(node.arity),
                 self._stats,
                 tracer,
                 guard,
             )
         if isinstance(node, IFP):
             return iterate_inflationary(
-                step, node.arity, self._stats, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                self._pfp_limit,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -380,13 +402,25 @@ class MonotoneSolver:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
         guard = self._guard
+        backend = evaluator.backend
         if isinstance(node, IFP):
             return iterate_inflationary(
-                step, node.arity, self._stats, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                self._pfp_limit,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         relevant = {
             name: env[name]
@@ -398,9 +432,9 @@ class MonotoneSolver:
         if start is None:
             self._stats.bump("cold_starts")
             start = (
-                Relation.empty(node.arity)
+                backend.empty_relation(node.arity)
                 if ascending
-                else _full_relation(node.arity, evaluator.domain)
+                else backend.full_relation(node.arity)
             )
         else:
             self._stats.bump("warm_starts")
@@ -490,12 +524,15 @@ def solve_query(
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
     subquery_cache=None,
+    backend=None,
 ) -> Relation:
     """Evaluate an FO/FP/PFP query under the chosen strategy.
 
     ``subquery_cache`` optionally threads a
     :class:`repro.perf.cache.SubqueryCache` into the bounded evaluator
-    (shared-table memoization across subformulas and evaluations).
+    (shared-table memoization across subformulas and evaluations);
+    ``backend`` selects the table representation (see
+    :func:`repro.kernel.backend.resolve_backend`).
     """
     stats = stats if stats is not None else EvalStats()
     if require_positive:
@@ -520,5 +557,6 @@ def solve_query(
         tracer=tracer,
         guard=guard,
         subquery_cache=subquery_cache,
+        backend=backend,
     )
     return evaluator.answer(formula, output_vars)

@@ -136,9 +136,14 @@ class EvalStats:
             if metric.name.startswith(prefix)
         }
 
-    def observe_table(self, table: "VarTable") -> None:
+    def observe_table(self, table) -> None:
+        """Audit one intermediate table (``VarTable`` or any backend's).
+
+        Uses ``len(table)`` rather than ``len(table.rows)`` so a packed
+        table answers with a popcount instead of decoding its rows.
+        """
         self._table_ops.value += 1
-        rows = len(table.rows)
+        rows = len(table)
         self._rows_hist.observe(rows)
         if rows > self._max_rows.value:
             self._max_rows.value = rows
@@ -180,12 +185,15 @@ class VarTable:
         if len(set(ordered)) != len(ordered):
             raise EvaluationError(f"duplicate table columns: {variables}")
         if tuple(variables) != ordered:
-            # reorder the incoming rows to canonical column order
-            positions = [tuple(variables).index(v) for v in ordered]
+            # reorder the incoming rows to canonical column order; one
+            # position map instead of an O(k^2) .index() scan per column
+            pos = {v: i for i, v in enumerate(variables)}
+            positions = [pos[v] for v in ordered]
             rows = (tuple(row[p] for p in positions) for row in rows)
         frozen = frozenset(tuple(r) for r in rows)
+        width = len(ordered)
         for row in frozen:
-            if len(row) != len(ordered):
+            if len(row) != width:
                 raise EvaluationError(
                     f"row {row!r} does not match columns {ordered}"
                 )
@@ -193,6 +201,21 @@ class VarTable:
         self._rows = frozen
 
     # -- constructors --------------------------------------------------
+
+    @classmethod
+    def _trusted(
+        cls, variables: Tuple[str, ...], rows: FrozenSet[Row]
+    ) -> "VarTable":
+        """Internal constructor for operator results.
+
+        Skips all validation: ``variables`` must already be canonically
+        sorted and duplicate-free, ``rows`` a frozenset of tuples of the
+        right width.  Every public path still goes through ``__init__``.
+        """
+        table = cls.__new__(cls)
+        table._vars = variables
+        table._rows = rows
+        return table
 
     @classmethod
     def tautology(cls) -> "VarTable":
@@ -208,7 +231,12 @@ class VarTable:
     def full(cls, variables: Sequence[str], domain: Domain) -> "VarTable":
         """``D^{variables}`` — every assignment to the given variables."""
         ordered = tuple(sorted(variables))
-        return cls(ordered, itertools.product(domain.values, repeat=len(ordered)))
+        if len(set(ordered)) != len(ordered):
+            raise EvaluationError(f"duplicate table columns: {variables}")
+        return cls._trusted(
+            ordered,
+            frozenset(itertools.product(domain.values, repeat=len(ordered))),
+        )
 
     @classmethod
     def from_assignments(
@@ -252,74 +280,86 @@ class VarTable:
 
     def join(self, other: "VarTable") -> "VarTable":
         """Natural join (the table operation behind conjunction)."""
-        shared = [v for v in self._vars if v in set(other._vars)]
+        other_vars = set(other._vars)
+        shared = [v for v in self._vars if v in other_vars]
         if not shared:
-            rows = (
-                left + right
+            merged = self._vars + other._vars
+            order = sorted(range(len(merged)), key=merged.__getitem__)
+            out_vars = tuple(merged[i] for i in order)
+            rows = frozenset(
+                tuple((left + right)[i] for i in order)
                 for left in self._rows
                 for right in other._rows
             )
-            merged_vars = self._vars + other._vars
-            return VarTable(merged_vars, rows)
+            return VarTable._trusted(out_vars, rows)
         # hash join on the shared columns; probe the smaller side
         if len(self._rows) > len(other._rows):
             return other.join(self)
+        shared_set = set(shared)
         left_pos = [self._vars.index(v) for v in shared]
         right_pos = [other._vars.index(v) for v in shared]
         right_only = [
-            i for i, v in enumerate(other._vars) if v not in set(shared)
+            i for i, v in enumerate(other._vars) if v not in shared_set
         ]
         index: Dict[Row, list] = {}
         for row in self._rows:
             index.setdefault(tuple(row[p] for p in left_pos), []).append(row)
-        out_vars = self._vars + tuple(other._vars[i] for i in right_only)
-        rows = []
+        merged = self._vars + tuple(other._vars[i] for i in right_only)
+        order = sorted(range(len(merged)), key=merged.__getitem__)
+        out_vars = tuple(merged[i] for i in order)
+        rows = set()
         for row in other._rows:
             key = tuple(row[p] for p in right_pos)
+            extras = tuple(row[i] for i in right_only)
             for match in index.get(key, ()):
-                rows.append(match + tuple(row[i] for i in right_only))
-        return VarTable(out_vars, rows)
+                combined = match + extras
+                rows.add(tuple(combined[i] for i in order))
+        return VarTable._trusted(out_vars, frozenset(rows))
 
     def cylindrify(self, variables: Iterable[str], domain: Domain) -> "VarTable":
         """Extend with the given (new) variables, free over the domain."""
         extra = sorted(set(variables) - set(self._vars))
         if not extra:
             return self
-        rows = (
-            row + combo
-            for row in self._rows
-            for combo in itertools.product(domain.values, repeat=len(extra))
-        )
-        return VarTable(self._vars + tuple(extra), rows)
+        merged = self._vars + tuple(extra)
+        order = sorted(range(len(merged)), key=merged.__getitem__)
+        out_vars = tuple(merged[i] for i in order)
+        combos = tuple(itertools.product(domain.values, repeat=len(extra)))
+        rows = set()
+        for row in self._rows:
+            for combo in combos:
+                combined = row + combo
+                rows.add(tuple(combined[i] for i in order))
+        return VarTable._trusted(out_vars, frozenset(rows))
 
     def union(self, other: "VarTable", domain: Domain) -> "VarTable":
         """Set union after cylindrifying both sides to a common schema."""
         target = set(self._vars) | set(other._vars)
         left = self.cylindrify(target, domain)
         right = other.cylindrify(target, domain)
-        return VarTable(left._vars, left._rows | right._rows)
+        return VarTable._trusted(left._vars, left._rows | right._rows)
 
     def intersect(self, other: "VarTable", domain: Domain) -> "VarTable":
         """Set intersection after cylindrifying to a common schema."""
         target = set(self._vars) | set(other._vars)
         left = self.cylindrify(target, domain)
         right = other.cylindrify(target, domain)
-        return VarTable(left._vars, left._rows & right._rows)
+        return VarTable._trusted(left._vars, left._rows & right._rows)
 
     def complement(self, domain: Domain) -> "VarTable":
         """``D^{vars}`` minus this table (the semantics of negation)."""
         universe = itertools.product(domain.values, repeat=len(self._vars))
-        rows = (row for row in universe if row not in self._rows)
-        return VarTable(self._vars, rows)
+        rows = frozenset(row for row in universe if row not in self._rows)
+        return VarTable._trusted(self._vars, rows)
 
     def project_out(self, variable: str) -> "VarTable":
         """Existential quantification: drop one column, dedupe rows."""
         if variable not in self._vars:
             return self
         keep = [i for i, v in enumerate(self._vars) if v != variable]
-        return VarTable(
+        return VarTable._trusted(
             tuple(self._vars[i] for i in keep),
-            (tuple(row[i] for i in keep) for row in self._rows),
+            frozenset(tuple(row[i] for i in keep) for row in self._rows),
         )
 
     def forall_out(self, variable: str, domain: Domain) -> "VarTable":
@@ -336,15 +376,19 @@ class VarTable:
             # vacuously true over an empty domain; with other variables
             # remaining there are no assignments at all
             remaining = tuple(self._vars[i] for i in keep)
-            return VarTable(remaining, [()] if not remaining else [])
+            return VarTable._trusted(
+                remaining, frozenset([()]) if not remaining else frozenset()
+            )
         sections: Dict[Row, set] = {}
         for row in self._rows:
             sections.setdefault(
                 tuple(row[i] for i in keep), set()
             ).add(row[idx])
         n = len(domain)
-        rows = (base for base, seen in sections.items() if len(seen) == n)
-        return VarTable(tuple(self._vars[i] for i in keep), rows)
+        rows = frozenset(
+            base for base, seen in sections.items() if len(seen) == n
+        )
+        return VarTable._trusted(tuple(self._vars[i] for i in keep), rows)
 
     def select_eq(self, var_a: str, var_b: str) -> "VarTable":
         """Rows where two columns are equal (for repeated variables)."""
@@ -353,8 +397,9 @@ class VarTable:
                 f"select_eq: {var_a!r}/{var_b!r} not in {self._vars}"
             )
         ia, ib = self._vars.index(var_a), self._vars.index(var_b)
-        return VarTable(
-            self._vars, (row for row in self._rows if row[ia] == row[ib])
+        return VarTable._trusted(
+            self._vars,
+            frozenset(row for row in self._rows if row[ia] == row[ib]),
         )
 
     def rename(self, mapping: Mapping[str, str]) -> "VarTable":

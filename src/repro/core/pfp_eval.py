@@ -25,7 +25,6 @@ from repro.errors import EvaluationError
 from repro.core.fo_eval import BoundedEvaluator
 from repro.core.fp_eval import (
     NaiveSolver,
-    _full_relation,
     _step_function,
     iterate_ascending,
     iterate_descending,
@@ -160,22 +159,30 @@ class MeteredPFPSolver(NaiveSolver):
                 )
             return after
 
+        backend = evaluator.backend
         meter.enter(key, 0)
         try:
             if isinstance(node, LFP):
                 return iterate_ascending(
-                    metered_step, Relation.empty(node.arity), self._stats, tracer
+                    metered_step,
+                    backend.empty_relation(node.arity),
+                    self._stats,
+                    tracer,
                 )
             if isinstance(node, GFP):
                 return iterate_descending(
                     metered_step,
-                    _full_relation(node.arity, evaluator.domain),
+                    backend.full_relation(node.arity),
                     self._stats,
                     tracer,
                 )
             if isinstance(node, IFP):
                 return iterate_inflationary(
-                    metered_step, node.arity, self._stats, tracer
+                    metered_step,
+                    node.arity,
+                    self._stats,
+                    tracer,
+                    empty=backend.empty_relation(node.arity),
                 )
             if isinstance(node, PFP):
                 return self._partial(metered_step, node, evaluator)
@@ -190,7 +197,8 @@ class MeteredPFPSolver(NaiveSolver):
         evaluator: BoundedEvaluator,
     ) -> Relation:
         arity = node.arity
-        current = Relation.empty(arity)
+        empty = evaluator.backend.empty_relation(arity)
+        current = empty
         tracer = self._tracer
         guard = self._guard
         # 2^{n^k} distinct k-ary relations: past this many steps the
@@ -198,7 +206,7 @@ class MeteredPFPSolver(NaiveSolver):
         # cycles and the partial fixpoint is empty by convention
         n = len(evaluator.domain)
         distinct_relations = 2 ** (n**arity)
-        seen: Optional[set] = None if self._strict else {current}
+        seen: Optional[set] = None if self._strict else {current.state_key()}
         index = 0
         while index < distinct_relations:
             self._stats.fixpoint_iterations += 1
@@ -218,10 +226,10 @@ class MeteredPFPSolver(NaiveSolver):
             if after == current:
                 return current
             if seen is not None:
-                if after in seen:
-                    return Relation.empty(arity)
+                if after.state_key() in seen:
+                    return empty
                 if guard.try_charge_state():
-                    seen.add(after)
+                    seen.add(after.state_key())
                 elif self._degrade:
                     # state budget exhausted: degrade to the strict
                     # O(1)-memory counting mode (sound — see class doc)
@@ -232,7 +240,7 @@ class MeteredPFPSolver(NaiveSolver):
                 else:
                     guard.charge_state(0, index=index, states=len(seen))
             current = after
-        return Relation.empty(arity)
+        return empty
 
 
 def pfp_answer(
@@ -246,6 +254,7 @@ def pfp_answer(
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
     degrade: bool = True,
+    backend=None,
 ) -> Relation:
     """Evaluate a PFP^k query with live-space accounting.
 
@@ -273,5 +282,6 @@ def pfp_answer(
         stats=stats,
         tracer=tracer,
         guard=guard,
+        backend=backend,
     )
     return evaluator.answer(formula, output_vars)

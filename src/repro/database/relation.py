@@ -103,6 +103,19 @@ class Relation:
             len(cols), {tuple(t[c] for c in cols) for t in self._tuples}
         )
 
+    def state_key(self) -> object:
+        """A cheap hashable proxy for this relation's identity.
+
+        Fixpoint seen-sets and subquery-cache fingerprints key on this
+        instead of the relation itself, so a representation that can
+        identify itself without hashing its tuple set (see
+        :class:`repro.kernel.packed.PackedRelation`) may return a
+        compact token.  The default is the relation itself: equal
+        relations must produce equal keys, and keys from different
+        representations of the same domain must not collide.
+        """
+        return self
+
     def _check_same_arity(self, other: "Relation", op: str) -> None:
         if self._arity != other._arity:
             raise SchemaError(

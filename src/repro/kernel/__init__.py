@@ -1,0 +1,29 @@
+"""Packed ``n^k``-bit relation kernel and table-backend selection.
+
+See :mod:`repro.kernel.packed` for the bitmask representation and
+:mod:`repro.kernel.backend` for how the engines choose between it and
+the sparse reference tables.
+"""
+
+from repro.kernel.backend import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    PackedBackend,
+    SparseBackend,
+    codec_for,
+    resolve_backend,
+)
+from repro.kernel.packed import DomainCodec, PackedRelation, PackedTable, popcount
+
+__all__ = [
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "DomainCodec",
+    "PackedBackend",
+    "PackedRelation",
+    "PackedTable",
+    "SparseBackend",
+    "codec_for",
+    "popcount",
+    "resolve_backend",
+]

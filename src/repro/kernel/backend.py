@@ -1,0 +1,318 @@
+"""Table-backend selection for the bounded-variable engines.
+
+A backend decides how the engines *represent* intermediate tables and
+fixpoint state; it never changes what they compute.  Two implementations:
+
+``sparse``
+    The reference representation — :class:`repro.core.interp.VarTable`
+    frozensets of row tuples and plain
+    :class:`repro.database.relation.Relation` fixpoint state.
+
+``packed``
+    The :mod:`repro.kernel.packed` kernel — every table one ``n^k``-bit
+    integer, every fixpoint iterate a :class:`PackedRelation`, so the
+    boolean algebra that dominates FP/PFP iteration runs as single
+    big-int operations.
+
+Backends are resolved per evaluation by :func:`resolve_backend`:
+``EvalOptions(backend=...)`` / CLI ``--backend`` name one explicitly,
+``None`` defers to the ``REPRO_BENCH_BACKEND`` environment variable
+(default ``sparse``) so a whole test lane or bench run can be flipped
+without touching call sites.
+
+The packed backend reports ``kernel.*`` metrics (tables built, mask
+width, popcount distribution, codec cache reuse) into the evaluation's
+:class:`~repro.obs.metrics.MetricsRegistry`.  They are deliberately
+*not* part of :meth:`EvalStats.as_dict`: the stats counters stay
+representation-independent, which is what lets the differential suites
+assert sparse/packed counter equality.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.interp import VarTable
+from repro.database.domain import Domain, Value
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, SchemaError
+from repro.kernel.packed import DomainCodec, PackedRelation, PackedTable
+from repro.logic.syntax import Const, Term, Var
+from repro.obs.metrics import MetricsRegistry
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV = "REPRO_BENCH_BACKEND"
+
+#: The reference representation.
+DEFAULT_BACKEND = "sparse"
+
+#: Refuse packed masks wider than this many bits (≈16 MiB of mask): a
+#: query that needs them has left the regime where one dense bit-table
+#: per subformula is sane, and the sparse backend handles it gracefully.
+DEFAULT_MAX_BITS = 1 << 27
+
+#: Shared codecs, keyed by (value-equal) domain, so selector-mask caches
+#: survive across evaluations.  Bounded crudely — codecs are small, but
+#: long property-test sessions create thousands of throwaway domains.
+_CODECS: Dict[Domain, DomainCodec] = {}
+_CODEC_CACHE_LIMIT = 256
+
+#: Per-codec cap on cached sparse-relation atom encodings.
+_ATOM_CACHE_LIMIT = 128
+
+
+def codec_for(domain: Domain, registry: Optional[MetricsRegistry] = None) -> DomainCodec:
+    """The shared :class:`DomainCodec` for a domain (created on miss)."""
+    codec = _CODECS.get(domain)
+    if registry is not None:
+        registry.counter(
+            "kernel.codec_hits" if codec is not None else "kernel.codec_misses"
+        ).inc()
+    if codec is None:
+        if len(_CODECS) >= _CODEC_CACHE_LIMIT:
+            _CODECS.clear()
+        codec = DomainCodec(domain)
+        _CODECS[domain] = codec
+    return codec
+
+
+def _parse_terms(relation: Relation, terms: Sequence[Term]):
+    """Shared atom-term analysis: variable positions, constant positions,
+    sorted column names — the selection pattern of Lemma 3.6's proof."""
+    if len(terms) != relation.arity:
+        raise EvaluationError(
+            f"atom has {len(terms)} arguments for a relation of arity "
+            f"{relation.arity}"
+        )
+    var_positions: Dict[str, list] = {}
+    const_positions = []
+    for i, term in enumerate(terms):
+        if isinstance(term, Var):
+            var_positions.setdefault(term.name, []).append(i)
+        elif isinstance(term, Const):
+            const_positions.append((i, term.value))
+        else:
+            raise EvaluationError(f"unknown term {term!r}")
+    return var_positions, const_positions, sorted(var_positions)
+
+
+class SparseBackend:
+    """The reference representation: ``VarTable`` + plain ``Relation``."""
+
+    name = "sparse"
+
+    def __init__(self, domain: Domain):
+        self.domain = domain
+
+    def table(self, variables: Sequence[str], rows: Iterable) -> VarTable:
+        return VarTable(variables, rows)
+
+    def tautology(self) -> VarTable:
+        return VarTable.tautology()
+
+    def contradiction(self) -> VarTable:
+        return VarTable.contradiction()
+
+    def full(self, variables: Sequence[str]) -> VarTable:
+        return VarTable.full(variables, self.domain)
+
+    def atom_table(self, relation: Relation, terms: Sequence[Term]) -> VarTable:
+        from repro.core.fo_eval import atom_table
+
+        return atom_table(relation, terms, self.domain)
+
+    def empty_relation(self, arity: int) -> Relation:
+        return Relation.empty(arity)
+
+    def full_relation(self, arity: int) -> Relation:
+        return Relation(arity, self.domain.tuples(arity))
+
+    def observe(self, table) -> None:
+        """No kernel metrics for the reference representation."""
+
+    def __repr__(self) -> str:
+        return f"SparseBackend(n={len(self.domain)})"
+
+
+class PackedBackend:
+    """The ``n^k``-bit kernel of :mod:`repro.kernel.packed`."""
+
+    name = "packed"
+
+    def __init__(
+        self,
+        domain: Domain,
+        registry: Optional[MetricsRegistry] = None,
+        max_bits: int = DEFAULT_MAX_BITS,
+    ):
+        self.domain = domain
+        self.max_bits = max_bits
+        registry = registry if registry is not None else MetricsRegistry()
+        self.codec = codec_for(domain, registry)
+        self._tables = registry.counter("kernel.tables")
+        self._mask_bits = registry.gauge("kernel.mask_bits")
+        self._popcounts = registry.histogram("kernel.popcount")
+
+    def _guard_width(self, k: int) -> None:
+        bits = self.codec.size(k)
+        if bits > self.max_bits:
+            raise EvaluationError(
+                f"packed backend refuses a {k}-column table over "
+                f"n={self.codec.n}: {bits} mask bits exceed the "
+                f"{self.max_bits}-bit cap — use backend='sparse' for "
+                f"this query"
+            )
+
+    def table(self, variables: Sequence[str], rows: Iterable) -> PackedTable:
+        self._guard_width(len(set(variables)))
+        return PackedTable.from_rows(self.codec, variables, rows)
+
+    def tautology(self) -> PackedTable:
+        return PackedTable.tautology(self.codec)
+
+    def contradiction(self) -> PackedTable:
+        return PackedTable.contradiction(self.codec)
+
+    def full(self, variables: Sequence[str]) -> PackedTable:
+        self._guard_width(len(set(variables)))
+        return PackedTable.full(self.codec, variables)
+
+    def empty_relation(self, arity: int) -> PackedRelation:
+        return PackedRelation(arity, 0, self.codec)
+
+    def full_relation(self, arity: int) -> PackedRelation:
+        self._guard_width(arity)
+        return PackedRelation(arity, self.codec.full_mask(arity), self.codec)
+
+    def observe(self, table) -> None:
+        self._tables.inc()
+        if isinstance(table, PackedTable):
+            self._mask_bits.set_max(self.codec.size(len(table.variables)))
+            self._popcounts.observe(len(table))
+
+    # -- atoms ---------------------------------------------------------
+
+    def atom_table(self, relation: Relation, terms: Sequence[Term]) -> PackedTable:
+        """The table of ``R(t_1, ..., t_m)``.
+
+        When the relation is itself packed over this codec (the fixpoint
+        recursion variable on every round), the whole atom — constant
+        selection, repeated-variable equality, projection to distinct
+        variables, permutation to sorted columns — runs as mask kernels
+        with no per-row Python work.
+        """
+        var_positions, const_positions, columns = _parse_terms(relation, terms)
+        self._guard_width(len(columns))
+        if isinstance(relation, PackedRelation) and relation.codec is self.codec:
+            return self._atom_from_mask(
+                relation, var_positions, const_positions, columns
+            )
+        return self._atom_from_rows(
+            relation, var_positions, const_positions, columns
+        )
+
+    def _atom_from_rows(
+        self, relation, var_positions, const_positions, columns
+    ) -> PackedTable:
+        # Encoding a sparse relation walks it row by row — the only
+        # per-row loop left in the packed pipeline.  Base relations are
+        # immutable and hit with the same term shape on every solve, so
+        # cache the finished mask on the (shared) codec.
+        cache = self.codec.atom_masks
+        key = (
+            relation,
+            tuple(const_positions),
+            tuple((name, tuple(ps)) for name, ps in sorted(var_positions.items())),
+        )
+        mask = cache.get(key)
+        if mask is None:
+            encode = self.codec.encode_row
+            mask = 0
+            for tup in relation.tuples:
+                if any(tup[i] != value for i, value in const_positions):
+                    continue
+                ok = True
+                for positions in var_positions.values():
+                    first = tup[positions[0]]
+                    if any(tup[p] != first for p in positions[1:]):
+                        ok = False
+                        break
+                if ok:
+                    row = tuple(tup[var_positions[v][0]] for v in columns)
+                    mask |= 1 << encode(row)
+            if len(cache) >= _ATOM_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = mask
+        return PackedTable(self.codec, tuple(columns), mask)
+
+    def _atom_from_mask(
+        self, relation, var_positions, const_positions, columns
+    ) -> PackedTable:
+        codec = self.codec
+        m = relation.arity
+        mask = relation.mask
+        # positional column i of the relation is digit m-1-i
+        for i, value in const_positions:
+            try:
+                v = self.domain.index_of(value)
+            except SchemaError:
+                return PackedTable(codec, tuple(columns), 0)
+            mask = codec.select_value(mask, m, m - 1 - i, v)
+        for positions in var_positions.values():
+            first = positions[0]
+            for p in positions[1:]:
+                mask &= codec.eq_mask(m, m - 1 - first, m - 1 - p)
+        keep = sorted(ps[0] for ps in var_positions.values())
+        keep_set = set(keep)
+        k = m
+        for d in sorted((m - 1 - i for i in range(m) if i not in keep_set), reverse=True):
+            mask = codec.project(mask, k, d, universal=False)
+            k -= 1
+        # remaining digits follow the kept positions' relative order
+        names = sorted(var_positions, key=lambda v: var_positions[v][0])
+        if names != columns:
+            src_for = [0] * k
+            for j, name in enumerate(columns):
+                i = names.index(name)
+                src_for[k - 1 - j] = k - 1 - i
+            mask = codec.permute(mask, k, src_for)
+        return PackedTable(codec, tuple(columns), mask)
+
+    def __repr__(self) -> str:
+        return f"PackedBackend(n={len(self.domain)})"
+
+
+def resolve_backend(
+    value,
+    domain: Domain,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Normalize a backend selection for one evaluation.
+
+    ``None`` consults ``REPRO_BENCH_BACKEND`` (default ``sparse``);
+    ``"sparse"``/``"packed"`` build the named backend over ``domain``;
+    an already-constructed backend object passes through unchanged.
+    """
+    if value is None:
+        value = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if isinstance(value, str):
+        name = value.strip().lower()
+        if name == SparseBackend.name:
+            return SparseBackend(domain)
+        if name == PackedBackend.name:
+            return PackedBackend(domain, registry=registry)
+        raise EvaluationError(
+            f"unknown table backend {value!r} (expected 'sparse' or 'packed')"
+        )
+    return value
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "PackedBackend",
+    "SparseBackend",
+    "codec_for",
+    "resolve_backend",
+]

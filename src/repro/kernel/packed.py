@@ -1,0 +1,771 @@
+"""Packed relation kernel: a k-ary table as one ``n^k``-bit integer.
+
+The paper's load-bearing observation (Prop 3.1) is that bounding the
+number of variables bounds the arity of every intermediate relation:
+each table is a subset of ``D^k`` and hence has at most ``n^k`` rows.
+That same bound licenses a *packed* representation — enumerate ``D^k``
+once and store a k-ary table as an ``n^k``-bit Python integer with bit
+``i`` set iff the ``i``-th tuple is present.  Set algebra then collapses
+to single big-int operations:
+
+==============================  ====================================
+union / intersect / difference  ``|`` / ``&`` / ``& ~``
+complement                      ``^ full_mask``
+emptiness / equality            ``== 0`` / integer ``==``
+row count                       popcount
+==============================  ====================================
+
+Quantification and schema manipulation become *stride kernels* over
+mixed-radix digits: a row ``(a_0, ..., a_{k-1})`` over the sorted
+variables maps to index ``Σ_i index(a_i) · n^{k-1-i}`` (column 0 most
+significant, matching :meth:`repro.database.domain.Domain.tuples`
+lexicographic order), so the column at sorted position ``i`` is the
+base-``n`` digit at weight position ``d = k-1-i``.  Inserting a digit
+(cylindrification) is a stretch-and-replicate; removing one
+(∃/∀-projection) is an OR/AND shift-fold followed by a compress;
+equality selection and digit transposition are precomputed selector
+masks.  All selector masks are cached per ``(k, digit)`` on the
+:class:`DomainCodec`, which is itself shared per domain (see
+:func:`repro.kernel.backend.codec_for`).
+
+:class:`PackedTable` mirrors the full operation surface of
+:class:`repro.core.interp.VarTable`; :class:`PackedRelation` is a
+:class:`repro.database.relation.Relation` whose tuple set materializes
+lazily from the mask, so fixpoint state flows through the engines as
+masks end-to-end and convergence checks are integer comparisons.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.database.domain import Domain, Value
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, SchemaError
+
+Row = Tuple[Value, ...]
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def popcount(mask: int) -> int:
+        """Number of set bits — the packed row count."""
+        return mask.bit_count()
+
+else:  # pragma: no cover - exercised on the 3.9 CI lane
+
+    def popcount(mask: int) -> int:
+        """Number of set bits — the packed row count."""
+        return bin(mask).count("1")
+
+
+def _rep_factor(width: int, count: int) -> int:
+    """``Σ_{h < count} 2^(h·width)`` — replicates a ``width``-bit block
+    ``count`` times when used as a multiplier.
+
+    Built by binary doubling (``O(log count)`` shift/ORs), *not* by the
+    geometric-series division ``(2^(w·c) - 1) // (2^w - 1)``: CPython
+    big-int division is quadratic, which turns multi-megabit selector
+    builds into minutes."""
+    if count <= 0:
+        return 0
+    rep = 1  # replicates 2^j copies after j doublings
+    copies = 1
+    result = 0
+    placed = 0
+    while count:
+        if count & 1:
+            result |= rep << (placed * width)
+            placed += copies
+        count >>= 1
+        if count:
+            rep |= rep << (copies * width)
+            copies <<= 1
+    return result
+
+
+def _stretch(mask: int, count: int, width: int, stride: int) -> int:
+    """Spread ``count`` adjacent ``width``-bit blocks to ``stride`` spacing.
+
+    Recursive halving keeps this at ``O(count)`` big-int operations with
+    logarithmic recursion depth — the work per level is proportional to
+    the integer size, not to ``count · width``.
+    """
+    if count <= 1 or width == stride:
+        return mask
+    half = count // 2
+    lo = mask & ((1 << (half * width)) - 1)
+    hi = mask >> (half * width)
+    return _stretch(lo, half, width, stride) | (
+        _stretch(hi, count - half, width, stride) << (half * stride)
+    )
+
+
+def _compress(mask: int, count: int, width: int, stride: int) -> int:
+    """Inverse of :func:`_stretch`: gather ``count`` blocks at ``stride``
+    spacing into adjacency.  The caller must already have cleared every
+    bit outside the low ``width`` bits of each block."""
+    if count <= 1 or width == stride:
+        return mask
+    half = count // 2
+    lo = mask & ((1 << (half * stride)) - 1)
+    hi = mask >> (half * stride)
+    return _compress(lo, half, width, stride) | (
+        _compress(hi, count - half, width, stride) << (half * width)
+    )
+
+
+class DomainCodec:
+    """Mixed-radix row↔bit-index codec and mask kernels for one domain.
+
+    One codec is shared per domain (all tables over that domain reuse its
+    selector-mask caches); all kernels take the digit count ``k``
+    explicitly so one codec serves every arity.
+    """
+
+    __slots__ = (
+        "domain",
+        "n",
+        "_full",
+        "_sel0",
+        "_eq",
+        "_rep",
+        "_plans",
+        "_diffs",
+        "atom_masks",
+    )
+
+    def __init__(self, domain: Domain):
+        self.domain = domain
+        self.n = len(domain)
+        self._full: Dict[int, int] = {}
+        self._sel0: Dict[Tuple[int, int], int] = {}
+        self._eq: Dict[Tuple[int, int, int], int] = {}
+        self._rep: Dict[int, int] = {}
+        self._plans: Dict[Tuple[int, int, int], list] = {}
+        self._diffs: Dict[Tuple[int, int, int], list] = {}
+        # sparse-relation atom encodings (see PackedBackend._atom_from_rows):
+        # keyed by (relation, term shape) so each base relation is walked
+        # row-by-row once per codec rather than once per evaluation
+        self.atom_masks: Dict[tuple, int] = {}
+
+    # -- encoding ------------------------------------------------------
+
+    def size(self, k: int) -> int:
+        """``n^k`` — the number of bit positions of a ``k``-digit mask."""
+        return self.n**k
+
+    def full_mask(self, k: int) -> int:
+        """The mask of ``D^k`` itself (``n^0 = 1`` even when ``n = 0``)."""
+        mask = self._full.get(k)
+        if mask is None:
+            mask = (1 << self.n**k) - 1
+            self._full[k] = mask
+        return mask
+
+    def encode_row(self, row: Sequence[Value]) -> int:
+        """The mixed-radix index of a row (first column most significant).
+
+        Raises :class:`~repro.errors.SchemaError` for values outside the
+        domain — a packed mask has no bit for them.
+        """
+        index_of = self.domain.index_of
+        n = self.n
+        idx = 0
+        for value in row:
+            idx = idx * n + index_of(value)
+        return idx
+
+    def decode_index(self, idx: int, k: int) -> Row:
+        """The row at a bit index (inverse of :meth:`encode_row`)."""
+        n = self.n
+        values = self.domain.values
+        out: List[Value] = [None] * k
+        for pos in range(k - 1, -1, -1):
+            out[pos] = values[idx % n]
+            idx //= n
+        return tuple(out)
+
+    def iter_rows(self, mask: int, k: int) -> Iterator[Row]:
+        """Decode every set bit of ``mask`` into its row."""
+        while mask:
+            low = mask & -mask
+            yield self.decode_index(low.bit_length() - 1, k)
+            mask ^= low
+
+    # -- selector masks (cached per (k, digit)) ------------------------
+
+    def _rep_n(self, width: int) -> int:
+        """Replication multiplier for ``n`` copies of a ``width``-bit block."""
+        rep = self._rep.get(width)
+        if rep is None:
+            rep = _rep_factor(width, self.n)
+            self._rep[width] = rep
+        return rep
+
+    def sel0(self, k: int, d: int) -> int:
+        """Selector of every index whose digit ``d`` equals 0."""
+        key = (k, d)
+        mask = self._sel0.get(key)
+        if mask is None:
+            n = self.n
+            if n == 0:
+                mask = 0
+            else:
+                block = (1 << n**d) - 1
+                mask = block * _rep_factor(n ** (d + 1), n ** (k - 1 - d))
+            self._sel0[key] = mask
+        return mask
+
+    def sel(self, k: int, d: int, v: int) -> int:
+        """Selector of every index whose digit ``d`` equals ``v``."""
+        return self.sel0(k, d) << (v * self.n**d)
+
+    def eq_mask(self, k: int, da: int, db: int) -> int:
+        """Selector of every index whose digits ``da`` and ``db`` agree."""
+        if da > db:
+            da, db = db, da
+        key = (k, da, db)
+        mask = self._eq.get(key)
+        if mask is None:
+            if da == db:
+                mask = self.full_mask(k)
+            else:
+                mask = 0
+                for v in range(self.n):
+                    mask |= self.sel(k, da, v) & self.sel(k, db, v)
+            self._eq[key] = mask
+        return mask
+
+    # -- digit kernels -------------------------------------------------
+
+    def _fold_plan(self, count: int, width: int, stride: int) -> list:
+        """Rounds of pairwise block merges for compress/stretch.
+
+        Each round halves the block count by moving every odd-indexed
+        ``width``-bit block down next to its even neighbour — one AND,
+        XOR, shift, OR on the whole integer per round, ``O(log count)``
+        rounds total.  The round masks are cached per layout; building
+        them costs ``O(count)`` once (the recursive :func:`_compress`
+        costs that *per call*)."""
+        key = (count, width, stride)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = []
+            c, w, s = count, width, stride
+            while c > 1 and w != s:
+                # blocks at positions s, 3s, 5s, ... — one geometric
+                # replication, never a per-block Python loop (count can
+                # be n^{k-1})
+                odd = (((1 << w) - 1) << s) * _rep_factor(2 * s, c // 2)
+                plan.append((odd, s - w))
+                c = (c + 1) // 2
+                w, s = 2 * w, 2 * s
+            self._plans[key] = plan
+        return plan
+
+    def _compress_fast(self, mask: int, count: int, width: int, stride: int) -> int:
+        for odd, shift in self._fold_plan(count, width, stride):
+            moved = mask & odd
+            mask = (mask ^ moved) | (moved >> shift)
+        return mask
+
+    def _stretch_fast(self, mask: int, count: int, width: int, stride: int) -> int:
+        for odd, shift in reversed(self._fold_plan(count, width, stride)):
+            moved = mask & (odd >> shift)
+            mask = (mask ^ moved) | (moved << shift)
+        return mask
+
+    def expand(self, mask: int, k: int, d: int) -> int:
+        """Insert a fresh, unconstrained digit at weight position ``d``
+        (cylindrification): each index splits into ``n`` copies."""
+        if mask == 0 or self.n == 0:
+            return 0
+        width = self.n**d
+        stretched = self._stretch_fast(
+            mask, self.n ** (k - d), width, width * self.n
+        )
+        return stretched * self._rep_n(width)
+
+    def project(self, mask: int, k: int, d: int, universal: bool = False) -> int:
+        """Remove digit ``d``: OR-fold (∃) or AND-fold (∀) its ``n`` values.
+
+        Callers handle the empty-domain ∀ convention themselves; here an
+        empty domain simply yields the empty mask.
+        """
+        n = self.n
+        if n == 0:
+            return 0
+        width = n**d
+        acc = mask
+        if universal:
+            for v in range(1, n):
+                acc &= mask >> (v * width)
+        else:
+            for v in range(1, n):
+                acc |= mask >> (v * width)
+        acc &= self.sel0(k, d)
+        return self._compress_fast(acc, n ** (k - 1 - d), width, width * n)
+
+    def select_value(self, mask: int, k: int, d: int, v: int) -> int:
+        """Keep indices whose digit ``d`` equals value index ``v``."""
+        return mask & self.sel(k, d, v)
+
+    def _diff_plan(self, k: int, da: int, db: int) -> list:
+        """Cached ``(selector, shift)`` pairs for :meth:`swap`, one per
+        digit difference ``t = digit(db) - digit(da) ≠ 0``.  Building is
+        ``O(n^2)`` once per ``(k, da, db)``; each swap is then ``O(n)``."""
+        key = (k, da, db)
+        plan = self._diffs.get(key)
+        if plan is None:
+            n = self.n
+            wa, wb = n**da, n**db
+            plan = []
+            for t in range(-(n - 1), n):
+                if t == 0:
+                    continue
+                selector = 0
+                for u in range(max(0, -t), min(n, n - t)):
+                    selector |= self.sel(k, da, u) & self.sel(k, db, u + t)
+                # swapping moves a piece by (v-u)·wa + (u-v)·wb = -t·(wb-wa)
+                plan.append((selector, -t * (wb - wa)))
+            self._diffs[key] = plan
+        return plan
+
+    def swap(self, mask: int, k: int, da: int, db: int) -> int:
+        """Transpose two digits via the cached difference selectors."""
+        if da == db or mask == 0:
+            return mask
+        if da > db:
+            da, db = db, da
+        out = mask & self.eq_mask(k, da, db)
+        for selector, delta in self._diff_plan(k, da, db):
+            piece = mask & selector
+            if piece:
+                out |= piece << delta if delta > 0 else piece >> -delta
+        return out
+
+    def permute(self, mask: int, k: int, src_for: Sequence[int]) -> int:
+        """Rearrange digits: result digit ``d`` takes source digit
+        ``src_for[d]``.  Decomposed into at most ``k-1`` transpositions."""
+        cur = list(range(k))
+        for d in range(k):
+            want = src_for[d]
+            if cur[d] == want:
+                continue
+            j = cur.index(want)
+            mask = self.swap(mask, k, d, j)
+            cur[d], cur[j] = cur[j], cur[d]
+        return mask
+
+    def __repr__(self) -> str:
+        return f"DomainCodec(n={self.n})"
+
+
+class PackedTable:
+    """A :class:`~repro.core.interp.VarTable`-compatible table stored as
+    one ``n^k``-bit mask over canonically sorted columns.
+
+    The bare constructor is trusted (columns must already be sorted and
+    the mask in range); :meth:`from_rows` is the validated public path.
+    """
+
+    __slots__ = ("_vars", "_mask", "_codec", "_row_cache", "_align_cache")
+
+    def __init__(self, codec: DomainCodec, variables: Tuple[str, ...], mask: int):
+        self._codec = codec
+        self._vars = variables
+        self._mask = mask
+        self._row_cache: Optional[FrozenSet[Row]] = None
+        self._align_cache: Optional[Dict[Tuple[str, ...], int]] = None
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        codec: DomainCodec,
+        variables: Sequence[str],
+        rows: Iterable[Row],
+    ) -> "PackedTable":
+        """Validated construction mirroring ``VarTable(variables, rows)``."""
+        ordered = tuple(sorted(variables))
+        if len(set(ordered)) != len(ordered):
+            raise EvaluationError(f"duplicate table columns: {variables}")
+        if tuple(variables) != ordered:
+            pos = {v: i for i, v in enumerate(variables)}
+            positions = [pos[v] for v in ordered]
+            rows = (tuple(row[p] for p in positions) for row in rows)
+        width = len(ordered)
+        encode = codec.encode_row
+        mask = 0
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise EvaluationError(
+                    f"row {row!r} does not match columns {ordered}"
+                )
+            mask |= 1 << encode(row)
+        return cls(codec, ordered, mask)
+
+    @classmethod
+    def tautology(cls, codec: DomainCodec) -> "PackedTable":
+        """The always-true 0-variable table: one empty row (bit 0 set)."""
+        return cls(codec, (), 1)
+
+    @classmethod
+    def contradiction(cls, codec: DomainCodec) -> "PackedTable":
+        """The always-false 0-variable table: no rows."""
+        return cls(codec, (), 0)
+
+    @classmethod
+    def full(cls, codec: DomainCodec, variables: Sequence[str]) -> "PackedTable":
+        """``D^{variables}`` — the full mask."""
+        ordered = tuple(sorted(variables))
+        if len(set(ordered)) != len(ordered):
+            raise EvaluationError(f"duplicate table columns: {variables}")
+        return cls(codec, ordered, codec.full_mask(len(ordered)))
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._vars
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    @property
+    def codec(self) -> DomainCodec:
+        return self._codec
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The decoded row set (materialized once, then cached)."""
+        cached = self._row_cache
+        if cached is None:
+            cached = frozenset(
+                self._codec.iter_rows(self._mask, len(self._vars))
+            )
+            self._row_cache = cached
+        return cached
+
+    def assignments(self) -> Iterator[Dict[str, Value]]:
+        for row in self.rows:
+            yield dict(zip(self._vars, row))
+
+    def contains(self, assignment: Mapping[str, Value]) -> bool:
+        try:
+            row = tuple(assignment[v] for v in self._vars)
+        except KeyError as missing:
+            raise EvaluationError(
+                f"assignment missing variable {missing}"
+            ) from None
+        try:
+            idx = self._codec.encode_row(row)
+        except SchemaError:
+            return False
+        return bool((self._mask >> idx) & 1)
+
+    def is_empty(self) -> bool:
+        return self._mask == 0
+
+    # -- alignment helpers ---------------------------------------------
+
+    def _coerced(self, other) -> "PackedTable":
+        """``other`` as a packed table over this codec (same-codec tables
+        pass through; anything table-like is re-encoded row by row)."""
+        if isinstance(other, PackedTable) and other._codec is self._codec:
+            return other
+        return PackedTable.from_rows(self._codec, other.variables, other.rows)
+
+    def _aligned(self, target: Tuple[str, ...]) -> int:
+        """The mask cylindrified to a sorted superset schema.
+
+        Cached per target: a memoized table (an atom, say) is re-joined
+        on every fixpoint round against the same union schema, and the
+        expansion is the expensive half of a packed join."""
+        if target == self._vars:
+            return self._mask
+        cache = self._align_cache
+        if cache is None:
+            cache = self._align_cache = {}
+        mask = cache.get(target)
+        if mask is not None:
+            return mask
+        codec = self._codec
+        mask = self._mask
+        cur = list(self._vars)
+        have = set(cur)
+        for var in target:
+            if var not in have:
+                pos = bisect_left(cur, var)
+                mask = codec.expand(mask, len(cur), len(cur) - pos)
+                cur.insert(pos, var)
+                have.add(var)
+        cache[target] = mask
+        return mask
+
+    # -- relational operations -----------------------------------------
+
+    def join(self, other) -> "PackedTable":
+        """Natural join: cylindrify both to the union schema, then AND."""
+        other = self._coerced(other)
+        if other._vars == self._vars:
+            return PackedTable(self._codec, self._vars, self._mask & other._mask)
+        target = tuple(sorted(set(self._vars) | set(other._vars)))
+        return PackedTable(
+            self._codec, target, self._aligned(target) & other._aligned(target)
+        )
+
+    def cylindrify(self, variables: Iterable[str], domain: Optional[Domain] = None) -> "PackedTable":
+        """Extend with the given (new) variables, free over the domain.
+
+        ``domain`` is accepted for :class:`VarTable` signature parity; the
+        codec already fixes it.
+        """
+        target = tuple(sorted(set(variables) | set(self._vars)))
+        if target == self._vars:
+            return self
+        return PackedTable(self._codec, target, self._aligned(target))
+
+    def union(self, other, domain: Optional[Domain] = None) -> "PackedTable":
+        other = self._coerced(other)
+        if other._vars == self._vars:
+            return PackedTable(self._codec, self._vars, self._mask | other._mask)
+        target = tuple(sorted(set(self._vars) | set(other._vars)))
+        return PackedTable(
+            self._codec, target, self._aligned(target) | other._aligned(target)
+        )
+
+    def intersect(self, other, domain: Optional[Domain] = None) -> "PackedTable":
+        return self.join(other)
+
+    def complement(self, domain: Optional[Domain] = None) -> "PackedTable":
+        full = self._codec.full_mask(len(self._vars))
+        return PackedTable(self._codec, self._vars, self._mask ^ full)
+
+    def project_out(self, variable: str) -> "PackedTable":
+        """Existential quantification: OR-fold one digit away."""
+        if variable not in self._vars:
+            return self
+        k = len(self._vars)
+        i = self._vars.index(variable)
+        mask = self._codec.project(self._mask, k, k - 1 - i, universal=False)
+        remaining = self._vars[:i] + self._vars[i + 1 :]
+        return PackedTable(self._codec, remaining, mask)
+
+    def forall_out(self, variable: str, domain: Optional[Domain] = None) -> "PackedTable":
+        """Universal quantification: AND-fold one digit away."""
+        if variable not in self._vars:
+            return self
+        k = len(self._vars)
+        i = self._vars.index(variable)
+        remaining = self._vars[:i] + self._vars[i + 1 :]
+        if self._codec.n == 0:
+            # vacuously true over an empty domain; with other variables
+            # remaining there are no assignments at all
+            return PackedTable(self._codec, remaining, 0 if remaining else 1)
+        mask = self._codec.project(self._mask, k, k - 1 - i, universal=True)
+        return PackedTable(self._codec, remaining, mask)
+
+    def select_eq(self, var_a: str, var_b: str) -> "PackedTable":
+        """Rows where two columns agree (for repeated variables)."""
+        if var_a not in self._vars or var_b not in self._vars:
+            raise EvaluationError(
+                f"select_eq: {var_a!r}/{var_b!r} not in {self._vars}"
+            )
+        k = len(self._vars)
+        ia, ib = self._vars.index(var_a), self._vars.index(var_b)
+        if ia == ib:
+            return self
+        eq = self._codec.eq_mask(k, k - 1 - ia, k - 1 - ib)
+        return PackedTable(self._codec, self._vars, self._mask & eq)
+
+    def rename(self, mapping: Mapping[str, str]) -> "PackedTable":
+        """Rename columns; digits are permuted back to sorted order."""
+        new_vars = tuple(mapping.get(v, v) for v in self._vars)
+        if len(set(new_vars)) != len(new_vars):
+            raise EvaluationError(
+                f"rename would merge columns: {self._vars} via {dict(mapping)}"
+            )
+        if new_vars == self._vars:
+            return self
+        k = len(new_vars)
+        order = sorted(range(k), key=new_vars.__getitem__)
+        target_vars = tuple(new_vars[i] for i in order)
+        src_for = [0] * k
+        for j, i in enumerate(order):
+            src_for[k - 1 - j] = k - 1 - i
+        mask = self._codec.permute(self._mask, k, src_for)
+        return PackedTable(self._codec, target_vars, mask)
+
+    def to_relation(self, output_vars: Sequence[str]) -> Relation:
+        """Read the table out as a (packed) relation in the given order."""
+        if set(output_vars) != set(self._vars) or len(output_vars) != len(
+            self._vars
+        ):
+            raise EvaluationError(
+                f"output variables {tuple(output_vars)} must be a permutation "
+                f"of table columns {self._vars}"
+            )
+        k = len(self._vars)
+        pos = {v: i for i, v in enumerate(self._vars)}
+        src_for = [0] * k
+        for j, v in enumerate(output_vars):
+            src_for[k - 1 - j] = k - 1 - pos[v]
+        mask = self._mask
+        if src_for != list(range(k)):
+            mask = self._codec.permute(mask, k, src_for)
+        return PackedRelation(k, mask, self._codec)
+
+    # -- dunder --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PackedTable):
+            if other._codec is self._codec:
+                return self._vars == other._vars and self._mask == other._mask
+            return self._vars == other._vars and self.rows == other.rows
+        variables = getattr(other, "variables", None)
+        rows = getattr(other, "rows", None)
+        if variables is not None and rows is not None:
+            return self._vars == tuple(variables) and self.rows == rows
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._vars, self.rows))
+
+    def __len__(self) -> int:
+        return popcount(self._mask)
+
+    def __repr__(self) -> str:
+        return f"PackedTable(vars={self._vars}, rows={len(self)})"
+
+
+class PackedRelation(Relation):
+    """A :class:`Relation` backed by a packed mask.
+
+    Tuples materialize lazily (and are cached) the first time something
+    actually iterates or hashes the relation; until then every hot
+    operation the fixpoint engines perform — union, difference,
+    subset/equality tests, length, membership — runs on the mask.
+    Cross-representation equality with a plain :class:`Relation` holds
+    (and hashing stays consistent with it); for hot identity checks the
+    engines use :meth:`state_key`, which never materializes.
+    """
+
+    __slots__ = ("_mask", "_codec", "_materialized")
+
+    def __init__(self, arity: int, mask: int, codec: DomainCodec):
+        if arity < 0:
+            raise SchemaError(f"arity must be non-negative, got {arity}")
+        self._arity = arity
+        self._mask = mask
+        self._codec = codec
+        self._materialized: Optional[FrozenSet[Row]] = None
+
+    @property
+    def _tuples(self) -> FrozenSet[Row]:  # shadows the Relation slot
+        frozen = self._materialized
+        if frozen is None:
+            frozen = frozenset(self._codec.iter_rows(self._mask, self._arity))
+            self._materialized = frozen
+        return frozen
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    @property
+    def codec(self) -> DomainCodec:
+        return self._codec
+
+    def state_key(self):
+        """A cheap hashable identity: ``O(1)``-ish, no tuple decoding."""
+        return ("packed", self._arity, self._mask, self._codec.domain)
+
+    def _same_kind(self, other) -> bool:
+        return (
+            isinstance(other, PackedRelation) and other._codec is self._codec
+        )
+
+    def union(self, other: Relation) -> Relation:
+        if self._same_kind(other):
+            self._check_same_arity(other, "union")
+            return PackedRelation(
+                self._arity, self._mask | other._mask, self._codec
+            )
+        return super().union(other)
+
+    def intersection(self, other: Relation) -> Relation:
+        if self._same_kind(other):
+            self._check_same_arity(other, "intersection")
+            return PackedRelation(
+                self._arity, self._mask & other._mask, self._codec
+            )
+        return super().intersection(other)
+
+    def difference(self, other: Relation) -> Relation:
+        if self._same_kind(other):
+            self._check_same_arity(other, "difference")
+            return PackedRelation(
+                self._arity, self._mask & ~other._mask, self._codec
+            )
+        return super().difference(other)
+
+    def issubset(self, other: Relation) -> bool:
+        if self._same_kind(other):
+            self._check_same_arity(other, "issubset")
+            return self._mask & ~other._mask == 0
+        return super().issubset(other)
+
+    def __contains__(self, item: object) -> bool:
+        if self._materialized is not None:
+            return item in self._materialized
+        if not isinstance(item, tuple) or len(item) != self._arity:
+            return False
+        try:
+            idx = self._codec.encode_row(item)
+        except (SchemaError, TypeError):
+            return False
+        return bool((self._mask >> idx) & 1)
+
+    def __len__(self) -> int:
+        return popcount(self._mask)
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def __eq__(self, other: object) -> bool:
+        if self._same_kind(other):
+            return self._arity == other._arity and self._mask == other._mask
+        return super().__eq__(other)
+
+    # defining __eq__ would otherwise reset __hash__ to None; keep the
+    # tuple-set hash so equal sparse and packed relations hash alike
+    __hash__ = Relation.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedRelation(arity={self._arity}, rows={len(self)}, "
+            f"bits={self._codec.size(self._arity)})"
+        )
+
+
+__all__ = [
+    "DomainCodec",
+    "PackedRelation",
+    "PackedTable",
+    "popcount",
+]

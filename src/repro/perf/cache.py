@@ -59,7 +59,9 @@ DEFAULT_MAX_TOTAL_ROWS = 1 << 20
 #: Nodes smaller than this are cheaper to recompute than to hash/lookup.
 DEFAULT_MIN_FORMULA_SIZE = 3
 
-CacheKey = Tuple[Formula, Tuple[object, ...], Tuple[Tuple[str, Relation], ...]]
+CacheKey = Tuple[
+    Formula, Tuple[object, ...], str, Tuple[Tuple[str, object], ...]
+]
 
 
 class SubqueryCache:
@@ -126,10 +128,18 @@ class SubqueryCache:
         formula: Formula,
         env: Dict[str, Relation],
         db: Database,
+        backend: str = "sparse",
     ) -> Optional[CacheKey]:
         """The structural cache key, or ``None`` when the formula cannot
         be keyed (a relation name that resolves nowhere — the evaluation
-        itself will fail, so there is nothing to cache)."""
+        itself will fail, so there is nothing to cache).
+
+        The key embeds the backend name so a shared cache never serves a
+        sparse table to a packed evaluation or vice versa, and relations
+        enter the fingerprint via :meth:`Relation.state_key`, which packed
+        relations answer with their mask instead of hashing a materialized
+        tuple set.
+        """
         rels = self._free_rels.get(formula)
         if rels is None:
             rels = free_relation_variables(formula)
@@ -142,8 +152,8 @@ class SubqueryCache:
                     relation = db.relation(name)
                 except Exception:
                     return None
-            fingerprint.append((name, relation))
-        return (formula, db.domain.values, tuple(fingerprint))
+            fingerprint.append((name, relation.state_key()))
+        return (formula, db.domain.values, backend, tuple(fingerprint))
 
     # -- lookup / store --------------------------------------------------
 

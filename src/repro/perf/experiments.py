@@ -44,7 +44,11 @@ TWO_COLOR_QUERY = (
 
 
 def _options(
-    strategy: str, deadline: Optional[float], tracer, k_limit: Optional[int] = None
+    strategy: str,
+    deadline: Optional[float],
+    tracer,
+    k_limit: Optional[int] = None,
+    backend: Optional[str] = None,
 ):
     from repro.core.engine import EvalOptions
     from repro.core.fp_eval import FixpointStrategy
@@ -57,6 +61,7 @@ def _options(
         k_limit=k_limit,
         budget=budget,
         trace=tracer,
+        backend=backend,
     )
 
 
@@ -75,6 +80,7 @@ def tc_workload(
     tracer=NULL_TRACER,
     strategy: str = "seminaive",
     deadline: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
     """Transitive closure of a path graph — the T2-FP strategy sweep.
 
@@ -91,7 +97,7 @@ def tc_workload(
         parse_formula(TC_QUERY),
         path_graph(n),
         ("u", "v"),
-        _options(strategy, deadline, tracer),
+        _options(strategy, deadline, tracer, backend=backend),
     )
     return _counters(result)
 
@@ -200,7 +206,16 @@ EXPERIMENTS: Dict[str, PerfExperiment] = {
         title="FP^k transitive closure: fixpoint strategy counters",
         parameters=(6.0, 10.0, 14.0, 18.0),
         workload=tc_workload,
-        options={"strategy": "seminaive"},
+        options={"strategy": "seminaive", "backend": "sparse"},
+        fit_counters=("table_ops", "answer_rows"),
+        repetitions=1,
+    ),
+    "T2-FP-PACKED": PerfExperiment(
+        experiment_id="T2-FP-PACKED",
+        title="FP^k transitive closure on the packed n^k-bit kernel",
+        parameters=(6.0, 10.0, 14.0, 18.0, 26.0),
+        workload=tc_workload,
+        options={"strategy": "seminaive", "backend": "packed"},
         fit_counters=("table_ops", "answer_rows"),
         repetitions=1,
     ),
@@ -228,6 +243,7 @@ EXPERIMENTS: Dict[str, PerfExperiment] = {
 #: bench_table2_fp`` and ``repro perf record T2-FP`` are the same run).
 ALIASES: Dict[str, str] = {
     "bench_table2_fp": "T2-FP",
+    "bench_table2_fp_packed": "T2-FP-PACKED",
     "bench_table2_fo": "T2-FO",
     "bench_table2_eso": "T2-ESO",
 }

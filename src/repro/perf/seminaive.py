@@ -190,7 +190,6 @@ class SemiNaiveSolver:
         env: Dict[str, Relation],
     ) -> Relation:
         from repro.core.fp_eval import (
-            _full_relation,
             _step_function,
             iterate_ascending,
             iterate_descending,
@@ -206,26 +205,42 @@ class SemiNaiveSolver:
 
         step = _step_function(evaluator, node, env, self._stats)
         tracer, guard = self._tracer, self._guard
+        backend = evaluator.backend
         if isinstance(node, LFP):
             return iterate_ascending(
-                step, Relation.empty(node.arity), self._stats, tracer, guard
+                step,
+                backend.empty_relation(node.arity),
+                self._stats,
+                tracer,
+                guard,
             )
         # GFP/IFP/PFP: delegate to the naive loops unchanged
         if isinstance(node, GFP):
             return iterate_descending(
                 step,
-                _full_relation(node.arity, evaluator.domain),
+                backend.full_relation(node.arity),
                 self._stats,
                 tracer,
                 guard,
             )
         if isinstance(node, IFP):
             return iterate_inflationary(
-                step, node.arity, self._stats, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         if isinstance(node, PFP):
             return iterate_partial(
-                step, node.arity, self._stats, self._pfp_limit, tracer, guard
+                step,
+                node.arity,
+                self._stats,
+                self._pfp_limit,
+                tracer,
+                guard,
+                empty=backend.empty_relation(node.arity),
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -300,7 +315,7 @@ class SemiNaiveSolver:
         stats, tracer, guard = self._stats, self._tracer, self._guard
 
         # round 0: φ(∅) in full — every tuple is new
-        empty = Relation.empty(node.arity)
+        empty = evaluator.backend.empty_relation(node.arity)
         stats.fixpoint_iterations += 1
         if guard.enabled:
             guard.charge_iteration(index=0, size=0)

@@ -1,0 +1,221 @@
+"""Backend-differential harness: packed kernel vs sparse reference.
+
+The packed ``n^k``-bit kernel (``src/repro/kernel/``) is only shippable
+because this suite pins it to the sparse reference representation:
+for a corpus of FO^k / FP^k / PFP^k queries over seeded random
+databases, evaluating with ``EvalOptions(backend="packed")`` must
+produce exactly the relations — and exactly the representation-
+independent stats counters — that ``backend="sparse"`` produces.
+Counters matching is the stronger half of the contract: it proves the
+backend changed the *representation* of the work, never the work.
+
+The CLI path is covered too (``--backend`` must be output-identical),
+and the packed backend's width cap must fail loudly with a message
+pointing back at the sparse backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.fp_eval import FixpointStrategy
+from repro.database.database import Database
+from repro.errors import EvaluationError
+from repro.kernel import PackedBackend, resolve_backend
+from repro.logic.parser import parse_formula
+
+#: (query text, output variables) over the standard E/P/Q test schema.
+#: FO^k: quantifiers, negation, reuse, sentences.
+FO_CORPUS = [
+    ("exists y. E(x, y)", ("x",)),
+    ("forall y. (~E(x, y) | P(y))", ("x",)),
+    ("exists y. (E(x, y) & exists x. (E(y, x) & Q(x)))", ("x",)),
+    ("P(x) & ~Q(x)", ("x",)),
+    ("x = y | E(x, y)", ("x", "y")),
+    ("exists x. exists y. (E(x, y) & E(y, x))", ()),
+    ("forall x. (P(x) | Q(x) | exists y. E(x, y))", ()),
+    ("E(x, x)", ("x",)),
+]
+
+#: FP^k: ascending, descending, nested fixpoints.
+FP_CORPUS = [
+    (
+        "[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)",
+        ("u", "v"),
+    ),
+    ("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)", ("u",)),
+    ("[gfp S(x). P(x) & exists y. (E(x, y) & S(y))](u)", ("u",)),
+    (
+        "[lfp T(x). [lfp S(y). P(y) | exists z. (E(z, y) & S(z))](x) "
+        "| exists y. (E(x, y) & T(y))](u)",
+        ("u",),
+    ),
+]
+
+#: PFP^k: convergent, oscillating, and negated-recursion bodies.
+PFP_CORPUS = [
+    ("[pfp X(x). P(x) | exists y. (E(y, x) & X(y))](u)", ("u",)),
+    ("[pfp X(x). ~X(x)](u)", ("u",)),
+    ("[pfp X(x). Q(x) | exists y. (E(x, y) & ~X(y))](u)", ("u",)),
+]
+
+
+def _random_db(rng: random.Random, n: int) -> Database:
+    return Database.from_tuples(
+        range(n),
+        {
+            "E": (
+                2,
+                [
+                    (i, j)
+                    for i in range(n)
+                    for j in range(n)
+                    if rng.random() < 0.4
+                ],
+            ),
+            "P": (1, [(i,) for i in range(n) if rng.random() < 0.5]),
+            "Q": (1, [(i,) for i in range(n) if rng.random() < 0.4]),
+        },
+    )
+
+
+def _both_backends(formula, db, out, **kwargs):
+    """Evaluate on both backends; returns (sparse result, packed result)
+    after asserting relation and counter equality."""
+    sparse = evaluate(
+        formula, db, out, EvalOptions(backend="sparse", **kwargs)
+    )
+    packed = evaluate(
+        formula, db, out, EvalOptions(backend="packed", **kwargs)
+    )
+    assert packed.relation == sparse.relation
+    assert sorted(packed.relation.tuples) == sorted(sparse.relation.tuples)
+    # the stats counters are representation-independent by contract
+    assert packed.stats.as_dict() == sparse.stats.as_dict()
+    return sparse, packed
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("text,out", FO_CORPUS, ids=lambda v: str(v))
+    def test_fo(self, text, out):
+        formula = parse_formula(text)
+        rng = random.Random(text)  # str seeds are process-stable
+        for _ in range(3):
+            _both_backends(formula, _random_db(rng, rng.randint(2, 5)), out)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            FixpointStrategy.NAIVE,
+            FixpointStrategy.MONOTONE,
+            FixpointStrategy.SEMINAIVE,
+        ],
+    )
+    @pytest.mark.parametrize("text,out", FP_CORPUS, ids=lambda v: str(v))
+    def test_fp(self, text, out, strategy):
+        formula = parse_formula(text)
+        rng = random.Random(text)  # str seeds are process-stable
+        for _ in range(2):
+            _both_backends(
+                formula,
+                _random_db(rng, rng.randint(2, 4)),
+                out,
+                strategy=strategy,
+            )
+
+    @pytest.mark.parametrize("text,out", PFP_CORPUS, ids=lambda v: str(v))
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_pfp(self, text, out, strict):
+        formula = parse_formula(text)
+        rng = random.Random(text)  # str seeds are process-stable
+        for _ in range(2):
+            _both_backends(
+                formula,
+                _random_db(rng, rng.randint(2, 4)),
+                out,
+                strict_pfp_space=strict,
+                check_positive=False,
+            )
+
+    def test_fp_with_subquery_cache(self):
+        """The cache key embeds the backend name, so a shared cache never
+        leaks one representation's tables into the other's evaluation."""
+        from repro.perf import SubqueryCache
+
+        text, out = FP_CORPUS[0]
+        formula = parse_formula(text)
+        db = _random_db(random.Random(5), 4)
+        cache = SubqueryCache()
+        for _ in range(2):  # second pass hits the cache on both backends
+            _both_backends(
+                formula,
+                db,
+                out,
+                strategy=FixpointStrategy.SEMINAIVE,
+                subquery_cache=cache,
+            )
+        assert cache.hits >= 1
+
+
+class TestCliBackendFlag:
+    def test_eval_outputs_identical(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.database.encoding import encode_database
+
+        db_path = tmp_path / "graph.db"
+        db_path.write_text(
+            encode_database(_random_db(random.Random(11), 5))
+        )
+        outputs = {}
+        for backend in ("sparse", "packed"):
+            assert (
+                main(
+                    [
+                        "eval",
+                        "--db",
+                        str(db_path),
+                        "--query",
+                        FP_CORPUS[0][0],
+                        "--out",
+                        "u",
+                        "v",
+                        "--backend",
+                        backend,
+                        "--stats",
+                    ]
+                )
+                == 0
+            )
+            captured = capsys.readouterr()
+            outputs[backend] = (captured.out, captured.err)
+        assert outputs["sparse"] == outputs["packed"]
+
+
+class TestBackendResolution:
+    def test_env_variable_selects_packed(self, tiny_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "packed")
+        backend = resolve_backend(None, tiny_graph.domain)
+        assert backend.name == "packed"
+
+    def test_default_is_sparse(self, tiny_graph, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        assert resolve_backend(None, tiny_graph.domain).name == "sparse"
+
+    def test_unknown_backend_rejected(self, tiny_graph):
+        with pytest.raises(EvaluationError, match="unknown table backend"):
+            resolve_backend("dense", tiny_graph.domain)
+
+    def test_width_cap_points_at_sparse(self, tiny_graph):
+        """Past the mask-width cap the packed backend refuses loudly
+        instead of allocating gigabit integers."""
+        backend = PackedBackend(tiny_graph.domain, max_bits=8)
+        with pytest.raises(EvaluationError, match="sparse"):
+            evaluate(
+                parse_formula("E(x, y)"),
+                tiny_graph,
+                ("x", "y"),
+                EvalOptions(backend=backend),
+            )

@@ -112,3 +112,46 @@ class TestRenameLaws:
     @given(tables(variables=("x", "y")))
     def test_rename_preserves_cardinality(self, t):
         assert len(t.rename({"x": "a", "y": "b"})) == len(t)
+
+
+class TestConstructionContract:
+    """The public constructor validates; ``_trusted`` is fast but must
+    only ever see canonical input — these regressions pin both halves."""
+
+    def test_duplicate_columns_rejected(self):
+        import pytest
+
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError, match="duplicate"):
+            VarTable(("x", "x"), [(0, 0)])
+
+    def test_ragged_row_rejected(self):
+        import pytest
+
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError, match="does not match"):
+            VarTable(("x", "y"), [(0,)])
+
+    def test_unsorted_input_reorders_rows(self):
+        # rows come in (y, x) order; the table stores columns sorted, so
+        # each row must be permuted, not just relabeled
+        t = VarTable(("y", "x"), [(1, 0), (2, 1)])
+        assert t.variables == ("x", "y")
+        assert t.rows == {(0, 1), (1, 2)}
+
+    @given(tables(variables=("x", "y")), tables(variables=("y", "z")))
+    def test_operator_results_are_canonical(self, a, b):
+        """Every operator output (built via the trusted path) would
+        survive re-validation by the public constructor unchanged."""
+        joined = a.join(b)
+        for t in (
+            joined,
+            joined.project_out("y"),
+            a.union(b.rename({"z": "x"}), DOMAIN),
+            a.complement(DOMAIN),
+            a.cylindrify(("x", "y", "z"), DOMAIN),
+        ):
+            assert t == VarTable(t.variables, t.rows)
+            assert t.variables == tuple(sorted(t.variables))

@@ -1,0 +1,502 @@
+"""The packed ``n^k``-bit kernel against the sparse reference tables.
+
+Three layers:
+
+* brute-force checks of the bigint digit kernels (stretch/compress,
+  selectors, expand/project/swap/permute) against explicit row sets;
+* a hypothesis differential — every :class:`PackedTable` operation must
+  agree with the corresponding :class:`VarTable` operation on random
+  tables over random small domains (including ``n = 0`` and ``n = 1``);
+* :class:`PackedRelation` against plain :class:`Relation`, including the
+  cross-representation equality/hash contract the engines rely on.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interp import VarTable
+from repro.database.domain import Domain
+from repro.database.relation import Relation
+from repro.errors import EvaluationError, SchemaError
+from repro.kernel.packed import (
+    DomainCodec,
+    PackedRelation,
+    PackedTable,
+    _compress,
+    _rep_factor,
+    _stretch,
+    popcount,
+)
+
+VARS = ("w", "x", "y", "z")
+
+
+def rows_of(codec, mask, k):
+    return frozenset(codec.iter_rows(mask, k))
+
+
+def mask_of(codec, rows):
+    mask = 0
+    for row in rows:
+        mask |= 1 << codec.encode_row(row)
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# bigint primitives
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 300) | 1) == 2
+
+    def test_rep_factor(self):
+        assert _rep_factor(4, 0) == 0
+        assert _rep_factor(4, 1) == 1
+        assert _rep_factor(4, 3) == 0x111
+        assert _rep_factor(1, 5) == 0b11111
+
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 5),
+        st.integers(0, 4),
+        st.data(),
+    )
+    def test_stretch_compress_roundtrip(self, count, width, pad, data):
+        stride = width + pad
+        blocks = data.draw(
+            st.lists(
+                st.integers(0, (1 << width) - 1),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        packed = 0
+        for h, block in enumerate(blocks):
+            packed |= block << (h * width)
+        spread = _stretch(packed, count, width, stride)
+        for h, block in enumerate(blocks):
+            assert (spread >> (h * stride)) & ((1 << width) - 1) == block
+        assert spread.bit_length() <= (count - 1) * stride + width
+        assert _compress(spread, count, width, stride) == packed
+
+
+# ---------------------------------------------------------------------------
+# codec kernels vs brute force
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+class TestCodecBruteForce:
+    def codec(self, n):
+        return DomainCodec(Domain.range(n))
+
+    def test_encode_decode_roundtrip(self, n):
+        codec = self.codec(n)
+        for k in range(4):
+            for idx, row in enumerate(codec.domain.tuples(k)):
+                assert codec.encode_row(row) == idx
+                assert codec.decode_index(idx, k) == row
+
+    def test_iter_rows(self, n):
+        codec = self.codec(n)
+        rows = set(itertools.islice(codec.domain.tuples(2), 0, None, 2))
+        assert rows_of(codec, mask_of(codec, rows), 2) == rows
+
+    def test_selectors(self, n):
+        codec = self.codec(n)
+        for k in (1, 2, 3):
+            for d in range(k):
+                for v in range(n):
+                    expect = {
+                        row
+                        for row in codec.domain.tuples(k)
+                        if row[k - 1 - d] == codec.domain.values[v]
+                    }
+                    assert rows_of(codec, codec.sel(k, d, v), k) == expect
+
+    def test_eq_mask(self, n):
+        codec = self.codec(n)
+        k = 3
+        for da, db in itertools.combinations(range(k), 2):
+            expect = {
+                row
+                for row in codec.domain.tuples(k)
+                if row[k - 1 - da] == row[k - 1 - db]
+            }
+            assert rows_of(codec, codec.eq_mask(k, da, db), k) == expect
+            assert codec.eq_mask(k, db, da) == codec.eq_mask(k, da, db)
+        assert codec.eq_mask(k, 1, 1) == codec.full_mask(k)
+
+    def test_expand_inserts_free_digit(self, n):
+        codec = self.codec(n)
+        k = 2
+        base = set(itertools.islice(codec.domain.tuples(k), 0, None, 3))
+        for d in range(k + 1):
+            # inserting at weight d = new column position k - d
+            pos = k - d
+            expect = {
+                row[:pos] + (value,) + row[pos:]
+                for row in base
+                for value in codec.domain.values
+            }
+            got = codec.expand(mask_of(codec, base), k, d)
+            assert rows_of(codec, got, k + 1) == expect
+
+    def test_project_folds_digit(self, n):
+        codec = self.codec(n)
+        k = 3
+        base = set(itertools.islice(codec.domain.tuples(k), 0, None, 7))
+        for d in range(k):
+            pos = k - 1 - d
+            exists = {row[:pos] + row[pos + 1 :] for row in base}
+            forall = {
+                short
+                for short in exists
+                if all(
+                    short[:pos] + (value,) + short[pos:] in base
+                    for value in codec.domain.values
+                )
+            }
+            mask = mask_of(codec, base)
+            assert rows_of(codec, codec.project(mask, k, d), k - 1) == exists
+            assert (
+                rows_of(codec, codec.project(mask, k, d, universal=True), k - 1)
+                == forall
+            )
+
+    def test_swap_and_permute(self, n):
+        codec = self.codec(n)
+        k = 3
+        base = set(itertools.islice(codec.domain.tuples(k), 0, None, 5))
+        mask = mask_of(codec, base)
+        for da, db in itertools.combinations(range(k), 2):
+            pa, pb = k - 1 - da, k - 1 - db
+            expect = set()
+            for row in base:
+                out = list(row)
+                out[pa], out[pb] = out[pb], out[pa]
+                expect.add(tuple(out))
+            assert rows_of(codec, codec.swap(mask, k, da, db), k) == expect
+        for perm in itertools.permutations(range(k)):
+            # result digit d takes source digit perm[d]
+            expect = {
+                tuple(row[k - 1 - perm[k - 1 - j]] for j in range(k))
+                for row in base
+            }
+            got = codec.permute(mask, k, list(perm))
+            assert rows_of(codec, got, k) == expect
+
+    def test_width_invariants(self, n):
+        codec = self.codec(n)
+        for k in range(4):
+            assert codec.size(k) == n**k
+            assert popcount(codec.full_mask(k)) == n**k
+
+
+def test_empty_domain_codec():
+    codec = DomainCodec(Domain.range(0))
+    assert codec.full_mask(0) == 1
+    assert codec.full_mask(2) == 0
+    assert codec.expand(1, 0, 0) == 0
+    assert codec.project(0, 1, 0) == 0
+    assert codec.sel0(2, 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# hypothesis differential: PackedTable vs VarTable
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def table_pairs(draw, min_n=0, shared_vars=None):
+    """A (VarTable, PackedTable, Domain) triple with identical contents."""
+    n = draw(st.integers(min_n, 3))
+    domain = Domain.range(n)
+    codec = DomainCodec(domain)
+    if shared_vars is None:
+        variables = tuple(
+            sorted(draw(st.sets(st.sampled_from(VARS), max_size=3)))
+        )
+    else:
+        variables = shared_vars
+    universe = list(itertools.product(domain.values, repeat=len(variables)))
+    rows = draw(st.sets(st.sampled_from(universe))) if universe else set()
+    if not universe and not variables:
+        rows = draw(st.sampled_from([set(), {()}]))
+    sparse = VarTable(variables, rows)
+    packed = PackedTable.from_rows(codec, variables, rows)
+    return sparse, packed, domain
+
+
+def assert_same(sparse, packed):
+    assert packed.variables == sparse.variables
+    assert packed.rows == sparse.rows
+    assert len(packed) == len(sparse)
+    assert packed.is_empty() == sparse.is_empty()
+    assert packed == sparse  # cross-representation __eq__
+
+
+class TestPackedMatchesSparse:
+    @given(table_pairs())
+    def test_construction(self, pair):
+        assert_same(pair[0], pair[1])
+
+    @given(st.data())
+    def test_unsorted_construction(self, data):
+        n = data.draw(st.integers(1, 3))
+        domain = Domain.range(n)
+        codec = DomainCodec(domain)
+        variables = ("y", "x", "z")
+        universe = list(itertools.product(domain.values, repeat=3))
+        rows = data.draw(st.sets(st.sampled_from(universe)))
+        assert_same(
+            VarTable(variables, rows),
+            PackedTable.from_rows(codec, variables, rows),
+        )
+
+    @given(st.data())
+    def test_join(self, data):
+        sa, pa, domain = data.draw(table_pairs(min_n=1))
+        codec = pa.codec
+        variables = tuple(
+            sorted(data.draw(st.sets(st.sampled_from(VARS), max_size=3)))
+        )
+        universe = list(
+            itertools.product(domain.values, repeat=len(variables))
+        )
+        rows = data.draw(st.sets(st.sampled_from(universe))) if universe else set()
+        sb = VarTable(variables, rows)
+        pb = PackedTable.from_rows(codec, variables, rows)
+        assert_same(sa.join(sb), pa.join(pb))
+
+    @given(st.data())
+    def test_union_and_intersect(self, data):
+        sa, pa, domain = data.draw(table_pairs(min_n=1))
+        variables = tuple(
+            sorted(data.draw(st.sets(st.sampled_from(VARS), max_size=3)))
+        )
+        universe = list(
+            itertools.product(domain.values, repeat=len(variables))
+        )
+        rows = data.draw(st.sets(st.sampled_from(universe))) if universe else set()
+        sb = VarTable(variables, rows)
+        pb = PackedTable.from_rows(codec=pa.codec, variables=variables, rows=rows)
+        assert_same(sa.union(sb, domain), pa.union(pb))
+        assert_same(sa.intersect(sb, domain), pa.intersect(pb))
+
+    @given(table_pairs())
+    def test_complement(self, pair):
+        sparse, packed, domain = pair
+        assert_same(sparse.complement(domain), packed.complement())
+
+    @given(table_pairs(shared_vars=("x", "y")))
+    def test_project_and_forall(self, pair):
+        sparse, packed, domain = pair
+        for var in ("x", "y"):
+            assert_same(sparse.project_out(var), packed.project_out(var))
+            assert_same(sparse.forall_out(var, domain), packed.forall_out(var))
+
+    @given(table_pairs(shared_vars=("x",)))
+    def test_cylindrify(self, pair):
+        sparse, packed, domain = pair
+        assert_same(
+            sparse.cylindrify(("w", "z"), domain),
+            packed.cylindrify(("w", "z")),
+        )
+
+    @given(table_pairs(shared_vars=("x", "y", "z")))
+    def test_select_eq(self, pair):
+        sparse, packed, _ = pair
+        assert_same(sparse.select_eq("x", "z"), packed.select_eq("x", "z"))
+        assert_same(sparse.select_eq("y", "y"), packed.select_eq("y", "y"))
+
+    @given(table_pairs(shared_vars=("x", "y")))
+    def test_rename(self, pair):
+        sparse, packed, _ = pair
+        mapping = {"x": "z", "y": "a"}
+        assert_same(sparse.rename(mapping), packed.rename(mapping))
+
+    @given(table_pairs(shared_vars=("x", "y")))
+    def test_to_relation(self, pair):
+        sparse, packed, _ = pair
+        for order in (("x", "y"), ("y", "x")):
+            got = packed.to_relation(order)
+            assert isinstance(got, PackedRelation)
+            assert got == sparse.to_relation(order)
+
+    @given(table_pairs(shared_vars=("x", "y")), st.data())
+    def test_contains(self, pair, data):
+        sparse, packed, domain = pair
+        values = list(domain.values) + ["alien"]
+        assignment = {
+            "x": data.draw(st.sampled_from(values)),
+            "y": data.draw(st.sampled_from(values)),
+        }
+        assert packed.contains(assignment) == sparse.contains(assignment)
+
+    @given(table_pairs())
+    def test_hash_matches_sparse(self, pair):
+        sparse, packed, _ = pair
+        assert hash(packed) == hash(sparse)
+
+    @given(table_pairs(shared_vars=("x", "y")))
+    def test_quantifier_duality(self, pair):
+        _, packed, _ = pair
+        direct = packed.forall_out("y")
+        dual = packed.complement().project_out("y").complement()
+        assert direct == dual
+
+
+class TestPackedTableEdges:
+    def test_nullary(self):
+        codec = DomainCodec(Domain.range(2))
+        taut = PackedTable.tautology(codec)
+        contra = PackedTable.contradiction(codec)
+        assert taut.rows == frozenset([()])
+        assert contra.rows == frozenset()
+        assert not taut.is_empty() and contra.is_empty()
+        t = PackedTable.from_rows(codec, ("x",), [(0,)])
+        assert t.join(taut) == t
+        assert t.join(contra).is_empty()
+
+    def test_full(self):
+        codec = DomainCodec(Domain.range(3))
+        t = PackedTable.full(codec, ("y", "x"))
+        assert t.variables == ("x", "y")
+        assert len(t) == 9
+
+    def test_empty_domain_forall(self):
+        codec = DomainCodec(Domain.range(0))
+        t = PackedTable.from_rows(codec, ("x",), [])
+        vacuous = t.forall_out("x")
+        assert vacuous.variables == ()
+        assert vacuous.rows == frozenset([()])
+        wide = PackedTable.from_rows(codec, ("x", "y"), [])
+        assert wide.forall_out("x").is_empty()
+
+    def test_duplicate_columns_rejected(self):
+        codec = DomainCodec(Domain.range(2))
+        with pytest.raises(EvaluationError):
+            PackedTable.from_rows(codec, ("x", "x"), [])
+        with pytest.raises(EvaluationError):
+            PackedTable.full(codec, ("x", "x"))
+
+    def test_bad_row_width_rejected(self):
+        codec = DomainCodec(Domain.range(2))
+        with pytest.raises(EvaluationError):
+            PackedTable.from_rows(codec, ("x", "y"), [(0,)])
+
+    def test_out_of_domain_row_rejected(self):
+        codec = DomainCodec(Domain.range(2))
+        with pytest.raises(SchemaError):
+            PackedTable.from_rows(codec, ("x",), [(9,)])
+
+    def test_rename_collision_rejected(self):
+        codec = DomainCodec(Domain.range(2))
+        t = PackedTable.from_rows(codec, ("x", "y"), [(0, 1)])
+        with pytest.raises(EvaluationError):
+            t.rename({"x": "y"})
+
+    def test_contains_missing_variable(self):
+        codec = DomainCodec(Domain.range(2))
+        t = PackedTable.from_rows(codec, ("x",), [(0,)])
+        with pytest.raises(EvaluationError):
+            t.contains({"q": 0})
+
+    def test_to_relation_requires_permutation(self):
+        codec = DomainCodec(Domain.range(2))
+        t = PackedTable.from_rows(codec, ("x", "y"), [(0, 1)])
+        with pytest.raises(EvaluationError):
+            t.to_relation(("x",))
+
+    def test_coerces_sparse_operand(self):
+        domain = Domain.range(2)
+        codec = DomainCodec(domain)
+        packed = PackedTable.from_rows(codec, ("x",), [(0,)])
+        sparse = VarTable(("y",), [(1,)])
+        joined = packed.join(sparse)
+        assert isinstance(joined, PackedTable)
+        assert joined.rows == frozenset([(0, 1)])
+
+
+# ---------------------------------------------------------------------------
+# PackedRelation vs Relation
+# ---------------------------------------------------------------------------
+
+
+_REL_DOMAIN = Domain.range(3)
+_REL_CODEC = DomainCodec(_REL_DOMAIN)
+
+
+@st.composite
+def relation_pairs(draw, arity=2):
+    # all pairs share one codec, as codec_for guarantees in production
+    universe = list(itertools.product(_REL_DOMAIN.values, repeat=arity))
+    rows = draw(st.sets(st.sampled_from(universe))) if universe else set()
+    mask = 0
+    for row in rows:
+        mask |= 1 << _REL_CODEC.encode_row(row)
+    return Relation(arity, rows), PackedRelation(arity, mask, _REL_CODEC)
+
+
+class TestPackedRelation:
+    @given(relation_pairs(), relation_pairs())
+    @settings(max_examples=50)
+    def test_set_algebra(self, pa, pb):
+        ra, ka = pa
+        rb, kb = pb
+        for op in ("union", "intersection", "difference"):
+            plain = getattr(ra, op)(rb)
+            packed = getattr(ka, op)(kb)
+            assert isinstance(packed, PackedRelation)
+            assert packed == plain
+            # mixed representations fall back to the sparse path
+            assert getattr(ka, op)(rb) == plain
+        assert ka.issubset(kb) == ra.issubset(rb)
+        assert ka.issubset(rb) == ra.issubset(rb)
+
+    @given(relation_pairs())
+    @settings(max_examples=50)
+    def test_protocol(self, pair):
+        plain, packed = pair
+        assert len(packed) == len(plain)
+        assert bool(packed) == bool(plain)
+        assert set(packed) == set(plain)
+        assert packed.tuples == plain.tuples
+        assert packed == plain and plain == packed
+        assert hash(packed) == hash(plain)
+        for probe in [(0, 0), (2, 1), (9, 9), "junk", (0,)]:
+            assert (probe in packed) == (probe in plain)
+
+    def test_state_key(self):
+        domain = Domain.range(3)
+        codec = DomainCodec(domain)
+        a = PackedRelation(2, 0b101, codec)
+        b = PackedRelation(2, 0b101, DomainCodec(domain))
+        c = PackedRelation(2, 0b100, codec)
+        assert a.state_key() == b.state_key()
+        assert a.state_key() != c.state_key()
+        plain = Relation(2, a.tuples)
+        assert plain.state_key() == plain
+        # keys are hashable and usable in seen-sets
+        assert len({a.state_key(), b.state_key(), c.state_key()}) == 2
+
+    def test_projection_and_as_bool_inherited(self):
+        codec = DomainCodec(Domain.range(3))
+        rel = PackedRelation(2, 0, codec)
+        assert rel.project([0]).arity == 1
+        truthy = PackedRelation(0, 1, codec)
+        falsy = PackedRelation(0, 0, codec)
+        assert truthy.as_bool() is True
+        assert falsy.as_bool() is False
+
+    def test_negative_arity_rejected(self):
+        codec = DomainCodec(Domain.range(2))
+        with pytest.raises(SchemaError):
+            PackedRelation(-1, 0, codec)
