@@ -3,13 +3,15 @@
 The quantity of interest throughout the paper is the size of intermediate
 results.  :func:`static_max_arity` bounds it before execution (a plan is
 "bounded-variable" when this is ≤ k); :func:`dynamic_cost` runs the plan
-and reports what actually materialized.
+and reports what actually materialized.  :class:`FormulaCostModel` does
+the same static exercise directly on formulas — per-subformula ``n^k``
+bounds that the explain layer compares against recorded span times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.database.database import Database
 from repro.errors import EvaluationError
@@ -113,3 +115,80 @@ def dynamic_cost(
         result_rows=len(result),
     )
     return result, cost
+
+
+# ---------------------------------------------------------------------------
+# Formula-level prediction (the explain layer's yardstick)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Static ``n^k`` prediction for one subformula.
+
+    ``rows_bound`` is the Prop 3.1 bound on the node's own table
+    (``n^{#free variables}``); ``unit_cost`` bounds the work of building
+    it once from its children's tables (``n`` to the widest schema the
+    operation touches); ``iterations_bound`` is 1 for non-fixpoint nodes
+    and the polynomial Kleene bound ``n^arity + 1`` for fixpoints —
+    PFP can exceed it (Theorem 3.8's exponential worst case), which the
+    deviation flagging will then surface rather than hide.
+    """
+
+    rows_bound: int
+    unit_cost: int
+    iterations_bound: int
+
+    @property
+    def cost(self) -> int:
+        """Total predicted work: per-build cost times iteration bound."""
+        return self.unit_cost * self.iterations_bound
+
+
+class FormulaCostModel:
+    """Per-subformula cost predictions over a domain of size ``n``.
+
+    The model is deliberately the paper's own coarse yardstick — pure
+    ``n^k`` counting, no selectivity estimation — so a large gap between
+    predicted share and measured share of evaluation time points at a
+    *structural* surprise (an unexpectedly dense intermediate, a fixpoint
+    iterating far past the polynomial estimate), not at model noise.
+    """
+
+    def __init__(self, domain_size: int):
+        if domain_size < 0:
+            raise EvaluationError(
+                f"domain size must be non-negative, got {domain_size}"
+            )
+        self.n = domain_size
+
+    def predict(self, formula) -> "Dict[int, NodeCost]":
+        """``id(subformula)`` → :class:`NodeCost` for every subformula.
+
+        Keyed by identity because syntactically equal subformulas are
+        distinct nodes with (potentially) different contexts; the caller
+        holds the AST, so the ids stay live.
+        """
+        from repro.logic.syntax import FIXPOINT_NODES
+        from repro.logic.variables import free_variables
+
+        out: Dict[int, NodeCost] = {}
+
+        def visit(node) -> int:
+            """Fill ``out`` for the subtree; return ``#free`` of node."""
+            child_frees = [visit(child) for child in node.children()]
+            free = len(free_variables(node))
+            width = max([free] + child_frees) if child_frees else free
+            if isinstance(node, FIXPOINT_NODES):
+                iterations = (self.n ** node.arity) + 1
+            else:
+                iterations = 1
+            out[id(node)] = NodeCost(
+                rows_bound=self.n**free,
+                unit_cost=max(1, self.n**width),
+                iterations_bound=iterations,
+            )
+            return free
+
+        visit(formula)
+        return out

@@ -17,6 +17,14 @@ Usage (also via ``python -m repro``)::
     # trace an evaluation: span tree, hot spans, optional JSONL export
     python -m repro trace "[lfp S(x). P(x) | exists y. (E(y,x) & S(y))](u)" graph.db
 
+    # annotated evaluation tree + answer provenance + live progress
+    python -m repro explain --db graph.db \
+        --query "[lfp S(x,y). E(x,y) | exists z. (E(x,z) & S(z,y))](u,v)" \
+        --why 0 3 --progress
+
+    # align two exported traces by subformula path (sparse vs packed, ...)
+    python -m repro trace diff sparse.jsonl packed.jsonl
+
     # scaling sweep over seeded random databases, 2 worker processes
     python -m repro sweep --query "[lfp S(x,y). E(x,y) | exists z. (E(x,z) & S(z,y))](u,v)" \
         --sizes 4 8 12 --jobs 2 --strategy seminaive --cache
@@ -117,6 +125,10 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Version of the ``eval --json`` document layout; bump on key changes.
+EVAL_JSON_SCHEMA_VERSION = 1
+
+
 def _cmd_eval(args: argparse.Namespace) -> int:
     db = _load_db(args.db)
     formula = parse_formula(args.query)
@@ -128,6 +140,23 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         backend=args.backend,
     )
     result = evaluate(formula, db, out, options)
+    if args.json:
+        import json as _json
+
+        document = {
+            "schema_version": EVAL_JSON_SCHEMA_VERSION,
+            "language": result.language.value,
+            "output_vars": list(out),
+            "answer_rows": len(result.relation),
+            "boolean": result.as_bool() if not out else None,
+            "rows": sorted(
+                [list(row) for row in result.relation.tuples], key=repr
+            ),
+            "stats": result.stats.as_dict(),
+            "metrics": result.stats.registry.snapshot(),
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True, default=str))
+        return 0
     if not out:
         print("true" if result.as_bool() else "false")
     else:
@@ -183,6 +212,138 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with open(args.jsonl, "w") as handle:
             handle.write(tracer.export_jsonl() + "\n")
         print(f"\n# wrote {len(tracer.spans)} span(s) to {args.jsonl}")
+    return 0
+
+
+def _domain_value(db, text: str):
+    """Resolve a ``--why`` token to a domain value (verbatim, then int)."""
+    if text in db.domain:
+        return text
+    try:
+        as_int = int(text)
+    except ValueError:
+        as_int = None
+    if as_int is not None and as_int in db.domain:
+        return as_int
+    raise ReproError(f"value {text!r} is not in the database domain")
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.logic.variables import variable_width
+    from repro.obs.explain import ProgressReporter, annotate_evaluation
+    from repro.obs.tracer import Tracer
+
+    if args.experiment:
+        from repro.perf.experiments import explain_target
+
+        formula, db, out, opts = explain_target(args.experiment, args.size)
+        strategy = str(opts.get("strategy", args.strategy))
+        backend = opts.get("backend", args.backend)
+        k_limit = opts.get("k_limit", args.k_limit)
+    else:
+        if not (args.db and args.query):
+            raise ReproError(
+                "explain needs --experiment NAME or --db PATH --query TEXT"
+            )
+        db = _load_db(args.db)
+        formula = parse_formula(args.query)
+        out = tuple(args.out or sorted(free_variables(formula)))
+        strategy, backend, k_limit = args.strategy, args.backend, args.k_limit
+    budget = _budget_from_args(args)
+    n = db.size()
+    if args.progress:
+        from repro.guard.budget import resolve_guard
+
+        # a display guard on the same budget: anchored milliseconds
+        # before the engine's own, close enough for heartbeat deadlines
+        guard = resolve_guard(budget) if budget is not None else None
+        tracer = ProgressReporter(
+            interval=args.progress_interval,
+            guard=guard,
+            rows_bound=n ** max(1, variable_width(formula)),
+            domain_size=n,
+        )
+    else:
+        tracer = Tracer()
+    options = EvalOptions(
+        strategy=FixpointStrategy(strategy),
+        k_limit=k_limit,
+        trace=tracer,
+        budget=budget,
+        backend=backend,
+    )
+    result = evaluate(formula, db, out, options)
+    extras = {
+        "query": format_formula(formula),
+        "language": result.language.value,
+        "backend": backend or "sparse",
+        "answer": (
+            ("true" if result.as_bool() else "false")
+            if not out
+            else f"{len(result.relation)} row(s)"
+        ),
+    }
+    for name, value in result.stats.registry.snapshot().items():
+        if name.startswith("cache."):
+            extras[name] = value
+    report = annotate_evaluation(
+        formula,
+        tracer,
+        domain_size=n,
+        deviation_factor=args.deviation,
+        extras=extras,
+    )
+    text = report.render()
+    print(text)
+    if args.report_file:
+        with open(args.report_file, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n# wrote report to {args.report_file}")
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(tracer.export_jsonl() + "\n")
+        print(f"# wrote {len(tracer.spans)} span(s) to {args.jsonl}")
+    if args.why is not None:
+        from repro.obs.provenance import check_witness, explain_answer
+
+        values = tuple(_domain_value(db, v) for v in args.why)
+        witness = explain_answer(formula, db, out, values)
+        print()
+        print(f"== why {values!r} ==")
+        print(witness.format())
+        problems = check_witness(witness, db)
+        if problems:
+            for problem in problems:
+                print(f"# witness problem: {problem}", file=sys.stderr)
+            return 1
+        print("# witness replayed against the database: ok")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.explain import (
+        diff_traces,
+        render_trace_diff,
+        spans_from_dicts,
+    )
+    from repro.obs.profile import parse_trace_jsonl
+
+    with open(args.trace_a) as handle:
+        roots_a = spans_from_dicts(parse_trace_jsonl(handle.read()))
+    with open(args.trace_b) as handle:
+        roots_b = spans_from_dicts(parse_trace_jsonl(handle.read()))
+    label_a = args.label_a or os.path.basename(args.trace_a)
+    label_b = args.label_b or os.path.basename(args.trace_b)
+    print(
+        render_trace_diff(
+            diff_traces(roots_a, roots_b),
+            label_a=label_a,
+            label_b=label_b,
+            top=args.top,
+        )
+    )
     return 0
 
 
@@ -245,6 +406,12 @@ def _sweep_workload(
     counters = {"answer_rows": float(len(result.relation))}
     for key, value in result.stats.as_dict().items():
         counters[key] = float(value)
+    # rows high-water: the guard sees every charged relation when a
+    # budget is armed; otherwise the audited per-table maximum stands in
+    if result.guard is not None and hasattr(result.guard, "peak_rows"):
+        counters["peak_rows"] = float(result.guard.peak_rows)
+    else:
+        counters["peak_rows"] = float(result.stats.max_intermediate_rows)
     return counters
 
 
@@ -277,7 +444,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(
         result.format_rows(
-            ["answer_rows", "fixpoint_iterations", "max_intermediate_rows"]
+            [
+                "answer_rows",
+                "fixpoint_iterations",
+                "max_intermediate_rows",
+                "peak_rows",
+            ]
         )
     )
     failures = result.failures()
@@ -550,6 +722,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_eval.add_argument("--k-limit", type=int, default=None)
     p_eval.add_argument("--stats", action="store_true", help="print audit stats")
+    p_eval.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (answer, stats, full metrics "
+        "snapshot) instead of the row table",
+    )
     _add_backend_argument(p_eval)
     _add_budget_arguments(p_eval)
     p_eval.set_defaults(func=_cmd_eval)
@@ -590,6 +768,108 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="annotated evaluation tree: per-subformula rows, time, "
+        "iterations, and predicted n^k cost; optional answer provenance",
+    )
+    p_explain.add_argument(
+        "--db", default=None, help="database file (§2.1 encoding)"
+    )
+    p_explain.add_argument("--query", default=None, help="query text")
+    p_explain.add_argument(
+        "--experiment",
+        default=None,
+        metavar="NAME",
+        help="explain a registered perf experiment (T2-FP, T2-FO, ...) "
+        "instead of --db/--query",
+    )
+    p_explain.add_argument(
+        "--size",
+        type=float,
+        default=None,
+        metavar="N",
+        help="parameter for --experiment (default: its largest)",
+    )
+    p_explain.add_argument(
+        "--out",
+        nargs="*",
+        help="output variables (default: the free variables, sorted)",
+    )
+    p_explain.add_argument(
+        "--strategy",
+        choices=[s.value for s in FixpointStrategy],
+        default=FixpointStrategy.MONOTONE.value,
+        help="fixpoint strategy for FP queries",
+    )
+    p_explain.add_argument("--k-limit", type=int, default=None)
+    p_explain.add_argument(
+        "--why",
+        nargs="*",
+        default=None,
+        metavar="VALUE",
+        help="also explain why this answer tuple holds (or fails): "
+        "a provenance witness, replayed against the database",
+    )
+    p_explain.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit heartbeat lines (iteration, delta, ETA) to stderr "
+        "while fixpoints iterate",
+    )
+    p_explain.add_argument(
+        "--progress-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="minimum seconds between heartbeat lines (default 1.0)",
+    )
+    p_explain.add_argument(
+        "--deviation",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="flag nodes whose measured share exceeds X times the "
+        "predicted share (default 4.0)",
+    )
+    p_explain.add_argument(
+        "--report-file",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to this file",
+    )
+    p_explain.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the raw spans as JSONL to this file",
+    )
+    _add_backend_argument(p_explain)
+    _add_budget_arguments(p_explain)
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_tdiff = sub.add_parser(
+        "trace-diff",
+        help="align two exported trace JSONL files by subformula path "
+        "and report self-time/count deltas (also: repro trace diff A B)",
+    )
+    p_tdiff.add_argument("trace_a", help="baseline trace JSONL file")
+    p_tdiff.add_argument("trace_b", help="comparison trace JSONL file")
+    p_tdiff.add_argument(
+        "--label-a", default=None, help="display label for the first trace"
+    )
+    p_tdiff.add_argument(
+        "--label-b", default=None, help="display label for the second trace"
+    )
+    p_tdiff.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="K",
+        help="how many paths to show (largest |delta self| first)",
+    )
+    p_tdiff.set_defaults(func=_cmd_trace_diff)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -845,6 +1125,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `repro trace diff A B` is the natural spelling of the trace-diff
+    # subcommand; rewrite it before argparse sees a positional "diff"
+    if len(argv) >= 2 and argv[0] == "trace" and argv[1] == "diff":
+        argv = ["trace-diff"] + list(argv[2:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

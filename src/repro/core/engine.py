@@ -35,6 +35,7 @@ from repro.core.interp import EvalStats
 from repro.core.pfp_eval import SpaceMeter, pfp_answer
 from repro.guard.budget import Budget, GuardLike, resolve_guard
 from repro.guard.chaos import ChaosPolicy
+from repro.obs.provenance import NULL_STAGE_LOG, StageLog, StageLogLike
 from repro.obs.tracer import Tracer, TracerLike, resolve_tracer
 from repro.logic.analysis import Language, check_positivity, classify_language
 from repro.logic.parser import parse_formula
@@ -80,6 +81,12 @@ class EvalOptions:
     never change answers or the representation-independent stats
     counters.  The ESO engine grounds to SAT rather than iterating
     tables, so it ignores the backend.
+
+    ``stage_log`` optionally records every fixpoint solve's Kleene
+    stages into a :class:`~repro.obs.provenance.StageLog` (answer
+    provenance: first-entry stages, semi-naive deltas, PFP
+    trajectories).  Like ``trace``, the default ``None`` costs the
+    engines nothing.
     """
 
     strategy: FixpointStrategy = FixpointStrategy.MONOTONE
@@ -93,6 +100,7 @@ class EvalOptions:
     degrade: bool = True
     subquery_cache: Union[bool, "SubqueryCache", None] = None
     backend: Union[str, None] = None
+    stage_log: Optional[StageLog] = None
 
 
 @dataclass
@@ -111,6 +119,7 @@ class EvalResult:
     space: Optional[SpaceMeter] = None
     tracer: Optional[Tracer] = None
     guard: Optional[GuardLike] = None
+    stage_log: Optional[StageLog] = None
 
     def as_bool(self) -> bool:
         """Boolean answer, for sentence queries (0-ary output)."""
@@ -163,6 +172,10 @@ def _dispatch(
 ) -> EvalResult:
     recorded = tracer if tracer.enabled else None
     watched = guard if guard.enabled else None
+    observer: StageLogLike = (
+        options.stage_log if options.stage_log is not None else NULL_STAGE_LOG
+    )
+    logged = observer if observer.enabled else None
     cache = resolve_subquery_cache(options.subquery_cache)
     if language == Language.FO:
         evaluator = BoundedEvaluator(
@@ -176,7 +189,13 @@ def _dispatch(
         )
         relation = evaluator.answer(formula, tuple(output_vars))
         return EvalResult(
-            relation, language, None, stats, tracer=recorded, guard=watched
+            relation,
+            language,
+            None,
+            stats,
+            tracer=recorded,
+            guard=watched,
+            stage_log=logged,
         )
     if language == Language.ESO:
         from repro.core.eso_eval import eso_answer
@@ -192,7 +211,13 @@ def _dispatch(
             degrade=options.degrade,
         )
         return EvalResult(
-            relation, language, None, stats, tracer=recorded, guard=watched
+            relation,
+            language,
+            None,
+            stats,
+            tracer=recorded,
+            guard=watched,
+            stage_log=logged,
         )
     if language == Language.PFP:
         if options.check_positive:
@@ -210,6 +235,7 @@ def _dispatch(
             guard=guard,
             degrade=options.degrade,
             backend=options.backend,
+            observer=observer,
         )
         return EvalResult(
             relation,
@@ -219,6 +245,7 @@ def _dispatch(
             space=meter,
             tracer=recorded,
             guard=watched,
+            stage_log=logged,
         )
     # FP: pure lfp/gfp formulas — any strategy applies (pfp/ifp mixtures
     # classify as Language.PFP above and never reach this branch)
@@ -235,9 +262,16 @@ def _dispatch(
         guard=guard,
         subquery_cache=cache,
         backend=options.backend,
+        observer=observer,
     )
     return EvalResult(
-        relation, language, strategy, stats, tracer=recorded, guard=watched
+        relation,
+        language,
+        strategy,
+        stats,
+        tracer=recorded,
+        guard=watched,
+        stage_log=logged,
     )
 
 

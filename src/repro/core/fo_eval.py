@@ -149,7 +149,7 @@ class BoundedEvaluator:
         self.k_limit = k_limit
         self.stats = stats if stats is not None else EvalStats()
         self.backend = resolve_backend(
-            backend, db.domain, registry=self.stats.registry
+            backend, db.domain, registry=self.stats.registry, tracer=tracer
         )
         self.tracer = tracer
         self.guard = guard
@@ -159,6 +159,10 @@ class BoundedEvaluator:
         self._memo: Dict[tuple, Tuple[Formula, VarTable]] = {}
         # free-relation-variable sets per formula, same strong-ref scheme
         self._free_rels: Dict[int, tuple] = {}
+        # clipped formula renderings for span `expr` attributes, keyed by
+        # id() with the usual strong-reference scheme; only populated
+        # when tracing is on
+        self._expr_labels: Dict[int, Tuple[Formula, str]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -235,7 +239,9 @@ class BoundedEvaluator:
                 self.stats.bump("subquery_cache_misses")
         tracer = self.tracer
         if tracer.enabled:
-            with tracer.span(f"fo.{type(formula).__name__}") as span:
+            with tracer.span(
+                f"fo.{type(formula).__name__}", expr=self._expr_label(formula)
+            ) as span:
                 table = self._eval_node(formula, env)
                 span.set(rows=len(table), arity=len(table.variables))
         else:
@@ -249,6 +255,15 @@ class BoundedEvaluator:
             cache.put(ckey, table)
         self._memo[key] = (formula, table)
         return table
+
+    def _expr_label(self, formula: Formula) -> str:
+        cached = self._expr_labels.get(id(formula))
+        if cached is None:
+            from repro.logic.printer import formula_label
+
+            cached = (formula, formula_label(formula))
+            self._expr_labels[id(formula)] = cached
+        return cached[1]
 
     def _memo_key(self, formula: Formula, env: Dict[str, Relation]):
         cached = self._free_rels.get(id(formula))

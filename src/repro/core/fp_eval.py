@@ -48,6 +48,7 @@ from repro.errors import EvaluationError
 from repro.core.fo_eval import BoundedEvaluator
 from repro.core.interp import EvalStats
 from repro.guard.budget import GuardLike, NULL_GUARD
+from repro.obs.provenance import NULL_STAGE_LOG, StageLogLike
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.analysis import check_positivity, polarity_of
 from repro.logic.syntax import (
@@ -92,16 +93,21 @@ def iterate_ascending(
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """Kleene iteration upward from ``start`` until a fixpoint.
 
     Ascending iteration only converges for monotone operators; a step
     that loses tuples is reported as an error rather than looping
     forever (it can only happen when positivity checking was disabled
-    on a genuinely non-monotone body).
+    on a genuinely non-monotone body).  ``observer`` optionally records
+    the stage iterates (see :class:`repro.obs.provenance.StageLog`);
+    stage ``i`` is the ``i``-th Kleene iterate, stage 0 the start.
     """
     current = start
     index = 0
+    if observer.enabled:
+        observer.stage(0, current)
     while True:
         stats.fixpoint_iterations += 1
         if guard.enabled:
@@ -119,6 +125,8 @@ def iterate_ascending(
                 "not monotone (a lfp/gfp body must bind its recursion "
                 "variable positively)"
             )
+        if observer.enabled:
+            observer.stage(index, after, delta=after.difference(current))
         current = after
 
 
@@ -128,14 +136,18 @@ def iterate_descending(
     stats: EvalStats,
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """Kleene iteration downward from ``start`` until a fixpoint.
 
     The descending dual of :func:`iterate_ascending`, with the same
-    non-monotonicity guard.
+    non-monotonicity guard.  An observer's recorded ``delta`` is the
+    set of tuples *removed* in the round.
     """
     current = start
     index = 0
+    if observer.enabled:
+        observer.stage(0, current)
     while True:
         stats.fixpoint_iterations += 1
         if guard.enabled:
@@ -153,6 +165,8 @@ def iterate_descending(
                 "not monotone (a lfp/gfp body must bind its recursion "
                 "variable positively)"
             )
+        if observer.enabled:
+            observer.stage(index, after, delta=current.difference(after))
         current = after
 
 
@@ -163,6 +177,7 @@ def iterate_inflationary(
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
     empty: Optional[Relation] = None,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """IFP iteration ``S ← S ∪ φ(S)`` from empty; always converges.
 
@@ -175,6 +190,8 @@ def iterate_inflationary(
     """
     current = empty if empty is not None else Relation.empty(arity)
     index = 0
+    if observer.enabled:
+        observer.stage(0, current)
     while True:
         stats.fixpoint_iterations += 1
         if guard.enabled:
@@ -187,6 +204,12 @@ def iterate_inflationary(
         if derived.issubset(current):
             stats.bump("empty_delta_exits")
             return current
+        if observer.enabled:
+            observer.stage(
+                index,
+                current.union(derived),
+                delta=derived.difference(current),
+            )
         current = current.union(derived)
 
 
@@ -198,6 +221,7 @@ def iterate_partial(
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
     empty: Optional[Relation] = None,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """PFP iteration from empty (Section 2.2's convention).
 
@@ -213,6 +237,8 @@ def iterate_partial(
     current = empty if empty is not None else Relation.empty(arity)
     seen = {current.state_key()}
     steps = 0
+    if observer.enabled:
+        observer.stage(0, current)
     while True:
         stats.fixpoint_iterations += 1
         if guard.enabled:
@@ -221,6 +247,8 @@ def iterate_partial(
             after = _traced_step(step, current, steps, tracer)
         else:
             after = step(current)
+        if observer.enabled and after != current:
+            observer.stage(steps + 1, after)
         if after == current:
             return current
         if after.state_key() in seen:
@@ -275,11 +303,13 @@ class NaiveSolver:
         pfp_iteration_limit: Optional[int] = None,
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
+        observer: StageLogLike = NULL_STAGE_LOG,
     ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
         self._tracer = tracer
         self._guard = guard
+        self._observer = observer
 
     def __call__(
         self,
@@ -287,14 +317,26 @@ class NaiveSolver:
         node: _FixpointBase,
         env: Dict[str, Relation],
     ) -> Relation:
-        if self._tracer.enabled:
-            with self._tracer.span(
-                "fp.solve", rel=node.rel, kind=type(node).__name__.lower()
-            ) as span:
+        observer = self._observer
+        if observer.enabled:
+            observer.begin(node.rel, type(node).__name__.lower())
+        limit = None
+        try:
+            if self._tracer.enabled:
+                with self._tracer.span(
+                    "fp.solve",
+                    rel=node.rel,
+                    kind=type(node).__name__.lower(),
+                    arity=node.arity,
+                ) as span:
+                    limit = self._solve(evaluator, node, env)
+                    span.set(limit_size=len(limit))
+            else:
                 limit = self._solve(evaluator, node, env)
-                span.set(limit_size=len(limit))
-            return limit
-        return self._solve(evaluator, node, env)
+        finally:
+            if observer.enabled:
+                observer.end(limit)
+        return limit
 
     def _solve(
         self,
@@ -305,6 +347,7 @@ class NaiveSolver:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
         guard = self._guard
+        observer = self._observer
         backend = evaluator.backend
         if isinstance(node, LFP):
             return iterate_ascending(
@@ -313,6 +356,7 @@ class NaiveSolver:
                 self._stats,
                 tracer,
                 guard,
+                observer,
             )
         if isinstance(node, GFP):
             return iterate_descending(
@@ -321,6 +365,7 @@ class NaiveSolver:
                 self._stats,
                 tracer,
                 guard,
+                observer,
             )
         if isinstance(node, IFP):
             return iterate_inflationary(
@@ -330,6 +375,7 @@ class NaiveSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         if isinstance(node, PFP):
             return iterate_partial(
@@ -340,6 +386,7 @@ class NaiveSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -368,11 +415,13 @@ class MonotoneSolver:
         pfp_iteration_limit: Optional[int] = None,
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
+        observer: StageLogLike = NULL_STAGE_LOG,
     ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
         self._tracer = tracer
         self._guard = guard
+        self._observer = observer
         self._memory: Dict[_FixpointBase, Tuple[Dict[str, Relation], Relation]] = {}
         # keyed by the node itself (structural): id()-keys would alias
         # recycled transient closed-node objects
@@ -384,14 +433,26 @@ class MonotoneSolver:
         node: _FixpointBase,
         env: Dict[str, Relation],
     ) -> Relation:
-        if self._tracer.enabled:
-            with self._tracer.span(
-                "fp.solve", rel=node.rel, kind=type(node).__name__.lower()
-            ) as span:
+        observer = self._observer
+        if observer.enabled:
+            observer.begin(node.rel, type(node).__name__.lower())
+        limit = None
+        try:
+            if self._tracer.enabled:
+                with self._tracer.span(
+                    "fp.solve",
+                    rel=node.rel,
+                    kind=type(node).__name__.lower(),
+                    arity=node.arity,
+                ) as span:
+                    limit = self._solve(evaluator, node, env)
+                    span.set(limit_size=len(limit))
+            else:
                 limit = self._solve(evaluator, node, env)
-                span.set(limit_size=len(limit))
-            return limit
-        return self._solve(evaluator, node, env)
+        finally:
+            if observer.enabled:
+                observer.end(limit)
+        return limit
 
     def _solve(
         self,
@@ -402,6 +463,7 @@ class MonotoneSolver:
         step = _step_function(evaluator, node, env, self._stats)
         tracer = self._tracer
         guard = self._guard
+        observer = self._observer
         backend = evaluator.backend
         if isinstance(node, IFP):
             return iterate_inflationary(
@@ -411,6 +473,7 @@ class MonotoneSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         if isinstance(node, PFP):
             return iterate_partial(
@@ -421,6 +484,7 @@ class MonotoneSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         relevant = {
             name: env[name]
@@ -439,9 +503,13 @@ class MonotoneSolver:
         else:
             self._stats.bump("warm_starts")
         if ascending:
-            limit = iterate_ascending(step, start, self._stats, tracer, guard)
+            limit = iterate_ascending(
+                step, start, self._stats, tracer, guard, observer
+            )
         else:
-            limit = iterate_descending(step, start, self._stats, tracer, guard)
+            limit = iterate_descending(
+                step, start, self._stats, tracer, guard, observer
+            )
         self._memory[node] = (relevant, limit)
         return limit
 
@@ -492,17 +560,22 @@ def make_solver(
     pfp_iteration_limit: Optional[int] = None,
     tracer: TracerLike = NULL_TRACER,
     guard: GuardLike = NULL_GUARD,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ):
     """Build the fixpoint-solver callback for the bounded evaluator."""
     if strategy == FixpointStrategy.NAIVE:
-        return NaiveSolver(stats, pfp_iteration_limit, tracer, guard)
+        return NaiveSolver(stats, pfp_iteration_limit, tracer, guard, observer)
     if strategy == FixpointStrategy.MONOTONE:
-        return MonotoneSolver(stats, pfp_iteration_limit, tracer, guard)
+        return MonotoneSolver(
+            stats, pfp_iteration_limit, tracer, guard, observer
+        )
     if strategy == FixpointStrategy.SEMINAIVE:
         # imported lazily: repro.perf.seminaive imports this module
         from repro.perf.seminaive import SemiNaiveSolver
 
-        return SemiNaiveSolver(stats, pfp_iteration_limit, tracer, guard)
+        return SemiNaiveSolver(
+            stats, pfp_iteration_limit, tracer, guard, observer
+        )
     if strategy == FixpointStrategy.ALTERNATION:
         raise EvaluationError(
             "the ALTERNATION strategy evaluates whole queries; use "
@@ -525,6 +598,7 @@ def solve_query(
     guard: GuardLike = NULL_GUARD,
     subquery_cache=None,
     backend=None,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """Evaluate an FO/FP/PFP query under the chosen strategy.
 
@@ -532,7 +606,10 @@ def solve_query(
     :class:`repro.perf.cache.SubqueryCache` into the bounded evaluator
     (shared-table memoization across subformulas and evaluations);
     ``backend`` selects the table representation (see
-    :func:`repro.kernel.backend.resolve_backend`).
+    :func:`repro.kernel.backend.resolve_backend`); ``observer``
+    optionally records every fixpoint solve's Kleene stages (see
+    :class:`repro.obs.provenance.StageLog` — ignored by the
+    ALTERNATION strategy, which does not iterate per-node stages).
     """
     stats = stats if stats is not None else EvalStats()
     if require_positive:
@@ -548,7 +625,9 @@ def solve_query(
         return alternation_answer(
             formula, db, output_vars, k_limit=k_limit, stats=stats
         )
-    solver = make_solver(strategy, stats, pfp_iteration_limit, tracer, guard)
+    solver = make_solver(
+        strategy, stats, pfp_iteration_limit, tracer, guard, observer
+    )
     evaluator = BoundedEvaluator(
         db,
         fixpoint_solver=solver,

@@ -33,6 +33,7 @@ from repro.core.fp_eval import (
 from repro.core.interp import EvalStats
 from repro.guard.budget import GuardLike, NULL_GUARD
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import NULL_STAGE_LOG, StageLogLike
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.syntax import Formula, GFP, IFP, LFP, PFP, _FixpointBase
 
@@ -128,8 +129,9 @@ class MeteredPFPSolver(NaiveSolver):
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
         degrade: bool = True,
+        observer: StageLogLike = NULL_STAGE_LOG,
     ):
-        super().__init__(stats, tracer=tracer, guard=guard)
+        super().__init__(stats, tracer=tracer, guard=guard, observer=observer)
         self._meter = meter
         self._strict = strict_space
         self._degrade = degrade
@@ -160,6 +162,7 @@ class MeteredPFPSolver(NaiveSolver):
             return after
 
         backend = evaluator.backend
+        observer = self._observer
         meter.enter(key, 0)
         try:
             if isinstance(node, LFP):
@@ -168,6 +171,7 @@ class MeteredPFPSolver(NaiveSolver):
                     backend.empty_relation(node.arity),
                     self._stats,
                     tracer,
+                    observer=observer,
                 )
             if isinstance(node, GFP):
                 return iterate_descending(
@@ -175,6 +179,7 @@ class MeteredPFPSolver(NaiveSolver):
                     backend.full_relation(node.arity),
                     self._stats,
                     tracer,
+                    observer=observer,
                 )
             if isinstance(node, IFP):
                 return iterate_inflationary(
@@ -183,6 +188,7 @@ class MeteredPFPSolver(NaiveSolver):
                     self._stats,
                     tracer,
                     empty=backend.empty_relation(node.arity),
+                    observer=observer,
                 )
             if isinstance(node, PFP):
                 return self._partial(metered_step, node, evaluator)
@@ -201,6 +207,9 @@ class MeteredPFPSolver(NaiveSolver):
         current = empty
         tracer = self._tracer
         guard = self._guard
+        observer = self._observer
+        if observer.enabled:
+            observer.stage(0, current)
         # 2^{n^k} distinct k-ary relations: past this many steps the
         # deterministic stage sequence must have revisited a state, so it
         # cycles and the partial fixpoint is empty by convention
@@ -225,6 +234,8 @@ class MeteredPFPSolver(NaiveSolver):
             index += 1
             if after == current:
                 return current
+            if observer.enabled:
+                observer.stage(index, after)
             if seen is not None:
                 if after.state_key() in seen:
                     return empty
@@ -255,6 +266,7 @@ def pfp_answer(
     guard: GuardLike = NULL_GUARD,
     degrade: bool = True,
     backend=None,
+    observer: StageLogLike = NULL_STAGE_LOG,
 ) -> Relation:
     """Evaluate a PFP^k query with live-space accounting.
 
@@ -274,6 +286,7 @@ def pfp_answer(
         tracer=tracer,
         guard=guard,
         degrade=degrade,
+        observer=observer,
     )
     evaluator = BoundedEvaluator(
         db,

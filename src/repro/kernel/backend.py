@@ -40,6 +40,7 @@ from repro.errors import EvaluationError, SchemaError
 from repro.kernel.packed import DomainCodec, PackedRelation, PackedTable
 from repro.logic.syntax import Const, Term, Var
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, TracerLike
 
 #: Environment variable consulted when no backend is named explicitly.
 BACKEND_ENV = "REPRO_BENCH_BACKEND"
@@ -145,11 +146,13 @@ class PackedBackend:
         domain: Domain,
         registry: Optional[MetricsRegistry] = None,
         max_bits: int = DEFAULT_MAX_BITS,
+        tracer: TracerLike = NULL_TRACER,
     ):
         self.domain = domain
         self.max_bits = max_bits
         registry = registry if registry is not None else MetricsRegistry()
         self.codec = codec_for(domain, registry)
+        self.tracer = tracer
         self._tables = registry.counter("kernel.tables")
         self._mask_bits = registry.gauge("kernel.mask_bits")
         self._popcounts = registry.histogram("kernel.popcount")
@@ -166,24 +169,28 @@ class PackedBackend:
 
     def table(self, variables: Sequence[str], rows: Iterable) -> PackedTable:
         self._guard_width(len(set(variables)))
-        return PackedTable.from_rows(self.codec, variables, rows)
+        return PackedTable.from_rows(
+            self.codec, variables, rows, tracer=self.tracer
+        )
 
     def tautology(self) -> PackedTable:
-        return PackedTable.tautology(self.codec)
+        return PackedTable.tautology(self.codec, tracer=self.tracer)
 
     def contradiction(self) -> PackedTable:
-        return PackedTable.contradiction(self.codec)
+        return PackedTable.contradiction(self.codec, tracer=self.tracer)
 
     def full(self, variables: Sequence[str]) -> PackedTable:
         self._guard_width(len(set(variables)))
-        return PackedTable.full(self.codec, variables)
+        return PackedTable.full(self.codec, variables, tracer=self.tracer)
 
     def empty_relation(self, arity: int) -> PackedRelation:
-        return PackedRelation(arity, 0, self.codec)
+        return PackedRelation(arity, 0, self.codec, tracer=self.tracer)
 
     def full_relation(self, arity: int) -> PackedRelation:
         self._guard_width(arity)
-        return PackedRelation(arity, self.codec.full_mask(arity), self.codec)
+        return PackedRelation(
+            arity, self.codec.full_mask(arity), self.codec, tracer=self.tracer
+        )
 
     def observe(self, table) -> None:
         self._tables.inc()
@@ -244,7 +251,7 @@ class PackedBackend:
             if len(cache) >= _ATOM_CACHE_LIMIT:
                 cache.clear()
             cache[key] = mask
-        return PackedTable(self.codec, tuple(columns), mask)
+        return PackedTable(self.codec, tuple(columns), mask, self.tracer)
 
     def _atom_from_mask(
         self, relation, var_positions, const_positions, columns
@@ -257,7 +264,7 @@ class PackedBackend:
             try:
                 v = self.domain.index_of(value)
             except SchemaError:
-                return PackedTable(codec, tuple(columns), 0)
+                return PackedTable(codec, tuple(columns), 0, self.tracer)
             mask = codec.select_value(mask, m, m - 1 - i, v)
         for positions in var_positions.values():
             first = positions[0]
@@ -277,7 +284,7 @@ class PackedBackend:
                 i = names.index(name)
                 src_for[k - 1 - j] = k - 1 - i
             mask = codec.permute(mask, k, src_for)
-        return PackedTable(codec, tuple(columns), mask)
+        return PackedTable(codec, tuple(columns), mask, self.tracer)
 
     def __repr__(self) -> str:
         return f"PackedBackend(n={len(self.domain)})"
@@ -287,12 +294,15 @@ def resolve_backend(
     value,
     domain: Domain,
     registry: Optional[MetricsRegistry] = None,
+    tracer: TracerLike = NULL_TRACER,
 ):
     """Normalize a backend selection for one evaluation.
 
     ``None`` consults ``REPRO_BENCH_BACKEND`` (default ``sparse``);
     ``"sparse"``/``"packed"`` build the named backend over ``domain``;
     an already-constructed backend object passes through unchanged.
+    ``tracer`` reaches the packed kernel, which records ``kernel.join``
+    / ``kernel.project`` / ``kernel.fixpoint_check`` spans when enabled.
     """
     if value is None:
         value = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
@@ -301,7 +311,7 @@ def resolve_backend(
         if name == SparseBackend.name:
             return SparseBackend(domain)
         if name == PackedBackend.name:
-            return PackedBackend(domain, registry=registry)
+            return PackedBackend(domain, registry=registry, tracer=tracer)
         raise EvaluationError(
             f"unknown table backend {value!r} (expected 'sparse' or 'packed')"
         )

@@ -53,6 +53,7 @@ from typing import (
 from repro.database.domain import Domain, Value
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, SchemaError
+from repro.obs.tracer import NULL_TRACER, TracerLike
 
 Row = Tuple[Value, ...]
 
@@ -380,12 +381,26 @@ class PackedTable:
     the mask in range); :meth:`from_rows` is the validated public path.
     """
 
-    __slots__ = ("_vars", "_mask", "_codec", "_row_cache", "_align_cache")
+    __slots__ = (
+        "_vars",
+        "_mask",
+        "_codec",
+        "_row_cache",
+        "_align_cache",
+        "_tracer",
+    )
 
-    def __init__(self, codec: DomainCodec, variables: Tuple[str, ...], mask: int):
+    def __init__(
+        self,
+        codec: DomainCodec,
+        variables: Tuple[str, ...],
+        mask: int,
+        tracer: TracerLike = NULL_TRACER,
+    ):
         self._codec = codec
         self._vars = variables
         self._mask = mask
+        self._tracer = tracer
         self._row_cache: Optional[FrozenSet[Row]] = None
         self._align_cache: Optional[Dict[Tuple[str, ...], int]] = None
 
@@ -397,6 +412,7 @@ class PackedTable:
         codec: DomainCodec,
         variables: Sequence[str],
         rows: Iterable[Row],
+        tracer: TracerLike = NULL_TRACER,
     ) -> "PackedTable":
         """Validated construction mirroring ``VarTable(variables, rows)``."""
         ordered = tuple(sorted(variables))
@@ -416,25 +432,34 @@ class PackedTable:
                     f"row {row!r} does not match columns {ordered}"
                 )
             mask |= 1 << encode(row)
-        return cls(codec, ordered, mask)
+        return cls(codec, ordered, mask, tracer)
 
     @classmethod
-    def tautology(cls, codec: DomainCodec) -> "PackedTable":
+    def tautology(
+        cls, codec: DomainCodec, tracer: TracerLike = NULL_TRACER
+    ) -> "PackedTable":
         """The always-true 0-variable table: one empty row (bit 0 set)."""
-        return cls(codec, (), 1)
+        return cls(codec, (), 1, tracer)
 
     @classmethod
-    def contradiction(cls, codec: DomainCodec) -> "PackedTable":
+    def contradiction(
+        cls, codec: DomainCodec, tracer: TracerLike = NULL_TRACER
+    ) -> "PackedTable":
         """The always-false 0-variable table: no rows."""
-        return cls(codec, (), 0)
+        return cls(codec, (), 0, tracer)
 
     @classmethod
-    def full(cls, codec: DomainCodec, variables: Sequence[str]) -> "PackedTable":
+    def full(
+        cls,
+        codec: DomainCodec,
+        variables: Sequence[str],
+        tracer: TracerLike = NULL_TRACER,
+    ) -> "PackedTable":
         """``D^{variables}`` — the full mask."""
         ordered = tuple(sorted(variables))
         if len(set(ordered)) != len(ordered):
             raise EvaluationError(f"duplicate table columns: {variables}")
-        return cls(codec, ordered, codec.full_mask(len(ordered)))
+        return cls(codec, ordered, codec.full_mask(len(ordered)), tracer)
 
     # -- accessors -----------------------------------------------------
 
@@ -488,7 +513,9 @@ class PackedTable:
         pass through; anything table-like is re-encoded row by row)."""
         if isinstance(other, PackedTable) and other._codec is self._codec:
             return other
-        return PackedTable.from_rows(self._codec, other.variables, other.rows)
+        return PackedTable.from_rows(
+            self._codec, other.variables, other.rows, tracer=self._tracer
+        )
 
     def _aligned(self, target: Tuple[str, ...]) -> int:
         """The mask cylindrified to a sorted superset schema.
@@ -521,12 +548,28 @@ class PackedTable:
 
     def join(self, other) -> "PackedTable":
         """Natural join: cylindrify both to the union schema, then AND."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._join(other)
+        with tracer.span(
+            "kernel.join", left=len(self._vars)
+        ) as span:
+            result = self._join(other)
+            span.set(vars=len(result._vars), rows=len(result))
+        return result
+
+    def _join(self, other) -> "PackedTable":
         other = self._coerced(other)
         if other._vars == self._vars:
-            return PackedTable(self._codec, self._vars, self._mask & other._mask)
+            return PackedTable(
+                self._codec, self._vars, self._mask & other._mask, self._tracer
+            )
         target = tuple(sorted(set(self._vars) | set(other._vars)))
         return PackedTable(
-            self._codec, target, self._aligned(target) & other._aligned(target)
+            self._codec,
+            target,
+            self._aligned(target) & other._aligned(target),
+            self._tracer,
         )
 
     def cylindrify(self, variables: Iterable[str], domain: Optional[Domain] = None) -> "PackedTable":
@@ -538,15 +581,22 @@ class PackedTable:
         target = tuple(sorted(set(variables) | set(self._vars)))
         if target == self._vars:
             return self
-        return PackedTable(self._codec, target, self._aligned(target))
+        return PackedTable(
+            self._codec, target, self._aligned(target), self._tracer
+        )
 
     def union(self, other, domain: Optional[Domain] = None) -> "PackedTable":
         other = self._coerced(other)
         if other._vars == self._vars:
-            return PackedTable(self._codec, self._vars, self._mask | other._mask)
+            return PackedTable(
+                self._codec, self._vars, self._mask | other._mask, self._tracer
+            )
         target = tuple(sorted(set(self._vars) | set(other._vars)))
         return PackedTable(
-            self._codec, target, self._aligned(target) | other._aligned(target)
+            self._codec,
+            target,
+            self._aligned(target) | other._aligned(target),
+            self._tracer,
         )
 
     def intersect(self, other, domain: Optional[Domain] = None) -> "PackedTable":
@@ -554,31 +604,57 @@ class PackedTable:
 
     def complement(self, domain: Optional[Domain] = None) -> "PackedTable":
         full = self._codec.full_mask(len(self._vars))
-        return PackedTable(self._codec, self._vars, self._mask ^ full)
+        return PackedTable(
+            self._codec, self._vars, self._mask ^ full, self._tracer
+        )
 
     def project_out(self, variable: str) -> "PackedTable":
         """Existential quantification: OR-fold one digit away."""
         if variable not in self._vars:
             return self
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._project_out(variable)
+        with tracer.span(
+            "kernel.project", var=variable, universal=False
+        ) as span:
+            result = self._project_out(variable)
+            span.set(rows=len(result))
+        return result
+
+    def _project_out(self, variable: str) -> "PackedTable":
         k = len(self._vars)
         i = self._vars.index(variable)
         mask = self._codec.project(self._mask, k, k - 1 - i, universal=False)
         remaining = self._vars[:i] + self._vars[i + 1 :]
-        return PackedTable(self._codec, remaining, mask)
+        return PackedTable(self._codec, remaining, mask, self._tracer)
 
     def forall_out(self, variable: str, domain: Optional[Domain] = None) -> "PackedTable":
         """Universal quantification: AND-fold one digit away."""
         if variable not in self._vars:
             return self
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._forall_out(variable)
+        with tracer.span(
+            "kernel.project", var=variable, universal=True
+        ) as span:
+            result = self._forall_out(variable)
+            span.set(rows=len(result))
+        return result
+
+    def _forall_out(self, variable: str) -> "PackedTable":
         k = len(self._vars)
         i = self._vars.index(variable)
         remaining = self._vars[:i] + self._vars[i + 1 :]
         if self._codec.n == 0:
             # vacuously true over an empty domain; with other variables
             # remaining there are no assignments at all
-            return PackedTable(self._codec, remaining, 0 if remaining else 1)
+            return PackedTable(
+                self._codec, remaining, 0 if remaining else 1, self._tracer
+            )
         mask = self._codec.project(self._mask, k, k - 1 - i, universal=True)
-        return PackedTable(self._codec, remaining, mask)
+        return PackedTable(self._codec, remaining, mask, self._tracer)
 
     def select_eq(self, var_a: str, var_b: str) -> "PackedTable":
         """Rows where two columns agree (for repeated variables)."""
@@ -591,7 +667,7 @@ class PackedTable:
         if ia == ib:
             return self
         eq = self._codec.eq_mask(k, k - 1 - ia, k - 1 - ib)
-        return PackedTable(self._codec, self._vars, self._mask & eq)
+        return PackedTable(self._codec, self._vars, self._mask & eq, self._tracer)
 
     def rename(self, mapping: Mapping[str, str]) -> "PackedTable":
         """Rename columns; digits are permuted back to sorted order."""
@@ -609,7 +685,7 @@ class PackedTable:
         for j, i in enumerate(order):
             src_for[k - 1 - j] = k - 1 - i
         mask = self._codec.permute(self._mask, k, src_for)
-        return PackedTable(self._codec, target_vars, mask)
+        return PackedTable(self._codec, target_vars, mask, self._tracer)
 
     def to_relation(self, output_vars: Sequence[str]) -> Relation:
         """Read the table out as a (packed) relation in the given order."""
@@ -628,7 +704,7 @@ class PackedTable:
         mask = self._mask
         if src_for != list(range(k)):
             mask = self._codec.permute(mask, k, src_for)
-        return PackedRelation(k, mask, self._codec)
+        return PackedRelation(k, mask, self._codec, tracer=self._tracer)
 
     # -- dunder --------------------------------------------------------
 
@@ -665,14 +741,21 @@ class PackedRelation(Relation):
     engines use :meth:`state_key`, which never materializes.
     """
 
-    __slots__ = ("_mask", "_codec", "_materialized")
+    __slots__ = ("_mask", "_codec", "_materialized", "_tracer")
 
-    def __init__(self, arity: int, mask: int, codec: DomainCodec):
+    def __init__(
+        self,
+        arity: int,
+        mask: int,
+        codec: DomainCodec,
+        tracer: TracerLike = NULL_TRACER,
+    ):
         if arity < 0:
             raise SchemaError(f"arity must be non-negative, got {arity}")
         self._arity = arity
         self._mask = mask
         self._codec = codec
+        self._tracer = tracer
         self._materialized: Optional[FrozenSet[Row]] = None
 
     @property
@@ -704,7 +787,7 @@ class PackedRelation(Relation):
         if self._same_kind(other):
             self._check_same_arity(other, "union")
             return PackedRelation(
-                self._arity, self._mask | other._mask, self._codec
+                self._arity, self._mask | other._mask, self._codec, self._tracer
             )
         return super().union(other)
 
@@ -712,7 +795,7 @@ class PackedRelation(Relation):
         if self._same_kind(other):
             self._check_same_arity(other, "intersection")
             return PackedRelation(
-                self._arity, self._mask & other._mask, self._codec
+                self._arity, self._mask & other._mask, self._codec, self._tracer
             )
         return super().intersection(other)
 
@@ -720,13 +803,19 @@ class PackedRelation(Relation):
         if self._same_kind(other):
             self._check_same_arity(other, "difference")
             return PackedRelation(
-                self._arity, self._mask & ~other._mask, self._codec
+                self._arity, self._mask & ~other._mask, self._codec, self._tracer
             )
         return super().difference(other)
 
     def issubset(self, other: Relation) -> bool:
         if self._same_kind(other):
             self._check_same_arity(other, "issubset")
+            tracer = self._tracer
+            if tracer.enabled:
+                with tracer.span("kernel.fixpoint_check", op="issubset") as span:
+                    result = self._mask & ~other._mask == 0
+                    span.set(holds=result)
+                return result
             return self._mask & ~other._mask == 0
         return super().issubset(other)
 
@@ -749,6 +838,16 @@ class PackedRelation(Relation):
 
     def __eq__(self, other: object) -> bool:
         if self._same_kind(other):
+            tracer = self._tracer
+            if tracer.enabled:
+                # the convergence test of every packed fixpoint round
+                with tracer.span("kernel.fixpoint_check", op="eq") as span:
+                    result = (
+                        self._arity == other._arity
+                        and self._mask == other._mask
+                    )
+                    span.set(holds=result)
+                return result
             return self._arity == other._arity and self._mask == other._mask
         return super().__eq__(other)
 

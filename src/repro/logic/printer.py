@@ -67,6 +67,19 @@ def format_formula(formula: Formula) -> str:
     return _fmt(formula, _LEVEL_QUANT)
 
 
+def formula_label(formula: Formula, limit: int = 80) -> str:
+    """A clipped one-line rendering, for span attributes and reports.
+
+    The trace/explain layer keys spans to subformulas by this label, so
+    the clipping rule must stay deterministic: everything past ``limit``
+    characters is replaced by a fixed ellipsis.
+    """
+    text = format_formula(formula)
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."
+
+
 def formula_length(formula: Formula) -> int:
     """``|e|``: the length of the printed expression."""
     return len(format_formula(formula))

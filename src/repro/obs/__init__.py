@@ -17,6 +17,11 @@ intermediate relation sizes (Prop 3.1), fixpoint iteration counts
   fresh record against its committed ``BENCH_<id>.json`` baseline.
 * :mod:`repro.obs.profile` — cross-run span profiles: self-time by span
   name, keyed by sweep parameter.
+* :mod:`repro.obs.provenance` — answer witnesses ("why is t an
+  answer"), Kleene stage logs, and derivation chains for fixpoints.
+* :mod:`repro.obs.explain` — annotated evaluation trees (spans merged
+  with the formula AST and the ``n^k`` cost model), trace diffing, and
+  the live fixpoint :class:`~repro.obs.explain.ProgressReporter`.
 
 See ``docs/observability.md`` for the span and metric catalogue and how
 each maps back to a bound in the paper, and ``docs/benchmarking.md``
@@ -30,12 +35,37 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.obs.explain import (
+    ExplainReport,
+    NodeReport,
+    PathDiff,
+    ProgressReporter,
+    annotate_evaluation,
+    diff_traces,
+    render_explain_report,
+    render_trace_diff,
+    spans_from_dicts,
+    trace_paths,
+)
 from repro.obs.profile import (
+    ProfileWarning,
     SpanProfile,
     parse_trace_jsonl,
     profile_record,
     profile_sweep,
     render_profile,
+)
+from repro.obs.provenance import (
+    NULL_STAGE_LOG,
+    NullStageLog,
+    ProvenanceError,
+    SolveRecord,
+    StageLog,
+    StageLogLike,
+    Witness,
+    check_witness,
+    explain_answer,
+    explain_membership,
 )
 from repro.obs.regress import (
     Band,
@@ -71,11 +101,32 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "NULL_STAGE_LOG",
     "NULL_TRACER",
+    "NodeReport",
+    "NullStageLog",
+    "PathDiff",
+    "ProfileWarning",
+    "ProgressReporter",
+    "ProvenanceError",
+    "SolveRecord",
+    "StageLog",
+    "StageLogLike",
+    "Witness",
+    "annotate_evaluation",
+    "check_witness",
+    "diff_traces",
+    "explain_answer",
+    "explain_membership",
+    "render_explain_report",
+    "render_trace_diff",
+    "spans_from_dicts",
+    "trace_paths",
     "NullTracer",
     "Span",
     "Tracer",

@@ -20,6 +20,7 @@ from ``parent_id`` linkage when the input is serialized spans.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -32,24 +33,60 @@ class ProfileError(ReproError):
     """Malformed trace input handed to the profiler."""
 
 
-def parse_trace_jsonl(text: str) -> List[Dict[str, object]]:
-    """Span dicts from a ``Tracer.export_jsonl()`` document."""
+class ProfileWarning(UserWarning):
+    """Malformed trace lines were skipped by a lenient loader."""
+
+
+def parse_trace_jsonl(
+    text: str, on_error: str = "warn"
+) -> List[Dict[str, object]]:
+    """Span dicts from a ``Tracer.export_jsonl()`` document.
+
+    Trace files come from interrupted runs and shell pipelines, so a
+    truncated final line is routine; by default (``on_error="warn"``)
+    malformed lines are skipped and a single :class:`ProfileWarning`
+    reports how many, and the first problem seen.  ``on_error="raise"``
+    restores strict parsing (:class:`ProfileError` on the first bad
+    line) for callers validating freshly exported traces.
+    """
+    if on_error not in ("warn", "raise"):
+        raise ProfileError(
+            f"on_error must be 'warn' or 'raise', got {on_error!r}"
+        )
     spans: List[Dict[str, object]] = []
+    skipped = 0
+    first_problem: Optional[str] = None
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
+        problem: Optional[str] = None
+        span: object = None
         try:
             span = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ProfileError(
-                f"trace line {lineno} is not valid JSON: {exc}"
-            ) from exc
-        if not isinstance(span, dict) or "name" not in span:
-            raise ProfileError(
-                f"trace line {lineno} is not a span object"
-            )
-        spans.append(span)
+            problem = f"trace line {lineno} is not valid JSON: {exc}"
+            if on_error == "raise":
+                raise ProfileError(problem) from exc
+        if problem is None and (
+            not isinstance(span, dict) or "name" not in span
+        ):
+            problem = f"trace line {lineno} is not a span object"
+            if on_error == "raise":
+                raise ProfileError(problem)
+        if problem is not None:
+            skipped += 1
+            if first_problem is None:
+                first_problem = problem
+            continue
+        spans.append(span)  # type: ignore[arg-type]
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} malformed trace line(s); "
+            f"first: {first_problem}",
+            ProfileWarning,
+            stacklevel=2,
+        )
     return spans
 
 

@@ -264,6 +264,44 @@ def get_experiment(name: str) -> PerfExperiment:
         ) from None
 
 
+def explain_target(
+    name: str, parameter: Optional[float] = None
+) -> Tuple[object, object, Tuple[str, ...], Dict[str, object]]:
+    """One concrete (formula, db, output_vars, eval kwargs) to explain.
+
+    ``repro explain --experiment`` needs a single evaluation, not a
+    sweep: this binds the named experiment's query and database at one
+    parameter value (default: the experiment's largest registered one).
+    T2-ESO is refused — the explain layer annotates the FO/FP span
+    convention, and the grounded SAT pipeline does not produce it.
+    """
+    from repro.logic.parser import parse_formula
+    from repro.workloads.formulas import path_query_fo3
+    from repro.workloads.graphs import path_graph, random_graph
+
+    experiment = get_experiment(name)
+    n = int(
+        parameter if parameter is not None else experiment.parameters[-1]
+    )
+    options: Dict[str, object] = {}
+    if experiment.experiment_id in ("T2-FP", "T2-FP-PACKED"):
+        options["strategy"] = experiment.options["strategy"]
+        options["backend"] = experiment.options["backend"]
+        return parse_formula(TC_QUERY), path_graph(n), ("u", "v"), options
+    if experiment.experiment_id == "T2-FO":
+        q = path_query_fo3(int(experiment.options["path_len"]))
+        options["strategy"] = "monotone"
+        options["k_limit"] = 3
+        db = random_graph(
+            n, float(experiment.options["edge_prob"]), seed=n
+        )
+        return q.formula, db, tuple(q.output_vars), options
+    raise ExperimentError(
+        f"experiment {experiment.experiment_id!r} cannot be explained: "
+        "the explain layer annotates FO/FP evaluation traces"
+    )
+
+
 def run_experiment(
     experiment: PerfExperiment,
     overrides: Optional[Mapping[str, object]] = None,

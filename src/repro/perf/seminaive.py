@@ -55,6 +55,7 @@ from repro.database.relation import Relation
 from repro.errors import EvaluationError
 from repro.core.interp import EvalStats
 from repro.guard.budget import GuardLike, NULL_GUARD
+from repro.obs.provenance import NULL_STAGE_LOG, StageLogLike
 from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.logic.analysis import polarity_of
 from repro.logic.syntax import (
@@ -157,11 +158,13 @@ class SemiNaiveSolver:
         pfp_iteration_limit: Optional[int] = None,
         tracer: TracerLike = NULL_TRACER,
         guard: GuardLike = NULL_GUARD,
+        observer: StageLogLike = NULL_STAGE_LOG,
     ):
         self._stats = stats
         self._pfp_limit = pfp_iteration_limit
         self._tracer = tracer
         self._guard = guard
+        self._observer = observer
         # node → (delta name, differential body), or None when the node
         # must use the naive fallback; structural keys, like MonotoneSolver
         self._prepared: Dict[
@@ -174,14 +177,26 @@ class SemiNaiveSolver:
         node: _FixpointBase,
         env: Dict[str, Relation],
     ) -> Relation:
-        if self._tracer.enabled:
-            with self._tracer.span(
-                "fp.solve", rel=node.rel, kind=type(node).__name__.lower()
-            ) as span:
+        observer = self._observer
+        if observer.enabled:
+            observer.begin(node.rel, type(node).__name__.lower())
+        limit = None
+        try:
+            if self._tracer.enabled:
+                with self._tracer.span(
+                    "fp.solve",
+                    rel=node.rel,
+                    kind=type(node).__name__.lower(),
+                    arity=node.arity,
+                ) as span:
+                    limit = self._solve(evaluator, node, env)
+                    span.set(limit_size=len(limit))
+            else:
                 limit = self._solve(evaluator, node, env)
-                span.set(limit_size=len(limit))
-            return limit
-        return self._solve(evaluator, node, env)
+        finally:
+            if observer.enabled:
+                observer.end(limit)
+        return limit
 
     def _solve(
         self,
@@ -205,6 +220,7 @@ class SemiNaiveSolver:
 
         step = _step_function(evaluator, node, env, self._stats)
         tracer, guard = self._tracer, self._guard
+        observer = self._observer
         backend = evaluator.backend
         if isinstance(node, LFP):
             return iterate_ascending(
@@ -213,6 +229,7 @@ class SemiNaiveSolver:
                 self._stats,
                 tracer,
                 guard,
+                observer,
             )
         # GFP/IFP/PFP: delegate to the naive loops unchanged
         if isinstance(node, GFP):
@@ -222,6 +239,7 @@ class SemiNaiveSolver:
                 self._stats,
                 tracer,
                 guard,
+                observer,
             )
         if isinstance(node, IFP):
             return iterate_inflationary(
@@ -231,6 +249,7 @@ class SemiNaiveSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         if isinstance(node, PFP):
             return iterate_partial(
@@ -241,6 +260,7 @@ class SemiNaiveSolver:
                 tracer,
                 guard,
                 empty=backend.empty_relation(node.arity),
+                observer=observer,
             )
         raise EvaluationError(f"unknown fixpoint node {node!r}")
 
@@ -313,6 +333,7 @@ class SemiNaiveSolver:
         delta_rel, dbody = prepared
         order = [v.name for v in node.bound_vars]
         stats, tracer, guard = self._stats, self._tracer, self._guard
+        observer = self._observer
 
         # round 0: φ(∅) in full — every tuple is new
         empty = evaluator.backend.empty_relation(node.arity)
@@ -329,6 +350,12 @@ class SemiNaiveSolver:
             current = self._eval_round(
                 evaluator, node.body, env, {node.rel: empty}, order
             )
+        if observer.enabled:
+            # stage numbering matches the naive Kleene chain: S_0 = ∅,
+            # S_1 = φ(∅), so the full round 0 lands at stage index 1
+            observer.stage(0, empty)
+            if current:
+                observer.stage(1, current, delta=current)
         delta = current
 
         index = 1
@@ -358,6 +385,8 @@ class SemiNaiveSolver:
             if not new:
                 return current
             current = current.union(new)
+            if observer.enabled:
+                observer.stage(index + 1, current, delta=new)
             delta = new
             index += 1
         return current

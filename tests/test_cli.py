@@ -221,3 +221,177 @@ class TestExitCodes:
             ]
         )
         assert code == 124
+
+
+class TestEvalJson:
+    """The --json schema is versioned: additions bump schema_version."""
+
+    FP_QUERY = "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+
+    def _doc(self, capsys, argv):
+        import json
+
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_schema_keys_are_stable(self, db_file, capsys):
+        doc = self._doc(
+            capsys,
+            ["eval", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u", "--stats", "--json"],
+        )
+        assert sorted(doc) == [
+            "answer_rows",
+            "boolean",
+            "language",
+            "metrics",
+            "output_vars",
+            "rows",
+            "schema_version",
+            "stats",
+        ]
+        assert doc["schema_version"] == 1
+        assert doc["language"] == "FP"
+        assert doc["output_vars"] == ["u"]
+        assert doc["boolean"] is None
+        assert doc["rows"] == [[0], [1], [2], [3]]
+        assert doc["answer_rows"] == 4
+        assert doc["stats"]["fixpoint_iterations"] >= 1
+
+    def test_metrics_include_table_rows_histogram(self, db_file, capsys):
+        doc = self._doc(
+            capsys,
+            ["eval", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u", "--stats", "--json"],
+        )
+        histogram = doc["metrics"]["eval.table_rows"]
+        for key in ("count", "p50", "p95", "p99"):
+            assert key in histogram
+
+    def test_boolean_query_sets_boolean_field(self, db_file, capsys):
+        doc = self._doc(
+            capsys,
+            ["eval", "--db", db_file, "--query", "exists x. P(x)",
+             "--out", "--json"],
+        )
+        assert doc["boolean"] is True
+        assert doc["rows"] == [[]]
+
+
+class TestSweepPeakRows:
+    def test_sweep_reports_peak_rows_column(self, capsys):
+        code = main(
+            ["sweep", "--query", "E(x, y)", "--sizes", "4", "6"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        header = lines[0].split()
+        assert "peak_rows" in header
+        column = header.index("peak_rows")
+        for line in lines[1:]:
+            assert float(line.split()[column]) > 0
+
+
+class TestExplain:
+    FP_QUERY = "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+
+    def test_annotated_tree_for_db_query(self, db_file, capsys):
+        code = main(
+            ["explain", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== annotated evaluation tree ==" in out
+        assert "LFP" in out
+        assert "iterations=" in out
+
+    def test_why_replays_witness(self, db_file, capsys):
+        code = main(
+            ["explain", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u", "--why", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== why (2,) ==" in out
+        assert "witness replayed against the database: ok" in out
+
+    def test_why_negative_answer(self, db_file, capsys):
+        code = main(
+            ["explain", "--db", db_file, "--query", "P(x)",
+             "--out", "x", "--why", "1"]
+        )
+        assert code == 0
+        assert "[-]" in capsys.readouterr().out
+
+    def test_report_and_jsonl_files(self, db_file, tmp_path, capsys):
+        report = tmp_path / "explain.txt"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(
+            ["explain", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u", "--report-file", str(report),
+             "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        assert "annotated evaluation tree" in report.read_text()
+        assert jsonl.read_text().strip()
+
+    def test_experiment_target(self, capsys):
+        code = main(["explain", "--experiment", "T2-FP", "--size", "6"])
+        assert code == 0
+        assert "annotated evaluation tree" in capsys.readouterr().out
+
+    def test_requires_db_or_experiment(self, capsys):
+        code = main(["explain", "--query", "P(x)"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_progress_heartbeats_on_stderr(self, db_file, capsys):
+        code = main(
+            ["explain", "--db", db_file, "--query", self.FP_QUERY,
+             "--out", "u", "--progress", "--progress-interval", "0"]
+        )
+        assert code == 0
+        assert "[progress]" in capsys.readouterr().err
+
+
+class TestTraceDiff:
+    FP_QUERY = "[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](u)"
+
+    def _trace(self, db_file, tmp_path, name, backend):
+        path = tmp_path / name
+        argv = ["trace", self.FP_QUERY, db_file, "--out", "u",
+                "--jsonl", str(path)]
+        if backend:
+            argv += ["--backend", backend]
+        assert main(argv) == 0
+        return str(path)
+
+    def test_diff_sparse_vs_packed(self, db_file, tmp_path, capsys):
+        a = self._trace(db_file, tmp_path, "sparse.jsonl", "sparse")
+        b = self._trace(db_file, tmp_path, "packed.jsonl", "packed")
+        capsys.readouterr()  # discard trace reports
+        code = main(["trace", "diff", a, b])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparse.jsonl" in out
+        assert "only in packed.jsonl" in out
+        assert "total self:" in out
+
+    def test_diff_labels_and_top(self, db_file, tmp_path, capsys):
+        a = self._trace(db_file, tmp_path, "a.jsonl", None)
+        b = self._trace(db_file, tmp_path, "b.jsonl", None)
+        capsys.readouterr()
+        code = main(
+            ["trace-diff", a, b, "--label-a", "base", "--label-b", "new",
+             "--top", "3"]
+        )
+        assert code == 0
+        assert "count base" in capsys.readouterr().out
+
+    def test_missing_trace_file_errors(self, tmp_path, capsys):
+        existing = tmp_path / "x.jsonl"
+        existing.write_text('{"name": "a", "duration": 1}\n')
+        code = main(["trace", "diff", str(existing), "/nonexistent.jsonl"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,358 @@
+"""Explain layer: annotated trees, trace diffing, progress reporting."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.fp_eval import FixpointStrategy
+from repro.database.database import Database
+from repro.logic.parser import parse_formula
+from repro.obs.explain import (
+    ExplainError,
+    ProgressReporter,
+    annotate_evaluation,
+    diff_traces,
+    render_explain_report,
+    render_trace_diff,
+    spans_from_dicts,
+    trace_paths,
+)
+from repro.obs.profile import parse_trace_jsonl
+from repro.obs.tracer import Tracer
+
+TC_QUERY = "[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)"
+
+
+def path_db(n=8):
+    return Database.from_tuples(
+        range(n),
+        {
+            "E": (2, [(i, i + 1) for i in range(n - 1)]),
+            "P": (1, [(0,)]),
+        },
+    )
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def traced_run(n=8, backend=None, strategy="monotone"):
+    db = path_db(n)
+    formula = parse_formula(TC_QUERY)
+    tracer = Tracer()
+    result = evaluate(
+        formula,
+        db,
+        ("u", "v"),
+        EvalOptions(
+            strategy=FixpointStrategy(strategy),
+            trace=tracer,
+            backend=backend,
+        ),
+    )
+    return formula, db, tracer, result
+
+
+class TestSpansFromDicts:
+    def test_deeply_nested_tree_round_trips_exactly(self):
+        tracer = Tracer(clock=FakeClock(0.5))
+        depth = 40
+        import contextlib
+
+        with contextlib.ExitStack() as stack:
+            for level in range(depth):
+                span = stack.enter_context(
+                    tracer.span(f"level.{level}", depth=level)
+                )
+                span.set(extra=[level, f"v{level}"])
+        dicts = parse_trace_jsonl(tracer.export_jsonl())
+        (root,) = spans_from_dicts(dicts)
+
+        original = tracer.roots()[0]
+        chain, rebuilt_chain = [original], [root]
+        while chain[-1].children:
+            (child,) = chain[-1].children
+            chain.append(child)
+        while rebuilt_chain[-1].children:
+            (child,) = rebuilt_chain[-1].children
+            rebuilt_chain.append(child)
+        assert len(chain) == len(rebuilt_chain) == depth
+        for a, b in zip(chain, rebuilt_chain):
+            assert a.name == b.name
+            assert a.span_id == b.span_id
+            assert a.parent_id == b.parent_id
+            assert a.start == b.start
+            assert a.duration == b.duration
+            assert a.attrs == b.attrs
+
+    def test_real_trace_round_trip_preserves_self_times(self):
+        _, _, tracer, _ = traced_run()
+        roots = spans_from_dicts(parse_trace_jsonl(tracer.export_jsonl()))
+        original = {
+            s.span_id: s.self_duration() for s in tracer.spans
+        }
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        rebuilt = {
+            s.span_id: s.self_duration()
+            for root in roots
+            for s in walk(root)
+        }
+        assert rebuilt == pytest.approx(original)
+
+    def test_missing_parent_becomes_root(self):
+        roots = spans_from_dicts(
+            [
+                {"name": "orphan", "span_id": 7, "parent_id": 99, "start": 0.0},
+            ]
+        )
+        assert [r.name for r in roots] == ["orphan"]
+
+    def test_duplicate_span_id_rejected(self):
+        with pytest.raises(ExplainError):
+            spans_from_dicts(
+                [
+                    {"name": "a", "span_id": 1, "parent_id": None, "start": 0},
+                    {"name": "b", "span_id": 1, "parent_id": None, "start": 1},
+                ]
+            )
+
+
+class TestAnnotatedTree:
+    def test_fp_tree_has_rows_iterations_and_predictions(self):
+        formula, db, tracer, result = traced_run()
+        report = annotate_evaluation(formula, tracer, domain_size=db.size())
+        root = report.root
+        assert root.node_type == "LFP"
+        assert root.rows == len(result.relation)
+        assert root.iterations == result.stats.fixpoint_iterations
+        assert root.predicted_rows == db.size() ** 2
+        assert root.count == 1
+        assert report.total_self_seconds > 0
+        # the tree mirrors the AST: LFP -> Or -> (RelAtom, Exists -> And)
+        (or_node,) = root.children
+        assert or_node.node_type == "Or"
+        assert {c.node_type for c in or_node.children} == {
+            "RelAtom",
+            "Exists",
+        }
+
+    def test_fo_tree_annotates_without_fixpoints(self):
+        db = path_db(6)
+        formula = parse_formula("exists y. (E(x, y) & P(x))")
+        tracer = Tracer()
+        result = evaluate(formula, db, ("x",), EvalOptions(trace=tracer))
+        report = annotate_evaluation(formula, tracer, domain_size=db.size())
+        assert report.root.node_type == "Exists"
+        assert report.root.iterations is None
+        assert report.root.rows == len(result.relation)
+
+    def test_shares_sum_to_one(self):
+        formula, db, tracer, _ = traced_run()
+        report = annotate_evaluation(formula, tracer, domain_size=db.size())
+        seen = {}
+        for node in report.walk():
+            seen[node.label] = node
+        assert sum(n.actual_share for n in seen.values()) == pytest.approx(
+            1.0
+        )
+        assert sum(n.predicted_share for n in seen.values()) == pytest.approx(
+            1.0
+        )
+
+    def test_deviation_flagging_threshold(self):
+        formula, db, tracer, _ = traced_run()
+        lenient = annotate_evaluation(
+            formula, tracer, domain_size=db.size(), deviation_factor=1e9
+        )
+        assert lenient.flagged == []
+        strict = annotate_evaluation(
+            formula,
+            tracer,
+            domain_size=db.size(),
+            deviation_factor=0.0,
+            min_share=0.0,
+        )
+        assert strict.flagged
+
+    def test_annotation_from_exported_jsonl_matches_live(self):
+        formula, db, tracer, _ = traced_run()
+        live = annotate_evaluation(formula, tracer, domain_size=db.size())
+        roots = spans_from_dicts(parse_trace_jsonl(tracer.export_jsonl()))
+        replayed = annotate_evaluation(formula, roots, domain_size=db.size())
+        assert replayed.total_self_seconds == pytest.approx(
+            live.total_self_seconds
+        )
+        assert replayed.root.rows == live.root.rows
+        assert replayed.root.iterations == live.root.iterations
+
+    def test_render_mentions_tree_and_deviations(self):
+        formula, db, tracer, _ = traced_run()
+        report = annotate_evaluation(
+            formula, tracer, domain_size=db.size(), extras={"backend": "s"}
+        )
+        text = render_explain_report(report)
+        assert "== annotated evaluation tree ==" in text
+        assert "== deviations" in text
+        assert "backend: s" in text
+        assert "LFP" in text
+
+
+class TestTraceDiff:
+    def test_sparse_vs_packed_reports_per_subformula_deltas(self):
+        _, _, sparse, res_a = traced_run(backend="sparse")
+        _, _, packed, res_b = traced_run(backend="packed")
+        assert res_a.relation == res_b.relation
+        diffs = diff_traces(sparse, packed)
+        by_path = {d.path: d for d in diffs}
+        kernel_paths = [p for p in by_path if "kernel." in p]
+        assert kernel_paths  # packed runs add kernel spans
+        for path in kernel_paths:
+            assert by_path[path].only_in == "b"
+            assert by_path[path].count_a == 0
+        fo_paths = [p for p in by_path if "fo.LFP" in p]
+        assert fo_paths
+        # matched subformula paths appear once with counts on both sides
+        matched = [p for p in fo_paths if by_path[p].only_in is None]
+        assert matched
+        assert diffs == sorted(
+            diffs, key=lambda d: abs(d.self_delta), reverse=True
+        )
+
+    def test_identical_traces_diff_to_zero(self):
+        _, _, tracer, _ = traced_run()
+        for diff in diff_traces(tracer, tracer):
+            assert diff.self_delta == 0.0
+            assert diff.count_delta == 0
+
+    def test_paths_distinguish_iteration_repeats(self):
+        _, _, tracer, result = traced_run()
+        paths = trace_paths(tracer)
+        iteration_paths = [p for p in paths if p.endswith("fp.iteration")]
+        (path,) = iteration_paths
+        assert paths[path]["count"] == result.stats.fixpoint_iterations
+
+    def test_render_diff_table(self):
+        _, _, sparse, _ = traced_run(backend="sparse")
+        _, _, packed, _ = traced_run(backend="packed")
+        text = render_trace_diff(
+            diff_traces(sparse, packed), label_a="sparse", label_b="packed"
+        )
+        assert "count sparse" in text
+        assert "only in packed" in text
+        assert "total self:" in text
+
+
+class TestProgressReporter:
+    def test_heartbeats_with_fake_clock_and_eta(self):
+        db = path_db(20)
+        formula = parse_formula(TC_QUERY)
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream,
+            interval=0.0,
+            clock=FakeClock(0.001),
+            domain_size=db.size(),
+        )
+        result = evaluate(
+            formula, db, ("u", "v"), EvalOptions(trace=reporter)
+        )
+        assert reporter.heartbeats
+        assert stream.getvalue().splitlines() == reporter.heartbeats
+        assert any("eta~" in line for line in reporter.heartbeats)
+        for line in reporter.heartbeats:
+            assert line.startswith("[progress] S/lfp iteration")
+        # the reporter is a full tracer: the run was recorded as usual
+        assert any(s.name == "fp.solve" for s in reporter.spans)
+        assert len(result.relation) > 0
+
+    def test_interval_throttles_output(self):
+        db = path_db(20)
+        formula = parse_formula(TC_QUERY)
+        burst = ProgressReporter(
+            stream=io.StringIO(), interval=0.0, clock=FakeClock(0.001)
+        )
+        evaluate(formula, db, ("u", "v"), EvalOptions(trace=burst))
+        throttled = ProgressReporter(
+            stream=io.StringIO(), interval=10.0, clock=FakeClock(0.001)
+        )
+        evaluate(formula, db, ("u", "v"), EvalOptions(trace=throttled))
+        assert len(throttled.heartbeats) < len(burst.heartbeats)
+
+    def test_guard_deadline_appears_in_heartbeats(self):
+        from repro.guard.budget import Budget, resolve_guard
+
+        db = path_db(12)
+        formula = parse_formula(TC_QUERY)
+        guard = resolve_guard(Budget(deadline_seconds=3600))
+        reporter = ProgressReporter(
+            stream=io.StringIO(), interval=0.0, guard=guard
+        )
+        evaluate(formula, db, ("u", "v"), EvalOptions(trace=reporter))
+        # no rows bound -> no fit ETA; the armed deadline shows instead
+        assert any("deadline in" in line for line in reporter.heartbeats)
+
+    def test_answers_identical_to_plain_run(self):
+        db = path_db(10)
+        formula = parse_formula(TC_QUERY)
+        plain = evaluate(formula, db, ("u", "v"))
+        reported = evaluate(
+            formula,
+            db,
+            ("u", "v"),
+            EvalOptions(
+                trace=ProgressReporter(stream=io.StringIO(), interval=0.0)
+            ),
+        )
+        assert plain.relation == reported.relation
+        assert plain.stats.as_dict() == reported.stats.as_dict()
+
+
+class TestCostModel:
+    def test_fixpoint_iterations_bound(self):
+        from repro.algebra.cost import FormulaCostModel
+
+        formula = parse_formula(TC_QUERY)
+        model = FormulaCostModel(5)
+        costs = model.predict(formula)
+        assert costs[id(formula)].iterations_bound == 5**2 + 1
+        assert costs[id(formula)].rows_bound == 5**2
+
+    def test_non_fixpoint_nodes_iterate_once(self):
+        from repro.algebra.cost import FormulaCostModel
+
+        formula = parse_formula("exists y. (E(x, y) & P(x))")
+        costs = FormulaCostModel(4).predict(formula)
+        for cost in costs.values():
+            assert cost.iterations_bound == 1
+        assert costs[id(formula)].rows_bound == 4
+
+    def test_zero_domain(self):
+        from repro.algebra.cost import FormulaCostModel
+
+        formula = parse_formula("E(x, y)")
+        costs = FormulaCostModel(0).predict(formula)
+        assert costs[id(formula)].rows_bound == 0
+        assert costs[id(formula)].cost >= 1
+
+    def test_negative_domain_rejected(self):
+        from repro.algebra.cost import FormulaCostModel
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            FormulaCostModel(-1)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.obs.profile import (
+    ProfileWarning,
     SpanProfile,
     parse_trace_jsonl,
     profile_record,
@@ -45,13 +46,41 @@ class TestParseTraceJsonl:
         text = "\n" + _traced().export_jsonl() + "\n\n"
         assert len(parse_trace_jsonl(text)) == 3
 
-    def test_bad_json_line_rejected(self):
+    def test_bad_json_line_rejected_when_strict(self):
         with pytest.raises(ReproError):
-            parse_trace_jsonl('{"name": "a", "duration": 1}\nnot json')
+            parse_trace_jsonl(
+                '{"name": "a", "duration": 1}\nnot json', on_error="raise"
+            )
 
-    def test_non_span_object_rejected(self):
+    def test_non_span_object_rejected_when_strict(self):
         with pytest.raises(ReproError):
-            parse_trace_jsonl('{"duration": 1}')
+            parse_trace_jsonl('{"duration": 1}', on_error="raise")
+
+    def test_bad_lines_skipped_with_warning_by_default(self):
+        text = (
+            '{"name": "a", "duration": 1}\n'
+            "not json\n"
+            '{"duration": 1}\n'
+            '{"name": "b", "duration": 2}'
+        )
+        with pytest.warns(ProfileWarning) as caught:
+            spans = parse_trace_jsonl(text)
+        assert [s["name"] for s in spans] == ["a", "b"]
+        (warning,) = caught
+        assert "skipped 2 malformed trace line(s)" in str(warning.message)
+        assert "line 2" in str(warning.message)
+
+    def test_clean_input_emits_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spans = parse_trace_jsonl(_traced().export_jsonl())
+        assert len(spans) == 3
+
+    def test_bad_on_error_mode_rejected(self):
+        with pytest.raises(ReproError):
+            parse_trace_jsonl("", on_error="ignore")
 
 
 class TestSelfDurations:
