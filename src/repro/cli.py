@@ -14,6 +14,13 @@ Usage (also via ``python -m repro``)::
     # run a Datalog program
     python -m repro datalog --db graph.db --program rules.dl --pred reach
 
+    # serve prepared queries over HTTP with admission control and
+    # retries; --smoke N runs the CI resilience drill instead
+    python -m repro serve --db g=graph.db \
+        --prepare "tc=u,v=[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)" \
+        --port 8080 --workers 2
+    python -m repro serve --smoke 50 --workers 2 --telemetry serve.jsonl
+
     # trace an evaluation: span tree, hot spans, optional JSONL export
     python -m repro trace "[lfp S(x). P(x) | exists y. (E(y,x) & S(y))](u)" graph.db
 
@@ -1121,6 +1128,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dl.add_argument("--pred", default=None, help="predicate to print")
     _add_budget_arguments(p_dl)
     p_dl.set_defaults(func=_cmd_datalog)
+
+    from repro.serve.cli import add_serve_parser
+
+    add_serve_parser(sub)
     return parser
 
 

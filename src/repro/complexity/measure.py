@@ -28,14 +28,50 @@ over them, not lambdas or closures.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ResourceExhausted
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 _MISSING = object()
+
+
+def shutdown_pool(pool: Executor, graceful: bool = True) -> None:
+    """Shut a worker pool down without ever hanging the caller.
+
+    ``graceful`` waits for in-flight work (the happy path); otherwise
+    queued work is cancelled and the call returns immediately — the
+    right response to ``KeyboardInterrupt`` or a broken pool, where
+    waiting on workers that will never answer would hang forever.
+    Shared by :func:`run_sweep` and the :mod:`repro.serve` worker pool.
+    """
+    if graceful:
+        pool.shutdown(wait=True)
+    else:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@contextmanager
+def pool_scope(max_workers: int) -> Iterator[ProcessPoolExecutor]:
+    """A ``ProcessPoolExecutor`` that always shuts down.
+
+    Unlike the executor's own context manager — whose ``__exit__`` is
+    ``shutdown(wait=True)`` and therefore blocks on every queued task
+    even when the body died on ``KeyboardInterrupt`` — this scope
+    cancels outstanding work and returns immediately on any exception,
+    and only waits on the clean path.
+    """
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        yield pool
+    except BaseException:
+        shutdown_pool(pool, graceful=False)
+        raise
+    else:
+        shutdown_pool(pool, graceful=True)
 
 
 @dataclass(frozen=True)
@@ -248,7 +284,7 @@ def run_sweep(
             for parameter in parameters
         ]
     else:
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
+        with pool_scope(parallel) as pool:
             futures = [
                 pool.submit(
                     _measure_point,

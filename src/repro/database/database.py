@@ -1,7 +1,14 @@
 """The relational database instance ``B = (D, R_1, ..., R_l)``.
 
 This is the central data object of Section 2.1: a finite domain plus named
-relations over it.  Instances are immutable; "updates" build new databases.
+relations over it.  Relations and the domain are immutable values;
+"updates" either build new databases (:meth:`Database.with_relation`) or
+— for long-lived *registered* databases behind the :mod:`repro.serve`
+query service — go through the fact-mutation hooks
+(:meth:`Database.add_fact` / :meth:`Database.remove_fact`), which swap in
+a fresh immutable relation and bump a monotone ``generation`` counter.
+Caches key on that counter, so a mutated database can never serve stale
+cached rows (see :class:`repro.perf.cache.SubqueryCache`).
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ class Database:
     is checked at construction time so downstream evaluators can rely on it.
     """
 
-    __slots__ = ("_domain", "_relations", "_schema")
+    __slots__ = ("_domain", "_relations", "_schema", "_generation")
 
     def __init__(self, domain: Domain, relations: Mapping[str, Relation]):
         self._domain = domain
@@ -44,6 +51,7 @@ class Database:
         self._schema = DatabaseSchema(
             RelationSchema(name, rel.arity) for name, rel in rels.items()
         )
+        self._generation = 0
 
     @classmethod
     def from_tuples(
@@ -103,6 +111,58 @@ class Database:
             raise SchemaError(f"unknown relation {name!r}")
         remaining = {k: v for k, v in self._relations.items() if k != name}
         return Database(self._domain, remaining)
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter, bumped by every applied fact change.
+
+        Cache keys embed it (:meth:`repro.perf.cache.SubqueryCache.key_for`)
+        so entries computed against an earlier state of this database
+        object become unreachable the moment it mutates.
+        """
+        return self._generation
+
+    def add_fact(self, name: str, values: Sequence["Value"]) -> bool:
+        """Add one tuple to relation ``name`` in place.
+
+        The mutation hook for registered databases: validates the tuple
+        against the domain and the relation's arity, swaps in a fresh
+        immutable :class:`~repro.database.relation.Relation`, and bumps
+        :attr:`generation` when the fact was actually new.  Returns
+        whether the database changed.
+        """
+        rel = self.relation(name)
+        fact = tuple(values)
+        if len(fact) != rel.arity:
+            raise SchemaError(
+                f"fact {fact!r} has length {len(fact)}, relation {name!r} "
+                f"has arity {rel.arity}"
+            )
+        for v in fact:
+            if v not in self._domain:
+                raise SchemaError(
+                    f"fact value {v!r} is outside the domain"
+                )
+        if fact in rel:
+            return False
+        self._relations[name] = Relation(rel.arity, rel.tuples | {fact})
+        self._generation += 1
+        return True
+
+    def remove_fact(self, name: str, values: Sequence["Value"]) -> bool:
+        """Remove one tuple from relation ``name`` in place.
+
+        The counterpart of :meth:`add_fact`; removing an absent fact is a
+        no-op that leaves :attr:`generation` untouched.  Returns whether
+        the database changed.
+        """
+        rel = self.relation(name)
+        fact = tuple(values)
+        if fact not in rel:
+            return False
+        self._relations[name] = Relation(rel.arity, rel.tuples - {fact})
+        self._generation += 1
+        return True
 
     def total_tuples(self) -> int:
         """Total tuple count across relations (a size proxy for encodings)."""

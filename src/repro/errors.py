@@ -98,6 +98,39 @@ class ResourceExhausted(ReproError):
         self.metrics = dict(metrics or {})
 
 
+class Overloaded(ReproError):
+    """The query service shed this request instead of evaluating it.
+
+    Raised (and returned as a structured error) by the admission layer of
+    :mod:`repro.serve` when a request cannot be served within its
+    deadline: the bounded queue is full, the predicted queue wait already
+    exceeds the tenant's deadline, the request expired while queued, or
+    its retry budget ran out against injected/worker faults.
+
+    ``retry_after``
+        Seconds after which a retry is likely to be admitted (the
+        ``Retry-After`` header over HTTP).
+    ``reason``
+        Machine-readable shed cause: ``"queue-full"``,
+        ``"deadline-unreachable"``, ``"expired"``, or
+        ``"retries-exhausted"``.
+    ``tenant``
+        The tenant whose request was shed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 0.0,
+        reason: str = "",
+        tenant: str = "",
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+        self.tenant = tenant
+
+
 class DeadlineExceeded(ResourceExhausted):
     """The wall-clock deadline passed before the evaluation finished."""
 

@@ -101,6 +101,9 @@ class NullGuard:
     def reset_clauses(self) -> None:
         pass
 
+    def reset(self) -> None:
+        pass
+
     def remaining_seconds(self) -> Optional[float]:
         return None
 
@@ -336,6 +339,39 @@ class ResourceGuard:
         ``guard.clauses`` in the metrics keeps the cumulative total.
         """
         self._stage_clauses = 0
+
+    def reset(self) -> None:
+        """Start a fresh request on this guard.
+
+        Guards were historically one-shot: the deadline is anchored at
+        construction and every counter accumulates forever, so reusing a
+        guard across requests would both shrink the second request's
+        deadline and charge it for the first one's work.  ``reset()``
+        makes sequential reuse sound — a server serving many requests
+        per tenant (see :mod:`repro.serve`) calls it between requests:
+
+        * the wall-clock deadline is re-anchored at *now*, so every
+          request gets the full ``deadline_seconds``;
+        * all accounting (iterations, decisions, clauses, states, rows
+          high-water, checkpoints) restarts at zero, so one tenant's
+          consumption never leaks into the next request's budget
+          arithmetic or error snapshots.
+
+        The budget itself (the limits) is immutable and survives.
+        """
+        self._checkpoints.set(0)
+        self._iterations.set(0)
+        self._decisions.set(0)
+        self._clauses_total.set(0)
+        self._states.set(0)
+        self._peak_rows.set(0)
+        self._stage_clauses = 0
+        self._started = self._clock()
+        self._deadline = (
+            self._started + self.budget.deadline_seconds
+            if self.budget.deadline_seconds is not None
+            else None
+        )
 
     def try_charge_state(self, amount: int = 1) -> bool:
         """Charge cycle-detection states; False when over budget.

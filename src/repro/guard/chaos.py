@@ -2,12 +2,26 @@
 
 A :class:`ChaosPolicy` hooks into a
 :class:`~repro.guard.budget.ResourceGuard` and fires at its cooperative
-checkpoints.  Three failure modes, all deterministic:
+checkpoints.  All failure modes are deterministic:
 
-* **raise-at-Nth-checkpoint** — ``fail_at=N`` raises
-  :class:`InjectedFault` at exactly the Nth checkpoint; ``fail_within=M``
-  picks N from ``random.Random(seed)`` in ``[1, M]`` so a seed sweep
-  exercises many unwind points reproducibly.
+* **raise-at-Nth-checkpoint** — ``fail_at=N`` fires at exactly the Nth
+  checkpoint; ``fail_within=M`` picks N from ``random.Random(seed)`` in
+  ``[1, M]`` so a seed sweep exercises many unwind points reproducibly.
+* **fault kinds** — ``fault_kinds`` declares *which* failure fires at
+  that checkpoint, so retry layers can be exercised against
+  distinguishable modes.  The kind is chosen from the tuple with the
+  same seeded RNG:
+
+  - ``"fault"`` (default, the legacy mode) raises :class:`InjectedFault`;
+  - ``"crash"`` raises an :class:`InjectedFault` tagged as a worker
+    crash — the :mod:`repro.serve` pool worker escalates it to a real
+    process death (``os._exit``) so ``BrokenProcessPool`` recovery is
+    testable, while in-process evaluation unwinds it like any fault;
+  - ``"flaky-io"`` raises an :class:`InjectedFault` tagged as a
+    transient I/O error — always safe to retry;
+  - ``"slow"`` sleeps ``slow_fault_seconds`` once instead of raising,
+    forcing deadline/shedding paths without a slow query.
+
 * **inject-slow-step** — ``slow_step_seconds`` sleeps at every
   ``slow_every``-th checkpoint, forcing deadline paths without a slow
   query (pair with an injectable clock for instant tests).
@@ -24,9 +38,12 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.errors import ReproError
+
+#: The fault kinds a :class:`ChaosPolicy` may inject.
+FAULT_KINDS: Tuple[str, ...] = ("fault", "crash", "flaky-io", "slow")
 
 
 class InjectedFault(ReproError):
@@ -35,12 +52,21 @@ class InjectedFault(ReproError):
     Deriving from :class:`~repro.errors.ReproError` (not
     :class:`~repro.errors.ResourceExhausted`) keeps injected failures
     distinguishable from genuine budget exhaustion in sweep outcomes.
+    ``kind`` names the injected failure mode (one of :data:`FAULT_KINDS`
+    except ``"slow"``, which delays instead of raising).
     """
 
-    def __init__(self, message: str, checkpoint: int = 0, where: str = ""):
+    def __init__(
+        self,
+        message: str,
+        checkpoint: int = 0,
+        where: str = "",
+        kind: str = "fault",
+    ):
         super().__init__(message)
         self.checkpoint = checkpoint
         self.where = where
+        self.kind = kind
 
 
 @dataclass
@@ -54,28 +80,52 @@ class ChaosPolicy:
     seed: int = 0
     fail_at: Optional[int] = None
     fail_within: Optional[int] = None
+    fault_kinds: Tuple[str, ...] = ("fault",)
+    slow_fault_seconds: float = 0.01
     slow_step_seconds: float = 0.0
     slow_every: int = 1
     oversize_rows: int = 0
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self) -> None:
-        if self.fail_at is None and self.fail_within is not None:
-            self.fail_at = random.Random(self.seed).randint(
-                1, max(1, self.fail_within)
+        unknown = set(self.fault_kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ReproError(
+                f"unknown chaos fault kind(s) {sorted(unknown)!r} "
+                f"(known: {', '.join(FAULT_KINDS)})"
             )
+        rng = random.Random(self.seed)
+        if self.fail_at is None and self.fail_within is not None:
+            self.fail_at = rng.randint(1, max(1, self.fail_within))
+        # the kind is fixed at construction from the same seed, so one
+        # policy always injects the same distinguishable failure mode
+        self._kind = rng.choice(list(self.fault_kinds)) if self.fault_kinds else "fault"
+        self._slow_fired = False
+
+    @property
+    def kind(self) -> str:
+        """The failure mode this policy will inject when it fires."""
+        return self._kind
 
     def on_checkpoint(self, count: int, where: str = "") -> None:
         """Guard hook: runs at every cooperative checkpoint."""
         if self.slow_step_seconds > 0.0 and count % max(1, self.slow_every) == 0:
             self.sleep(self.slow_step_seconds)
         if self.fail_at is not None and count == self.fail_at:
+            if self._kind == "slow":
+                # delay once instead of raising; deadline checks at later
+                # checkpoints turn this into DeadlineExceeded on demand
+                if not self._slow_fired:
+                    self._slow_fired = True
+                    self.sleep(self.slow_fault_seconds)
+                return
             raise InjectedFault(
-                f"chaos: injected fault at checkpoint {count}"
+                f"chaos: injected {self._kind} fault at checkpoint {count}"
                 + (f" ({where})" if where else ""),
                 checkpoint=count,
                 where=where,
+                kind=self._kind,
             )
 
 
-__all__ = ["ChaosPolicy", "InjectedFault"]
+__all__ = ["ChaosPolicy", "FAULT_KINDS", "InjectedFault"]

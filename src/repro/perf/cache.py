@@ -60,7 +60,7 @@ DEFAULT_MAX_TOTAL_ROWS = 1 << 20
 DEFAULT_MIN_FORMULA_SIZE = 3
 
 CacheKey = Tuple[
-    Formula, Tuple[object, ...], str, Tuple[Tuple[str, object], ...]
+    Formula, Tuple[object, ...], str, int, Tuple[Tuple[str, object], ...]
 ]
 
 
@@ -139,6 +139,14 @@ class SubqueryCache:
         enter the fingerprint via :meth:`Relation.state_key`, which packed
         relations answer with their mask instead of hashing a materialized
         tuple set.
+
+        The key also embeds the database's :attr:`~Database.generation`
+        mutation counter: a registered database mutated in place through
+        :meth:`Database.add_fact` / :meth:`Database.remove_fact` keys to
+        a fresh slot on its next evaluation, so a long-lived shared cache
+        (the :mod:`repro.serve` cross-request cache) can never serve rows
+        computed against a pre-mutation state — even for subformulas
+        whose own relations were untouched by the mutation.
         """
         rels = self._free_rels.get(formula)
         if rels is None:
@@ -153,7 +161,13 @@ class SubqueryCache:
                 except Exception:
                     return None
             fingerprint.append((name, relation.state_key()))
-        return (formula, db.domain.values, backend, tuple(fingerprint))
+        return (
+            formula,
+            db.domain.values,
+            backend,
+            db.generation,
+            tuple(fingerprint),
+        )
 
     # -- lookup / store --------------------------------------------------
 

@@ -151,6 +151,112 @@ def eso_two_color_workload(
     return _counters(result, {"satisfiable": float(result.as_bool())})
 
 
+def serve_workload(
+    parameter: float,
+    tracer=NULL_TRACER,
+    requests: int = 18,
+    max_queue: int = 4,
+    burst: int = 8,
+    deadline: Optional[float] = None,
+) -> Dict[str, float]:
+    """The SERVE robustness drill: scripted traffic through a full
+    :class:`~repro.serve.service.QueryService` at database size ``n``.
+
+    The request mix exercises every robustness path deterministically —
+    transient injected faults (retried), a persistently failing tenant
+    (retries exhausted, breaker trips), a tenant whose row budget forces
+    the degradation ladder, and a shed burst that arrives while every
+    concurrency slot is deliberately held, so queue-full shedding is
+    decided by counts, never by wall-clock.  Evaluation is inline and
+    serial and all chaos is seeded, which makes every reported counter
+    exact-reproducible — the property the tier-1 ``counters_only``
+    regression gate needs.  ``deadline`` is accepted because the perf
+    harness always binds one, but deliberately unused: coupling these
+    counters to wall-clock would break the exact-match gate.
+    """
+    import asyncio
+
+    from repro.errors import Overloaded, ResourceExhausted
+    from repro.guard.chaos import ChaosPolicy
+    from repro.serve.admission import TenantPolicy
+    from repro.serve.retry import RetryPolicy
+    from repro.serve.service import QueryService
+    from repro.workloads.graphs import random_graph
+
+    n = int(parameter)
+    service = QueryService(
+        max_concurrency=2,
+        max_queue=max_queue,
+        workers=0,
+        retry=RetryPolicy(base_delay=0.0005, jitter=0.0),
+    )
+    service.register_database("g", random_graph(n, 0.3, seed=n))
+    service.prepare("tc", TC_QUERY, ("u", "v"))
+    service.set_tenant("steady", TenantPolicy())
+    service.set_tenant(
+        "flaky",
+        TenantPolicy(max_attempts=2, breaker_threshold=2, breaker_cooldown=1e9),
+    )
+    service.set_tenant("tight", TenantPolicy(budget=Budget(max_rows=1)))
+
+    async def drive() -> None:
+        for i in range(requests):
+            tenant, chaos = "steady", None
+            if i % 7 == 3:
+                # persistent fault: fails every attempt, trips the breaker
+                tenant, chaos = "flaky", ChaosPolicy(seed=i, fail_at=1)
+            elif i % 5 == 2:
+                # transient fault: first attempt fails, the retry is clean
+                chaos = [ChaosPolicy(seed=i, fail_at=1), None]
+            elif i % 9 == 4:
+                # row budget too small: walks the degradation ladder
+                tenant = "tight"
+            try:
+                await service.call(
+                    tenant, "tc", "g", request_seed=i, chaos=chaos
+                )
+            except (Overloaded, ResourceExhausted):
+                pass  # structured failures are part of the drill
+        gate = asyncio.Event()
+
+        async def blocker() -> None:
+            await service.admission.admit("blocker")
+            try:
+                await gate.wait()
+            finally:
+                service.admission.release(0.0)
+
+        blockers = [
+            asyncio.ensure_future(blocker())
+            for _ in range(service.admission.max_concurrency)
+        ]
+        await asyncio.sleep(0)  # blockers take every concurrency slot
+        calls = [
+            asyncio.ensure_future(
+                service.call("steady", "tc", "g", request_seed=requests + j)
+            )
+            for j in range(max_queue + burst)
+        ]
+        await asyncio.sleep(0)  # every burst call reaches admission
+        gate.set()
+        await asyncio.gather(*calls, return_exceptions=True)
+        await asyncio.gather(*blockers)
+
+    asyncio.run(drive())
+    service.close()
+    snap = service.registry.snapshot()
+    return {
+        "requests": float(snap["serve.requests"]),
+        "ok": float(snap["serve.ok"]),
+        "failed": float(snap["serve.failed"]),
+        "shed": float(snap["serve.shed"]),
+        "retries": float(snap["serve.retries"]),
+        "degraded": float(snap["serve.degraded"]),
+        "breaker_trips": float(snap["serve.breaker_trips"]),
+        "answer_rows": float(snap["serve.answer_rows"]),
+    }
+
+
 @dataclass(frozen=True)
 class PerfExperiment:
     """One registry entry: what to run and which counters to fit."""
@@ -237,6 +343,15 @@ EXPERIMENTS: Dict[str, PerfExperiment] = {
         fit_counters=("sat_variables", "sat_clauses"),
         repetitions=1,
     ),
+    "SERVE": PerfExperiment(
+        experiment_id="SERVE",
+        title="Query service robustness drill: deterministic serve counters",
+        parameters=(6.0, 8.0, 10.0),
+        workload=serve_workload,
+        options={"requests": 18, "max_queue": 4, "burst": 8},
+        fit_counters=("ok", "answer_rows"),
+        repetitions=1,
+    ),
 }
 
 #: Bench-module spellings accepted by the CLI (``repro perf record
@@ -246,6 +361,7 @@ ALIASES: Dict[str, str] = {
     "bench_table2_fp_packed": "T2-FP-PACKED",
     "bench_table2_fo": "T2-FO",
     "bench_table2_eso": "T2-ESO",
+    "bench_serve": "SERVE",
 }
 
 

@@ -1,0 +1,266 @@
+"""The ``repro serve`` subcommand: run, and smoke-test, the service.
+
+Two modes share one flag surface:
+
+* **server mode** (default) — register databases from standard-encoding
+  files (``--db NAME=PATH``), prepare queries
+  (``--prepare NAME=OUTVARS=QUERY``), then listen until interrupted::
+
+      python -m repro serve --db g=graph.db \\
+          --prepare "tc=u,v=[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)" \\
+          --port 8080 --workers 2
+
+* **smoke mode** (``--smoke N``) — the CI resilience drill: start the
+  server on an ephemeral port, fire ``N`` concurrent HTTP clients at it
+  across four tenants, inject one worker crash mid-run
+  (``--crash-at``), and assert that every response is either a correct
+  answer (differentially checked against a direct in-process
+  evaluation) or a structured 429/503.  Exit 0 only if that holds and
+  the injected crash was actually retried.
+
+The smoke drill auto-provisions a seeded random graph database
+(``smoke``) and the transitive-closure query (``tc``) so it needs no
+files; ``--telemetry PATH`` writes the per-request JSONL log CI uploads
+as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import Query
+from repro.database.database import Database
+from repro.errors import ReproError
+from repro.guard.budget import Budget
+from repro.guard.chaos import ChaosPolicy
+from repro.serve.admission import TenantPolicy
+from repro.serve.http import ServeHTTP
+from repro.serve.service import ChaosSpec, QueryService
+
+#: The smoke drill's workload: transitive closure, the paper's canonical
+#: bounded-variable fixpoint query.
+TC_QUERY = "[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](u, v)"
+
+
+def _smoke_db(seed: int, size: int = 12, edges: int = 30) -> Database:
+    rng = random.Random(seed)
+    tuples = set()
+    while len(tuples) < edges:
+        tuples.add((rng.randrange(size), rng.randrange(size)))
+    return Database.from_tuples(range(size), {"E": (2, sorted(tuples))})
+
+
+def _parse_prepare(spec: str) -> Tuple[str, Tuple[str, ...], str]:
+    parts = spec.split("=", 2)
+    if len(parts) != 3:
+        raise ReproError(
+            f"--prepare expects NAME=OUTVARS=QUERY, got {spec!r}"
+        )
+    name, outvars, text = parts
+    out = tuple(v.strip() for v in outvars.split(",") if v.strip())
+    return name, out, text
+
+
+def _build_service(args: argparse.Namespace) -> QueryService:
+    injector = None
+    if args.smoke is not None and args.crash_at > 0:
+        crash = ChaosPolicy(
+            seed=args.seed, fail_at=2, fault_kinds=("crash",)
+        )
+
+        def injector(index: int) -> ChaosSpec:
+            # one transient crash: the first attempt of request
+            # `crash_at` dies, its retry runs clean
+            return [crash, None] if index == args.crash_at else None
+
+    service = QueryService(
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        telemetry_path=args.telemetry,
+        fault_injector=injector,
+    )
+    for tenant, weight in (("t0", 1.0), ("t1", 1.0), ("t2", 2.0), ("t3", 4.0)):
+        service.set_tenant(
+            tenant,
+            TenantPolicy(
+                weight=weight,
+                budget=Budget(deadline_seconds=args.request_deadline),
+            ),
+        )
+    for spec in args.db or ():
+        name, _, path = spec.partition("=")
+        if not path:
+            raise ReproError(f"--db expects NAME=PATH, got {spec!r}")
+        from repro.database.encoding import decode_database
+
+        with open(path) as handle:
+            service.register_database(name, decode_database(handle.read().strip()))
+    for spec in args.prepare or ():
+        name, out, text = _parse_prepare(spec)
+        service.prepare(name, text, out)
+    return service
+
+
+async def _http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, object]] = None,
+) -> Tuple[int, Dict[str, object]]:
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    # parse Content-Length rather than reading to EOF: a worker process
+    # forked while this connection is open would hold its fd and delay
+    # the FIN indefinitely
+    head_bytes = await reader.readuntil(b"\r\n\r\n")
+    status = int(head_bytes.split()[1])
+    length = 0
+    for line in head_bytes.decode("latin-1").split("\r\n"):
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body_bytes = await reader.readexactly(length) if length else b""
+    writer.close()
+    return status, json.loads(body_bytes.decode() or "{}")
+
+
+async def _run_smoke(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    db = _smoke_db(args.seed)
+    service.register_database("smoke", db)
+    service.prepare("tc", TC_QUERY, ("u", "v"))
+    expected = sorted(
+        Query.parse(TC_QUERY, ("u", "v")).run(db).relation.tuples
+    )
+    server = ServeHTTP(service, args.host, args.port)
+    host, port = await server.start()
+    print(f"smoke: serving on {host}:{port}, firing {args.smoke} requests "
+          f"(crash injected at request {args.crash_at})")
+
+    async def one_call(i: int) -> Tuple[int, Dict[str, object]]:
+        try:
+            return await _http_json(
+                host, port, "POST", "/call",
+                {"tenant": f"t{i % 4}", "query": "tc", "db": "smoke"},
+            )
+        except Exception as exc:  # a hang/connection bug = drill failure
+            return -1, {"error": "client", "detail": repr(exc)}
+
+    results = await asyncio.gather(
+        *[one_call(i) for i in range(args.smoke)]
+    )
+    _, stats = await _http_json(host, port, "GET", "/stats")
+    await server.close()
+    service.close()
+
+    counts: Dict[int, int] = {}
+    wrong: List[int] = []
+    for i, (status, body) in enumerate(results):
+        counts[status] = counts.get(status, 0) + 1
+        if status == 200:
+            rows = sorted(tuple(row) for row in body["rows"])
+            if rows != expected:
+                wrong.append(i)
+    metrics = stats.get("metrics", {})
+    retries = metrics.get("serve.retries", 0)
+    crashes = metrics.get("serve.worker_crashes", 0)
+    print(f"smoke: statuses={dict(sorted(counts.items()))} "
+          f"retries={retries} worker_crashes={crashes} "
+          f"shed={metrics.get('serve.shed', 0)}")
+    latency = metrics.get("serve.latency_seconds", {})
+    if isinstance(latency, dict) and latency.get("count"):
+        print(f"smoke: latency p50={latency.get('p50', 0):.4f}s "
+              f"p95={latency.get('p95', 0):.4f}s "
+              f"p99={latency.get('p99', 0):.4f}s")
+    ok = True
+    bad_statuses = [s for s in counts if s not in (200, 429, 503)]
+    if bad_statuses:
+        print(f"smoke: FAIL — unexpected statuses {bad_statuses}")
+        ok = False
+    if wrong:
+        print(f"smoke: FAIL — {len(wrong)} responses had wrong rows")
+        ok = False
+    if args.crash_at > 0 and args.crash_at <= args.smoke and retries < 1:
+        print("smoke: FAIL — injected crash was never retried")
+        ok = False
+    if ok:
+        print(f"smoke: OK — all {args.smoke} requests answered correctly "
+              "or shed with structured errors")
+    return 0 if ok else 1
+
+
+async def _run_server(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    server = ServeHTTP(service, args.host, args.port)
+    host, port = await server.start()
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(workers={args.workers}, concurrency={args.max_concurrency}, "
+          f"queue={args.max_queue})")
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except asyncio.CancelledError:
+        raise
+    finally:
+        await server.close()
+        service.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        if args.smoke is not None:
+            return asyncio.run(_run_smoke(args))
+        return asyncio.run(_run_server(args))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shut down cleanly")
+        return 0
+
+
+def add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant query service (HTTP)",
+        description="Serve prepared bounded-variable queries over HTTP "
+        "with admission control, retries, and load shedding.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = evaluate inline)")
+    p.add_argument("--max-concurrency", type=int, default=2,
+                   help="requests evaluated at once")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="queued requests before shedding")
+    p.add_argument("--request-deadline", type=float, default=30.0,
+                   help="per-request tenant deadline (seconds)")
+    p.add_argument("--db", action="append", metavar="NAME=PATH",
+                   help="register a database file (repeatable)")
+    p.add_argument("--prepare", action="append", metavar="NAME=OUTVARS=QUERY",
+                   help="prepare a named query (repeatable)")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="append per-request JSONL telemetry to PATH")
+    p.add_argument("--smoke", type=int, default=None, metavar="N",
+                   help="smoke drill: N concurrent requests, then exit")
+    p.add_argument("--crash-at", type=int, default=7, metavar="K",
+                   help="smoke drill: inject a worker crash at request K "
+                   "(0 = none)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="smoke drill: database/chaos seed")
+    p.set_defaults(func=cmd_serve)
+
+
+__all__ = ["TC_QUERY", "add_serve_parser", "cmd_serve"]

@@ -1,0 +1,269 @@
+"""A dependency-free asyncio HTTP front end for :class:`QueryService`.
+
+Deliberately minimal — stdlib only, HTTP/1.1 with ``Connection: close``
+per request — because the point of :mod:`repro.serve` is the robustness
+machinery behind the socket, not the socket itself.  Routes:
+
+==============  ====  ====================================================
+``/healthz``    GET   liveness probe → ``{"ok": true}``
+``/stats``      GET   :meth:`QueryService.stats` (metrics, breakers, pool)
+``/register``   POST  ``{"name", "domain", "relations"}`` or
+                      ``{"name", "encoding"}`` (the paper's standard
+                      encoding, via :func:`decode_database`)
+``/prepare``    POST  ``{"name", "query", "output_vars"}``
+``/call``       POST  ``{"tenant", "query", "db", "strategy"?,
+                      "backend"?, "seed"?, "chaos"?}``
+``/mutate``     POST  ``{"db", "op", "relation", "values"}``
+==============  ====  ====================================================
+
+Error mapping — the structured failure taxonomy over the wire:
+
+* :class:`~repro.errors.Overloaded` → **429** with a ``Retry-After``
+  header and ``{"error": "overloaded", "reason", "retry_after"}``;
+* :class:`~repro.errors.ResourceExhausted` → **503** with
+  ``{"error": "resource-exhausted", "kind", "limit", "used"}``;
+* other :class:`~repro.errors.ReproError` (bad names, parse errors,
+  malformed bodies) → **400**;
+* anything else → **500** (and counts as a server bug in the smoke test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.database.database import Database
+from repro.database.encoding import decode_database
+from repro.errors import (
+    EvaluationError,
+    Overloaded,
+    ReproError,
+    ResourceExhausted,
+)
+from repro.guard.chaos import ChaosPolicy
+from repro.serve.service import QueryService
+
+_MAX_BODY = 8 << 20
+
+
+def _json_response(
+    status: int,
+    body: Dict[str, object],
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+    payload = json.dumps(body, sort_keys=True, default=repr).encode()
+    head = [
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+
+
+def _chaos_from_body(spec: Optional[Dict[str, object]]) -> Optional[ChaosPolicy]:
+    """Build a ChaosPolicy from a request body (smoke/chaos tooling only)."""
+    if not spec:
+        return None
+    return ChaosPolicy(
+        seed=int(spec.get("seed", 0)),
+        fail_at=spec.get("fail_at"),
+        fail_within=spec.get("fail_within"),
+        fault_kinds=tuple(spec.get("fault_kinds", ("fault",))),
+    )
+
+
+def _database_from_body(body: Dict[str, object]) -> Database:
+    if "encoding" in body:
+        return decode_database(str(body["encoding"]).strip())
+    try:
+        domain = body["domain"]
+        relations = {
+            name: (int(spec["arity"]), [tuple(t) for t in spec["tuples"]])
+            for name, spec in body["relations"].items()
+        }
+    except (KeyError, TypeError) as exc:
+        raise EvaluationError(f"malformed database body: {exc}") from exc
+    return Database.from_tuples(domain, relations)
+
+
+class ServeHTTP:
+    """One listening socket in front of one :class:`QueryService`."""
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the actual (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            raw = await self._read_request(reader)
+            if raw is None:
+                return
+            method, path, body = raw
+            response = await self._route(method, path, body)
+        except ConnectionError:
+            return
+        except Exception as exc:  # a handler bug, not a client error
+            response = _json_response(
+                500, {"error": "internal", "detail": str(exc)}
+            )
+        try:
+            writer.write(response)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, object]]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        request_line, _, header_block = head.partition(b"\r\n")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for line in header_block.decode("latin-1").split("\r\n"):
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = min(int(value.strip()), _MAX_BODY)
+                except ValueError:
+                    length = 0
+        body: Dict[str, object] = {}
+        if length > 0:
+            data = await reader.readexactly(length)
+            try:
+                body = json.loads(data.decode())
+            except ValueError:
+                body = {"__malformed__": True}
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: Dict[str, object]
+    ) -> bytes:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return _json_response(200, {"ok": True})
+        if path == "/stats":
+            return _json_response(200, self.service.stats())
+        if method != "POST":
+            return _json_response(405, {"error": "method-not-allowed"})
+        if body.get("__malformed__"):
+            return _json_response(400, {"error": "malformed-json"})
+        try:
+            if path == "/register":
+                db = _database_from_body(body)
+                self.service.register_database(str(body["name"]), db)
+                return _json_response(
+                    200, {"registered": body["name"], "size": db.size()}
+                )
+            if path == "/prepare":
+                info = self.service.prepare(
+                    str(body["name"]),
+                    str(body["query"]),
+                    tuple(body.get("output_vars", ())),
+                )
+                return _json_response(200, info)
+            if path == "/call":
+                response = await self.service.call(
+                    str(body.get("tenant", "default")),
+                    str(body["query"]),
+                    str(body["db"]),
+                    strategy=str(body.get("strategy", "monotone")),
+                    backend=body.get("backend"),
+                    request_seed=body.get("seed"),
+                    chaos=_chaos_from_body(body.get("chaos")),
+                )
+                return _json_response(200, response.as_dict())
+            if path == "/mutate":
+                outcome = self.service.mutate(
+                    str(body["db"]),
+                    str(body["op"]),
+                    str(body["relation"]),
+                    tuple(body["values"]),
+                )
+                return _json_response(200, outcome)
+        except Overloaded as exc:
+            retry_after = exc.retry_after if exc.retry_after > 0 else 0.001
+            return _json_response(
+                429,
+                {
+                    "error": "overloaded",
+                    "reason": exc.reason,
+                    "retry_after": retry_after,
+                    "tenant": exc.tenant,
+                    "detail": str(exc),
+                },
+                extra_headers=(
+                    ("Retry-After", str(max(1, math.ceil(retry_after)))),
+                ),
+            )
+        except ResourceExhausted as exc:
+            return _json_response(
+                503,
+                {
+                    "error": "resource-exhausted",
+                    "kind": exc.kind,
+                    "limit": exc.limit,
+                    "used": exc.used,
+                    "detail": str(exc),
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return _json_response(
+                400, {"error": "bad-request", "detail": repr(exc)}
+            )
+        except ReproError as exc:
+            return _json_response(
+                400,
+                {
+                    "error": "bad-request",
+                    "kind": type(exc).__name__,
+                    "detail": str(exc),
+                },
+            )
+        return _json_response(404, {"error": "not-found", "path": path})
+
+
+__all__ = ["ServeHTTP"]

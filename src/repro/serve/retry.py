@@ -1,0 +1,149 @@
+"""Retry with jittered exponential backoff, and per-tenant breakers.
+
+Evaluation is pure — the same query against the same database state
+always yields the same relation — so re-running a request after a worker
+crash or an injected fault is idempotent *by construction*.  That makes
+a retry loop the cheapest robustness layer in the service: the only
+questions are *how long to wait* between attempts and *when to stop
+trusting the backend at all*.
+
+* :class:`RetryPolicy` answers the first: capped exponential backoff
+  with multiplicative jitter, fully deterministic per ``(policy seed,
+  request seed)`` so chaos tests can assert the exact schedule.
+* :class:`CircuitBreaker` answers the second: after ``threshold``
+  *consecutive* backend failures for one tenant, the breaker opens and
+  the tenant's requests bypass the worker pool for ``cooldown`` seconds,
+  degrading to serial in-process evaluation (still correct, just not
+  isolated).  After the cooldown one probe request is let back through;
+  its outcome closes or re-opens the breaker.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic jittered exponential backoff.
+
+    ``delay(attempt)`` for attempt 1, 2, ... is
+    ``min(max_delay, base_delay * multiplier**(attempt-1))`` scaled by a
+    seeded jitter factor in ``[1-jitter, 1+jitter]``.  Two requests with
+    different ``request_seed`` get decorrelated schedules (no retry
+    stampede after a shared fault), while the same request replays the
+    same schedule every run.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def delays(self, request_seed: int = 0) -> Iterator[float]:
+        """The backoff delays after attempts 1, 2, ... (never exhausts)."""
+        rng = random.Random((self.seed << 32) ^ (request_seed & 0xFFFFFFFF))
+        delay = self.base_delay
+        while True:
+            factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(self.max_delay, delay) * factor
+            delay *= self.multiplier
+
+
+class CircuitBreaker:
+    """A per-tenant failure breaker with open/half-open/closed states.
+
+    Counts *consecutive* failures; any success resets the count.  While
+    open, :meth:`allow` answers ``False`` (callers degrade to the serial
+    in-process path) until ``cooldown`` seconds have passed — then the
+    breaker turns half-open and exactly one caller is admitted as a
+    probe.  :meth:`record_success` on the probe closes the breaker,
+    :meth:`record_failure` re-opens it for a fresh cooldown.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown",
+        "_clock",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "_probing",
+        "trips",
+    )
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """The current state, advancing open → half-open on its own."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+            self._probing = False
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """May this request use the real backend (the worker pool)?"""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._probing = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        state = self._state
+        if state == HALF_OPEN or (
+            state == CLOSED and self._failures >= self.threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probing = False
+            self.trips += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._failures}/{self.threshold}, "
+            f"trips={self.trips})"
+        )
+
+
+__all__ = ["CLOSED", "CircuitBreaker", "HALF_OPEN", "OPEN", "RetryPolicy"]

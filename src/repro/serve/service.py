@@ -1,0 +1,557 @@
+"""The multi-tenant query service: sessions, retries, degradation.
+
+:class:`QueryService` is the tentpole of :mod:`repro.serve`.  It owns
+
+* a **registry** of named databases and prepared queries — a query is
+  parsed and validated once (:meth:`prepare`) and evaluated many times,
+  the serving shape the paper's combined-complexity results argue for
+  (the query is small and fixed, the data large and changing);
+* an **admission controller** (:class:`~repro.serve.admission.AdmissionController`)
+  in front of a bounded worker pool, with per-tenant
+  :class:`~repro.serve.admission.TenantPolicy` budgets as the admission
+  currency;
+* a **retry loop** with deterministic jittered backoff and per-tenant
+  :class:`~repro.serve.retry.CircuitBreaker` — transient faults
+  (injected chaos, worker-process crashes) are retried, and a tenant
+  whose backend keeps failing is short-circuited to serial in-process
+  evaluation until the breaker's cooldown passes;
+* a **degradation ladder** for genuine resource exhaustion — a request
+  that blows a row/iteration budget is retried on a cheaper
+  configuration (packed → sparse backend, seminaive → naive strategy,
+  cache off) instead of failing outright, and the response reports
+  exactly which fallback served it;
+* **telemetry** — every request lands in the shared metrics registry
+  and (optionally) a JSONL event log.
+
+Every request resolves to exactly one of: a correct
+:class:`ServeResponse`, a structured :class:`~repro.errors.Overloaded`
+(shed, expired, or out of retries), or a structured
+:class:`~repro.errors.ResourceExhausted` (the tenant's own budget, after
+the ladder ran dry).  The chaos suite asserts that trichotomy under
+sustained fault injection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import Query
+from repro.database.database import Database
+from repro.errors import (
+    EvaluationError,
+    Overloaded,
+    ReproError,
+    ResourceExhausted,
+)
+from repro.guard.chaos import ChaosPolicy, InjectedFault
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.cache import SubqueryCache
+from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.retry import CircuitBreaker, RetryPolicy
+from repro.serve.telemetry import TelemetryLog
+from repro.serve.workers import (
+    WorkerCrashed,
+    WorkerPool,
+    build_payload,
+    evaluate_payload,
+)
+
+#: Per-request chaos: one policy applied to every attempt (a persistent
+#: fault), or a sequence indexed by attempt number (entry ``i`` hits
+#: attempt ``i+1``; missing/``None`` entries leave the attempt clean —
+#: the transient-fault shape retry loops exist for).
+ChaosSpec = Union[None, ChaosPolicy, Sequence[Optional[ChaosPolicy]]]
+
+#: When the shared cache holds at least this fraction of its row bound,
+#: new requests bypass it (``"cache-bypass"``) instead of thrashing the
+#: LRU under pressure.
+CACHE_PRESSURE_FRACTION = 0.9
+
+
+def _chaos_for_attempt(chaos: ChaosSpec, attempt: int) -> Optional[ChaosPolicy]:
+    if chaos is None or isinstance(chaos, ChaosPolicy):
+        return chaos
+    index = attempt - 1
+    if 0 <= index < len(chaos):
+        return chaos[index]
+    return None
+
+
+@dataclass
+class ServeResponse:
+    """One successfully served request, with its full robustness trail."""
+
+    tenant: str
+    query: str
+    db: str
+    rows: Tuple[Tuple[object, ...], ...]
+    arity: int
+    language: str
+    served_by: str  #: ``"pool"`` | ``"inline"`` | ``"breaker"``
+    attempts: int
+    retries: int
+    degraded: Tuple[str, ...]
+    queue_wait: float
+    seconds: float = 0.0
+    peak_rows: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly rendering (rows become lists)."""
+        return {
+            "tenant": self.tenant,
+            "query": self.query,
+            "db": self.db,
+            "rows": [list(row) for row in self.rows],
+            "arity": self.arity,
+            "language": self.language,
+            "served_by": self.served_by,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "degraded": list(self.degraded),
+            "queue_wait": self.queue_wait,
+            "seconds": self.seconds,
+            "peak_rows": self.peak_rows,
+        }
+
+
+class QueryService:
+    """A long-lived, multi-tenant bounded-variable query service.
+
+    Parameters
+    ----------
+    max_concurrency / max_queue / expected_service_seconds:
+        Admission knobs — see :class:`AdmissionController`.
+    workers:
+        ``0`` (default) evaluates inline in this process — deterministic
+        and single-flight, the right mode for tests and benches.  ``> 0``
+        runs a supervised :class:`~repro.serve.workers.WorkerPool` of
+        that many processes; worker crashes are retried transparently.
+    retry:
+        The backoff schedule shared by all tenants (each tenant's
+        ``max_attempts`` comes from its :class:`TenantPolicy`).
+    cache:
+        ``True`` shares one :class:`~repro.perf.cache.SubqueryCache`
+        across requests (inline path) and enables per-process worker
+        caches (pool path); an instance is used as-is; falsy disables.
+    fault_injector:
+        Optional ``request_index -> ChaosSpec`` hook — how the smoke
+        test and the chaos bench inject faults into a live service
+        without touching client code.
+    clock / sleep:
+        Injectable for deterministic tests (``sleep`` defaults to
+        :func:`asyncio.sleep`).
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 2,
+        max_queue: int = 16,
+        workers: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Union[bool, SubqueryCache, None] = True,
+        telemetry_path: Optional[str] = None,
+        fault_injector: Optional[Callable[[int], ChaosSpec]] = None,
+        expected_service_seconds: float = 0.02,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], "asyncio.Future"]] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._clock = clock
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+            expected_service_seconds=expected_service_seconds,
+            clock=clock,
+            registry=self.registry,
+        )
+        self._pool = WorkerPool(workers) if workers > 0 else None
+        if cache is True:
+            self._cache: Optional[SubqueryCache] = SubqueryCache(
+                registry=self.registry
+            )
+        elif isinstance(cache, SubqueryCache):
+            self._cache = cache
+        else:
+            self._cache = None
+        self.telemetry = TelemetryLog(telemetry_path)
+        self.fault_injector = fault_injector
+        self._dbs: Dict[str, Database] = {}
+        self._queries: Dict[str, Query] = {}
+        self._tenants: Dict[str, TenantPolicy] = {}
+        self._default_policy = TenantPolicy()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._request_index = 0
+        self._requests = self.registry.counter("serve.requests")
+        self._ok = self.registry.counter("serve.ok")
+        self._failed = self.registry.counter("serve.failed")
+        self._retries = self.registry.counter("serve.retries")
+        self._degraded = self.registry.counter("serve.degraded")
+        self._crashes = self.registry.counter("serve.worker_crashes")
+        self._short_circuit = self.registry.counter(
+            "serve.breaker_short_circuit"
+        )
+        self._breaker_trips = self.registry.counter("serve.breaker_trips")
+        self._answer_rows = self.registry.counter("serve.answer_rows")
+        self._latency = self.registry.histogram("serve.latency_seconds")
+
+    # -- registry --------------------------------------------------------
+
+    def register_database(self, name: str, db: Database) -> None:
+        """Register (or replace) a named database for serving."""
+        if not isinstance(db, Database):
+            raise EvaluationError(
+                f"register_database expects a Database, got {type(db).__name__}"
+            )
+        self._dbs[name] = db
+
+    def database(self, name: str) -> Database:
+        try:
+            return self._dbs[name]
+        except KeyError:
+            raise EvaluationError(f"unknown database {name!r}") from None
+
+    def mutate(
+        self, db_name: str, op: str, relation: str, values: Sequence[object]
+    ) -> Dict[str, object]:
+        """Apply one fact mutation to a registered database.
+
+        Bumps the database's generation counter (so cache keys move on)
+        and additionally invalidates the shared cache — generations make
+        stale hits *impossible*, invalidation releases the now-dead rows.
+        """
+        db = self.database(db_name)
+        if op == "add":
+            applied = db.add_fact(relation, values)
+        elif op == "remove":
+            applied = db.remove_fact(relation, values)
+        else:
+            raise EvaluationError(
+                f"unknown mutation op {op!r} (expected 'add' or 'remove')"
+            )
+        if applied and self._cache is not None:
+            self._cache.invalidate()
+        return {
+            "applied": applied,
+            "db": db_name,
+            "generation": db.generation,
+        }
+
+    def prepare(
+        self, name: str, text: str, output_vars: Sequence[str] = ()
+    ) -> Dict[str, object]:
+        """Parse, validate, and store a named query — compiled once here,
+        evaluated many times by :meth:`call`."""
+        query = Query.parse(text, output_vars=output_vars, name=name)
+        self._queries[name] = query
+        return {
+            "name": name,
+            "width": query.width,
+            "language": query.language.value,
+            "arity": query.arity,
+        }
+
+    def query(self, name: str) -> Query:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise EvaluationError(f"unknown prepared query {name!r}") from None
+
+    def set_tenant(self, name: str, policy: TenantPolicy) -> None:
+        self._tenants[name] = policy
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._tenants.get(tenant, self._default_policy)
+
+    def _breaker(self, tenant: str, policy: TenantPolicy) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=policy.breaker_threshold,
+                cooldown=policy.breaker_cooldown,
+                clock=self._clock,
+            )
+            self._breakers[tenant] = breaker
+        return breaker
+
+    # -- serving ---------------------------------------------------------
+
+    async def call(
+        self,
+        tenant: str,
+        query: str,
+        db: str,
+        strategy: str = "monotone",
+        backend: Optional[str] = None,
+        request_seed: Optional[int] = None,
+        chaos: ChaosSpec = None,
+    ) -> ServeResponse:
+        """Serve one request end to end.
+
+        Raises :class:`~repro.errors.Overloaded` when shed or out of
+        retries, :class:`~repro.errors.ResourceExhausted` when the
+        tenant's own budget ran out even after degradation, and other
+        :class:`~repro.errors.ReproError` subclasses for invalid
+        requests (unknown names, malformed queries) — those are never
+        retried.
+        """
+        self._request_index += 1
+        index = self._request_index
+        self._requests.inc()
+        compiled = self.query(query)
+        database = self.database(db)
+        policy = self.policy_for(tenant)
+        if chaos is None and self.fault_injector is not None:
+            chaos = self.fault_injector(index)
+        seed = index if request_seed is None else request_seed
+        try:
+            queue_wait = await self.admission.admit(
+                tenant, weight=policy.weight, deadline=policy.deadline()
+            )
+        except Overloaded as exc:
+            self._failed.inc()
+            self._emit_failure(tenant, query, db, "overloaded", exc.reason)
+            raise
+        start = self._clock()
+        try:
+            response = await self._serve(
+                tenant, policy, compiled, database,
+                query, db, strategy, backend, seed, chaos, queue_wait,
+            )
+        except Overloaded as exc:
+            self._failed.inc()
+            self._emit_failure(tenant, query, db, "overloaded", exc.reason)
+            raise
+        except ResourceExhausted as exc:
+            self._failed.inc()
+            self._emit_failure(tenant, query, db, "exhausted", exc.kind)
+            raise
+        except ReproError as exc:
+            self._failed.inc()
+            self._emit_failure(tenant, query, db, "error", str(exc))
+            raise
+        finally:
+            self.admission.release(self._clock() - start)
+        response.seconds = self._clock() - start
+        self._ok.inc()
+        self._answer_rows.inc(len(response.rows))
+        self._latency.observe(response.seconds)
+        self.telemetry.emit(
+            {
+                "event": "call",
+                "outcome": "ok",
+                "tenant": tenant,
+                "query": query,
+                "db": db,
+                "served_by": response.served_by,
+                "attempts": response.attempts,
+                "retries": response.retries,
+                "degraded": list(response.degraded),
+                "queue_wait": round(queue_wait, 6),
+                "seconds": round(response.seconds, 6),
+                "rows": len(response.rows),
+            }
+        )
+        return response
+
+    async def _serve(
+        self,
+        tenant: str,
+        policy: TenantPolicy,
+        compiled: Query,
+        database: Database,
+        query_name: str,
+        db_name: str,
+        strategy: str,
+        backend: Optional[str],
+        seed: int,
+        chaos: ChaosSpec,
+        queue_wait: float,
+    ) -> ServeResponse:
+        """The retry/degradation loop for one admitted request."""
+        breaker = self._breaker(tenant, policy)
+        trips_before = breaker.trips
+        if self._pool is None:
+            served_by = "inline"
+        elif breaker.allow():
+            served_by = "pool"
+        else:
+            served_by = "breaker"
+            self._short_circuit.inc()
+        degraded: List[str] = []
+        cache_on = self._cache is not None
+        if cache_on and self._cache_pressured():
+            cache_on = False
+            degraded.append("cache-bypass")
+            self._degraded.inc()
+        cur_strategy = strategy
+        cur_backend = backend
+        delays = self.retry.delays(seed)
+        max_attempts = max(1, policy.max_attempts)
+        attempts = 0
+        retries = 0
+        while True:
+            attempts += 1
+            payload = build_payload(
+                compiled.formula,
+                database,
+                compiled.output_vars,
+                strategy=cur_strategy,
+                k_limit=None,
+                backend=cur_backend,
+                budget=policy.budget,
+                chaos=_chaos_for_attempt(chaos, attempts),
+                cache=cache_on,
+                allow_crash=served_by == "pool",
+            )
+            try:
+                if served_by == "pool":
+                    raw = await self._pool.submit(payload)
+                else:
+                    raw = evaluate_payload(
+                        payload, cache=self._cache if cache_on else None
+                    )
+                breaker.record_success()
+                return ServeResponse(
+                    tenant=tenant,
+                    query=query_name,
+                    db=db_name,
+                    rows=tuple(tuple(row) for row in raw["rows"]),
+                    arity=int(raw["arity"]),
+                    language=str(raw["language"]),
+                    served_by=served_by,
+                    attempts=attempts,
+                    retries=retries,
+                    degraded=tuple(degraded),
+                    queue_wait=queue_wait,
+                    peak_rows=int(raw["peak_rows"]),
+                    stats=dict(raw["stats"]),
+                )
+            except (InjectedFault, WorkerCrashed) as exc:
+                if isinstance(exc, WorkerCrashed):
+                    self._crashes.inc()
+                breaker.record_failure()
+                self._breaker_trips.set(
+                    self._breaker_trips.value + breaker.trips - trips_before
+                )
+                trips_before = breaker.trips
+                if attempts >= max_attempts:
+                    raise Overloaded(
+                        f"request failed after {attempts} attempts "
+                        f"(last: {exc})",
+                        retry_after=next(delays),
+                        reason="retries-exhausted",
+                        tenant=tenant,
+                    ) from exc
+                retries += 1
+                self._retries.inc()
+                if served_by == "pool" and not breaker.allow():
+                    served_by = "breaker"
+                    self._short_circuit.inc()
+                await self._sleep(next(delays))
+            except ResourceExhausted as exc:
+                # The tenant's own budget, not a backend fault: never a
+                # breaker failure, and retrying the same configuration
+                # would only exhaust it again — walk the ladder instead.
+                step = self._degrade_step(
+                    exc, cur_backend, cur_strategy, cache_on
+                )
+                if step is None:
+                    raise
+                tag, cur_backend, cur_strategy, cache_on = step
+                degraded.append(tag)
+                self._degraded.inc()
+                attempts -= 1  # ladder rungs are free; retries are not
+
+    def _degrade_step(
+        self,
+        exc: ResourceExhausted,
+        backend: Optional[str],
+        strategy: str,
+        cache_on: bool,
+    ) -> Optional[Tuple[str, Optional[str], str, bool]]:
+        """The next degradation rung, or ``None`` when the ladder is dry.
+
+        Deadline exhaustion is never degraded — a cheaper configuration
+        cannot recover wall-clock time already spent.
+        """
+        if exc.kind == "deadline":
+            return None
+        if backend == "packed":
+            return ("packed→sparse", "sparse", strategy, cache_on)
+        if strategy == "seminaive":
+            return ("seminaive→naive", backend, "naive", cache_on)
+        if cache_on:
+            return ("cache-off", backend, strategy, False)
+        return None
+
+    def _cache_pressured(self) -> bool:
+        cache = self._cache
+        return (
+            cache is not None
+            and cache.max_total_rows > 0
+            and cache.total_rows
+            >= CACHE_PRESSURE_FRACTION * cache.max_total_rows
+        )
+
+    def _emit_failure(
+        self, tenant: str, query: str, db: str, outcome: str, detail: str
+    ) -> None:
+        self.telemetry.emit(
+            {
+                "event": "call",
+                "outcome": outcome,
+                "detail": detail,
+                "tenant": tenant,
+                "query": query,
+                "db": db,
+            }
+        )
+
+    # -- observability / lifecycle --------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` document: metrics snapshot + structural state."""
+        return {
+            "metrics": self.registry.snapshot(),
+            "admission": {
+                "running": self.admission.running,
+                "queued": self.admission.queued,
+                "predicted_wait": self.admission.predicted_wait(),
+            },
+            "breakers": {
+                tenant: {
+                    "state": breaker.state,
+                    "consecutive_failures": breaker.consecutive_failures,
+                    "trips": breaker.trips,
+                }
+                for tenant, breaker in sorted(self._breakers.items())
+            },
+            "pool": {
+                "workers": self._pool.workers if self._pool else 0,
+                "restarts": self._pool.restarts if self._pool else 0,
+            },
+            "databases": sorted(self._dbs),
+            "queries": sorted(self._queries),
+            "cache": repr(self._cache) if self._cache is not None else None,
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+        self.telemetry.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(queries={len(self._queries)}, "
+            f"dbs={len(self._dbs)}, {self.admission!r})"
+        )
+
+
+__all__ = ["ChaosSpec", "QueryService", "ServeResponse"]

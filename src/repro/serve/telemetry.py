@@ -1,0 +1,54 @@
+"""Live service telemetry: JSONL event log + aggregated stats view.
+
+The serve layer keeps all its numeric state in the session's shared
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, latency
+histograms with p50/p95/p99), so ``/stats`` is just a snapshot of that
+registry plus the structural readings (breaker states, pool restarts,
+queue depth) that are not plain numbers.
+
+:class:`TelemetryLog` is the append-only half: one JSON object per line
+per completed (or shed) request, flushed eagerly so a crashed server
+still leaves a usable log — CI uploads this file as the smoke-test
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Optional
+
+
+class TelemetryLog:
+    """An append-only JSONL request log; a no-op when ``path`` is None."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+        self.events = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Write one event as a JSON line (flushed immediately)."""
+        self.events += 1
+        if self.path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        json.dump(event, self._handle, sort_keys=True, default=repr)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        target = self.path if self.path is not None else "<disabled>"
+        return f"TelemetryLog({target!r}, events={self.events})"
+
+
+__all__ = ["TelemetryLog"]

@@ -1,0 +1,215 @@
+"""Request execution: in-process evaluation and the supervised pool.
+
+One request's evaluation is described by a plain picklable *payload*
+dict — formula, database, output variables, and the per-attempt options
+(strategy, backend, budget, chaos).  :func:`evaluate_payload` runs one
+payload in the current process; :class:`WorkerPool` ships payloads to a
+``ProcessPoolExecutor`` and supervises it:
+
+* a worker process dying mid-request (a real crash, or a
+  :class:`~repro.guard.chaos.ChaosPolicy` ``"crash"`` fault escalated
+  via ``os._exit``) surfaces as ``BrokenProcessPool``, which poisons the
+  whole executor — the pool is torn down with the non-blocking
+  :func:`~repro.complexity.measure.shutdown_pool` helper and rebuilt on
+  the next submit, and the failed request surfaces as the retryable
+  :class:`WorkerCrashed`;
+* pool workers keep a per-process :class:`~repro.perf.cache.SubqueryCache`
+  that stays warm across the requests each worker serves — the pool
+  analogue of the service's shared in-process cache.
+
+Results cross the process boundary as plain dicts (sorted rows + stats),
+never as live ``EvalResult`` objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Dict, Optional
+
+from repro.complexity.measure import shutdown_pool
+from repro.errors import ReproError
+from repro.guard.chaos import InjectedFault
+from repro.perf.cache import SubqueryCache
+
+
+class WorkerCrashed(ReproError):
+    """A pool worker died mid-request; the request is safe to retry."""
+
+
+def build_payload(
+    formula,
+    db,
+    out,
+    strategy: str = "monotone",
+    k_limit: Optional[int] = None,
+    backend: Optional[str] = None,
+    budget=None,
+    chaos=None,
+    cache: bool = False,
+    allow_crash: bool = False,
+) -> Dict[str, object]:
+    """The picklable description of one evaluation attempt."""
+    return {
+        "formula": formula,
+        "db": db,
+        "out": tuple(out),
+        "strategy": strategy,
+        "k_limit": k_limit,
+        "backend": backend,
+        "budget": budget,
+        "chaos": chaos,
+        "cache": bool(cache),
+        "allow_crash": bool(allow_crash),
+    }
+
+
+def evaluate_payload(
+    payload: Dict[str, object], cache: Optional[SubqueryCache] = None
+) -> Dict[str, object]:
+    """Evaluate one payload and return a plain, picklable answer dict.
+
+    ``cache`` overrides the payload's cache flag with a concrete
+    instance — the inline path passes the service's shared cross-request
+    cache; pool workers pass their per-process cache.
+    """
+    from repro.core.engine import EvalOptions, evaluate
+    from repro.core.fp_eval import FixpointStrategy
+
+    subquery_cache = cache if cache is not None else bool(payload["cache"])
+    options = EvalOptions(
+        strategy=FixpointStrategy(payload["strategy"]),
+        k_limit=payload["k_limit"],
+        budget=payload["budget"],
+        chaos=payload["chaos"],
+        subquery_cache=subquery_cache,
+        backend=payload["backend"],
+    )
+    result = evaluate(
+        payload["formula"], payload["db"], payload["out"], options
+    )
+    peak_rows = (
+        result.guard.peak_rows
+        if result.guard is not None and hasattr(result.guard, "peak_rows")
+        else result.stats.max_intermediate_rows
+    )
+    return {
+        "rows": sorted(result.relation.tuples, key=repr),
+        "arity": result.relation.arity,
+        "language": result.language.value,
+        "stats": result.stats.as_dict(),
+        "peak_rows": int(peak_rows),
+    }
+
+
+#: Exit status a worker dies with on an escalated chaos crash; chosen
+#: from sysexits' EX_SOFTWARE so real segfault codes stay recognizable.
+CRASH_EXIT_CODE = 70
+
+#: The per-worker-process cross-request cache (pool workers only).
+_WORKER_CACHE: Optional[SubqueryCache] = None
+
+
+def _worker_cache() -> SubqueryCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = SubqueryCache()
+    return _WORKER_CACHE
+
+
+def worker_call(payload: Dict[str, object]) -> Dict[str, object]:
+    """The pool-worker entry point (module-level, hence picklable).
+
+    An :class:`InjectedFault` of kind ``"crash"`` escalates to a real
+    process death when the payload allows it — that is how the chaos
+    suite exercises genuine ``BrokenProcessPool`` recovery end to end.
+    """
+    cache = _worker_cache() if payload["cache"] else None
+    try:
+        return evaluate_payload(payload, cache=cache)
+    except InjectedFault as fault:
+        if fault.kind == "crash" and payload.get("allow_crash"):
+            os._exit(CRASH_EXIT_CODE)
+        raise
+
+
+class WorkerPool:
+    """A self-healing ``ProcessPoolExecutor`` facade.
+
+    The executor is created lazily and rebuilt after a crash poisons it;
+    concurrent submits that all observe the same broken executor trigger
+    exactly one rebuild.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.restarts = 0
+
+    @staticmethod
+    def _context():
+        """A start method whose workers inherit no server file descriptors.
+
+        Plain ``fork`` duplicates every open fd into each worker — with
+        an asyncio HTTP server in the parent, a forked worker keeps
+        client-connection sockets alive, so ``Connection: close``
+        responses never reach EOF and clients hang.  ``forkserver``
+        (preferred: workers fork from a clean, import-warm server
+        process) and ``spawn`` (portable fallback) both avoid that.
+        """
+        try:
+            return multiprocessing.get_context("forkserver")
+        except ValueError:
+            return multiprocessing.get_context("spawn")
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context()
+            )
+        return self._pool
+
+    async def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Run one payload in a worker; raises :class:`WorkerCrashed`
+        (retryable) when the worker process died under it."""
+        loop = asyncio.get_running_loop()
+        pool = self._ensure()
+        try:
+            return await loop.run_in_executor(pool, worker_call, payload)
+        except BrokenExecutor as exc:
+            self._restart(pool)
+            raise WorkerCrashed(
+                f"worker process died mid-request: {exc}"
+            ) from exc
+
+    def _restart(self, broken: ProcessPoolExecutor) -> None:
+        if self._pool is broken:
+            shutdown_pool(broken, graceful=False)
+            self._pool = None
+            self.restarts += 1
+
+    def close(self, graceful: bool = True) -> None:
+        if self._pool is not None:
+            shutdown_pool(self._pool, graceful=graceful)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        state = "idle" if self._pool is None else "up"
+        return (
+            f"WorkerPool(workers={self.workers}, {state}, "
+            f"restarts={self.restarts})"
+        )
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "WorkerCrashed",
+    "WorkerPool",
+    "build_payload",
+    "evaluate_payload",
+    "worker_call",
+]

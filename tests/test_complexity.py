@@ -219,3 +219,59 @@ class TestSweepFailureCapture:
 
         result = run_sweep("guarded", [5, 7, 9], workload, warmup=False)
         assert [p.outcome for p in result.points] == ["ok", "timeout", "ok"]
+
+
+class TestPoolLifecycle:
+    """The shared pool helpers: never hang on interrupt (the
+    ``repro sweep --jobs N`` Ctrl-C fix, reused by repro.serve)."""
+
+    def test_pool_scope_clean_path_waits_for_results(self):
+        from repro.complexity.measure import pool_scope
+
+        with pool_scope(1) as pool:
+            future = pool.submit(sum, (1, 2, 3))
+        assert future.result(timeout=0) == 6  # done before scope exit
+
+    def test_pool_scope_cancels_queued_work_on_exception(self):
+        import time
+
+        from repro.complexity.measure import pool_scope
+
+        queued = []
+        started = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            with pool_scope(1) as pool:
+                pool.submit(time.sleep, 0.5)  # occupies the only worker
+                queued = [pool.submit(time.sleep, 10.0) for _ in range(4)]
+                raise KeyboardInterrupt
+        # the scope must not have blocked on the 10s sleeps
+        assert time.monotonic() - started < 5.0
+        # cancellation happens on the executor's management thread,
+        # shortly after shutdown(wait=False) returns
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if any(f.cancelled() for f in queued):
+                break
+            time.sleep(0.01)
+        assert any(f.cancelled() for f in queued)
+
+    def test_shutdown_pool_nongraceful_returns_immediately(self):
+        import time
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.complexity.measure import shutdown_pool
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        pool.submit(time.sleep, 0.2)
+        # deep enough that some stay in the executor's pending dict
+        # (the first couple move to the call queue and can't cancel)
+        queued = [pool.submit(time.sleep, 10.0) for _ in range(4)]
+        started = time.monotonic()
+        shutdown_pool(pool, graceful=False)
+        assert time.monotonic() - started < 5.0
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if any(f.cancelled() for f in queued):
+                break
+            time.sleep(0.01)
+        assert any(f.cancelled() for f in queued)

@@ -212,3 +212,89 @@ class TestChaosPolicy:
         )
         with pytest.raises(SpaceBudgetExceeded):
             guard.charge_rows(1)
+
+
+class TestGuardReset:
+    """Sequential reuse across requests: repro.serve's guard lifecycle."""
+
+    def test_reset_restores_the_full_iteration_budget(self):
+        guard = ResourceGuard(Budget(max_iterations=3))
+        for _ in range(3):
+            guard.charge_iteration()
+        guard.reset()
+        for _ in range(3):  # the second request gets the full budget
+            guard.charge_iteration()
+        with pytest.raises(IterationBudgetExceeded):
+            guard.charge_iteration()
+
+    def test_reset_reanchors_the_deadline(self):
+        clock = FakeClock()
+        guard = ResourceGuard(Budget(deadline_seconds=1.0), clock=clock)
+        clock.advance(0.9)
+        guard.checkpoint()  # still inside the first request's deadline
+        guard.reset()
+        clock.advance(0.9)
+        guard.checkpoint()  # a full fresh second, not the 0.1s remnant
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded):
+            guard.checkpoint()
+
+    def test_reset_clears_rows_high_water_and_snapshot(self):
+        guard = ResourceGuard(Budget(max_rows=10))
+        guard.charge_rows(9)
+        guard.charge_decision()
+        guard.reset()
+        assert guard.peak_rows == 0
+        snap = guard.snapshot()
+        assert snap["decisions"] == 0
+        guard.charge_rows(9)  # no leak from the first request
+
+    def test_reset_clears_stage_clauses(self):
+        guard = ResourceGuard(Budget(max_clauses=5))
+        guard.charge_clauses(5)
+        guard.reset()
+        guard.charge_clauses(5)  # would raise if the stage count leaked
+        assert guard.clauses == 5
+
+    def test_null_guard_reset_is_a_noop(self):
+        NULL_GUARD.reset()  # must not raise
+
+
+class TestChaosFaultKinds:
+    def test_unknown_kind_is_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError) as info:
+            ChaosPolicy(fault_kinds=("bogus",))
+        assert "bogus" in str(info.value)
+
+    def test_kind_choice_is_seed_deterministic(self):
+        from repro.guard.chaos import FAULT_KINDS
+
+        kinds = {
+            ChaosPolicy(seed=5, fail_at=1, fault_kinds=FAULT_KINDS).kind
+            for _ in range(5)
+        }
+        assert len(kinds) == 1
+        assert kinds.pop() in FAULT_KINDS
+
+    def test_fault_carries_its_kind(self):
+        policy = ChaosPolicy(fail_at=1, fault_kinds=("crash",))
+        guard = ResourceGuard(chaos=policy)
+        with pytest.raises(InjectedFault) as info:
+            guard.checkpoint()
+        assert info.value.kind == "crash"
+        assert info.value.checkpoint == 1
+
+    def test_slow_kind_sleeps_once_instead_of_raising(self):
+        naps = []
+        policy = ChaosPolicy(
+            fail_at=1,
+            fault_kinds=("slow",),
+            slow_fault_seconds=0.25,
+            sleep=naps.append,
+        )
+        guard = ResourceGuard(chaos=policy)
+        guard.checkpoint()  # fires the slow fault: a delay, not an error
+        guard.checkpoint()
+        assert naps == [0.25]

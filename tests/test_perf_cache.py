@@ -176,3 +176,54 @@ class TestEngineIntegration:
         )
         assert cache.hits >= 1
         assert second.stats.notes.get("subquery_cache_hits", 0) >= 1
+
+
+class TestGenerationKeys:
+    """Cache keys embed the database generation: mutations can never
+    serve stale rows, even without an explicit invalidate."""
+
+    def test_key_moves_when_a_fact_is_added(self):
+        cache = SubqueryCache()
+        db = _db()
+        before = _key(cache, "E(x, x)", db)
+        assert db.add_fact("E", (2, 0))
+        after = _key(cache, "E(x, x)", db)
+        assert before != after
+        assert before[3] == 0 and after[3] == 1  # the generation slot
+
+    def test_noop_mutations_keep_the_key(self):
+        cache = SubqueryCache()
+        db = _db()
+        before = _key(cache, "E(x, x)", db)
+        assert not db.add_fact("E", (0, 1))  # already present
+        assert not db.remove_fact("E", (2, 0))  # never existed
+        assert _key(cache, "E(x, x)", db) == before
+
+    def test_stale_rows_regression_after_add_fact(self):
+        """The bug this guards: a warm shared cache returning rows
+        computed before the database changed."""
+        db = _db(4)  # path 0→1→2→3
+        formula = parse_formula("exists y. E(x, y)")
+        cache = SubqueryCache()
+        first = evaluate(formula, db, ("x",), EvalOptions(subquery_cache=cache))
+        assert (3,) not in first.relation.tuples
+        assert db.add_fact("E", (3, 0))
+        second = evaluate(
+            formula, db, ("x",), EvalOptions(subquery_cache=cache)
+        )
+        assert (3,) in second.relation.tuples  # fresh, not the cached rows
+        # and the warm entries for the old generation were not hit
+        plain = evaluate(formula, db, ("x",), EvalOptions())
+        assert second.relation == plain.relation
+
+    def test_remove_fact_also_moves_the_generation(self):
+        db = _db(4)
+        formula = parse_formula("exists y. E(x, y)")
+        cache = SubqueryCache()
+        first = evaluate(formula, db, ("x",), EvalOptions(subquery_cache=cache))
+        assert (2,) in first.relation.tuples
+        assert db.remove_fact("E", (2, 3))
+        second = evaluate(
+            formula, db, ("x",), EvalOptions(subquery_cache=cache)
+        )
+        assert (2,) not in second.relation.tuples

@@ -1,0 +1,160 @@
+"""The chaos drill: 200 requests under seeded fault injection.
+
+The serve layer's acceptance criterion is a trichotomy — under
+sustained chaos, every request must resolve to exactly one of
+
+* a **correct** :class:`ServeResponse` (differentially checked against
+  a direct in-process evaluation of the same prepared query),
+* a structured :class:`~repro.errors.Overloaded` (shed or retried out),
+* a structured :class:`~repro.errors.ResourceExhausted` (the tenant's
+  own budget, after the degradation ladder ran dry).
+
+No hangs (the whole drill runs under a hard ``wait_for`` timeout), no
+wrong answers, no stray exception types, and the robustness counters
+(retries, breaker trips, degradations) must all show up in ``stats()``.
+"""
+
+import asyncio
+
+from repro.core.engine import Query
+from repro.database.database import Database
+from repro.errors import Overloaded, ResourceExhausted
+from repro.guard.budget import Budget
+from repro.guard.chaos import ChaosPolicy
+from repro.serve.admission import TenantPolicy
+from repro.serve.cli import TC_QUERY
+from repro.serve.retry import RetryPolicy
+from repro.serve.service import QueryService
+
+REQUESTS = 200
+DRILL_TIMEOUT = 120.0  # a hang, not slowness, is what this bounds
+
+
+def _chaos_for(i):
+    """The scripted fault mix, seeded by request index."""
+    if i % 7 == 3:
+        # persistent: every attempt fails → retries exhaust, breaker feels it
+        return "flaky", ChaosPolicy(seed=i, fail_at=1)
+    if i % 5 == 2:
+        # transient: first attempt fails, the retry runs clean
+        return "steady", [ChaosPolicy(seed=i, fail_at=1), None]
+    if i % 9 == 4:
+        # no injected fault, but an impossible row budget
+        return "tight", None
+    return "steady", None
+
+
+def test_chaos_drill_trichotomy():
+    db = Database.from_tuples(
+        range(8), {"E": (2, [(i, i + 1) for i in range(7)])}
+    )
+    expected = sorted(
+        Query.parse(TC_QUERY, ("u", "v")).run(db).relation.tuples
+    )
+    service = QueryService(
+        max_concurrency=2,
+        max_queue=32,
+        retry=RetryPolicy(base_delay=0.0, jitter=0.0, seed=0),
+    )
+    service.register_database("g", db)
+    service.prepare("tc", TC_QUERY, ("u", "v"))
+    service.set_tenant("steady", TenantPolicy())
+    service.set_tenant(
+        "flaky", TenantPolicy(max_attempts=2, breaker_threshold=3)
+    )
+    service.set_tenant("tight", TenantPolicy(budget=Budget(max_rows=1)))
+
+    async def one(i):
+        tenant, chaos = _chaos_for(i)
+        try:
+            return await service.call(
+                tenant, "tc", "g", request_seed=i, chaos=chaos
+            )
+        except (Overloaded, ResourceExhausted) as exc:
+            return exc
+        # anything else propagates and fails the drill
+
+    async def drill():
+        return await asyncio.wait_for(
+            asyncio.gather(*[one(i) for i in range(REQUESTS)]),
+            timeout=DRILL_TIMEOUT,
+        )
+
+    results = asyncio.run(drill())
+    service.close()
+
+    assert len(results) == REQUESTS  # nothing lost, nothing hung
+    ok = [r for r in results if not isinstance(r, Exception)]
+    overloaded = [r for r in results if isinstance(r, Overloaded)]
+    exhausted = [r for r in results if isinstance(r, ResourceExhausted)]
+    assert len(ok) + len(overloaded) + len(exhausted) == REQUESTS
+
+    # zero wrong answers: every success is differentially correct
+    for response in ok:
+        assert sorted(response.rows) == expected
+
+    # the scripted faults actually fired
+    assert any(r.reason == "retries-exhausted" for r in overloaded)
+    assert all(exc.kind == "rows" for exc in exhausted)
+    assert len(exhausted) >= 1
+
+    snap = service.registry.snapshot()
+    assert snap["serve.requests"] == REQUESTS
+    assert snap["serve.ok"] == len(ok)
+    assert snap["serve.failed"] == len(overloaded) + len(exhausted)
+    assert snap["serve.retries"] >= 1  # transient faults were retried
+    assert snap["serve.breaker_trips"] >= 1  # the flaky tenant tripped
+    assert snap["serve.degraded"] >= 1  # the tight tenant walked the ladder
+
+    # the same counters surface through the /stats document
+    stats = service.stats()
+    assert stats["metrics"]["serve.retries"] == snap["serve.retries"]
+    assert stats["breakers"]["flaky"]["trips"] >= 1
+
+
+def test_chaos_drill_is_seed_deterministic():
+    """Two identical drills produce identical robustness counters."""
+
+    def run_once():
+        db = Database.from_tuples(
+            range(6), {"E": (2, [(i, i + 1) for i in range(5)])}
+        )
+        service = QueryService(
+            max_concurrency=1,
+            max_queue=64,
+            retry=RetryPolicy(base_delay=0.0, jitter=0.0, seed=7),
+        )
+        service.register_database("g", db)
+        service.prepare("tc", TC_QUERY, ("u", "v"))
+        service.set_tenant(
+            "flaky", TenantPolicy(max_attempts=2, breaker_threshold=2)
+        )
+        service.set_tenant("tight", TenantPolicy(budget=Budget(max_rows=1)))
+
+        async def one(i):
+            tenant, chaos = _chaos_for(i)
+            try:
+                await service.call(
+                    tenant, "tc", "g", request_seed=i, chaos=chaos
+                )
+            except (Overloaded, ResourceExhausted):
+                pass
+
+        async def drill():
+            await asyncio.gather(*[one(i) for i in range(40)])
+
+        asyncio.run(drill())
+        snap = service.registry.snapshot()
+        service.close()
+        return {
+            key: snap["serve." + key]
+            for key in (
+                "requests", "ok", "failed", "retries",
+                "degraded", "breaker_trips", "answer_rows",
+            )
+        }
+
+    first, second = run_once(), run_once()
+    assert first == second
+    assert first["requests"] == 40
+    assert first["retries"] >= 1
