@@ -76,6 +76,67 @@ def _concurrent_load(n: int, requests: int) -> dict:
     }
 
 
+def _obs_overhead(n: int, requests: int) -> dict:
+    """Measure the observability tax: traced vs untraced drive time,
+    /metrics render cost, and the recorder/trace-store footprint.
+
+    Wall-clock readings by definition — they go in the text block only.
+    The one asserted claim is structural: the exposition parses and is
+    non-empty, so a scrape of a loaded service always yields samples.
+    """
+    import time
+
+    from repro.obs.expo import parse_exposition
+    from repro.perf.experiments import TC_QUERY
+    from repro.serve.service import QueryService
+    from repro.workloads.graphs import random_graph
+
+    def build() -> QueryService:
+        service = QueryService(max_concurrency=2, max_queue=requests)
+        service.register_database("g", random_graph(n, 0.3, seed=n))
+        service.prepare("tc", TC_QUERY, ("u", "v"))
+        return service
+
+    def drive(service: QueryService, trace: bool) -> float:
+        async def go():
+            await asyncio.gather(
+                *[
+                    service.call(
+                        f"t{i % 4}", "tc", "g", request_seed=i, trace=trace
+                    )
+                    for i in range(requests)
+                ]
+            )
+
+        start = time.perf_counter()
+        asyncio.run(go())
+        return time.perf_counter() - start
+
+    plain_service = build()
+    plain = drive(plain_service, False)
+    plain_service.close()
+
+    service = build()
+    traced = drive(service, True)
+    renders = 50
+    start = time.perf_counter()
+    for _ in range(renders):
+        text = service.metrics_text()
+    render = (time.perf_counter() - start) / renders
+    samples = parse_exposition(text)
+    assert samples, "a loaded service must expose at least one sample"
+    result = {
+        "plain": plain,
+        "traced": traced,
+        "render": render,
+        "samples": len(samples),
+        "flight": service.flight.recorded,
+        "traces": len(service.traces),
+    }
+    service.close()
+    return result
+
+
 def bench_serve_drill(benchmark):
     """The gated robustness drill across database sizes."""
     jobs = bench_jobs()
@@ -121,6 +182,8 @@ def bench_serve_drill(benchmark):
 
     load = _concurrent_load(SIZES[-1], LOAD_REQUESTS)
     latency, wait = load["latency"], load["queue_wait"]
+    obs = _obs_overhead(SIZES[-1], LOAD_REQUESTS)
+    tax = obs["traced"] / max(obs["plain"], 1e-9)
     body = (
         series_table(
             (
@@ -138,6 +201,14 @@ def bench_serve_drill(benchmark):
         + f"\n  latency  p50={latency['p50']:.4f}s "
         f"p95={latency['p95']:.4f}s p99={latency['p99']:.4f}s"
         + f"\n  queue wait  p50={wait['p50']:.4f}s p95={wait['p95']:.4f}s"
+        + f"\n\nobservability tax (n={SIZES[-1]}, {LOAD_REQUESTS} requests; "
+        "wall-clock, not gated):"
+        + f"\n  drive untraced={obs['plain']:.4f}s "
+        f"traced={obs['traced']:.4f}s (x{tax:.2f} with full span shipping)"
+        + f"\n  /metrics render {obs['render'] * 1000:.3f} ms/scrape, "
+        f"{obs['samples']} samples parsed back"
+        + f"\n  flight events recorded={obs['flight']}, "
+        f"traces retained={obs['traces']}"
         + ("" if jobs == 1 else f"\nsweep ran with {jobs} worker processes")
     )
     emit("SERVE", "query service robustness drill + concurrent load", body)

@@ -240,6 +240,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.obs.explain import ProgressReporter, annotate_evaluation
     from repro.obs.tracer import Tracer
 
+    if args.trace_file:
+        return _explain_trace_file(args.trace_file)
     if args.experiment:
         from repro.perf.experiments import explain_target
 
@@ -325,6 +327,47 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             return 1
         print("# witness replayed against the database: ok")
     return 0
+
+
+def _explain_trace_file(path: str) -> int:
+    """Render a recorded trace (e.g. a served request's reassembled
+    cross-process trace) without re-running any evaluation."""
+    from repro.obs.explain import spans_from_dicts
+    from repro.obs.profile import parse_trace_jsonl
+    from repro.obs.report import render_span_tree
+
+    with open(path, encoding="utf-8") as handle:
+        roots = spans_from_dicts(parse_trace_jsonl(handle.read()))
+    if not roots:
+        raise ReproError(f"no spans in trace file {path!r}")
+
+    class _Recorded:
+        # the minimal tracer surface render_span_tree walks
+        def roots(self):
+            return roots
+
+    request_ids = sorted(
+        {
+            str(span.attrs["request_id"])
+            for span in roots
+            if "request_id" in span.attrs
+        }
+    )
+    span_count = sum(1 for root in roots for _ in _walk_spans(root))
+    print(f"== recorded trace {path} ==")
+    if request_ids:
+        print(f"request(s): {', '.join(request_ids)}")
+    print(f"{span_count} span(s), {len(roots)} root(s)")
+    print()
+    print(render_span_tree(_Recorded()))
+    return 0
+
+
+def _walk_spans(span):
+    yield span
+    for child in span.children:
+        for descendant in _walk_spans(child):
+            yield descendant
 
 
 def _cmd_trace_diff(args: argparse.Namespace) -> int:
@@ -851,6 +894,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the raw spans as JSONL to this file",
+    )
+    p_explain.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="render a recorded trace JSONL instead of evaluating — "
+        "e.g. a served request's cross-process trace "
+        "(repro serve --smoke --trace-out)",
     )
     _add_backend_argument(p_explain)
     _add_budget_arguments(p_explain)

@@ -22,6 +22,17 @@ intermediate relation sizes (Prop 3.1), fixpoint iteration counts
 * :mod:`repro.obs.explain` — annotated evaluation trees (spans merged
   with the formula AST and the ``n^k`` cost model), trace diffing, and
   the live fixpoint :class:`~repro.obs.explain.ProgressReporter`.
+* :mod:`repro.obs.rolling` — fixed-bucket sliding windows (1s buckets,
+  60s/300s horizons): the *current* latency/error view of a live server.
+* :mod:`repro.obs.slo` — availability/latency objectives with
+  error-budget burn-rate computation over the rolling windows.
+* :mod:`repro.obs.expo` — Prometheus-style text exposition of the
+  registry plus rolling/SLO readings (the ``GET /metrics`` document).
+* :mod:`repro.obs.flight` — the always-on flight recorder: a bounded
+  event ring dumped as a JSON post-mortem on failures.
+* :mod:`repro.obs.correlate` — cross-process trace correlation:
+  request ids, worker-span reassembly, and the recent-trace store
+  behind ``GET /trace``.
 
 See ``docs/observability.md`` for the span and metric catalogue and how
 each maps back to a bound in the paper, and ``docs/benchmarking.md``
@@ -34,7 +45,32 @@ from repro.obs.metrics import (
     Histogram,
     MetricsError,
     MetricsRegistry,
+    quantile_from_buckets,
 )
+from repro.obs.correlate import (
+    TraceStore,
+    assemble_trace,
+    attempt_record,
+    new_request_id,
+    trace_jsonl,
+)
+from repro.obs.expo import (
+    ExpositionError,
+    gauge_family,
+    metric_name,
+    parse_exposition,
+    registry_families,
+    render_exposition,
+    render_families,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.rolling import (
+    WindowSet,
+    WindowedCounter,
+    WindowedHistogram,
+    horizon_label,
+)
+from repro.obs.slo import SLOBoard, SLOPolicy, SLOTracker
 from repro.obs.explain import (
     ExplainReport,
     NodeReport,
@@ -102,6 +138,27 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "ExplainReport",
+    "ExpositionError",
+    "FlightRecorder",
+    "SLOBoard",
+    "SLOPolicy",
+    "SLOTracker",
+    "TraceStore",
+    "WindowSet",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "assemble_trace",
+    "attempt_record",
+    "gauge_family",
+    "horizon_label",
+    "metric_name",
+    "new_request_id",
+    "parse_exposition",
+    "quantile_from_buckets",
+    "registry_families",
+    "render_exposition",
+    "render_families",
+    "trace_jsonl",
     "Gauge",
     "Histogram",
     "MetricsError",

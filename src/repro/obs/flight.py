@@ -1,0 +1,176 @@
+"""The flight recorder: a bounded ring of recent events, dumped on failure.
+
+Lifetime counters say *how often* things fail; a post-mortem needs to
+know *what just happened*.  The :class:`FlightRecorder` is the black box
+between the two: an always-on, fixed-size ring buffer of recent serve
+events (admissions, retries, worker crashes, degradations, sheds) that
+costs one dict append per event and nothing more — cheap enough to run
+under full production load forever.
+
+When something goes wrong the ring is snapshotted:
+
+* structured failure responses (``Overloaded`` 429, ``ResourceExhausted``
+  503) carry a compact snapshot filtered to the failing request plus the
+  surrounding context, so a single error body is already a post-mortem;
+* a worker crash or terminal failure *dumps* the whole ring as one JSON
+  file into the configured dump directory — the artifact the CI smoke
+  drill asserts and uploads.
+
+Events are plain dicts with a monotone sequence number and a relative
+timestamp; the ring never blocks, never allocates beyond its capacity,
+and drops the oldest events first (the ``dropped`` count in every
+snapshot says how many are gone).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+
+#: Default ring capacity; at one event per request phase this is a few
+#: hundred requests of context, ~100 KiB at worst.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """An always-on bounded event ring with JSON snapshot/dump.
+
+    ``record`` is safe to call from any thread (the serve layer is
+    asyncio-single-threaded, but telemetry and tests are not always);
+    it holds a lock for one append.  ``clock`` readings are stored
+    relative to the recorder's creation so dumps are self-contained.
+    """
+
+    __slots__ = (
+        "capacity",
+        "_clock",
+        "_epoch",
+        "_events",
+        "_lock",
+        "_seq",
+        "last_dump",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._epoch = clock()
+        self._events: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.last_dump: Optional[str] = None
+
+    def record(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Append one event; oldest events fall off a full ring."""
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, object] = {
+                "seq": self._seq,
+                "t": round(self._clock() - self._epoch, 6),
+                "kind": kind,
+            }
+            event.update(fields)
+            self._events.append(event)
+        return event
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including dropped ones)."""
+        return self._seq
+
+    @property
+    def captured(self) -> int:
+        """Events currently held in the ring."""
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events that have fallen off the ring."""
+        return self._seq - len(self._events)
+
+    def events(
+        self,
+        limit: Optional[int] = None,
+        kind: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """The newest matching events, oldest first.
+
+        ``kind`` and ``request_id`` filter; ``limit`` keeps only the
+        newest matches (a 429 body wants the tail, not the whole ring).
+        """
+        with self._lock:
+            items = list(self._events)
+        if kind is not None:
+            items = [e for e in items if e.get("kind") == kind]
+        if request_id is not None:
+            items = [e for e in items if e.get("request_id") == request_id]
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def snapshot(
+        self,
+        limit: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """A JSON-friendly view: ring accounting plus recent events."""
+        return {
+            "captured": self.captured,
+            "dropped": self.dropped,
+            "recorded": self.recorded,
+            "events": self.events(limit=limit, request_id=request_id),
+        }
+
+    def dump(
+        self,
+        directory: str,
+        reason: str,
+        request_id: Optional[str] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Write the full ring as one JSON file; returns its path.
+
+        Filenames are ``flight-<reason>-<seq>.json`` — the sequence
+        number makes consecutive dumps distinct without wall-clock
+        stamps, and sorts them in incident order.
+        """
+        os.makedirs(directory, exist_ok=True)
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+        )
+        path = os.path.join(
+            directory, f"flight-{safe_reason}-{self._seq:08d}.json"
+        )
+        document: Dict[str, object] = {
+            "reason": reason,
+            "request_id": request_id,
+            **self.snapshot(),
+        }
+        if extra:
+            document["context"] = dict(extra)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, default=repr)
+            handle.write("\n")
+        self.last_dump = path
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder(captured={self.captured}/{self.capacity}, "
+            f"dropped={self.dropped})"
+        )
+
+
+__all__ = ["DEFAULT_CAPACITY", "FlightRecorder"]

@@ -18,7 +18,8 @@ Three instrument kinds:
     ``pfp.peak_live_tuples``).  ``set_max`` keeps the running maximum.
 ``Histogram``
     A distribution (per-iteration delta sizes, span durations), bucketed
-    by powers of two.
+    by powers of two, with a bounded reservoir sample backing the
+    quantile estimates so memory never grows with lifetime.
 
 All instruments are plain Python objects with no locks: the library is
 single-threaded per evaluation, and a registry is cheap enough to create
@@ -27,6 +28,8 @@ per query.
 
 from __future__ import annotations
 
+import random
+import zlib
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -86,13 +89,108 @@ class Gauge:
 #: Default histogram bucket upper bounds: powers of two, then overflow.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(2.0**i for i in range(0, 21))
 
+#: Bucket bounds tuned for request latencies in seconds (1ms – 60s):
+#: the grid the serve layer's ``*_seconds`` histograms expose on
+#: ``/metrics``, so scrape-side quantiles stay sharp below one second.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+#: Default bounded-reservoir size: enough for tight quantiles, small
+#: enough that a histogram's memory is a fixed few KiB forever.
+DEFAULT_RESERVOIR_SIZE = 1024
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    buckets: Sequence[int],
+    count: int,
+    minimum: Optional[float],
+    maximum: Optional[float],
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile (``0 < q <= 1``) from bucket counts.
+
+    Standard bucketed estimation: walk the cumulative counts to the
+    bucket containing rank ``q·count``, then interpolate linearly inside
+    it.  The observed ``minimum``/``maximum`` clamp the extreme buckets,
+    so the estimate never leaves the observed range; the error is
+    bounded by the bucket width (a factor of two with the default
+    power-of-two bounds).  Shared by the cumulative :class:`Histogram`
+    fallback and the sliding windows of :mod:`repro.obs.rolling`.
+    """
+    if count == 0:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile {q} outside (0, 1]")
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            low = bounds[index - 1] if index > 0 else 0.0
+            high = (
+                bounds[index]
+                if index < len(bounds)
+                else maximum if maximum is not None else low
+            )
+            fraction = (rank - cumulative) / bucket_count
+            estimate = low + fraction * (high - low)
+            lo = minimum if minimum is not None else estimate
+            hi = maximum if maximum is not None else estimate
+            return min(max(estimate, lo), hi)
+        cumulative += bucket_count
+    return maximum if maximum is not None else 0.0
+
 
 class Histogram:
-    """A bucketed distribution with count/sum/min/max."""
+    """A bucketed distribution with count/sum/min/max.
 
-    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+    Memory is bounded for any lifetime: the bucket counts are a fixed
+    array, and raw observations are kept only in a bounded reservoir
+    (Vitter's Algorithm R, ``reservoir_size`` slots).  While the
+    reservoir still holds *every* observation its quantiles are exact
+    order statistics; once observations outnumber slots it degrades to
+    a uniform sample, and the bucket interpolation of
+    :func:`quantile_from_buckets` remains as the ``reservoir_size=0``
+    fallback.  The replacement RNG is seeded from the metric name, so
+    two histograms fed the same stream agree in any process.
+    """
 
-    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+    __slots__ = (
+        "name",
+        "bounds",
+        "buckets",
+        "count",
+        "total",
+        "min",
+        "max",
+        "reservoir_size",
+        "_reservoir",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ):
         self.name = name
         self.bounds: Tuple[float, ...] = tuple(
             bounds if bounds is not None else DEFAULT_BUCKETS
@@ -102,6 +200,9 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.reservoir_size = max(0, reservoir_size)
+        self._reservoir: List[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Union[int, float]) -> None:
         self.count += 1
@@ -111,55 +212,69 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         self.buckets[bisect_left(self.bounds, value)] += 1
+        if self.reservoir_size > 0:
+            if len(self._reservoir) < self.reservoir_size:
+                self._reservoir.append(float(value))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.reservoir_size:
+                    self._reservoir[slot] = float(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+    @property
+    def reservoir_exact(self) -> bool:
+        """``True`` while the reservoir still holds every observation."""
+        return 0 < self.count == len(self._reservoir)
 
-        Standard bucketed estimation: walk the cumulative counts to the
-        bucket containing rank ``q·count``, then interpolate linearly
-        inside it.  The observed ``min``/``max`` clamp the extreme
-        buckets, so the estimate never leaves the observed range; the
-        error is bounded by the bucket width (a factor of two with the
-        default power-of-two bounds).
+    @staticmethod
+    def _order_statistic(ordered: Sequence[float], q: float) -> float:
+        """Linear interpolation between adjacent order statistics."""
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``).
+
+        Uses the reservoir's order statistics when it is populated
+        (exact until ``count`` exceeds ``reservoir_size``, a uniform
+        sample after), and falls back to bucket interpolation when the
+        reservoir is disabled.
         """
         if self.count == 0:
             return 0.0
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile {q} outside (0, 1]")
-        rank = q * self.count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.buckets):
-            if bucket_count == 0:
-                continue
-            if cumulative + bucket_count >= rank:
-                low = self.bounds[index - 1] if index > 0 else 0.0
-                high = (
-                    self.bounds[index]
-                    if index < len(self.bounds)
-                    else self.max if self.max is not None else low
-                )
-                fraction = (rank - cumulative) / bucket_count
-                estimate = low + fraction * (high - low)
-                lo = self.min if self.min is not None else estimate
-                hi = self.max if self.max is not None else estimate
-                return min(max(estimate, lo), hi)
-            cumulative += bucket_count
-        return self.max if self.max is not None else 0.0
+        if self._reservoir:
+            return self._order_statistic(sorted(self._reservoir), q)
+        return quantile_from_buckets(
+            self.bounds, self.buckets, self.count, self.min, self.max, q
+        )
 
     def snapshot(self) -> Dict[str, float]:
+        if self._reservoir:
+            ordered = sorted(self._reservoir)
+            p50 = self._order_statistic(ordered, 0.50)
+            p95 = self._order_statistic(ordered, 0.95)
+            p99 = self._order_statistic(ordered, 0.99)
+        else:
+            p50 = self.quantile(0.50) if self.count else 0.0
+            p95 = self.quantile(0.95) if self.count else 0.0
+            p99 = self.quantile(0.99) if self.count else 0.0
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
         }
 
     def __repr__(self) -> str:
@@ -203,7 +318,16 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge)  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram; ``bounds`` only applies on first creation
+        (an existing instrument keeps its grid — the shared-store rule)."""
+        metric = self._metrics.get(name)
+        if metric is None and bounds is not None:
+            metric = Histogram(name, bounds=bounds)
+            self._metrics[name] = metric
+            return metric
         return self._get(name, Histogram)  # type: ignore[return-value]
 
     def __iter__(self) -> Iterator[Metric]:

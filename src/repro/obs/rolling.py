@@ -1,0 +1,328 @@
+"""Fixed-bucket sliding windows: the *current* view of a live service.
+
+The cumulative instruments in :mod:`repro.obs.metrics` answer "how much
+since the process started" — the right shape for the paper's counters,
+the wrong shape for an operator watching a server: a latency histogram
+that has absorbed a week of traffic cannot show the last minute's p95,
+and a lifetime error count cannot show an error-budget burn.
+
+This module keeps the classic fixed-bucket sliding window: time is cut
+into ``bucket_seconds``-wide buckets (1s by default), a window of
+``horizon`` seconds is a ring of ``horizon / bucket_seconds`` buckets,
+and a reading merges every bucket that is still inside the horizon.
+Writes are O(1) (index into the ring, reset the slot if its epoch is
+stale); reads are O(buckets), which is at most a few hundred and only
+happens on ``/stats`` / ``/metrics`` scrapes.
+
+Window semantics — the contract the property tests pin down:
+
+* an observation at time ``t`` lands in bucket ``floor(t / width)``;
+* a reading at time ``now`` covers the ``n`` bucket epochs
+  ``(floor(now / width) - n, floor(now / width)]`` — the current
+  (partial) bucket plus the ``n - 1`` before it;
+* therefore an observation expires between ``horizon - width`` and
+  ``horizon`` seconds after it was made, depending on where inside its
+  bucket it fell.  With 1s buckets on a 60s horizon the window always
+  covers between 59 and 60 seconds of wall time.
+
+Two instruments ride the ring:
+
+* :class:`WindowedCounter` — windowed totals and per-second rates
+  (requests, errors);
+* :class:`WindowedHistogram` — windowed distributions with the same
+  power-of-two buckets and p50/p95/p99 snapshot as the cumulative
+  :class:`~repro.obs.metrics.Histogram`.
+
+:class:`WindowSet` bundles one counter-or-histogram per horizon (the
+serve layer's 60s / 300s pair) behind a single ``observe``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, quantile_from_buckets
+
+#: The serve layer's standard horizons: one minute and five minutes.
+DEFAULT_HORIZONS: Tuple[float, ...] = (60.0, 300.0)
+
+
+class _Ring:
+    """The shared epoch-stamped bucket ring.
+
+    ``_epochs[slot]`` remembers which bucket epoch last wrote the slot;
+    a write into a slot whose epoch moved on resets it first, and a read
+    skips any slot whose epoch has left the horizon.  No timer, no
+    background task — expiry happens lazily on access.
+    """
+
+    __slots__ = ("width", "size", "_epochs", "_clock")
+
+    def __init__(
+        self,
+        horizon: float,
+        bucket_seconds: float,
+        clock: Callable[[], float],
+    ):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be > 0, got {bucket_seconds}"
+            )
+        self.width = float(bucket_seconds)
+        self.size = max(1, int(math.ceil(horizon / bucket_seconds)))
+        self._epochs: List[Optional[int]] = [None] * self.size
+        self._clock = clock
+
+    def _now(self, now: Optional[float]) -> float:
+        return self._clock() if now is None else now
+
+    def _epoch(self, now: float) -> int:
+        return int(now // self.width)
+
+    def write_slot(self, now: Optional[float]) -> Tuple[int, bool]:
+        """The slot for ``now``; ``True`` when the slot must be reset."""
+        epoch = self._epoch(self._now(now))
+        slot = epoch % self.size
+        fresh = self._epochs[slot] != epoch
+        self._epochs[slot] = epoch
+        return slot, fresh
+
+    def live_slots(self, now: Optional[float]) -> List[int]:
+        """Slots whose epoch is still inside the horizon at ``now``."""
+        epoch = self._epoch(self._now(now))
+        return [
+            slot
+            for slot, stamp in enumerate(self._epochs)
+            if stamp is not None and 0 <= epoch - stamp < self.size
+        ]
+
+
+class WindowedCounter:
+    """A monotone total over a sliding window (requests, errors, sheds)."""
+
+    __slots__ = ("name", "horizon", "_ring", "_values")
+
+    def __init__(
+        self,
+        name: str,
+        horizon: float = 60.0,
+        bucket_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.horizon = float(horizon)
+        self._ring = _Ring(horizon, bucket_seconds, clock)
+        self._values: List[float] = [0.0] * self._ring.size
+
+    def inc(self, amount: float = 1.0, now: Optional[float] = None) -> None:
+        slot, fresh = self._ring.write_slot(now)
+        if fresh:
+            self._values[slot] = 0.0
+        self._values[slot] += amount
+
+    def total(self, now: Optional[float] = None) -> float:
+        return sum(self._values[s] for s in self._ring.live_slots(now))
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Per-second rate over the window (total / horizon)."""
+        return self.total(now) / self.horizon
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        total = self.total(now)
+        return {"total": total, "rate": total / self.horizon}
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedCounter({self.name!r}, horizon={self.horizon:g}s, "
+            f"total={self.total():g})"
+        )
+
+
+class WindowedHistogram:
+    """A distribution over a sliding window (latency, queue wait).
+
+    Each ring slot holds its own count/sum/min/max plus the shared
+    power-of-two bucket counts; a snapshot merges the live slots and
+    estimates quantiles with the same bucket interpolation as the
+    cumulative :class:`~repro.obs.metrics.Histogram`, so windowed and
+    lifetime p95 readings are directly comparable.
+    """
+
+    __slots__ = (
+        "name",
+        "horizon",
+        "bounds",
+        "_ring",
+        "_counts",
+        "_sums",
+        "_mins",
+        "_maxs",
+        "_buckets",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        horizon: float = 60.0,
+        bucket_seconds: float = 1.0,
+        bounds: Optional[Sequence[float]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.horizon = float(horizon)
+        self.bounds: Tuple[float, ...] = tuple(
+            bounds if bounds is not None else DEFAULT_BUCKETS
+        )
+        self._ring = _Ring(horizon, bucket_seconds, clock)
+        size = self._ring.size
+        self._counts: List[int] = [0] * size
+        self._sums: List[float] = [0.0] * size
+        self._mins: List[Optional[float]] = [None] * size
+        self._maxs: List[Optional[float]] = [None] * size
+        self._buckets: List[List[int]] = [
+            [0] * (len(self.bounds) + 1) for _ in range(size)
+        ]
+
+    def observe(self, value: float, now: Optional[float] = None) -> None:
+        slot, fresh = self._ring.write_slot(now)
+        if fresh:
+            self._counts[slot] = 0
+            self._sums[slot] = 0.0
+            self._mins[slot] = None
+            self._maxs[slot] = None
+            bucket = self._buckets[slot]
+            for index in range(len(bucket)):
+                bucket[index] = 0
+        self._counts[slot] += 1
+        self._sums[slot] += value
+        low, high = self._mins[slot], self._maxs[slot]
+        if low is None or value < low:
+            self._mins[slot] = value
+        if high is None or value > high:
+            self._maxs[slot] = value
+        from bisect import bisect_left
+
+        self._buckets[slot][bisect_left(self.bounds, value)] += 1
+
+    def _merged(
+        self, now: Optional[float]
+    ) -> Tuple[int, float, Optional[float], Optional[float], List[int]]:
+        merged = [0] * (len(self.bounds) + 1)
+        count, total = 0, 0.0
+        low: Optional[float] = None
+        high: Optional[float] = None
+        for slot in self._ring.live_slots(now):
+            count += self._counts[slot]
+            total += self._sums[slot]
+            slot_min, slot_max = self._mins[slot], self._maxs[slot]
+            if slot_min is not None and (low is None or slot_min < low):
+                low = slot_min
+            if slot_max is not None and (high is None or slot_max > high):
+                high = slot_max
+            bucket = self._buckets[slot]
+            for index, n in enumerate(bucket):
+                merged[index] += n
+        return count, total, low, high, merged
+
+    def count(self, now: Optional[float] = None) -> int:
+        return self._merged(now)[0]
+
+    def quantile(self, q: float, now: Optional[float] = None) -> float:
+        count, _, low, high, merged = self._merged(now)
+        return quantile_from_buckets(self.bounds, merged, count, low, high, q)
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        count, total, low, high, merged = self._merged(now)
+
+        def q(p: float) -> float:
+            return quantile_from_buckets(self.bounds, merged, count, low, high, p)
+
+        return {
+            "count": count,
+            "sum": total,
+            "min": low if low is not None else 0.0,
+            "max": high if high is not None else 0.0,
+            "mean": total / count if count else 0.0,
+            "p50": q(0.50),
+            "p95": q(0.95),
+            "p99": q(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedHistogram({self.name!r}, horizon={self.horizon:g}s, "
+            f"count={self.count()})"
+        )
+
+
+def horizon_label(horizon: float) -> str:
+    """The stable label a horizon gets in snapshots and expositions."""
+    if horizon == int(horizon):
+        return f"{int(horizon)}s"
+    return f"{horizon:g}s"
+
+
+class WindowSet:
+    """One instrument per horizon behind a single ``observe``.
+
+    ``kind`` is ``"counter"`` or ``"histogram"``; snapshots key the
+    per-horizon readings by :func:`horizon_label` (``"60s"``,
+    ``"300s"``), which is also the ``horizon`` label value on the
+    ``/metrics`` exposition.
+    """
+
+    __slots__ = ("name", "kind", "windows")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "counter",
+        horizons: Sequence[float] = DEFAULT_HORIZONS,
+        bucket_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if kind not in ("counter", "histogram"):
+            raise ValueError(f"kind must be counter|histogram, got {kind!r}")
+        if not horizons:
+            raise ValueError("WindowSet needs at least one horizon")
+        self.name = name
+        self.kind = kind
+        factory = WindowedCounter if kind == "counter" else WindowedHistogram
+        self.windows: Dict[str, object] = {
+            horizon_label(h): factory(
+                name, horizon=h, bucket_seconds=bucket_seconds, clock=clock
+            )
+            for h in horizons
+        }
+
+    def observe(self, value: float = 1.0, now: Optional[float] = None) -> None:
+        for window in self.windows.values():
+            if self.kind == "counter":
+                window.inc(value, now=now)  # type: ignore[union-attr]
+            else:
+                window.observe(value, now=now)  # type: ignore[union-attr]
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Dict[str, float]]:
+        return {
+            label: window.snapshot(now)  # type: ignore[union-attr]
+            for label, window in self.windows.items()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowSet({self.name!r}, {self.kind}, "
+            f"horizons={sorted(self.windows)})"
+        )
+
+
+__all__ = [
+    "DEFAULT_HORIZONS",
+    "WindowSet",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "horizon_label",
+]

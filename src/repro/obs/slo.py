@@ -1,0 +1,244 @@
+"""Service-level objectives: availability, latency, error-budget burn.
+
+The paper's bounds make per-request cost *predictable*; an SLO turns
+that predictability into an operable promise.  Two objectives matter
+for a query service shaped like ours:
+
+* **availability** — the fraction of requests that resolve to a correct
+  answer rather than a structured failure.  The target (say 99.5%)
+  leaves an *error budget* of 0.5%; the **burn rate** is the observed
+  error rate divided by that budget, so burn 1.0 means "spending the
+  budget exactly as fast as the SLO allows", burn 10 means an incident
+  (the classic multi-window burn-rate alert threshold).
+* **latency** — a quantile target in the spirit of Durand–Grandjean's
+  constant-delay enumeration (PAPERS.md): once preprocessing is paid,
+  answers should stream with bounded delay, so "p95 under X ms over the
+  last minute" is the serving-layer translation of a delay bound.
+
+Burn rates are computed over the rolling windows of
+:mod:`repro.obs.rolling` (60s and 300s by default) — a *current*
+reading, unlike the lifetime counters in the metrics registry.  One
+:class:`SLOTracker` watches one stream of requests; the
+:class:`SLOBoard` keeps a tracker per tenant plus a ``_total``
+aggregate, which is exactly the shape ``GET /stats`` and the
+``/metrics`` exposition surface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.obs.rolling import (
+    DEFAULT_HORIZONS,
+    WindowedCounter,
+    WindowedHistogram,
+    horizon_label,
+)
+
+#: The aggregate pseudo-tenant on an :class:`SLOBoard`.
+TOTAL_KEY = "_total"
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One service-level objective: an availability and a latency target.
+
+    ``availability_target`` is the success-fraction promise (0.995 =
+    "99.5% of requests succeed"); its complement is the error budget.
+    ``latency_target`` is the bound (seconds) promised for the
+    ``latency_quantile`` (default p95) of request latency.
+    """
+
+    availability_target: float = 0.995
+    latency_target: float = 0.5
+    latency_quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability_target < 1.0:
+            raise ValueError(
+                "availability_target must be in (0, 1), got "
+                f"{self.availability_target}"
+            )
+        if self.latency_target <= 0:
+            raise ValueError(
+                f"latency_target must be > 0, got {self.latency_target}"
+            )
+        if not 0.0 < self.latency_quantile <= 1.0:
+            raise ValueError(
+                f"latency_quantile must be in (0, 1], got "
+                f"{self.latency_quantile}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated error fraction (1 - availability target)."""
+        return 1.0 - self.availability_target
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "availability_target": self.availability_target,
+            "error_budget": self.error_budget,
+            "latency_target": self.latency_target,
+            "latency_quantile": self.latency_quantile,
+        }
+
+
+class SLOTracker:
+    """Rolling-window SLO readings for one request stream.
+
+    ``record(ok, seconds)`` feeds every horizon's request/error counters
+    and latency histogram; ``snapshot()`` returns, per horizon label::
+
+        {"requests", "errors", "availability", "error_rate",
+         "burn_rate", "latency", "latency_ok"}
+
+    where ``burn_rate = error_rate / policy.error_budget`` and
+    ``latency`` is the policy quantile over the window.  An idle window
+    (zero requests) reads availability 1.0 and burn 0.0 — no traffic
+    burns no budget.
+    """
+
+    __slots__ = ("policy", "horizons", "_requests", "_errors", "_latency")
+
+    def __init__(
+        self,
+        policy: SLOPolicy,
+        horizons: Sequence[float] = DEFAULT_HORIZONS,
+        bucket_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self.horizons = tuple(horizons)
+        self._requests: Dict[str, WindowedCounter] = {}
+        self._errors: Dict[str, WindowedCounter] = {}
+        self._latency: Dict[str, WindowedHistogram] = {}
+        for horizon in self.horizons:
+            label = horizon_label(horizon)
+            self._requests[label] = WindowedCounter(
+                "slo.requests", horizon, bucket_seconds, clock
+            )
+            self._errors[label] = WindowedCounter(
+                "slo.errors", horizon, bucket_seconds, clock
+            )
+            self._latency[label] = WindowedHistogram(
+                "slo.latency", horizon, bucket_seconds, clock=clock
+            )
+
+    def record(
+        self, ok: bool, seconds: float, now: Optional[float] = None
+    ) -> None:
+        for label in self._requests:
+            self._requests[label].inc(1.0, now=now)
+            if not ok:
+                self._errors[label].inc(1.0, now=now)
+            self._latency[label].observe(seconds, now=now)
+
+    def window(
+        self, label: str, now: Optional[float] = None
+    ) -> Dict[str, float]:
+        requests = self._requests[label].total(now)
+        errors = self._errors[label].total(now)
+        error_rate = errors / requests if requests else 0.0
+        latency = self._latency[label].quantile(
+            self.policy.latency_quantile, now=now
+        ) if requests else 0.0
+        return {
+            "requests": requests,
+            "errors": errors,
+            "availability": 1.0 - error_rate,
+            "error_rate": error_rate,
+            "burn_rate": error_rate / self.policy.error_budget,
+            "latency": latency,
+            "latency_ok": latency <= self.policy.latency_target,
+        }
+
+    def snapshot(
+        self, now: Optional[float] = None
+    ) -> Dict[str, Dict[str, float]]:
+        return {
+            horizon_label(h): self.window(horizon_label(h), now)
+            for h in self.horizons
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOTracker(target={self.policy.availability_target}, "
+            f"horizons={[horizon_label(h) for h in self.horizons]})"
+        )
+
+
+class SLOBoard:
+    """Per-tenant SLO trackers plus a ``_total`` aggregate.
+
+    Trackers are created lazily on first record, all under one shared
+    policy — per-tenant *policies* stay an admission concern
+    (:class:`~repro.serve.admission.TenantPolicy`); this board is the
+    observability side: who is burning budget, and how fast.
+    """
+
+    __slots__ = ("policy", "horizons", "_bucket_seconds", "_clock", "_trackers")
+
+    def __init__(
+        self,
+        policy: Optional[SLOPolicy] = None,
+        horizons: Sequence[float] = DEFAULT_HORIZONS,
+        bucket_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy if policy is not None else SLOPolicy()
+        self.horizons = tuple(horizons)
+        self._bucket_seconds = bucket_seconds
+        self._clock = clock
+        self._trackers: Dict[str, SLOTracker] = {}
+
+    def tracker(self, tenant: str) -> SLOTracker:
+        tracker = self._trackers.get(tenant)
+        if tracker is None:
+            tracker = SLOTracker(
+                self.policy, self.horizons, self._bucket_seconds, self._clock
+            )
+            self._trackers[tenant] = tracker
+        return tracker
+
+    def record(
+        self,
+        tenant: str,
+        ok: bool,
+        seconds: float,
+        now: Optional[float] = None,
+    ) -> None:
+        self.tracker(tenant).record(ok, seconds, now=now)
+        self.tracker(TOTAL_KEY).record(ok, seconds, now=now)
+
+    @property
+    def tenants(self) -> Dict[str, SLOTracker]:
+        return {
+            name: tracker
+            for name, tracker in self._trackers.items()
+            if name != TOTAL_KEY
+        }
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        return {
+            "objective": self.policy.as_dict(),
+            "total": (
+                self._trackers[TOTAL_KEY].snapshot(now)
+                if TOTAL_KEY in self._trackers
+                else SLOTracker(self.policy, self.horizons).snapshot(now)
+            ),
+            "tenants": {
+                name: tracker.snapshot(now)
+                for name, tracker in sorted(self.tenants.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOBoard({len(self.tenants)} tenants, "
+            f"target={self.policy.availability_target})"
+        )
+
+
+__all__ = ["SLOBoard", "SLOPolicy", "SLOTracker", "TOTAL_KEY"]

@@ -16,16 +16,26 @@ polynomial budget.  This package is that argument turned into a server:
 * :mod:`~repro.serve.workers` — the supervised process pool that
   survives worker crashes (:class:`WorkerPool`);
 * :mod:`~repro.serve.http` — a stdlib-only HTTP front end
-  (:class:`ServeHTTP`) behind ``repro serve``;
-* :mod:`~repro.serve.telemetry` — the JSONL request log.
+  (:class:`ServeHTTP`) behind ``repro serve``, including the
+  ``GET /metrics`` exposition and ``GET /trace`` endpoints;
+* :mod:`~repro.serve.telemetry` — the concurrency-safe JSONL request log.
 
-See ``docs/robustness.md`` ("Serving under load") for the design tour.
+The observability pipeline itself (rolling windows, SLO burn rates,
+trace correlation, the flight recorder) lives in :mod:`repro.obs` and is
+threaded through the service — see ``docs/observability.md``
+("Operating the service") and ``docs/robustness.md`` ("Serving under
+load") for the design tour.
 """
 
 from repro.serve.admission import AdmissionController, TenantPolicy
 from repro.serve.http import ServeHTTP
 from repro.serve.retry import CircuitBreaker, RetryPolicy
-from repro.serve.service import ChaosSpec, QueryService, ServeResponse
+from repro.serve.service import (
+    ChaosSpec,
+    QueryService,
+    STATS_SCHEMA_VERSION,
+    ServeResponse,
+)
 from repro.serve.telemetry import TelemetryLog
 from repro.serve.workers import WorkerCrashed, WorkerPool
 
@@ -35,6 +45,7 @@ __all__ = [
     "CircuitBreaker",
     "QueryService",
     "RetryPolicy",
+    "STATS_SCHEMA_VERSION",
     "ServeHTTP",
     "ServeResponse",
     "TelemetryLog",

@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import Overloaded
 from repro.guard.budget import Budget
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -128,7 +128,9 @@ class AdmissionController:
         self._expired = self.registry.counter("serve.shed_expired")
         self._queue_depth = self.registry.gauge("serve.queue_depth")
         self._inflight = self.registry.gauge("serve.inflight")
-        self._queue_wait = self.registry.histogram("serve.queue_wait_seconds")
+        self._queue_wait = self.registry.histogram(
+            "serve.queue_wait_seconds", bounds=LATENCY_BUCKETS
+        )
         self._heap: List[Tuple[float, int, _Ticket]] = []
         self._seq = 0
         self._queued = 0

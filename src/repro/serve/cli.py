@@ -22,6 +22,14 @@ The smoke drill auto-provisions a seeded random graph database
 (``smoke``) and the transitive-closure query (``tc``) so it needs no
 files; ``--telemetry PATH`` writes the per-request JSONL log CI uploads
 as an artifact.
+
+The drill also exercises the observability pipeline end to end: every
+request runs traced (cross-process span reassembly), ``GET /metrics``
+is scraped *while the workload is in flight* and must parse
+(``--metrics-out`` saves the scrape), the last assembled trace is
+written as JSONL ready for ``repro explain --trace-file``
+(``--trace-out``), and when a crash is injected with ``--flight-dump``
+set the drill asserts the crash left a JSON post-mortem on disk.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -37,6 +46,8 @@ from repro.database.database import Database
 from repro.errors import ReproError
 from repro.guard.budget import Budget
 from repro.guard.chaos import ChaosPolicy
+from repro.obs.correlate import trace_jsonl
+from repro.obs.expo import ExpositionError, parse_exposition
 from repro.serve.admission import TenantPolicy
 from repro.serve.http import ServeHTTP
 from repro.serve.service import ChaosSpec, QueryService
@@ -83,6 +94,7 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         workers=args.workers,
         telemetry_path=args.telemetry,
         fault_injector=injector,
+        flight_dump_dir=args.flight_dump,
     )
     for tenant, weight in (("t0", 1.0), ("t1", 1.0), ("t2", 2.0), ("t3", 4.0)):
         service.set_tenant(
@@ -137,6 +149,26 @@ async def _http_json(
     return status, json.loads(body_bytes.decode() or "{}")
 
 
+async def _http_text(host: str, port: int, path: str) -> Tuple[int, str]:
+    """GET a raw text document (the ``/metrics`` exposition)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Connection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    head_bytes = await reader.readuntil(b"\r\n\r\n")
+    status = int(head_bytes.split()[1])
+    length = 0
+    for line in head_bytes.decode("latin-1").split("\r\n"):
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body_bytes = await reader.readexactly(length) if length else b""
+    writer.close()
+    return status, body_bytes.decode("utf-8")
+
+
 async def _run_smoke(args: argparse.Namespace) -> int:
     service = _build_service(args)
     db = _smoke_db(args.seed)
@@ -154,15 +186,28 @@ async def _run_smoke(args: argparse.Namespace) -> int:
         try:
             return await _http_json(
                 host, port, "POST", "/call",
-                {"tenant": f"t{i % 4}", "query": "tc", "db": "smoke"},
+                {"tenant": f"t{i % 4}", "query": "tc", "db": "smoke",
+                 "trace": True},
             )
         except Exception as exc:  # a hang/connection bug = drill failure
             return -1, {"error": "client", "detail": repr(exc)}
 
-    results = await asyncio.gather(
-        *[one_call(i) for i in range(args.smoke)]
+    async def mid_drill_scrape() -> Tuple[int, str]:
+        # scrape /metrics while the workload is in flight — the
+        # exposition must render and parse under live traffic
+        await asyncio.sleep(0.01)
+        try:
+            return await _http_text(host, port, "/metrics")
+        except Exception as exc:
+            return -1, repr(exc)
+
+    gathered = await asyncio.gather(
+        mid_drill_scrape(), *[one_call(i) for i in range(args.smoke)]
     )
+    scrape_status, scrape_text = gathered[0]
+    results = gathered[1:]
     _, stats = await _http_json(host, port, "GET", "/stats")
+    trace_status, trace_body = await _http_json(host, port, "GET", "/trace")
     await server.close()
     service.close()
 
@@ -185,6 +230,12 @@ async def _run_smoke(args: argparse.Namespace) -> int:
         print(f"smoke: latency p50={latency.get('p50', 0):.4f}s "
               f"p95={latency.get('p95', 0):.4f}s "
               f"p99={latency.get('p99', 0):.4f}s")
+    slo_total = stats.get("slo", {}).get("total", {}).get("60s", {})
+    if slo_total:
+        print(f"smoke: slo(60s) availability="
+              f"{slo_total.get('availability', 0):.4f} "
+              f"burn_rate={slo_total.get('burn_rate', 0):.2f} "
+              f"latency={slo_total.get('latency', 0):.4f}s")
     ok = True
     bad_statuses = [s for s in counts if s not in (200, 429, 503)]
     if bad_statuses:
@@ -196,10 +247,82 @@ async def _run_smoke(args: argparse.Namespace) -> int:
     if args.crash_at > 0 and args.crash_at <= args.smoke and retries < 1:
         print("smoke: FAIL — injected crash was never retried")
         ok = False
+    ok = _check_observability(
+        args, scrape_status, scrape_text, trace_status, trace_body, crashes
+    ) and ok
     if ok:
         print(f"smoke: OK — all {args.smoke} requests answered correctly "
               "or shed with structured errors")
     return 0 if ok else 1
+
+
+def _check_observability(
+    args: argparse.Namespace,
+    scrape_status: int,
+    scrape_text: str,
+    trace_status: int,
+    trace_body: Dict[str, object],
+    crashes: float,
+) -> bool:
+    """The drill's observability assertions (and artifact writing)."""
+    ok = True
+    if scrape_status != 200:
+        print(f"smoke: FAIL — mid-drill /metrics scrape returned "
+              f"{scrape_status}: {scrape_text[:200]}")
+        ok = False
+    else:
+        try:
+            samples = parse_exposition(scrape_text)
+        except ExpositionError as exc:
+            print(f"smoke: FAIL — /metrics did not parse: {exc}")
+            ok = False
+        else:
+            names = {name for name, _, _ in samples}
+            if "repro_serve_requests_total" not in names:
+                print("smoke: FAIL — /metrics lacks "
+                      "repro_serve_requests_total")
+                ok = False
+            else:
+                print(f"smoke: /metrics scraped mid-drill "
+                      f"({len(samples)} samples)")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(scrape_text)
+    if trace_status != 200 or not trace_body.get("spans"):
+        print(f"smoke: FAIL — no assembled trace (status {trace_status})")
+        ok = False
+    else:
+        spans = trace_body["spans"]
+        print(f"smoke: trace {trace_body.get('request_id')} assembled "
+              f"({len(spans)} spans)")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(trace_jsonl(spans) + "\n")
+    if args.flight_dump and args.crash_at > 0 and crashes >= 1:
+        dumps = sorted(
+            name for name in os.listdir(args.flight_dump)
+            if name.startswith("flight-") and name.endswith(".json")
+        ) if os.path.isdir(args.flight_dump) else []
+        crash_dumps = [n for n in dumps if "worker-crash" in n]
+        if not crash_dumps:
+            print(f"smoke: FAIL — injected crash left no flight dump "
+                  f"in {args.flight_dump} (found {dumps})")
+            ok = False
+        else:
+            with open(
+                os.path.join(args.flight_dump, crash_dumps[-1]),
+                encoding="utf-8",
+            ) as handle:
+                dump = json.load(handle)
+            kinds = {e.get("kind") for e in dump.get("events", [])}
+            if "crash" not in kinds:
+                print(f"smoke: FAIL — flight dump {crash_dumps[-1]} has "
+                      f"no crash event (kinds={sorted(kinds)})")
+                ok = False
+            else:
+                print(f"smoke: flight dump {crash_dumps[-1]} captured "
+                      f"{dump.get('captured', 0)} events")
+    return ok
 
 
 async def _run_server(args: argparse.Namespace) -> int:
@@ -253,6 +376,14 @@ def add_serve_parser(sub) -> None:
                    help="prepare a named query (repeatable)")
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="append per-request JSONL telemetry to PATH")
+    p.add_argument("--flight-dump", default=None, metavar="DIR",
+                   help="dump flight-recorder post-mortems into DIR on "
+                   "worker crashes and terminal failures")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="smoke drill: save the mid-drill /metrics scrape")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="smoke drill: save the last assembled trace as "
+                   "JSONL (repro explain --trace-file consumes it)")
     p.add_argument("--smoke", type=int, default=None, metavar="N",
                    help="smoke drill: N concurrent requests, then exit")
     p.add_argument("--crash-at", type=int, default=7, metavar="K",

@@ -4,17 +4,22 @@ Deliberately minimal — stdlib only, HTTP/1.1 with ``Connection: close``
 per request — because the point of :mod:`repro.serve` is the robustness
 machinery behind the socket, not the socket itself.  Routes:
 
-==============  ====  ====================================================
-``/healthz``    GET   liveness probe → ``{"ok": true}``
-``/stats``      GET   :meth:`QueryService.stats` (metrics, breakers, pool)
-``/register``   POST  ``{"name", "domain", "relations"}`` or
-                      ``{"name", "encoding"}`` (the paper's standard
-                      encoding, via :func:`decode_database`)
-``/prepare``    POST  ``{"name", "query", "output_vars"}``
-``/call``       POST  ``{"tenant", "query", "db", "strategy"?,
-                      "backend"?, "seed"?, "chaos"?}``
-``/mutate``     POST  ``{"db", "op", "relation", "values"}``
-==============  ====  ====================================================
+===============  ====  ===================================================
+``/healthz``     GET   liveness probe → ``{"ok": true}``
+``/stats``       GET   :meth:`QueryService.stats` (versioned: metrics,
+                       breakers, pool, SLO board, flight recorder)
+``/metrics``     GET   Prometheus-style text exposition
+                       (:meth:`QueryService.metrics_text`)
+``/trace``       GET   the most recent assembled request trace;
+``/trace/<id>``  GET   one request's trace by ``request_id``
+``/register``    POST  ``{"name", "domain", "relations"}`` or
+                       ``{"name", "encoding"}`` (the paper's standard
+                       encoding, via :func:`decode_database`)
+``/prepare``     POST  ``{"name", "query", "output_vars"}``
+``/call``        POST  ``{"tenant", "query", "db", "strategy"?,
+                       "backend"?, "seed"?, "chaos"?, "trace"?}``
+``/mutate``      POST  ``{"db", "op", "relation", "values"}``
+===============  ====  ===================================================
 
 Error mapping — the structured failure taxonomy over the wire:
 
@@ -25,6 +30,10 @@ Error mapping — the structured failure taxonomy over the wire:
 * other :class:`~repro.errors.ReproError` (bad names, parse errors,
   malformed bodies) → **400**;
 * anything else → **500** (and counts as a server bug in the smoke test).
+
+429 and 503 bodies additionally carry a ``flight`` key — the flight
+recorder's recent-event tail the service attached to the failure — so a
+single error response is already a post-mortem.
 """
 
 from __future__ import annotations
@@ -70,6 +79,18 @@ def _json_response(
         "Connection: close",
     ]
     head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+
+
+def _text_response(status: int, text: str, content_type: str) -> bytes:
+    """A plain-text response (the ``/metrics`` exposition document)."""
+    payload = text.encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {'OK' if status == 200 else 'Error'}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
     return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
 
 
@@ -187,6 +208,14 @@ class ServeHTTP:
             return _json_response(200, {"ok": True})
         if path == "/stats":
             return _json_response(200, self.service.stats())
+        if path == "/metrics":
+            return _text_response(
+                200,
+                self.service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/trace" or path.startswith("/trace/"):
+            return self._trace_response(path)
         if method != "POST":
             return _json_response(405, {"error": "method-not-allowed"})
         if body.get("__malformed__"):
@@ -214,6 +243,7 @@ class ServeHTTP:
                     backend=body.get("backend"),
                     request_seed=body.get("seed"),
                     chaos=_chaos_from_body(body.get("chaos")),
+                    trace=bool(body.get("trace", False)),
                 )
                 return _json_response(200, response.as_dict())
             if path == "/mutate":
@@ -226,30 +256,35 @@ class ServeHTTP:
                 return _json_response(200, outcome)
         except Overloaded as exc:
             retry_after = exc.retry_after if exc.retry_after > 0 else 0.001
+            error: Dict[str, object] = {
+                "error": "overloaded",
+                "reason": exc.reason,
+                "retry_after": retry_after,
+                "tenant": exc.tenant,
+                "detail": str(exc),
+            }
+            flight = getattr(exc, "flight", None)
+            if flight is not None:
+                error["flight"] = flight
             return _json_response(
                 429,
-                {
-                    "error": "overloaded",
-                    "reason": exc.reason,
-                    "retry_after": retry_after,
-                    "tenant": exc.tenant,
-                    "detail": str(exc),
-                },
+                error,
                 extra_headers=(
                     ("Retry-After", str(max(1, math.ceil(retry_after)))),
                 ),
             )
         except ResourceExhausted as exc:
-            return _json_response(
-                503,
-                {
-                    "error": "resource-exhausted",
-                    "kind": exc.kind,
-                    "limit": exc.limit,
-                    "used": exc.used,
-                    "detail": str(exc),
-                },
-            )
+            error = {
+                "error": "resource-exhausted",
+                "kind": exc.kind,
+                "limit": exc.limit,
+                "used": exc.used,
+                "detail": str(exc),
+            }
+            flight = getattr(exc, "flight", None)
+            if flight is not None:
+                error["flight"] = flight
+            return _json_response(503, error)
         except (KeyError, TypeError, ValueError) as exc:
             return _json_response(
                 400, {"error": "bad-request", "detail": repr(exc)}
@@ -264,6 +299,24 @@ class ServeHTTP:
                 },
             )
         return _json_response(404, {"error": "not-found", "path": path})
+
+    def _trace_response(self, path: str) -> bytes:
+        """``GET /trace`` (latest) or ``GET /trace/<request_id>``."""
+        request_id = path[len("/trace/"):] if path.startswith("/trace/") else ""
+        if request_id:
+            spans = self.service.traces.get(request_id)
+            if spans is None:
+                return _json_response(
+                    404, {"error": "unknown-trace", "request_id": request_id}
+                )
+            return _json_response(
+                200, {"request_id": request_id, "spans": spans}
+            )
+        latest = self.service.traces.latest()
+        if latest is None:
+            return _json_response(404, {"error": "no-traces"})
+        request_id, spans = latest
+        return _json_response(200, {"request_id": request_id, "spans": spans})
 
 
 __all__ = ["ServeHTTP"]

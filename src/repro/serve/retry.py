@@ -122,6 +122,17 @@ class CircuitBreaker:
             return True
         return False
 
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker half-opens (0.0 otherwise).
+
+        A pure reading for ``/stats`` — unlike :attr:`state` it never
+        advances the breaker.
+        """
+        if self._state != OPEN:
+            return 0.0
+        remaining = self.cooldown - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
     def record_success(self) -> None:
         self._failures = 0
         self._probing = False

@@ -21,7 +21,17 @@
   cache off) instead of failing outright, and the response reports
   exactly which fallback served it;
 * **telemetry** — every request lands in the shared metrics registry
-  and (optionally) a JSONL event log.
+  and (optionally) a JSONL event log;
+* an **observability pipeline** threaded through all of the above:
+  every request gets a deterministic ``request_id`` that crosses the
+  worker-pool boundary and comes back stamped on the worker-side spans
+  (reassembled into one trace per request, kept in a bounded
+  :class:`~repro.obs.correlate.TraceStore`), rolling 60s/300s windows
+  feed per-tenant :class:`~repro.obs.slo.SLOBoard` burn rates, the
+  always-on :class:`~repro.obs.flight.FlightRecorder` keeps the recent
+  event ring (dumped as a JSON post-mortem on crashes and terminal
+  failures), and :meth:`QueryService.metrics_text` renders everything
+  as the ``GET /metrics`` Prometheus exposition.
 
 Every request resolves to exactly one of: a correct
 :class:`ServeResponse`, a structured :class:`~repro.errors.Overloaded`
@@ -47,7 +57,16 @@ from repro.errors import (
     ResourceExhausted,
 )
 from repro.guard.chaos import ChaosPolicy, InjectedFault
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.correlate import (
+    TraceStore,
+    assemble_trace,
+    attempt_record,
+    new_request_id,
+)
+from repro.obs.expo import Family, gauge_family, registry_families, render_families
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.slo import SLOBoard, SLOPolicy
 from repro.perf.cache import SubqueryCache
 from repro.serve.admission import AdmissionController, TenantPolicy
 from repro.serve.retry import CircuitBreaker, RetryPolicy
@@ -69,6 +88,16 @@ ChaosSpec = Union[None, ChaosPolicy, Sequence[Optional[ChaosPolicy]]]
 #: new requests bypass it (``"cache-bypass"``) instead of thrashing the
 #: LRU under pressure.
 CACHE_PRESSURE_FRACTION = 0.9
+
+#: Version of the ``/stats`` document layout; bump on key changes (the
+#: ``EVAL_JSON_SCHEMA_VERSION`` pattern).  v2 added ``schema_version``,
+#: ``uptime_seconds``, per-tenant breaker cooldowns, ``slo``,
+#: ``flight``, and ``traces``.
+STATS_SCHEMA_VERSION = 2
+
+#: How many trailing flight-recorder events ride inside a structured
+#: failure response (the full ring goes in the on-disk dump).
+FLIGHT_TAIL = 32
 
 
 def _chaos_for_attempt(chaos: ChaosSpec, attempt: int) -> Optional[ChaosPolicy]:
@@ -98,10 +127,12 @@ class ServeResponse:
     seconds: float = 0.0
     peak_rows: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+    request_id: str = ""
+    trace: Optional[List[Dict[str, object]]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """A JSON-friendly rendering (rows become lists)."""
-        return {
+        document: Dict[str, object] = {
             "tenant": self.tenant,
             "query": self.query,
             "db": self.db,
@@ -115,7 +146,11 @@ class ServeResponse:
             "queue_wait": self.queue_wait,
             "seconds": self.seconds,
             "peak_rows": self.peak_rows,
+            "request_id": self.request_id,
         }
+        if self.trace is not None:
+            document["trace"] = list(self.trace)
+        return document
 
 
 class QueryService:
@@ -141,6 +176,12 @@ class QueryService:
         Optional ``request_index -> ChaosSpec`` hook — how the smoke
         test and the chaos bench inject faults into a live service
         without touching client code.
+    slo:
+        The :class:`~repro.obs.slo.SLOPolicy` every tenant's burn rate
+        is computed against (``None`` → the default objective).
+    flight_dump_dir:
+        When set, worker crashes and terminal failures dump the flight
+        recorder's event ring as a JSON post-mortem into this directory.
     clock / sleep:
         Injectable for deterministic tests (``sleep`` defaults to
         :func:`asyncio.sleep`).
@@ -156,6 +197,10 @@ class QueryService:
         cache: Union[bool, SubqueryCache, None] = True,
         telemetry_path: Optional[str] = None,
         fault_injector: Optional[Callable[[int], ChaosSpec]] = None,
+        slo: Optional[SLOPolicy] = None,
+        flight_dump_dir: Optional[str] = None,
+        flight_capacity: int = 512,
+        trace_capacity: int = 64,
         expected_service_seconds: float = 0.02,
         clock: Callable[[], float] = time.monotonic,
         sleep: Optional[Callable[[float], "asyncio.Future"]] = None,
@@ -182,6 +227,11 @@ class QueryService:
             self._cache = None
         self.telemetry = TelemetryLog(telemetry_path)
         self.fault_injector = fault_injector
+        self.started = clock()
+        self.slo = SLOBoard(slo if slo is not None else SLOPolicy(), clock=clock)
+        self.flight = FlightRecorder(capacity=flight_capacity, clock=clock)
+        self.flight_dump_dir = flight_dump_dir
+        self.traces = TraceStore(capacity=trace_capacity)
         self._dbs: Dict[str, Database] = {}
         self._queries: Dict[str, Query] = {}
         self._tenants: Dict[str, TenantPolicy] = {}
@@ -199,7 +249,9 @@ class QueryService:
         )
         self._breaker_trips = self.registry.counter("serve.breaker_trips")
         self._answer_rows = self.registry.counter("serve.answer_rows")
-        self._latency = self.registry.histogram("serve.latency_seconds")
+        self._latency = self.registry.histogram(
+            "serve.latency_seconds", bounds=LATENCY_BUCKETS
+        )
 
     # -- registry --------------------------------------------------------
 
@@ -291,6 +343,7 @@ class QueryService:
         backend: Optional[str] = None,
         request_seed: Optional[int] = None,
         chaos: ChaosSpec = None,
+        trace: bool = False,
     ) -> ServeResponse:
         """Serve one request end to end.
 
@@ -300,10 +353,21 @@ class QueryService:
         :class:`~repro.errors.ReproError` subclasses for invalid
         requests (unknown names, malformed queries) — those are never
         retried.
+
+        ``trace=True`` records worker-side spans for every attempt and
+        returns the assembled cross-process trace on the response (the
+        trace is also kept in :attr:`traces` either way a successful
+        traced request completes).
         """
         self._request_index += 1
         index = self._request_index
+        request_id = new_request_id(index)
+        arrival = self._clock()
         self._requests.inc()
+        self.flight.record(
+            "request", request_id=request_id, tenant=tenant,
+            query=query, db=db,
+        )
         compiled = self.query(query)
         database = self.database(db)
         policy = self.policy_for(tenant)
@@ -315,37 +379,60 @@ class QueryService:
                 tenant, weight=policy.weight, deadline=policy.deadline()
             )
         except Overloaded as exc:
-            self._failed.inc()
-            self._emit_failure(tenant, query, db, "overloaded", exc.reason)
+            self._fail(
+                tenant, query, db, "overloaded", exc.reason,
+                request_id, arrival, exc,
+            )
             raise
         start = self._clock()
         try:
             response = await self._serve(
                 tenant, policy, compiled, database,
                 query, db, strategy, backend, seed, chaos, queue_wait,
+                request_id, trace,
             )
         except Overloaded as exc:
-            self._failed.inc()
-            self._emit_failure(tenant, query, db, "overloaded", exc.reason)
+            self._fail(
+                tenant, query, db, "overloaded", exc.reason,
+                request_id, arrival, exc,
+                dump_reason=(
+                    "retries-exhausted"
+                    if exc.reason == "retries-exhausted"
+                    else None
+                ),
+            )
             raise
         except ResourceExhausted as exc:
-            self._failed.inc()
-            self._emit_failure(tenant, query, db, "exhausted", exc.kind)
+            self._fail(
+                tenant, query, db, "exhausted", exc.kind,
+                request_id, arrival, exc,
+                dump_reason="resource-exhausted",
+            )
             raise
         except ReproError as exc:
-            self._failed.inc()
-            self._emit_failure(tenant, query, db, "error", str(exc))
+            self._fail(
+                tenant, query, db, "error", str(exc),
+                request_id, arrival, exc,
+            )
             raise
         finally:
             self.admission.release(self._clock() - start)
         response.seconds = self._clock() - start
+        response.request_id = request_id
         self._ok.inc()
         self._answer_rows.inc(len(response.rows))
         self._latency.observe(response.seconds)
+        self.slo.record(tenant, True, response.seconds)
+        self.flight.record(
+            "ok", request_id=request_id, tenant=tenant,
+            served_by=response.served_by, attempts=response.attempts,
+            seconds=round(response.seconds, 6),
+        )
         self.telemetry.emit(
             {
                 "event": "call",
                 "outcome": "ok",
+                "request_id": request_id,
                 "tenant": tenant,
                 "query": query,
                 "db": db,
@@ -360,6 +447,43 @@ class QueryService:
         )
         return response
 
+    def _fail(
+        self,
+        tenant: str,
+        query: str,
+        db: str,
+        outcome: str,
+        detail: str,
+        request_id: str,
+        arrival: float,
+        exc: ReproError,
+        dump_reason: Optional[str] = None,
+    ) -> None:
+        """The shared failure path: counters, SLO, flight, telemetry.
+
+        Attaches the flight-recorder tail to the exception (the HTTP
+        layer ships it in the error body) and, for terminal failures
+        with a configured dump directory, writes the full-ring JSON
+        post-mortem.
+        """
+        elapsed = self._clock() - arrival
+        self._failed.inc()
+        self.slo.record(tenant, False, elapsed)
+        self.flight.record(
+            outcome, request_id=request_id, tenant=tenant, detail=detail,
+        )
+        exc.flight = self.flight.snapshot(limit=FLIGHT_TAIL)
+        if dump_reason is not None and self.flight_dump_dir is not None:
+            self.flight.dump(
+                self.flight_dump_dir,
+                reason=dump_reason,
+                request_id=request_id,
+                extra={"tenant": tenant, "query": query, "db": db},
+            )
+        self._emit_failure(
+            tenant, query, db, outcome, detail, request_id=request_id
+        )
+
     async def _serve(
         self,
         tenant: str,
@@ -373,6 +497,8 @@ class QueryService:
         seed: int,
         chaos: ChaosSpec,
         queue_wait: float,
+        request_id: str,
+        trace: bool,
     ) -> ServeResponse:
         """The retry/degradation loop for one admitted request."""
         breaker = self._breaker(tenant, policy)
@@ -396,6 +522,8 @@ class QueryService:
         max_attempts = max(1, policy.max_attempts)
         attempts = 0
         retries = 0
+        serve_start = self._clock()
+        attempt_trail: List[Dict[str, object]] = []
         while True:
             attempts += 1
             payload = build_payload(
@@ -409,7 +537,10 @@ class QueryService:
                 chaos=_chaos_for_attempt(chaos, attempts),
                 cache=cache_on,
                 allow_crash=served_by == "pool",
+                request_id=request_id,
+                trace=trace,
             )
+            attempt_start = self._clock() - serve_start
             try:
                 if served_by == "pool":
                     raw = await self._pool.submit(payload)
@@ -418,6 +549,27 @@ class QueryService:
                         payload, cache=self._cache if cache_on else None
                     )
                 breaker.record_success()
+                attempt_trail.append(
+                    attempt_record(
+                        attempts,
+                        served_by,
+                        attempt_start,
+                        self._clock() - serve_start - attempt_start,
+                        "ok",
+                        spans=raw.get("spans"),
+                        pid=raw.get("pid"),
+                    )
+                )
+                spans = assemble_trace(
+                    request_id,
+                    attempt_trail,
+                    duration=self._clock() - serve_start,
+                    tenant=tenant,
+                    query=query_name,
+                    db=db_name,
+                    served_by=served_by,
+                )
+                self.traces.put(request_id, spans)
                 return ServeResponse(
                     tenant=tenant,
                     query=query_name,
@@ -432,16 +584,56 @@ class QueryService:
                     queue_wait=queue_wait,
                     peak_rows=int(raw["peak_rows"]),
                     stats=dict(raw["stats"]),
+                    request_id=request_id,
+                    trace=spans if trace else None,
                 )
             except (InjectedFault, WorkerCrashed) as exc:
-                if isinstance(exc, WorkerCrashed):
+                crashed = isinstance(exc, WorkerCrashed)
+                attempt_trail.append(
+                    attempt_record(
+                        attempts,
+                        served_by,
+                        attempt_start,
+                        self._clock() - serve_start - attempt_start,
+                        "crash" if crashed else "fault",
+                    )
+                )
+                if crashed:
                     self._crashes.inc()
+                    self.flight.record(
+                        "crash", request_id=request_id, tenant=tenant,
+                        attempt=attempts, detail=str(exc),
+                    )
+                    if self.flight_dump_dir is not None:
+                        self.flight.dump(
+                            self.flight_dump_dir,
+                            reason="worker-crash",
+                            request_id=request_id,
+                            extra={"tenant": tenant, "query": query_name},
+                        )
+                else:
+                    self.flight.record(
+                        "fault", request_id=request_id, tenant=tenant,
+                        attempt=attempts, detail=str(exc),
+                    )
                 breaker.record_failure()
                 self._breaker_trips.set(
                     self._breaker_trips.value + breaker.trips - trips_before
                 )
                 trips_before = breaker.trips
                 if attempts >= max_attempts:
+                    self.traces.put(
+                        request_id,
+                        assemble_trace(
+                            request_id,
+                            attempt_trail,
+                            duration=self._clock() - serve_start,
+                            tenant=tenant,
+                            query=query_name,
+                            db=db_name,
+                            outcome="retries-exhausted",
+                        ),
+                    )
                     raise Overloaded(
                         f"request failed after {attempts} attempts "
                         f"(last: {exc})",
@@ -451,6 +643,10 @@ class QueryService:
                     ) from exc
                 retries += 1
                 self._retries.inc()
+                self.flight.record(
+                    "retry", request_id=request_id, tenant=tenant,
+                    attempt=attempts,
+                )
                 if served_by == "pool" and not breaker.allow():
                     served_by = "breaker"
                     self._short_circuit.inc()
@@ -459,14 +655,39 @@ class QueryService:
                 # The tenant's own budget, not a backend fault: never a
                 # breaker failure, and retrying the same configuration
                 # would only exhaust it again — walk the ladder instead.
+                attempt_trail.append(
+                    attempt_record(
+                        attempts,
+                        served_by,
+                        attempt_start,
+                        self._clock() - serve_start - attempt_start,
+                        f"exhausted:{exc.kind}",
+                    )
+                )
                 step = self._degrade_step(
                     exc, cur_backend, cur_strategy, cache_on
                 )
                 if step is None:
+                    self.traces.put(
+                        request_id,
+                        assemble_trace(
+                            request_id,
+                            attempt_trail,
+                            duration=self._clock() - serve_start,
+                            tenant=tenant,
+                            query=query_name,
+                            db=db_name,
+                            outcome="resource-exhausted",
+                        ),
+                    )
                     raise
                 tag, cur_backend, cur_strategy, cache_on = step
                 degraded.append(tag)
                 self._degraded.inc()
+                self.flight.record(
+                    "degrade", request_id=request_id, tenant=tenant,
+                    rung=tag,
+                )
                 attempts -= 1  # ladder rungs are free; retries are not
 
     def _degrade_step(
@@ -501,24 +722,38 @@ class QueryService:
         )
 
     def _emit_failure(
-        self, tenant: str, query: str, db: str, outcome: str, detail: str
+        self,
+        tenant: str,
+        query: str,
+        db: str,
+        outcome: str,
+        detail: str,
+        request_id: Optional[str] = None,
     ) -> None:
-        self.telemetry.emit(
-            {
-                "event": "call",
-                "outcome": outcome,
-                "detail": detail,
-                "tenant": tenant,
-                "query": query,
-                "db": db,
-            }
-        )
+        event: Dict[str, object] = {
+            "event": "call",
+            "outcome": outcome,
+            "detail": detail,
+            "tenant": tenant,
+            "query": query,
+            "db": db,
+        }
+        if request_id is not None:
+            event["request_id"] = request_id
+        self.telemetry.emit(event)
 
     # -- observability / lifecycle --------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """The ``/stats`` document: metrics snapshot + structural state."""
+        """The ``/stats`` document: metrics snapshot + structural state.
+
+        The layout is versioned (``schema_version``) so dashboards can
+        detect incompatible changes — the serving twin of the run-record
+        schema version.
+        """
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "uptime_seconds": max(0.0, self._clock() - self.started),
             "metrics": self.registry.snapshot(),
             "admission": {
                 "running": self.admission.running,
@@ -530,6 +765,7 @@ class QueryService:
                     "state": breaker.state,
                     "consecutive_failures": breaker.consecutive_failures,
                     "trips": breaker.trips,
+                    "cooldown_remaining": breaker.cooldown_remaining(),
                 }
                 for tenant, breaker in sorted(self._breakers.items())
             },
@@ -540,7 +776,84 @@ class QueryService:
             "databases": sorted(self._dbs),
             "queries": sorted(self._queries),
             "cache": repr(self._cache) if self._cache is not None else None,
+            "slo": self.slo.snapshot(),
+            "flight": {
+                "captured": self.flight.captured,
+                "dropped": self.flight.dropped,
+                "recorded": self.flight.recorded,
+                "last_dump": self.flight.last_dump,
+            },
+            "traces": {
+                "stored": len(self.traces),
+                "ids": self.traces.ids()[-8:],
+            },
         }
+
+    def metrics_families(self) -> List[Family]:
+        """Every exposition family: registry + SLO windows + flight ring."""
+        families = registry_families(self.registry)
+        families.append(
+            gauge_family(
+                "serve.uptime_seconds",
+                "Seconds since the service started.",
+                [({}, max(0.0, self._clock() - self.started))],
+            )
+        )
+        burn, avail, latency, requests, errors = [], [], [], [], []
+        board = self.slo.snapshot()
+        tenants = dict(board["tenants"])
+        tenants["_total"] = board["total"]
+        for tenant, horizons in sorted(tenants.items()):
+            for label, window in sorted(horizons.items()):
+                key = {"tenant": tenant, "window": label}
+                burn.append((key, window["burn_rate"]))
+                avail.append((key, window["availability"]))
+                latency.append((key, window["latency"]))
+                requests.append((key, window["requests"]))
+                errors.append((key, window["errors"]))
+        families.extend(
+            [
+                gauge_family(
+                    "serve.slo_burn_rate",
+                    "Error-budget burn rate over the rolling window "
+                    "(1.0 = spending exactly the budget).",
+                    burn,
+                ),
+                gauge_family(
+                    "serve.slo_availability",
+                    "Success fraction over the rolling window.",
+                    avail,
+                ),
+                gauge_family(
+                    "serve.slo_latency_seconds",
+                    "The SLO latency quantile over the rolling window.",
+                    latency,
+                ),
+                gauge_family(
+                    "serve.window_requests",
+                    "Requests observed in the rolling window.",
+                    requests,
+                ),
+                gauge_family(
+                    "serve.window_errors",
+                    "Failed requests observed in the rolling window.",
+                    errors,
+                ),
+                gauge_family(
+                    "serve.flight_events",
+                    "Flight-recorder ring occupancy.",
+                    [
+                        ({"state": "captured"}, self.flight.captured),
+                        ({"state": "dropped"}, self.flight.dropped),
+                    ],
+                ),
+            ]
+        )
+        return families
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus-style exposition document."""
+        return render_families(self.metrics_families())
 
     def close(self) -> None:
         if self._pool is not None:
@@ -554,4 +867,10 @@ class QueryService:
         )
 
 
-__all__ = ["ChaosSpec", "QueryService", "ServeResponse"]
+__all__ = [
+    "ChaosSpec",
+    "FLIGHT_TAIL",
+    "QueryService",
+    "STATS_SCHEMA_VERSION",
+    "ServeResponse",
+]

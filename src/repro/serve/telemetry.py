@@ -10,11 +10,21 @@ queue depth) that are not plain numbers.
 per completed (or shed) request, flushed eagerly so a crashed server
 still leaves a usable log — CI uploads this file as the smoke-test
 artifact.
+
+The log is concurrency-safe: ``emit`` serializes writers behind a lock
+(asyncio callbacks, worker-supervision threads, and tests may all emit),
+the file is opened with an explicit UTF-8 encoding, and the log is a
+context manager so every shutdown path — including exceptions unwinding
+through ``repro serve`` — closes the handle deterministically::
+
+    with TelemetryLog(path) as log:
+        log.emit({"event": "call", ...})
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import IO, Dict, Optional
 
 
@@ -24,6 +34,7 @@ class TelemetryLog:
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._handle: Optional[IO[str]] = None
+        self._lock = threading.Lock()
         self.events = 0
 
     @property
@@ -31,20 +42,34 @@ class TelemetryLog:
         return self.path is not None
 
     def emit(self, event: Dict[str, object]) -> None:
-        """Write one event as a JSON line (flushed immediately)."""
-        self.events += 1
-        if self.path is None:
-            return
-        if self._handle is None:
-            self._handle = open(self.path, "a")
-        json.dump(event, self._handle, sort_keys=True, default=repr)
-        self._handle.write("\n")
-        self._handle.flush()
+        """Write one event as a JSON line (flushed immediately).
+
+        Safe to call from multiple threads: the count, the lazy open,
+        and the write+flush happen under one lock, so concurrent events
+        never interleave inside a line.
+        """
+        with self._lock:
+            self.events += 1
+            if self.path is None:
+                return
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            json.dump(event, self._handle, sort_keys=True, default=repr)
+            self._handle.write("\n")
+            self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "TelemetryLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:
         target = self.path if self.path is not None else "<disabled>"

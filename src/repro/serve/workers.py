@@ -50,8 +50,17 @@ def build_payload(
     chaos=None,
     cache: bool = False,
     allow_crash: bool = False,
+    request_id: Optional[str] = None,
+    trace: bool = False,
 ) -> Dict[str, object]:
-    """The picklable description of one evaluation attempt."""
+    """The picklable description of one evaluation attempt.
+
+    ``request_id`` is the cross-process trace context: it crosses the
+    pool boundary inside the payload and comes back stamped on every
+    worker-side span, so the service can reassemble one trace per
+    request.  ``trace`` turns on span recording for the attempt — the
+    spans return in the result dict as plain ``Span.to_dict()`` dicts.
+    """
     return {
         "formula": formula,
         "db": db,
@@ -63,6 +72,8 @@ def build_payload(
         "chaos": chaos,
         "cache": bool(cache),
         "allow_crash": bool(allow_crash),
+        "request_id": request_id,
+        "trace": bool(trace),
     }
 
 
@@ -74,11 +85,20 @@ def evaluate_payload(
     ``cache`` overrides the payload's cache flag with a concrete
     instance — the inline path passes the service's shared cross-request
     cache; pool workers pass their per-process cache.
+
+    When the payload asks for tracing, evaluation runs under a private
+    :class:`~repro.obs.tracer.Tracer` and the answer dict carries the
+    recorded spans (as dicts, with the payload's ``request_id`` stamped
+    into each span's attrs) plus the evaluating ``pid`` — everything the
+    service needs to correlate the attempt back into its request trace.
     """
     from repro.core.engine import EvalOptions, evaluate
     from repro.core.fp_eval import FixpointStrategy
+    from repro.obs.tracer import Tracer
 
     subquery_cache = cache if cache is not None else bool(payload["cache"])
+    traced = bool(payload.get("trace"))
+    tracer = Tracer() if traced else None
     options = EvalOptions(
         strategy=FixpointStrategy(payload["strategy"]),
         k_limit=payload["k_limit"],
@@ -86,6 +106,7 @@ def evaluate_payload(
         chaos=payload["chaos"],
         subquery_cache=subquery_cache,
         backend=payload["backend"],
+        trace=tracer,
     )
     result = evaluate(
         payload["formula"], payload["db"], payload["out"], options
@@ -95,13 +116,26 @@ def evaluate_payload(
         if result.guard is not None and hasattr(result.guard, "peak_rows")
         else result.stats.max_intermediate_rows
     )
-    return {
+    answer: Dict[str, object] = {
         "rows": sorted(result.relation.tuples, key=repr),
         "arity": result.relation.arity,
         "language": result.language.value,
         "stats": result.stats.as_dict(),
         "peak_rows": int(peak_rows),
+        "pid": os.getpid(),
     }
+    if tracer is not None:
+        request_id = payload.get("request_id")
+        spans = []
+        for span in tracer.spans:
+            data = span.to_dict()
+            if request_id is not None:
+                attrs = dict(data.get("attrs") or {})
+                attrs["request_id"] = request_id
+                data["attrs"] = attrs
+            spans.append(data)
+        answer["spans"] = spans
+    return answer
 
 
 #: Exit status a worker dies with on an escalated chaos crash; chosen

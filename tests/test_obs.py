@@ -203,6 +203,67 @@ class TestMetrics:
         with pytest.raises(MetricsError):
             registry.gauge("x")
 
+    def test_registry_histogram_bounds_apply_on_first_creation(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(0.1, 1.0))
+        assert hist.bounds == (0.1, 1.0)
+        # re-requesting keeps the existing grid (shared-store rule)
+        assert registry.histogram("lat", bounds=(5.0,)) is hist
+        assert hist.bounds == (0.1, 1.0)
+
+
+class TestHistogramReservoir:
+    def test_exact_quantiles_while_reservoir_holds_everything(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(value)
+        assert hist.reservoir_exact
+        # order statistics, not bucket interpolation: exact medians
+        assert hist.quantile(0.50) == pytest.approx(50.5)
+        assert hist.quantile(1.0) == pytest.approx(100.0)
+        snap = hist.snapshot()
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p99"] == pytest.approx(99.01)
+
+    def test_memory_bounded_beyond_reservoir_size(self):
+        hist = Histogram("h", reservoir_size=64)
+        for value in range(1000):
+            hist.observe(value)
+        assert len(hist._reservoir) == 64
+        assert not hist.reservoir_exact
+        assert hist.count == 1000
+
+    def test_sampled_quantiles_stay_in_observed_range(self):
+        hist = Histogram("h", reservoir_size=32)
+        for value in range(500):
+            hist.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            assert 0 <= hist.quantile(q) <= 499
+
+    def test_deterministic_across_instances_with_same_name(self):
+        a, b = Histogram("same"), Histogram("same")
+        for value in range(5000):
+            a.observe(value)
+            b.observe(value)
+        assert a._reservoir == b._reservoir
+        assert a.snapshot() == b.snapshot()
+
+    def test_disabled_reservoir_falls_back_to_buckets(self):
+        hist = Histogram("h", reservoir_size=0)
+        for value in (1, 2, 4, 100):
+            hist.observe(value)
+        assert hist._reservoir == []
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert 1 <= snap["p50"] <= 100
+
+    def test_snapshot_keys_unchanged_by_reservoir(self):
+        hist = Histogram("h")
+        hist.observe(5.0)
+        assert set(hist.snapshot()) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99"
+        }
+
 
 class TestReport:
     def _tracer(self):

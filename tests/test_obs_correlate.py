@@ -1,0 +1,131 @@
+"""Trace correlation tests: reassembly, renumbering, and the store."""
+
+from repro.obs.correlate import (
+    TraceStore,
+    assemble_trace,
+    attempt_record,
+    new_request_id,
+    trace_jsonl,
+)
+from repro.obs.explain import spans_from_dicts
+from repro.obs.profile import parse_trace_jsonl
+
+
+def worker_spans():
+    """A worker-side trace: evaluate → (parse, fixpoint)."""
+    return [
+        {"span_id": 1, "parent_id": None, "name": "evaluate",
+         "start": 0.0, "duration": 0.01, "attrs": {"width": 2}},
+        {"span_id": 2, "parent_id": 1, "name": "fixpoint",
+         "start": 0.002, "duration": 0.008, "attrs": {"iterations": 3}},
+    ]
+
+
+class TestRequestIds:
+    def test_deterministic_and_sortable(self):
+        assert new_request_id(42) == "req-000042"
+        ids = [new_request_id(i) for i in (1, 2, 10, 100)]
+        assert ids == sorted(ids)
+
+
+class TestAssembleTrace:
+    def test_single_attempt_tree(self):
+        record = attempt_record(
+            1, "pool", 0.001, 0.02, "ok", spans=worker_spans(), pid=4242
+        )
+        spans = assemble_trace(
+            "req-000001", [record], duration=0.03, tenant="t0"
+        )
+        assert [s["name"] for s in spans] == [
+            "serve.request", "serve.attempt", "evaluate", "fixpoint"
+        ]
+        root, attempt, evaluate, fixpoint = spans
+        assert root["parent_id"] is None
+        assert root["attrs"]["tenant"] == "t0"
+        assert attempt["parent_id"] == root["span_id"]
+        assert attempt["attrs"]["pid"] == 4242
+        assert evaluate["parent_id"] == attempt["span_id"]
+        assert fixpoint["parent_id"] == evaluate["span_id"]
+        assert all(
+            s["attrs"]["request_id"] == "req-000001" for s in spans
+        )
+
+    def test_worker_starts_reanchored_to_attempt(self):
+        record = attempt_record(
+            1, "pool", 0.5, 0.02, "ok", spans=worker_spans()
+        )
+        spans = assemble_trace("req-000001", [record])
+        fixpoint = next(s for s in spans if s["name"] == "fixpoint")
+        assert fixpoint["start"] == 0.5 + 0.002
+
+    def test_retry_scatters_across_attempts_with_unique_ids(self):
+        records = [
+            attempt_record(1, "pool", 0.0, 0.01, "crash"),
+            attempt_record(
+                2, "pool", 0.06, 0.02, "ok", spans=worker_spans(), pid=7
+            ),
+        ]
+        spans = assemble_trace("req-000002", records, duration=0.09)
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+        attempts = [s for s in spans if s["name"] == "serve.attempt"]
+        assert [a["attrs"]["outcome"] for a in attempts] == ["crash", "ok"]
+        # the crashed attempt shipped no spans back — itself the signal
+        crashed = attempts[0]
+        children = [
+            s for s in spans if s["parent_id"] == crashed["span_id"]
+        ]
+        assert children == []
+
+    def test_orphan_worker_span_attaches_to_attempt(self):
+        orphan = [
+            {"span_id": 9, "parent_id": 5, "name": "stray",
+             "start": 0.0, "duration": 0.001, "attrs": {}}
+        ]
+        record = attempt_record(1, "inline", 0.0, 0.01, "ok", spans=orphan)
+        spans = assemble_trace("req-000003", [record])
+        stray = next(s for s in spans if s["name"] == "stray")
+        attempt = next(s for s in spans if s["name"] == "serve.attempt")
+        assert stray["parent_id"] == attempt["span_id"]
+
+    def test_round_trips_through_explain_span_trees(self):
+        record = attempt_record(
+            1, "pool", 0.0, 0.02, "ok", spans=worker_spans()
+        )
+        spans = assemble_trace("req-000004", [record])
+        roots = spans_from_dicts(parse_trace_jsonl(trace_jsonl(spans)))
+        assert len(roots) == 1
+        assert roots[0].name == "serve.request"
+        (attempt,) = roots[0].children
+        (evaluate,) = attempt.children
+        assert evaluate.children[0].name == "fixpoint"
+
+
+class TestTraceStore:
+    def test_put_get_latest(self):
+        store = TraceStore()
+        store.put("req-1", [{"span_id": 1}])
+        store.put("req-2", [{"span_id": 2}])
+        assert store.get("req-1") == [{"span_id": 1}]
+        assert store.latest() == ("req-2", [{"span_id": 2}])
+        assert "req-1" in store
+
+    def test_bounded_eviction_oldest_first(self):
+        store = TraceStore(capacity=2)
+        for i in range(3):
+            store.put(f"req-{i}", [])
+        assert store.ids() == ["req-1", "req-2"]
+        assert store.get("req-0") is None
+
+    def test_reput_refreshes_recency(self):
+        store = TraceStore(capacity=2)
+        store.put("a", [])
+        store.put("b", [])
+        store.put("a", [{"span_id": 1}])
+        store.put("c", [])
+        assert store.ids() == ["a", "c"]
+
+    def test_empty_store(self):
+        store = TraceStore()
+        assert store.latest() is None
+        assert len(store) == 0

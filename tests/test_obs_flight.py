@@ -1,0 +1,108 @@
+"""Flight recorder tests: ring behavior, filtering, and JSON dumps."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestRing:
+    def test_events_carry_seq_kind_and_relative_time(self):
+        clock = FakeClock()
+        recorder = FlightRecorder(clock=clock)
+        clock.t += 1.5
+        event = recorder.record("request", request_id="req-000001")
+        assert event["seq"] == 1
+        assert event["kind"] == "request"
+        assert event["t"] == pytest.approx(1.5)
+        assert event["request_id"] == "req-000001"
+
+    def test_oldest_events_fall_off_a_full_ring(self):
+        recorder = FlightRecorder(capacity=3, clock=FakeClock())
+        for i in range(5):
+            recorder.record("e", i=i)
+        assert recorder.recorded == 5
+        assert recorder.captured == 3
+        assert recorder.dropped == 2
+        assert [e["i"] for e in recorder.events()] == [2, 3, 4]
+
+    def test_filter_by_kind_and_request_id(self):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record("request", request_id="req-1")
+        recorder.record("crash", request_id="req-1")
+        recorder.record("request", request_id="req-2")
+        assert len(recorder.events(kind="request")) == 2
+        assert len(recorder.events(request_id="req-1")) == 2
+        assert len(recorder.events(kind="crash", request_id="req-2")) == 0
+
+    def test_limit_keeps_the_newest(self):
+        recorder = FlightRecorder(clock=FakeClock())
+        for i in range(10):
+            recorder.record("e", i=i)
+        assert [e["i"] for e in recorder.events(limit=3)] == [7, 8, 9]
+
+    def test_snapshot_accounting(self):
+        recorder = FlightRecorder(capacity=2, clock=FakeClock())
+        for _ in range(3):
+            recorder.record("e")
+        snap = recorder.snapshot(limit=1)
+        assert snap["recorded"] == 3
+        assert snap["captured"] == 2
+        assert snap["dropped"] == 1
+        assert len(snap["events"]) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_writes_json_postmortem(self, tmp_path):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record("crash", request_id="req-7", detail="boom")
+        path = recorder.dump(
+            str(tmp_path), "worker-crash", request_id="req-7",
+            extra={"tenant": "t0"},
+        )
+        assert recorder.last_dump == path
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["reason"] == "worker-crash"
+        assert document["request_id"] == "req-7"
+        assert document["context"] == {"tenant": "t0"}
+        assert document["events"][0]["kind"] == "crash"
+
+    def test_dump_filenames_are_distinct_and_sortable(self, tmp_path):
+        recorder = FlightRecorder(clock=FakeClock())
+        paths = []
+        for _ in range(3):
+            recorder.record("crash")
+            paths.append(recorder.dump(str(tmp_path), "worker-crash"))
+        assert len(set(paths)) == 3
+        assert paths == sorted(paths)
+
+    def test_dump_sanitizes_reason(self, tmp_path):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record("e")
+        path = recorder.dump(str(tmp_path), "a b/c")
+        assert os.path.basename(path) == os.path.basename(path).replace(
+            "/", ""
+        )
+        assert " " not in os.path.basename(path)
+
+    def test_dump_creates_directory(self, tmp_path):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record("e")
+        nested = tmp_path / "deep" / "dir"
+        path = recorder.dump(str(nested), "x")
+        assert os.path.exists(path)

@@ -1,0 +1,224 @@
+"""Sliding-window semantics: the bucket-math contract, property-tested.
+
+The contract under test (see ``repro/obs/rolling.py``):
+
+* an observation at time ``t`` lands in bucket ``floor(t / width)``;
+* a reading at ``now`` covers the ``n`` epochs
+  ``(floor(now / width) - n, floor(now / width)]``;
+* so an observation expires between ``horizon - width`` and ``horizon``
+  seconds after it was made.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.rolling import (
+    DEFAULT_HORIZONS,
+    WindowSet,
+    WindowedCounter,
+    WindowedHistogram,
+    horizon_label,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def counter(horizon=60.0, width=1.0, clock=None):
+    return WindowedCounter(
+        "test", horizon=horizon, bucket_seconds=width,
+        clock=clock or FakeClock(),
+    )
+
+
+class TestWindowedCounter:
+    def test_observation_visible_immediately(self):
+        c = counter()
+        c.inc(3.0, now=10.0)
+        assert c.total(now=10.0) == 3.0
+
+    def test_observation_survives_to_horizon_minus_width(self):
+        # obs at t=0.0 (bucket 0); reading at 59.9 (bucket 59) still
+        # covers epochs (−1, 59] — bucket 0 is the oldest live bucket
+        c = counter()
+        c.inc(1.0, now=0.0)
+        assert c.total(now=59.9) == 1.0
+
+    def test_observation_expires_at_horizon(self):
+        # reading at 60.0 (bucket 60) covers (0, 60] — bucket 0 is gone
+        c = counter()
+        c.inc(1.0, now=0.0)
+        assert c.total(now=60.0) == 0.0
+
+    def test_late_in_bucket_observation_expires_late(self):
+        # obs at 59.5 is bucket 59, live until the reading bucket
+        # exceeds 59 + 59 = 118, i.e. any now < 119.0
+        c = counter()
+        c.inc(1.0, now=59.5)
+        assert c.total(now=118.9) == 1.0
+        assert c.total(now=119.0) == 0.0
+
+    def test_slot_reuse_after_wraparound(self):
+        # bucket 0 and bucket 60 share a ring slot; writing the later
+        # epoch must evict the earlier value, not add to it
+        c = counter()
+        c.inc(5.0, now=0.5)
+        c.inc(2.0, now=60.5)
+        assert c.total(now=60.5) == 2.0
+
+    def test_rate_divides_by_horizon(self):
+        c = counter(horizon=10.0)
+        for t in range(5):
+            c.inc(2.0, now=float(t))
+        assert c.rate(now=4.0) == pytest.approx(1.0)
+
+    def test_snapshot_keys(self):
+        c = counter()
+        c.inc(now=1.0)
+        assert set(c.snapshot(now=1.0)) == {"total", "rate"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedCounter("bad", horizon=0.0)
+        with pytest.raises(ValueError):
+            WindowedCounter("bad", bucket_seconds=0.0)
+
+
+# Times are drawn on a coarse grid well past one ring circumference so
+# wraparound, expiry, and same-bucket merging all occur.
+_TIMES = st.floats(
+    min_value=0.0, max_value=300.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCounterProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        observations=st.lists(st.tuples(_TIMES, st.integers(1, 5)), max_size=30),
+        read_at=_TIMES,
+        width=st.sampled_from([0.5, 1.0, 2.0]),
+        horizon=st.sampled_from([10.0, 60.0]),
+    )
+    def test_total_matches_bucket_model(
+        self, observations, read_at, width, horizon
+    ):
+        """The windowed total equals the direct epoch-interval model."""
+        read_at = max(read_at, max((t for t, _ in observations), default=0.0))
+        c = counter(horizon=horizon, width=width)
+        for t, amount in sorted(observations):
+            c.inc(amount, now=t)
+        size = max(1, int(math.ceil(horizon / width)))
+        read_epoch = int(read_at // width)
+        expected = sum(
+            amount
+            for t, amount in observations
+            if 0 <= read_epoch - int(t // width) < size
+        )
+        assert c.total(now=read_at) == pytest.approx(expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(t=_TIMES, horizon=st.sampled_from([10.0, 60.0]))
+    def test_expiry_within_one_bucket_of_horizon(self, t, horizon):
+        """Every observation lives at least horizon−width and at most
+        horizon seconds (1s buckets)."""
+        c = counter(horizon=horizon)
+        c.inc(1.0, now=t)
+        assert c.total(now=t + horizon - 1.0 - 1e-9) == 1.0
+        assert c.total(now=t + horizon) == 0.0
+
+
+class TestWindowedHistogram:
+    def test_snapshot_keys_match_cumulative_histogram(self):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        h.observe(5.0, now=0.0)
+        snap = h.snapshot(now=0.0)
+        assert set(snap) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99"
+        }
+        assert snap["count"] == 1
+        assert snap["p50"] == pytest.approx(5.0)
+        assert snap["p99"] == pytest.approx(5.0)
+
+    def test_merges_across_buckets(self):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        for t, v in ((0.5, 1.0), (10.5, 3.0), (20.5, 2.0)):
+            h.observe(v, now=t)
+        snap = h.snapshot(now=21.0)
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(6.0)
+        assert snap["min"] == pytest.approx(1.0)
+        assert snap["max"] == pytest.approx(3.0)
+
+    def test_old_observations_leave_the_distribution(self):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        h.observe(100.0, now=0.0)
+        h.observe(1.0, now=70.0)
+        snap = h.snapshot(now=70.0)
+        assert snap["count"] == 1
+        assert snap["max"] == pytest.approx(1.0)
+
+    def test_empty_window_reads_zero(self):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        snap = h.snapshot(now=0.0)
+        assert snap["count"] == 0
+        assert snap["p95"] == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        base=_TIMES,
+    )
+    def test_quantiles_bounded_by_observed_range(self, values, base):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        for i, v in enumerate(values):
+            h.observe(v, now=base + i * 0.01)
+        now = base + len(values) * 0.01
+        for q in (0.5, 0.95, 0.99):
+            estimate = h.quantile(q, now=now)
+            assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+
+class TestWindowSet:
+    def test_default_horizons_and_labels(self):
+        ws = WindowSet("reqs", clock=FakeClock())
+        assert sorted(ws.windows) == sorted(
+            horizon_label(h) for h in DEFAULT_HORIZONS
+        )
+        ws.observe(2.0, now=1.0)
+        snap = ws.snapshot(now=1.0)
+        assert snap["60s"]["total"] == 2.0
+        assert snap["300s"]["total"] == 2.0
+
+    def test_histogram_kind(self):
+        ws = WindowSet("lat", kind="histogram", clock=FakeClock())
+        ws.observe(0.25, now=0.0)
+        assert ws.snapshot(now=0.0)["60s"]["count"] == 1
+
+    def test_longer_horizon_remembers_more(self):
+        ws = WindowSet("reqs", clock=FakeClock())
+        ws.observe(1.0, now=0.0)
+        snap = ws.snapshot(now=120.0)
+        assert snap["60s"]["total"] == 0.0
+        assert snap["300s"]["total"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSet("bad", kind="summary")
+        with pytest.raises(ValueError):
+            WindowSet("bad", horizons=())
+
+    def test_horizon_label(self):
+        assert horizon_label(60.0) == "60s"
+        assert horizon_label(300.0) == "300s"
+        assert horizon_label(0.5) == "0.5s"

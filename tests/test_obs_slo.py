@@ -1,0 +1,125 @@
+"""SLO math: error budgets, burn rates, and the per-tenant board."""
+
+import pytest
+
+from repro.obs.slo import TOTAL_KEY, SLOBoard, SLOPolicy, SLOTracker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestSLOPolicy:
+    def test_error_budget_is_target_complement(self):
+        assert SLOPolicy(availability_target=0.995).error_budget == (
+            pytest.approx(0.005)
+        )
+
+    def test_as_dict_keys(self):
+        assert set(SLOPolicy().as_dict()) == {
+            "availability_target",
+            "error_budget",
+            "latency_target",
+            "latency_quantile",
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"availability_target": 0.0},
+            {"availability_target": 1.0},
+            {"latency_target": 0.0},
+            {"latency_quantile": 0.0},
+            {"latency_quantile": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOPolicy(**kwargs)
+
+
+class TestSLOTracker:
+    def tracker(self, **policy_kwargs):
+        policy = SLOPolicy(**policy_kwargs)
+        return SLOTracker(policy, clock=FakeClock())
+
+    def test_idle_window_burns_nothing(self):
+        window = self.tracker().window("60s", now=0.0)
+        assert window["requests"] == 0
+        assert window["availability"] == 1.0
+        assert window["burn_rate"] == 0.0
+
+    def test_burn_rate_is_error_rate_over_budget(self):
+        # target 0.99 → budget 1%; 10% observed errors → burn 10
+        tracker = self.tracker(availability_target=0.99)
+        for i in range(10):
+            tracker.record(ok=(i != 0), seconds=0.01, now=float(i) * 0.1)
+        window = tracker.window("60s", now=1.0)
+        assert window["error_rate"] == pytest.approx(0.1)
+        assert window["burn_rate"] == pytest.approx(10.0)
+        assert window["availability"] == pytest.approx(0.9)
+
+    def test_burn_rate_one_spends_budget_exactly(self):
+        tracker = self.tracker(availability_target=0.9)
+        for i in range(10):
+            tracker.record(ok=(i != 0), seconds=0.01, now=float(i) * 0.1)
+        assert tracker.window("60s", now=1.0)["burn_rate"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_latency_ok_against_target(self):
+        fast = self.tracker(latency_target=1.0)
+        fast.record(ok=True, seconds=0.1, now=0.0)
+        assert fast.window("60s", now=0.0)["latency_ok"]
+        slow = self.tracker(latency_target=0.05)
+        for _ in range(20):
+            slow.record(ok=True, seconds=3.0, now=0.0)
+        assert not slow.window("60s", now=0.0)["latency_ok"]
+
+    def test_errors_age_out_of_the_window(self):
+        tracker = self.tracker()
+        tracker.record(ok=False, seconds=0.1, now=0.0)
+        assert tracker.window("60s", now=0.0)["burn_rate"] > 0.0
+        assert tracker.window("60s", now=120.0)["burn_rate"] == 0.0
+
+    def test_snapshot_covers_both_horizons(self):
+        tracker = self.tracker()
+        tracker.record(ok=True, seconds=0.1, now=0.0)
+        snap = tracker.snapshot(now=0.0)
+        assert set(snap) == {"60s", "300s"}
+        assert set(snap["60s"]) == {
+            "requests",
+            "errors",
+            "availability",
+            "error_rate",
+            "burn_rate",
+            "latency",
+            "latency_ok",
+        }
+
+
+class TestSLOBoard:
+    def test_records_tenant_and_total(self):
+        board = SLOBoard(clock=FakeClock())
+        board.record("alice", ok=True, seconds=0.1, now=0.0)
+        board.record("bob", ok=False, seconds=0.1, now=0.0)
+        snap = board.snapshot(now=0.0)
+        assert sorted(snap["tenants"]) == ["alice", "bob"]
+        assert snap["total"]["60s"]["requests"] == 2
+        assert snap["tenants"]["bob"]["60s"]["errors"] == 1
+        assert snap["tenants"]["alice"]["60s"]["errors"] == 0
+
+    def test_total_key_hidden_from_tenants(self):
+        board = SLOBoard(clock=FakeClock())
+        board.record("alice", ok=True, seconds=0.1, now=0.0)
+        assert TOTAL_KEY not in board.tenants
+
+    def test_empty_board_snapshot(self):
+        snap = SLOBoard(clock=FakeClock()).snapshot(now=0.0)
+        assert snap["tenants"] == {}
+        assert snap["total"]["60s"]["requests"] == 0
+        assert set(snap["objective"]) == set(SLOPolicy().as_dict())

@@ -1,0 +1,424 @@
+"""The observability pipeline threaded through the service and HTTP layer:
+
+cross-process trace correlation, SLO windows in ``/stats``, the
+``GET /metrics`` exposition, and flight-recorder snapshots and dumps on
+structured failures.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.database.database import Database
+from repro.errors import Overloaded, ResourceExhausted
+from repro.guard.budget import Budget
+from repro.guard.chaos import ChaosPolicy
+from repro.obs.expo import parse_exposition
+from repro.serve.admission import TenantPolicy
+from repro.serve.cli import TC_QUERY, _http_json, _http_text
+from repro.serve.http import ServeHTTP
+from repro.serve.retry import RetryPolicy
+from repro.serve.service import STATS_SCHEMA_VERSION, QueryService
+
+FAST_RETRY = RetryPolicy(base_delay=0.0, jitter=0.0)
+
+
+def path_db(n=6):
+    return Database.from_tuples(
+        range(n), {"E": (2, [(i, i + 1) for i in range(n - 1)])}
+    )
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    service = QueryService(**kwargs)
+    service.register_database("g", path_db())
+    service.prepare("tc", TC_QUERY, ("u", "v"))
+    return service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def serve(test_body, **service_kwargs):
+    service = make_service(**service_kwargs)
+
+    async def main_coro():
+        server = ServeHTTP(service)
+        host, port = await server.start()
+        try:
+            await test_body(host, port, service)
+        finally:
+            await server.close()
+            service.close()
+
+    asyncio.run(asyncio.wait_for(main_coro(), timeout=60))
+
+
+class TestTraceCorrelation:
+    def test_traced_call_returns_assembled_trace(self):
+        service = make_service()
+        response = run(service.call("t0", "tc", "g", trace=True))
+        assert response.request_id == "req-000001"
+        assert response.trace is not None
+        names = [span["name"] for span in response.trace]
+        assert names[0] == "serve.request"
+        assert names[1] == "serve.attempt"
+        assert "evaluate" in names  # the worker-side engine span
+        assert all(
+            span["attrs"]["request_id"] == "req-000001"
+            for span in response.trace
+        )
+        service.close()
+
+    def test_untraced_call_still_stores_a_trace(self):
+        service = make_service()
+        response = run(service.call("t0", "tc", "g"))
+        assert response.trace is None
+        stored = service.traces.get(response.request_id)
+        assert stored is not None
+        assert stored[0]["name"] == "serve.request"
+        # untraced: no worker spans, just the request/attempt skeleton
+        assert [s["name"] for s in stored] == [
+            "serve.request", "serve.attempt"
+        ]
+        service.close()
+
+    def test_request_ids_are_sequential(self):
+        service = make_service()
+        first = run(service.call("t0", "tc", "g"))
+        second = run(service.call("t0", "tc", "g"))
+        assert (first.request_id, second.request_id) == (
+            "req-000001", "req-000002"
+        )
+        service.close()
+
+    def test_retried_request_has_one_trace_with_both_attempts(self):
+        service = make_service()
+        service.set_tenant("t0", TenantPolicy(max_attempts=3))
+        transient = [ChaosPolicy(seed=1, fail_at=1), None]
+        response = run(
+            service.call("t0", "tc", "g", chaos=transient, trace=True)
+        )
+        assert response.retries == 1
+        attempts = [
+            span for span in response.trace
+            if span["name"] == "serve.attempt"
+        ]
+        assert [a["attrs"]["outcome"] for a in attempts] == ["fault", "ok"]
+        service.close()
+
+    def test_response_as_dict_includes_trace_only_when_traced(self):
+        service = make_service()
+        traced = run(service.call("t0", "tc", "g", trace=True))
+        plain = run(service.call("t0", "tc", "g"))
+        assert "trace" in traced.as_dict()
+        assert "trace" not in plain.as_dict()
+        assert plain.as_dict()["request_id"] == plain.request_id
+        service.close()
+
+
+class TestStatsSchema:
+    #: The v2 ``/stats`` top-level layout — a dashboard compatibility
+    #: contract; extend it deliberately and bump STATS_SCHEMA_VERSION.
+    V2_KEYS = {
+        "schema_version",
+        "uptime_seconds",
+        "metrics",
+        "admission",
+        "breakers",
+        "pool",
+        "databases",
+        "queries",
+        "cache",
+        "slo",
+        "flight",
+        "traces",
+    }
+
+    def test_top_level_keys_are_stable(self):
+        service = make_service()
+        stats = service.stats()
+        assert set(stats) == self.V2_KEYS
+        assert stats["schema_version"] == STATS_SCHEMA_VERSION
+        service.close()
+
+    def test_uptime_advances(self):
+        clock = [100.0]
+        service = make_service(clock=lambda: clock[0])
+        clock[0] = 107.5
+        assert service.stats()["uptime_seconds"] == pytest.approx(7.5)
+        service.close()
+
+    def test_breaker_entries_carry_cooldown(self):
+        service = make_service()
+        run(service.call("t0", "tc", "g"))
+        breakers = service.stats()["breakers"]
+        assert set(breakers["t0"]) == {
+            "state", "consecutive_failures", "trips", "cooldown_remaining"
+        }
+        assert breakers["t0"]["cooldown_remaining"] == 0.0
+        service.close()
+
+    def test_slo_board_tracks_outcomes(self):
+        service = make_service()
+        run(service.call("t0", "tc", "g"))
+        with pytest.raises(ResourceExhausted):
+            service.set_tenant(
+                "tight", TenantPolicy(budget=Budget(max_rows=1))
+            )
+            run(service.call("tight", "tc", "g", backend="sparse"))
+        slo = service.stats()["slo"]
+        assert slo["tenants"]["t0"]["60s"]["errors"] == 0
+        assert slo["tenants"]["tight"]["60s"]["errors"] == 1
+        assert slo["total"]["60s"]["requests"] == 2
+        assert slo["total"]["60s"]["burn_rate"] > 0.0
+        service.close()
+
+    def test_stats_document_is_json_serializable(self):
+        service = make_service()
+        run(service.call("t0", "tc", "g"))
+        json.dumps(service.stats(), default=repr)
+        service.close()
+
+
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_counts_requests(self):
+        async def body(host, port, service):
+            for _ in range(3):
+                await _http_json(
+                    host, port, "POST", "/call",
+                    {"tenant": "t0", "query": "tc", "db": "g"},
+                )
+            status, text = await _http_text(host, port, "/metrics")
+            assert status == 200
+            samples = parse_exposition(text)
+            by_name = {}
+            for name, labels, value in samples:
+                by_name.setdefault(name, []).append((labels, value))
+            assert by_name["repro_serve_requests_total"][0][1] == 3.0
+            assert by_name["repro_serve_ok_total"][0][1] == 3.0
+            assert "repro_serve_uptime_seconds" in by_name
+            # SLO gauges are labeled by tenant and window
+            burn_labels = {
+                (labels["tenant"], labels["window"])
+                for labels, _ in by_name["repro_serve_slo_burn_rate"]
+            }
+            assert ("t0", "60s") in burn_labels
+            assert ("_total", "300s") in burn_labels
+            # latency histogram rides the latency bucket grid
+            lat = by_name["repro_serve_latency_seconds_bucket"]
+            assert any(labels["le"] == "0.001" for labels, _ in lat)
+            assert any(labels["le"] == "+Inf" for labels, _ in lat)
+
+        serve(body)
+
+    def test_exposition_stable_when_idle(self):
+        service = make_service(clock=lambda: 100.0)
+        first = service.metrics_text()
+        second = service.metrics_text()
+        assert first == second
+        service.close()
+
+
+class TestTraceEndpoint:
+    def test_fetch_by_id_and_latest(self):
+        async def body(host, port, service):
+            status, resp = await _http_json(
+                host, port, "POST", "/call",
+                {"tenant": "t0", "query": "tc", "db": "g", "trace": True},
+            )
+            assert status == 200
+            request_id = resp["request_id"]
+            assert resp["trace"][0]["name"] == "serve.request"
+            status, by_id = await _http_json(
+                host, port, "GET", f"/trace/{request_id}"
+            )
+            assert status == 200
+            assert by_id["request_id"] == request_id
+            assert by_id["spans"][0]["name"] == "serve.request"
+            status, latest = await _http_json(host, port, "GET", "/trace")
+            assert status == 200
+            assert latest["request_id"] == request_id
+
+        serve(body)
+
+    def test_unknown_trace_404s(self):
+        async def body(host, port, service):
+            status, resp = await _http_json(
+                host, port, "GET", "/trace/req-999999"
+            )
+            assert status == 404
+            assert resp["error"] == "unknown-trace"
+            status, resp = await _http_json(host, port, "GET", "/trace")
+            assert status == 404
+            assert resp["error"] == "no-traces"
+
+        serve(body)
+
+
+class TestFlightRecorder:
+    def test_terminal_failure_carries_flight_snapshot(self):
+        service = make_service()
+        service.set_tenant("t0", TenantPolicy(max_attempts=1))
+        with pytest.raises(Overloaded) as exc_info:
+            run(
+                service.call(
+                    "t0", "tc", "g", chaos=ChaosPolicy(seed=2, fail_at=1)
+                )
+            )
+        flight = exc_info.value.flight
+        kinds = [event["kind"] for event in flight["events"]]
+        assert "request" in kinds
+        assert "fault" in kinds
+        assert "overloaded" in kinds
+        service.close()
+
+    def test_retries_exhausted_dumps_postmortem(self, tmp_path):
+        service = make_service(flight_dump_dir=str(tmp_path))
+        service.set_tenant("t0", TenantPolicy(max_attempts=1))
+        with pytest.raises(Overloaded):
+            run(
+                service.call(
+                    "t0", "tc", "g", chaos=ChaosPolicy(seed=2, fail_at=1)
+                )
+            )
+        dumps = sorted(tmp_path.glob("flight-retries-exhausted-*.json"))
+        assert len(dumps) == 1
+        document = json.loads(dumps[0].read_text(encoding="utf-8"))
+        assert document["request_id"] == "req-000001"
+        assert document["context"]["tenant"] == "t0"
+        service.close()
+
+    def test_resource_exhaustion_dumps_postmortem(self, tmp_path):
+        service = make_service(flight_dump_dir=str(tmp_path))
+        service.set_tenant(
+            "tight", TenantPolicy(budget=Budget(max_rows=1))
+        )
+        with pytest.raises(ResourceExhausted):
+            run(service.call("tight", "tc", "g", backend="sparse"))
+        dumps = sorted(tmp_path.glob("flight-resource-exhausted-*.json"))
+        assert len(dumps) == 1
+        service.close()
+
+    def test_admission_shed_attaches_snapshot_but_never_dumps(
+        self, tmp_path
+    ):
+        service = make_service(
+            max_concurrency=1, max_queue=0, flight_dump_dir=str(tmp_path)
+        )
+
+        async def main():
+            # hold the only slot so the next request sheds immediately
+            await service.admission.admit("hog")
+            with pytest.raises(Overloaded) as exc_info:
+                await service.call("t1", "tc", "g")
+            assert "events" in exc_info.value.flight
+            service.admission.release(0.0)
+
+        run(main())
+        assert list(tmp_path.glob("flight-*.json")) == []
+        service.close()
+
+    def test_http_429_body_includes_flight(self):
+        async def body(host, port, service):
+            service.set_tenant("t0", TenantPolicy(max_attempts=1))
+            status, resp = await _http_json(
+                host, port, "POST", "/call",
+                {
+                    "tenant": "t0", "query": "tc", "db": "g",
+                    "chaos": {"seed": 2, "fail_at": 1},
+                },
+            )
+            assert status == 429
+            assert resp["error"] == "overloaded"
+            kinds = [e["kind"] for e in resp["flight"]["events"]]
+            assert "fault" in kinds
+
+        serve(body)
+
+    def test_flight_ring_records_degradation(self):
+        service = make_service()
+        service.set_tenant(
+            "tight",
+            TenantPolicy(budget=Budget(max_rows=3), max_attempts=1),
+        )
+        try:
+            run(service.call("tight", "tc", "g", strategy="seminaive"))
+        except ResourceExhausted:
+            pass
+        kinds = {event["kind"] for event in service.flight.events()}
+        assert "degrade" in kinds
+        service.close()
+
+
+class TestTelemetryConcurrency:
+    def test_concurrent_emitters_never_interleave_lines(self, tmp_path):
+        import threading
+
+        from repro.serve.telemetry import TelemetryLog
+
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryLog(str(path)) as log:
+            def emit_many(worker):
+                for i in range(200):
+                    log.emit({"worker": worker, "i": i, "pad": "x" * 64})
+
+            threads = [
+                threading.Thread(target=emit_many, args=(w,))
+                for w in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert log.events == 800
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 800
+        # every line is standalone valid JSON — no torn writes
+        for line in lines:
+            json.loads(line)
+
+    def test_context_manager_closes_handle(self, tmp_path):
+        from repro.serve.telemetry import TelemetryLog
+
+        path = tmp_path / "t.jsonl"
+        with TelemetryLog(str(path)) as log:
+            log.emit({"event": "x"})
+            assert log._handle is not None
+        assert log._handle is None
+
+    def test_disabled_log_counts_but_never_opens(self):
+        from repro.serve.telemetry import TelemetryLog
+
+        with TelemetryLog(None) as log:
+            log.emit({"event": "x"})
+            assert not log.enabled
+            assert log.events == 1
+
+
+class TestTelemetryCorrelation:
+    def test_events_carry_request_ids(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        service = make_service(telemetry_path=str(path))
+        run(service.call("t0", "tc", "g"))
+        service.set_tenant("bad", TenantPolicy(max_attempts=1))
+        with pytest.raises(Overloaded):
+            run(
+                service.call(
+                    "bad", "tc", "g", chaos=ChaosPolicy(seed=2, fail_at=1)
+                )
+            )
+        service.close()
+        events = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [event["request_id"] for event in events] == [
+            "req-000001", "req-000002"
+        ]
+        assert [event["outcome"] for event in events] == [
+            "ok", "overloaded"
+        ]
