@@ -95,6 +95,7 @@ class EvalStats:
         "_sat_variables",
         "_sat_clauses",
         "_rows_hist",
+        "_note_cache",
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -109,6 +110,7 @@ class EvalStats:
         self._sat_variables = self.registry.counter("sat.variables")
         self._sat_clauses = self.registry.counter("sat.clauses")
         self._rows_hist = self.registry.histogram("eval.table_rows")
+        self._note_cache: Dict[str, object] = {}
 
     table_ops = _counter_attr("eval.table_ops", "_table_ops")
     max_intermediate_rows = _gauge_attr(
@@ -150,8 +152,26 @@ class EvalStats:
         if len(table.variables) > self._max_arity.value:
             self._max_arity.value = len(table.variables)
 
+    def observe_rows(self, rows: int, arity: int) -> None:
+        """Audit one intermediate result by its dimensions alone.
+
+        The compiled evaluation path (:mod:`repro.perf.compile`) works on
+        raw backend values with no table wrapper to hand to
+        :meth:`observe_table`; this records the identical counters.
+        """
+        self._table_ops.value += 1
+        self._rows_hist.observe(rows)
+        if rows > self._max_rows.value:
+            self._max_rows.value = rows
+        if arity > self._max_arity.value:
+            self._max_arity.value = arity
+
     def bump(self, key: str, amount: int = 1) -> None:
-        self.registry.counter(_NOTE_PREFIX + key).inc(amount)
+        counter = self._note_cache.get(key)
+        if counter is None:
+            counter = self.registry.counter(_NOTE_PREFIX + key)
+            self._note_cache[key] = counter
+        counter.value += amount
 
     def as_dict(self) -> Dict[str, int]:
         """The classic audit fields as a flat dict (for reports/benches)."""

@@ -37,7 +37,12 @@ from repro.core.interp import VarTable
 from repro.database.domain import Domain, Value
 from repro.database.relation import Relation
 from repro.errors import EvaluationError, SchemaError
-from repro.kernel.packed import DomainCodec, PackedRelation, PackedTable
+from repro.kernel.packed import (
+    CACHE_STAT_KEYS,
+    DomainCodec,
+    PackedRelation,
+    PackedTable,
+)
 from repro.logic.syntax import Const, Term, Var
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, TracerLike
@@ -58,9 +63,6 @@ DEFAULT_MAX_BITS = 1 << 27
 #: long property-test sessions create thousands of throwaway domains.
 _CODECS: Dict[Domain, DomainCodec] = {}
 _CODEC_CACHE_LIMIT = 256
-
-#: Per-codec cap on cached sparse-relation atom encodings.
-_ATOM_CACHE_LIMIT = 128
 
 
 def codec_for(domain: Domain, registry: Optional[MetricsRegistry] = None) -> DomainCodec:
@@ -156,6 +158,25 @@ class PackedBackend:
         self._tables = registry.counter("kernel.tables")
         self._mask_bits = registry.gauge("kernel.mask_bits")
         self._popcounts = registry.histogram("kernel.popcount")
+        # bounded-cache tallies live on the shared codec; this backend
+        # publishes the deltas it witnesses as kernel.cache.* counters
+        self._cache_counters = {
+            name: registry.counter("kernel.cache." + name)
+            for name in CACHE_STAT_KEYS
+        }
+        self._cache_seen = dict(self.codec.cache_stats)
+
+    def _sync_cache_stats(self) -> None:
+        stats = self.codec.cache_stats
+        seen = self._cache_seen
+        if stats["events"] == seen["events"]:
+            return
+        seen["events"] = stats["events"]
+        for name, counter in self._cache_counters.items():
+            delta = stats[name] - seen[name]
+            if delta:
+                counter.inc(delta)
+                seen[name] = stats[name]
 
     def _guard_width(self, k: int) -> None:
         bits = self.codec.size(k)
@@ -197,6 +218,7 @@ class PackedBackend:
         if isinstance(table, PackedTable):
             self._mask_bits.set_max(self.codec.size(len(table.variables)))
             self._popcounts.observe(len(table))
+        self._sync_cache_stats()
 
     # -- atoms ---------------------------------------------------------
 
@@ -225,7 +247,7 @@ class PackedBackend:
         # Encoding a sparse relation walks it row by row — the only
         # per-row loop left in the packed pipeline.  Base relations are
         # immutable and hit with the same term shape on every solve, so
-        # cache the finished mask on the (shared) codec.
+        # cache the finished mask on the (shared) codec's bounded LRU.
         cache = self.codec.atom_masks
         key = (
             relation,
@@ -248,9 +270,7 @@ class PackedBackend:
                 if ok:
                     row = tuple(tup[var_positions[v][0]] for v in columns)
                     mask |= 1 << encode(row)
-            if len(cache) >= _ATOM_CACHE_LIMIT:
-                cache.clear()
-            cache[key] = mask
+            cache.put(key, mask)
         return PackedTable(self.codec, tuple(columns), mask, self.tracer)
 
     def _atom_from_mask(

@@ -38,6 +38,7 @@ masks end-to-end and convergence checks are integer comparisons.
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import (
     Dict,
     FrozenSet,
@@ -126,6 +127,72 @@ def _compress(mask: int, count: int, width: int, stride: int) -> int:
     )
 
 
+#: Per-codec cap on cached sparse-relation atom encodings.
+ATOM_CACHE_LIMIT = 128
+
+#: Per-table cap on cached alignment (cylindrification) masks.  A table
+#: is only ever re-aligned against the join schemas it actually meets —
+#: normally a handful — but adversarial property-test formulas can meet
+#: one memoized atom under hundreds of schemas.
+ALIGN_CACHE_LIMIT = 64
+
+
+class BoundedMaskCache:
+    """A tiny LRU of masks with aggregate hit/miss/eviction tallies.
+
+    The tallies live on a shared ``stats`` dict (the codec's
+    ``cache_stats``) under ``{prefix}_hits`` / ``{prefix}_misses`` /
+    ``{prefix}_evictions``; :class:`~repro.kernel.backend.PackedBackend`
+    syncs them into its registry as ``kernel.cache.*`` counters.
+    """
+
+    __slots__ = ("_entries", "_limit", "_stats", "_prefix")
+
+    def __init__(self, limit: int, stats: Dict[str, int], prefix: str):
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._limit = limit
+        self._stats = stats
+        self._prefix = prefix
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key) -> Optional[int]:
+        stats = self._stats
+        mask = self._entries.get(key)
+        if mask is None:
+            stats[self._prefix + "_misses"] += 1
+            stats["events"] += 1
+            return None
+        self._entries.move_to_end(key)
+        stats[self._prefix + "_hits"] += 1
+        stats["events"] += 1
+        return mask
+
+    def put(self, key, mask: int) -> None:
+        self._entries[key] = mask
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._limit:
+            self._entries.popitem(last=False)
+            self._stats[self._prefix + "_evictions"] += 1
+            self._stats["events"] += 1
+
+
+#: The tally keys every codec's ``cache_stats`` carries.  ``events`` is
+#: a change counter, not a published metric: backends compare it against
+#: their last-seen value to skip the sync loop when nothing happened.
+CACHE_STAT_KEYS = (
+    "atom_hits",
+    "atom_misses",
+    "atom_evictions",
+    "align_hits",
+    "align_misses",
+    "align_evictions",
+)
+
+_CACHE_STAT_FIELDS = CACHE_STAT_KEYS + ("events",)
+
+
 class DomainCodec:
     """Mixed-radix row↔bit-index codec and mask kernels for one domain.
 
@@ -144,6 +211,7 @@ class DomainCodec:
         "_plans",
         "_diffs",
         "atom_masks",
+        "cache_stats",
     )
 
     def __init__(self, domain: Domain):
@@ -155,10 +223,15 @@ class DomainCodec:
         self._rep: Dict[int, int] = {}
         self._plans: Dict[Tuple[int, int, int], list] = {}
         self._diffs: Dict[Tuple[int, int, int], list] = {}
+        # aggregate bounded-cache tallies for every table/atom cache that
+        # hangs off this codec; backends publish deltas as kernel.cache.*
+        self.cache_stats: Dict[str, int] = {k: 0 for k in _CACHE_STAT_FIELDS}
         # sparse-relation atom encodings (see PackedBackend._atom_from_rows):
         # keyed by (relation, term shape) so each base relation is walked
         # row-by-row once per codec rather than once per evaluation
-        self.atom_masks: Dict[tuple, int] = {}
+        self.atom_masks = BoundedMaskCache(
+            ATOM_CACHE_LIMIT, self.cache_stats, "atom"
+        )
 
     # -- encoding ------------------------------------------------------
 
@@ -402,7 +475,7 @@ class PackedTable:
         self._mask = mask
         self._tracer = tracer
         self._row_cache: Optional[FrozenSet[Row]] = None
-        self._align_cache: Optional[Dict[Tuple[str, ...], int]] = None
+        self._align_cache: Optional[BoundedMaskCache] = None
 
     # -- constructors --------------------------------------------------
 
@@ -525,13 +598,15 @@ class PackedTable:
         expansion is the expensive half of a packed join."""
         if target == self._vars:
             return self._mask
+        codec = self._codec
         cache = self._align_cache
         if cache is None:
-            cache = self._align_cache = {}
+            cache = self._align_cache = BoundedMaskCache(
+                ALIGN_CACHE_LIMIT, codec.cache_stats, "align"
+            )
         mask = cache.get(target)
         if mask is not None:
             return mask
-        codec = self._codec
         mask = self._mask
         cur = list(self._vars)
         have = set(cur)
@@ -541,7 +616,7 @@ class PackedTable:
                 mask = codec.expand(mask, len(cur), len(cur) - pos)
                 cur.insert(pos, var)
                 have.add(var)
-        cache[target] = mask
+        cache.put(target, mask)
         return mask
 
     # -- relational operations -----------------------------------------
@@ -863,6 +938,10 @@ class PackedRelation(Relation):
 
 
 __all__ = [
+    "ALIGN_CACHE_LIMIT",
+    "ATOM_CACHE_LIMIT",
+    "BoundedMaskCache",
+    "CACHE_STAT_KEYS",
     "DomainCodec",
     "PackedRelation",
     "PackedTable",

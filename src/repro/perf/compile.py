@@ -1,0 +1,1456 @@
+"""Query compilation: fuse ``(formula, schema, backend)`` into straight-line plans.
+
+The bottom-up evaluator (:mod:`repro.core.fo_eval`) re-walks the AST on
+every evaluation — for fixpoint queries that means per-node ``isinstance``
+dispatch, table wrapper allocation, and memo bookkeeping on *every round*.
+This module compiles a pure-FO (sub)formula once into a **straight-line
+program**: a flat list of instruction tuples executed by one tight loop,
+with all per-node decisions (which operation, which registers, which
+alignment shifts, what to charge the guard) resolved at build time.
+
+Two specializations exist, chosen by the evaluation backend:
+
+* **packed** — registers hold raw ``n^k``-bit masks.  Each instruction is
+  a closure over pre-resolved :class:`~repro.kernel.packed.DomainCodec`
+  kernels (``expand``/``project``/``eq_mask``/``select_value``/``permute``)
+  with alignment shift plans precomputed from the schemas, so a fixpoint
+  round runs whole-int ops with **no intermediate PackedTable wrappers**
+  and no per-node dispatch.  Only the final result is wrapped.
+* **sparse** — registers hold :class:`~repro.core.interp.VarTable`
+  instances and instructions are generated closures over their methods.
+
+Compilation distinguishes **static** subtrees (no free relation variable
+bound in the evaluation environment — typically everything except the
+fixpoint recursion relation) from **dynamic** ones.  Static subtrees are
+constant-folded at build time into pre-initialized registers; dynamic
+nodes become compute instructions.  Two instruction lists are kept:
+
+* the **cold** list replays the guard charges / stats observations of the
+  constant-folded work once (matching what the interpreter would have
+  charged on its first visit), then runs the dynamic tail;
+* the **warm** list models every later visit, where the interpreter's
+  per-evaluator memo would have served the static subtrees (a
+  ``memo_hits`` bump instead of recomputation).
+
+This makes a compiled evaluation *observationally identical* to the
+interpreted one: same answers, same :class:`~repro.core.interp.EvalStats`
+counters, same guard row charges in the same order (so budget exhaustion
+and chaos fault injection trip at the same points), and — when tracing is
+on — the same ``fo.*`` span tree nested under a ``compile.run`` span.
+
+What does **not** compile (``compile_program`` returns ``None`` and the
+interpreter runs as before): fixpoint operators and second-order
+quantifiers (their *bodies* compile when the fixpoint engine re-enters the
+evaluator), empty domains, foreign backend objects, and packed programs
+whose predicted width exceeds the backend's mask-bit cap.
+
+Compiled plans are shared through :class:`PlanCache`, keyed like
+:class:`repro.perf.cache.SubqueryCache` — structural formula + domain +
+backend + the database's :attr:`~repro.database.database.Database.generation`
+mutation counter + the state of every statically folded relation — so a
+mutated database can never be served a stale plan.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.database.database import Database
+from repro.database.domain import Domain
+from repro.kernel.backend import PackedBackend, SparseBackend
+from repro.kernel.packed import PackedRelation, PackedTable, popcount
+from repro.logic.printer import formula_label
+from repro.logic.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    SOExists,
+    Truth,
+    Var,
+    _FixpointBase,
+)
+from repro.logic.variables import free_relation_variables, free_variables
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+
+#: Environment variable consulted when ``EvalOptions.compile`` is unset.
+COMPILE_ENV = "REPRO_COMPILE"
+
+#: Default bound on retained compiled plans.
+PLAN_CACHE_MAX_ENTRIES = 256
+
+# Traced instruction opcodes (untraced instructions are dispatched on
+# their field shapes instead — see Program.run).
+_OP_OPEN = 0
+_OP_COMPUTE = 1
+_OP_CHARGE = 2
+_OP_CLOSE = 3
+_OP_MEMO = 4
+_OP_SEG = 5
+_OP_SEGEND = 6
+
+# Untraced memo-bump marker: fn=None, node=None.
+_MEMO_U = (None, -1, None, 0, 0, 0)
+_MEMO_T = (_OP_MEMO,)
+
+
+class _Sentinel:
+    __slots__ = ("_name",)
+
+    def __init__(self, name):
+        self._name = name
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return self._name
+
+
+# Untraced segment markers (in the ``fn`` field): a static subtree whose
+# replay is skipped when the evaluator's memo already holds the node.
+_SEG = _Sentinel("<seg>")
+_SEGEND = _Sentinel("<segend>")
+
+
+def subformula_at(formula: Formula, path: Tuple[int, ...]) -> Formula:
+    """Resolve a child-index path against a (structurally equal) formula.
+
+    Plans cached across evaluations store static-subtree *paths* rather
+    than node objects: structural equality guarantees the same shape, but
+    the per-evaluator memo keys on object identity, so each evaluator
+    resolves the paths against its own formula instance.
+    """
+    node = formula
+    for index in path:
+        if isinstance(node, (Not, Exists, Forall)):
+            node = node.sub
+        elif isinstance(node, (And, Or)):
+            node = node.subs[index]
+        else:  # pragma: no cover - paths only point into these nodes
+            raise ValueError(f"bad subformula path {path!r}")
+    return node
+
+
+def resolve_compile(value: Optional[bool] = None) -> bool:
+    """Normalize an ``EvalOptions.compile`` value.
+
+    ``None`` consults the ``REPRO_COMPILE`` environment variable (the
+    compiled-smoke CI lane sets it to run the whole suite compiled),
+    mirroring how ``REPRO_BENCH_BACKEND`` selects the kernel.
+    """
+    if value is None:
+        raw = os.environ.get(COMPILE_ENV, "")
+        return raw.strip().lower() in ("1", "true", "yes", "on")
+    return bool(value)
+
+
+class _Uncompilable(Exception):
+    """Internal: this formula/backend falls back to the interpreter."""
+
+
+def _codegen_warm(warm: List[tuple], root_reg: int):
+    """Unroll a warm op schedule into one specialized Python function.
+
+    The generic warm loop pays tuple unpacking and branch dispatch on
+    every instruction; for the per-round fixpoint bodies that dominate
+    compiled evaluation this interpretive overhead is a measurable
+    fraction of the round.  Unrolling the (short, fixed) schedule into
+    straight-line source — compute closures bound as default-argument
+    locals, arities and replay row counts inlined as literals — removes
+    it.  Semantics are copied 1:1 from ``Program.run``'s warm loop.
+    """
+    fns = [op[0] for op in warm]
+    lines = ["def _warm_run(regs, slots, rows_of, charge, observe, bump,"]
+    defaults = ", ".join(
+        "f{}=_fns[{}]".format(i, i) for i, fn in enumerate(fns)
+        if fn is not None
+    )
+    lines.append("              genabled{}):".format(
+        ", " + defaults if defaults else ""
+    ))
+    body = []
+    for i, (fn, dst, node, charges, arity, rows) in enumerate(warm):
+        if fn is not None:
+            body.append("    value = f{}(regs, slots)".format(i))
+            body.append("    regs[{}] = value".format(dst))
+            body.append("    rows = rows_of(value)")
+        elif node is None:
+            body.append("    bump('memo_hits')")
+            continue
+        else:
+            body.append("    rows = {}".format(rows))
+        for _ in range(2 if charges == 2 else 1):
+            body.append("    if genabled:")
+            body.append("        charge(rows, node={!r})".format(node))
+            body.append("    observe(rows, {})".format(arity))
+    body.append("    return regs[{}]".format(root_reg))
+    namespace = {"_fns": fns}
+    exec("\n".join(lines + body), namespace)
+    return namespace["_warm_run"]
+
+
+class Program:
+    """A compiled straight-line evaluation plan.
+
+    Untraced instructions are tuples ``(fn, dst, node, charges, arity,
+    rows)``:
+
+    * ``fn`` not ``None`` — a compute: ``regs[dst] = fn(regs, slots)``,
+      then charge/observe the result ``charges`` times (2 when the node's
+      final fold charge and its wrapper charge coincide);
+    * ``fn`` is ``None``, ``node`` set — a constant-fold replay: charge and
+      observe the build-time ``rows``/``arity`` (what the interpreter
+      would have charged computing the static subtree);
+    * both ``None`` — a ``memo_hits`` bump (the interpreter's memo would
+      have served this repeated subtree).
+
+    Traced instructions carry explicit span opcodes so the compiled run
+    emits the same nested ``fo.*`` span tree as the interpreter, wrapped
+    in one ``compile.run`` span.
+    """
+
+    __slots__ = (
+        "backend_name",
+        "schema",
+        "init_regs",
+        "cold",
+        "warm",
+        "traced_cold",
+        "traced_warm",
+        "root_reg",
+        "rows_of",
+        "meta",
+        "label",
+        "dynamic",
+        "segments",
+        "_codec",
+        "peak_arity",
+        "peak_bits",
+        "_warm_fast",
+    )
+
+    def __init__(
+        self,
+        backend_name: str,
+        schema: Tuple[str, ...],
+        init_regs: List[object],
+        cold: List[tuple],
+        warm: List[tuple],
+        traced_cold: List[tuple],
+        traced_warm: List[tuple],
+        root_reg: int,
+        rows_of,
+        meta: List[dict],
+        label: str,
+        dynamic: FrozenSet[str],
+        segments: Optional[List[tuple]] = None,
+        codec=None,
+        peak_arity: int = 0,
+        peak_bits: Optional[int] = None,
+    ):
+        self.backend_name = backend_name
+        self.schema = schema
+        self.init_regs = init_regs
+        self.cold = cold
+        self.warm = warm
+        self.traced_cold = traced_cold
+        self.traced_warm = traced_warm
+        self.root_reg = root_reg
+        self.rows_of = rows_of
+        self.meta = meta
+        self.label = label
+        self.dynamic = dynamic
+        self.segments = segments if segments is not None else []
+        self._codec = codec
+        self.peak_arity = peak_arity
+        self.peak_bits = peak_bits
+        self._warm_fast = None
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, slots, stats, guard, warm: bool, memo=None, nodes=None,
+            tracer=NULL_TRACER):
+        """Execute without tracing; returns the raw root value.
+
+        ``memo``/``nodes`` matter only on the cold run: each static
+        *segment* consults the evaluator's per-run memo (``nodes`` are
+        the segment subtrees resolved against the caller's formula
+        instance) — already-seen subtrees skip their replay with a
+        ``memo_hits`` bump, and replayed ones register their folded
+        value, exactly as the interpreter's first visit would.  Delta
+        bodies produced by semi-naive rewriting *share* subtree objects
+        with the original body, so this cross-program memo traffic is
+        what keeps compiled counters identical to interpreted ones.
+        """
+        regs = list(self.init_regs)
+        rows_of = self.rows_of
+        genabled = guard.enabled
+        charge = guard.charge_rows
+        observe = stats.observe_rows
+        bump = stats.bump
+        if warm:
+            fast = self._warm_fast
+            if fast is None:
+                fast = self._warm_fast = _codegen_warm(
+                    self.warm, self.root_reg
+                )
+            return fast(regs, slots, rows_of, charge, observe, bump,
+                        genabled)
+        if memo is None:
+            memo = {}
+        ops = self.cold
+        i = 0
+        n = len(ops)
+        while i < n:
+            fn, dst, node, charges, arity, rows = ops[i]
+            i += 1
+            if fn is not None:
+                if fn is _SEG:
+                    # dst = segment ordinal, charges = instructions to skip
+                    if (id(nodes[dst]), ()) in memo:
+                        bump("memo_hits")
+                        i += charges
+                    continue
+                if fn is _SEGEND:
+                    seg_node = nodes[dst]
+                    _, reg, schema = self.segments[dst]
+                    memo[(id(seg_node), ())] = (
+                        seg_node,
+                        self.wrap_value(regs[reg], schema, tracer),
+                    )
+                    continue
+                value = fn(regs, slots)
+                regs[dst] = value
+                rows = rows_of(value)
+            elif node is None:
+                bump("memo_hits")
+                continue
+            if genabled:
+                charge(rows, node=node)
+            observe(rows, arity)
+            if charges == 2:
+                if genabled:
+                    charge(rows, node=node)
+                observe(rows, arity)
+        return regs[self.root_reg]
+
+    def run_traced(self, slots, stats, guard, tracer, warm: bool,
+                   memo=None, nodes=None):
+        """Execute with the interpreter-equivalent ``fo.*`` span tree."""
+        regs = list(self.init_regs)
+        rows_of = self.rows_of
+        genabled = guard.enabled
+        observe = stats.observe_rows
+        ops = self.traced_warm if warm else self.traced_cold
+        if memo is None:
+            memo = {}
+        stack: List[object] = []
+        run_span = tracer._open("compile.run")
+        run_span.set(ops=len(ops), warm=warm, backend=self.backend_name)
+        try:
+            i = 0
+            n = len(ops)
+            while i < n:
+                entry = ops[i]
+                i += 1
+                op = entry[0]
+                if op == _OP_COMPUTE:
+                    regs[entry[1]] = entry[2](regs, slots)
+                elif op == _OP_CHARGE:
+                    _, reg, node, arity, rows = entry
+                    if reg >= 0:
+                        rows = rows_of(regs[reg])
+                    if genabled:
+                        guard.charge_rows(rows, node=node)
+                    observe(rows, arity)
+                elif op == _OP_OPEN:
+                    span = tracer._open(entry[1])
+                    span.set(expr=entry[2])
+                    stack.append(span)
+                elif op == _OP_CLOSE:
+                    _, reg, arity, rows = entry
+                    if reg >= 0:
+                        rows = rows_of(regs[reg])
+                    span = stack.pop()
+                    span.set(rows=rows, arity=arity)
+                    tracer._close(span)
+                elif op == _OP_SEG:
+                    if (id(nodes[entry[1]]), ()) in memo:
+                        stats.bump("memo_hits")
+                        i += entry[2]
+                elif op == _OP_SEGEND:
+                    seg_node = nodes[entry[1]]
+                    _, reg, schema = self.segments[entry[1]]
+                    memo[(id(seg_node), ())] = (
+                        seg_node,
+                        self.wrap_value(regs[reg], schema, tracer),
+                    )
+                else:  # _OP_MEMO
+                    stats.bump("memo_hits")
+        finally:
+            # a guard/chaos abort mid-program must not leak open spans
+            while stack:
+                tracer._close(stack.pop())
+            tracer._close(run_span)
+        return regs[self.root_reg]
+
+    def wrap(self, value, tracer):
+        """Lift the raw root value back into the evaluator's table type."""
+        return self.wrap_value(value, self.schema, tracer)
+
+    def wrap_value(self, value, schema, tracer):
+        """Lift any register value into the evaluator's table type."""
+        if self._codec is not None:
+            return PackedTable(self._codec, schema, value, tracer)
+        return value
+
+    # -- introspection -------------------------------------------------
+
+    def describe(self) -> str:
+        """A human-readable op listing for ``--explain-plan``."""
+        lines = [
+            f"compiled plan [{self.backend_name}] for {self.label}",
+            f"  schema: ({', '.join(self.schema)})"
+            if self.schema
+            else "  schema: ()  (boolean)",
+            f"  dynamic relations: "
+            f"{', '.join(sorted(self.dynamic)) if self.dynamic else '(none)'}",
+            f"  registers: {len(self.init_regs)}  "
+            f"cold ops: {len(self.cold)}  warm ops: {len(self.warm)}",
+        ]
+        peak = f"  peak intermediate arity: {self.peak_arity}"
+        if self.peak_bits is not None:
+            peak += f"  (predicted packed width: {self.peak_bits} bits)"
+        lines.append(peak)
+        for i, op in enumerate(self.meta):
+            bits = (
+                f" width={op['bits']}b" if op.get("bits") is not None else ""
+            )
+            lines.append(
+                f"  [{i:3d}] {op['kind']:<12} {op['node']:<8} "
+                f"arity={op['arity']}{bits}  {op['label']}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(backend={self.backend_name!r}, regs={len(self.init_regs)}, "
+            f"cold={len(self.cold)}, warm={len(self.warm)})"
+        )
+
+
+# -- backend-specific emitters ----------------------------------------
+
+
+def _equals_table(backend, domain: Domain, node: Equals):
+    """Mirror of ``BoundedEvaluator._eval_equals`` over any backend."""
+    left, right = node.left, node.right
+    if isinstance(left, Var) and isinstance(right, Var):
+        if left.name == right.name:
+            return backend.full((left.name,))
+        return backend.table(
+            (left.name, right.name), ((v, v) for v in domain)
+        )
+    if isinstance(left, Const) and isinstance(right, Var):
+        left, right = right, left
+    if isinstance(left, Var) and isinstance(right, Const):
+        if right.value not in domain:
+            return backend.table((left.name,), [])
+        return backend.table((left.name,), [(right.value,)])
+    if isinstance(left, Const) and isinstance(right, Const):
+        return (
+            backend.tautology()
+            if left.value == right.value
+            else backend.contradiction()
+        )
+    raise _Uncompilable(f"malformed equality {node!r}")
+
+
+class _SparseEmit:
+    """Instruction factory for the sparse (VarTable) backend."""
+
+    backend_name = "sparse"
+    codec = None
+
+    def __init__(self, db: Database):
+        self.domain = db.domain
+        # a private backend: compiled closures must not capture the
+        # requesting evaluation's tracer/registry (plans are shared)
+        self.priv = SparseBackend(db.domain)
+
+    rows_of = staticmethod(len)
+
+    def check_width(self, k: int) -> None:
+        pass
+
+    def predicted_bits(self, k: int) -> Optional[int]:
+        return None
+
+    # build-time constant folding ------------------------------------
+
+    def static_atom(self, relation, terms):
+        return self.priv.atom_table(relation, terms)
+
+    def equals_value(self, node):
+        return _equals_table(self.priv, self.domain, node)
+
+    def taut(self):
+        return self.priv.tautology()
+
+    def contra(self):
+        return self.priv.contradiction()
+
+    def not_value(self, value, schema):
+        return value.complement(self.domain)
+
+    def fold_value(self, is_and, a, a_schema, b, b_schema, target):
+        return a.join(b) if is_and else a.union(b, self.domain)
+
+    def align_const(self, value, schema, target):
+        return value
+
+    def project_value(self, value, schema, var, is_forall):
+        if is_forall:
+            return value.forall_out(var, self.domain)
+        return value.project_out(var)
+
+    # run-time closures ----------------------------------------------
+
+    def atom_fn(self, name, terms):
+        priv = self.priv
+        return lambda regs, slots: priv.atom_table(slots[name], terms)
+
+    def not_fn(self, sreg, sschema):
+        domain = self.domain
+        return lambda regs, slots: regs[sreg].complement(domain)
+
+    def alias_fn(self, sreg):
+        return lambda regs, slots: regs[sreg]
+
+    def fold_fn(self, is_and, a_reg, a_schema, b_reg, b_schema, target):
+        if is_and:
+            return lambda regs, slots: regs[a_reg].join(regs[b_reg])
+        domain = self.domain
+        return lambda regs, slots: regs[a_reg].union(regs[b_reg], domain)
+
+    def project_fn(self, sreg, sschema, var, is_forall):
+        if is_forall:
+            domain = self.domain
+            return lambda regs, slots: regs[sreg].forall_out(var, domain)
+        return lambda regs, slots: regs[sreg].project_out(var)
+
+
+class _PackedEmit:
+    """Instruction factory for the packed bitset backend.
+
+    Registers hold raw masks; every closure is a fused sequence of codec
+    kernels with the alignment plan (which digits to expand where)
+    resolved at build time — the straight-line analogue of
+    ``PackedTable._aligned``.
+    """
+
+    backend_name = "packed"
+
+    def __init__(self, db: Database, backend: PackedBackend):
+        self.domain = db.domain
+        self.max_bits = backend.max_bits
+        # the *live* codec: runtime PackedRelations (fixpoint recursion
+        # relations) carry it, and the identity check is the fast path
+        self.codec = backend.codec
+        self.priv = PackedBackend(
+            db.domain, max_bits=backend.max_bits, tracer=NULL_TRACER
+        )
+
+    rows_of = staticmethod(popcount)
+
+    def check_width(self, k: int) -> None:
+        if self.codec.size(k) > self.max_bits:
+            raise _Uncompilable(f"packed width {k} over mask-bit cap")
+
+    def predicted_bits(self, k: int) -> Optional[int]:
+        return self.codec.size(k)
+
+    # build-time constant folding ------------------------------------
+
+    def static_atom(self, relation, terms):
+        return self.priv.atom_table(relation, terms).mask
+
+    def equals_value(self, node):
+        return _equals_table(self.priv, self.domain, node).mask
+
+    def taut(self):
+        return 1
+
+    def contra(self):
+        return 0
+
+    def not_value(self, mask, schema):
+        return mask ^ self.codec.full_mask(len(schema))
+
+    def _expand_steps(self, schema, target):
+        """The ``(k, d)`` expand arguments aligning ``schema`` → ``target``."""
+        steps = []
+        cur = list(schema)
+        for var in target:
+            if var not in cur:
+                pos = bisect_left(cur, var)
+                steps.append((len(cur), len(cur) - pos))
+                cur.insert(pos, var)
+        return steps
+
+    def align_const(self, mask, schema, target):
+        expand = self.codec.expand
+        for k, d in self._expand_steps(schema, target):
+            mask = expand(mask, k, d)
+        return mask
+
+    def fold_value(self, is_and, a, a_schema, b, b_schema, target):
+        a = self.align_const(a, a_schema, target)
+        b = self.align_const(b, b_schema, target)
+        return (a & b) if is_and else (a | b)
+
+    def project_value(self, mask, schema, var, is_forall):
+        k = len(schema)
+        d = k - 1 - schema.index(var)
+        return self.codec.project(mask, k, d, universal=is_forall)
+
+    # run-time closures ----------------------------------------------
+
+    def atom_fn(self, name, terms):
+        m = len(terms)
+        var_positions: Dict[str, list] = {}
+        const_positions = []
+        for i, term in enumerate(terms):
+            if isinstance(term, Var):
+                var_positions.setdefault(term.name, []).append(i)
+            elif isinstance(term, Const):
+                const_positions.append((i, term.value))
+            else:
+                raise _Uncompilable(f"unknown term {term!r}")
+        columns = sorted(var_positions)
+        codec = self.codec
+        priv = self.priv
+        # pre-resolve the mask pipeline of PackedBackend._atom_from_mask
+        bad_const = False
+        sels = []
+        for i, value in const_positions:
+            if value not in self.domain:
+                bad_const = True
+                break
+            sels.append((m - 1 - i, self.domain.index_of(value)))
+        eqs = []
+        for positions in var_positions.values():
+            first = positions[0]
+            for p in positions[1:]:
+                eqs.append((m - 1 - first, m - 1 - p))
+        keep_set = {ps[0] for ps in var_positions.values()}
+        drops = sorted(
+            (m - 1 - i for i in range(m) if i not in keep_set), reverse=True
+        )
+        names = sorted(var_positions, key=lambda v: var_positions[v][0])
+        if names != columns:
+            kk = len(columns)
+            src_for = [0] * kk
+            for j, cname in enumerate(columns):
+                src_for[kk - 1 - j] = kk - 1 - names.index(cname)
+        else:
+            src_for = None
+
+        def fn(regs, slots):
+            rel = slots[name]
+            if (
+                rel.__class__ is PackedRelation
+                and rel.codec is codec
+                and rel.arity == m
+            ):
+                if bad_const:
+                    return 0
+                mask = rel.mask
+                for d, v in sels:
+                    mask = codec.select_value(mask, m, d, v)
+                for da, db_ in eqs:
+                    mask &= codec.eq_mask(m, da, db_)
+                k = m
+                for d in drops:
+                    mask = codec.project(mask, k, d, universal=False)
+                    k -= 1
+                if src_for is not None:
+                    mask = codec.permute(mask, k, src_for)
+                return mask
+            # foreign representation (sparse warm-start seed, mismatched
+            # codec, wrong arity) — the backend path raises the same
+            # structured errors the interpreter would
+            return priv.atom_table(rel, terms).mask
+
+        return fn
+
+    def not_fn(self, sreg, sschema):
+        full = self.codec.full_mask(len(sschema))
+        return lambda regs, slots: regs[sreg] ^ full
+
+    def alias_fn(self, sreg):
+        return lambda regs, slots: regs[sreg]
+
+    def fold_fn(self, is_and, a_reg, a_schema, b_reg, b_schema, target):
+        expand = self.codec.expand
+        a_steps = self._expand_steps(a_schema, target)
+        b_steps = self._expand_steps(b_schema, target)
+        if not a_steps and not b_steps:
+            if is_and:
+                return lambda regs, slots: regs[a_reg] & regs[b_reg]
+            return lambda regs, slots: regs[a_reg] | regs[b_reg]
+        if is_and:
+
+            def fn(regs, slots):
+                a = regs[a_reg]
+                for k, d in a_steps:
+                    a = expand(a, k, d)
+                b = regs[b_reg]
+                for k, d in b_steps:
+                    b = expand(b, k, d)
+                return a & b
+
+        else:
+
+            def fn(regs, slots):
+                a = regs[a_reg]
+                for k, d in a_steps:
+                    a = expand(a, k, d)
+                b = regs[b_reg]
+                for k, d in b_steps:
+                    b = expand(b, k, d)
+                return a | b
+
+        return fn
+
+    def project_fn(self, sreg, sschema, var, is_forall):
+        codec = self.codec
+        k = len(sschema)
+        d = k - 1 - sschema.index(var)
+        return lambda regs, slots: codec.project(
+            regs[sreg], k, d, universal=is_forall
+        )
+
+
+# -- the compiler ------------------------------------------------------
+
+
+class _Compiler:
+    def __init__(
+        self,
+        formula: Formula,
+        dynamic: FrozenSet[str],
+        db: Database,
+        backend,
+    ):
+        if len(db.domain) == 0:
+            raise _Uncompilable("empty domain")
+        if isinstance(backend, PackedBackend):
+            self.ops = _PackedEmit(db, backend)
+        elif isinstance(backend, SparseBackend):
+            self.ops = _SparseEmit(db)
+        else:
+            raise _Uncompilable(f"unsupported backend {backend!r}")
+        self.formula = formula
+        self.dynamic = frozenset(dynamic)
+        self.db = db
+        self.init_regs: List[object] = []
+        self.cold: List[tuple] = []
+        self.warm: List[tuple] = []
+        self.tcold: List[tuple] = []
+        self.twarm: List[tuple] = []
+        self.meta: List[dict] = []
+        self.segments: List[tuple] = []
+        self.peak_arity = 0
+        # id-keyed caches hold the node itself for a strong reference
+        self._seen: Dict[int, tuple] = {}
+        self._schemas: Dict[int, tuple] = {}
+        self._rels: Dict[int, tuple] = {}
+
+    # -- analysis helpers ---------------------------------------------
+
+    def _schema(self, node: Formula) -> Tuple[str, ...]:
+        cached = self._schemas.get(id(node))
+        if cached is None:
+            schema = tuple(sorted(free_variables(node)))
+            self.ops.check_width(len(schema))
+            if len(schema) > self.peak_arity:
+                self.peak_arity = len(schema)
+            cached = (node, schema)
+            self._schemas[id(node)] = cached
+        return cached[1]
+
+    def _free_rels(self, node: Formula) -> FrozenSet[str]:
+        cached = self._rels.get(id(node))
+        if cached is None:
+            cached = (node, free_relation_variables(node))
+            self._rels[id(node)] = cached
+        return cached[1]
+
+    def _const_reg(self, value) -> int:
+        self.init_regs.append(value)
+        return len(self.init_regs) - 1
+
+    def _dyn_reg(self) -> int:
+        self.init_regs.append(None)
+        return len(self.init_regs) - 1
+
+    def _note(self, kind, node_name, arity, label=""):
+        self.meta.append(
+            {
+                "kind": kind,
+                "node": node_name,
+                "arity": arity,
+                "bits": self.ops.predicted_bits(arity),
+                "label": label,
+            }
+        )
+
+    # -- emission ------------------------------------------------------
+
+    def build(self) -> Program:
+        root_reg, _ = self._emit(self.formula, True, ())
+        schema = self._schema(self.formula)
+        ops = self.ops
+        return Program(
+            backend_name=ops.backend_name,
+            schema=schema,
+            init_regs=self.init_regs,
+            cold=self.cold,
+            warm=self.warm,
+            traced_cold=self.tcold,
+            traced_warm=self.twarm,
+            root_reg=root_reg,
+            rows_of=ops.rows_of,
+            meta=self.meta,
+            label=formula_label(self.formula),
+            dynamic=self.dynamic,
+            segments=self.segments,
+            codec=ops.codec,
+            peak_arity=self.peak_arity,
+            peak_bits=ops.predicted_bits(self.peak_arity),
+        )
+
+    def _emit(self, node: Formula, warm_visible: bool, path: Tuple[int, ...]):
+        """Emit ``node``; returns ``(register, static_value_or_None)``.
+
+        ``warm_visible`` — whether the interpreter re-visits this
+        occurrence on warm (post-first) evaluations; children of dynamic
+        nodes are, children of static nodes are not (the whole static
+        subtree is served from the parent's memo entry).  ``path`` is the
+        child-index path from the program root, recorded on static
+        segments so the runtime can key the evaluator's memo by the
+        caller's own node objects.
+        """
+        prior = self._seen.get(id(node))
+        if prior is not None:
+            # repeated subtree object: the interpreter's per-evaluator
+            # memo serves it with a memo_hits bump, every visit
+            self.cold.append(_MEMO_U)
+            self.tcold.append(_MEMO_T)
+            if warm_visible:
+                self.warm.append(_MEMO_U)
+                self.twarm.append(_MEMO_T)
+            return prior[1], prior[2]
+        if isinstance(node, (_FixpointBase, SOExists)):
+            raise _Uncompilable(type(node).__name__)
+        if not isinstance(
+            node, (RelAtom, Equals, Truth, Not, And, Or, Exists, Forall)
+        ):
+            raise _Uncompilable(f"unknown node {type(node).__name__}")
+        if self._free_rels(node) & self.dynamic:
+            reg = self._emit_dynamic(node, path)
+            self._seen[id(node)] = (node, reg, None)
+            return reg, None
+        reg, value = self._emit_static(node, warm_visible, path)
+        self._seen[id(node)] = (node, reg, value)
+        return reg, value
+
+    # -- static subtrees: constant-fold now, replay charges later ------
+
+    def _emit_static(
+        self, node: Formula, warm_visible: bool, path: Tuple[int, ...]
+    ):
+        if warm_visible:
+            # on warm visits the interpreter memo serves this subtree root
+            self.warm.append(_MEMO_U)
+            self.twarm.append(_MEMO_T)
+        # the replay is a guarded segment: if the evaluator's memo already
+        # holds this node (a prior evaluation of a formula sharing the
+        # subtree object — semi-naive delta bodies do), the cold run skips
+        # it with one memo_hits bump, like the interpreter's memo lookup
+        ordinal = len(self.segments)
+        self.segments.append(None)
+        seg_at = len(self.cold)
+        self.cold.append(None)
+        tseg_at = len(self.tcold)
+        self.tcold.append(None)
+        tname = type(node).__name__
+        self.tcold.append((_OP_OPEN, f"fo.{tname}", formula_label(node)))
+        value = self._static_body(node, path)
+        schema = self._schema(node)
+        arity = len(schema)
+        rows = self.ops.rows_of(value)
+        self.tcold.append((_OP_CLOSE, -1, arity, rows))
+        self.cold.append((None, -1, tname, 1, arity, rows))
+        self.tcold.append((_OP_CHARGE, -1, tname, arity, rows))
+        self._note("const", tname, arity, formula_label(node))
+        reg = self._const_reg(value)
+        self.cold.append((_SEGEND, ordinal, None, 0, 0, 0))
+        self.tcold.append((_OP_SEGEND, ordinal))
+        self.cold[seg_at] = (
+            _SEG, ordinal, None, len(self.cold) - 1 - seg_at, 0, 0
+        )
+        self.tcold[tseg_at] = (
+            _OP_SEG, ordinal, len(self.tcold) - 1 - tseg_at
+        )
+        self.segments[ordinal] = (path, reg, schema)
+        return reg, value
+
+    def _static_body(self, node: Formula, path: Tuple[int, ...]):
+        ops = self.ops
+        if isinstance(node, RelAtom):
+            return ops.static_atom(self.db.relation(node.name), node.terms)
+        if isinstance(node, Equals):
+            return ops.equals_value(node)
+        if isinstance(node, Truth):
+            return ops.taut() if node.value else ops.contra()
+        if isinstance(node, Not):
+            _, sval = self._emit(node.sub, False, path + (0,))
+            return ops.not_value(sval, self._schema(node.sub))
+        if isinstance(node, (And, Or)):
+            is_and = isinstance(node, And)
+            if not node.subs:
+                return ops.taut() if is_and else ops.contra()
+            fold_name = "And" if is_and else "Or"
+            _, acc = self._emit(node.subs[0], False, path + (0,))
+            acc_schema = self._schema(node.subs[0])
+            for part_index, part in enumerate(node.subs[1:], start=1):
+                _, pval = self._emit(part, False, path + (part_index,))
+                pschema = self._schema(part)
+                target = tuple(sorted(set(acc_schema) | set(pschema)))
+                acc = ops.fold_value(
+                    is_and, acc, acc_schema, pval, pschema, target
+                )
+                acc_schema = target
+                rows = ops.rows_of(acc)
+                self.cold.append(
+                    (None, -1, fold_name, 1, len(target), rows)
+                )
+                self.tcold.append(
+                    (_OP_CHARGE, -1, fold_name, len(target), rows)
+                )
+            return acc
+        if isinstance(node, (Exists, Forall)):
+            _, sval = self._emit(node.sub, False, path + (0,))
+            sschema = self._schema(node.sub)
+            if node.var.name in sschema:
+                return ops.project_value(
+                    sval, sschema, node.var.name, isinstance(node, Forall)
+                )
+            # vacuous quantification over a non-empty domain
+            return sval
+        raise _Uncompilable(f"unknown node {type(node).__name__}")
+
+    # -- dynamic nodes: compute instructions ---------------------------
+
+    def _both(self, untraced, traced):
+        self.cold.append(untraced)
+        self.warm.append(untraced)
+        self.tcold.append(traced)
+        self.twarm.append(traced)
+
+    def _open_both(self, node: Formula):
+        entry = (_OP_OPEN, f"fo.{type(node).__name__}", formula_label(node))
+        self.tcold.append(entry)
+        self.twarm.append(entry)
+
+    def _close_both(self, reg: int, tname: str, arity: int):
+        close = (_OP_CLOSE, reg, arity, 0)
+        charge = (_OP_CHARGE, reg, tname, arity, 0)
+        self.tcold.append(close)
+        self.twarm.append(close)
+        self.tcold.append(charge)
+        self.twarm.append(charge)
+
+    def _compute_node(self, fn, tname: str, arity: int, label: str) -> int:
+        """A plain dynamic node: one compute + the node's wrapper charge."""
+        dst = self._dyn_reg()
+        entry = (fn, dst, tname, 1, arity, 0)
+        self.cold.append(entry)
+        self.warm.append(entry)
+        compute = (_OP_COMPUTE, dst, fn)
+        self.tcold.append(compute)
+        self.twarm.append(compute)
+        self._close_both(dst, tname, arity)
+        self._note("compute", tname, arity, label)
+        return dst
+
+    def _emit_dynamic(self, node: Formula, path: Tuple[int, ...]) -> int:
+        ops = self.ops
+        tname = type(node).__name__
+        label = formula_label(node)
+        schema = self._schema(node)
+        arity = len(schema)
+        self._open_both(node)
+        if isinstance(node, RelAtom):
+            return self._compute_node(
+                ops.atom_fn(node.name, node.terms), tname, arity, label
+            )
+        if isinstance(node, Not):
+            sreg, _ = self._emit(node.sub, True, path + (0,))
+            fn = ops.not_fn(sreg, self._schema(node.sub))
+            return self._compute_node(fn, tname, arity, label)
+        if isinstance(node, (Exists, Forall)):
+            sreg, _ = self._emit(node.sub, True, path + (0,))
+            sschema = self._schema(node.sub)
+            if node.var.name in sschema:
+                fn = ops.project_fn(
+                    sreg, sschema, node.var.name, isinstance(node, Forall)
+                )
+            else:
+                fn = ops.alias_fn(sreg)
+            return self._compute_node(fn, tname, arity, label)
+        if isinstance(node, (And, Or)):
+            return self._emit_fold(node, tname, arity, label, path)
+        # Equals/Truth have no relation variables — never dynamic
+        raise _Uncompilable(f"unexpected dynamic node {tname}")
+
+    def _emit_fold(
+        self, node, tname: str, arity: int, label: str, path: Tuple[int, ...]
+    ) -> int:
+        ops = self.ops
+        is_and = isinstance(node, And)
+        subs = node.subs
+        acc_reg, acc_val = self._emit(subs[0], True, path + (0,))
+        acc_schema = self._schema(subs[0])
+        if len(subs) == 1:
+            return self._compute_node(
+                ops.alias_fn(acc_reg), tname, arity, label
+            )
+        n_folds = len(subs) - 1
+        for idx, part in enumerate(subs[1:]):
+            preg, pval = self._emit(part, True, path + (idx + 1,))
+            pschema = self._schema(part)
+            target = tuple(sorted(set(acc_schema) | set(pschema)))
+            last = idx == n_folds - 1
+            if acc_val is not None and pval is not None:
+                # a static-static fold inside a dynamic node: the
+                # interpreter recomputes (and charges) it on *every*
+                # visit — only node results are memoized, not folds
+                acc_val = ops.fold_value(
+                    is_and, acc_val, acc_schema, pval, pschema, target
+                )
+                rows = ops.rows_of(acc_val)
+                self._both(
+                    (None, -1, tname, 1, len(target), rows),
+                    (_OP_CHARGE, -1, tname, len(target), rows),
+                )
+                self._note("const-fold", tname, len(target), label)
+                acc_reg = None
+            else:
+                if acc_val is not None:
+                    a_reg = self._const_reg(
+                        ops.align_const(acc_val, acc_schema, target)
+                    )
+                    a_schema = target
+                else:
+                    a_reg, a_schema = acc_reg, acc_schema
+                if pval is not None:
+                    b_reg = self._const_reg(
+                        ops.align_const(pval, pschema, target)
+                    )
+                    b_schema = target
+                else:
+                    b_reg, b_schema = preg, pschema
+                fn = ops.fold_fn(
+                    is_and, a_reg, a_schema, b_reg, b_schema, target
+                )
+                dst = self._dyn_reg()
+                # the final fold's charge and the node's wrapper charge
+                # coincide (same rows, same node name): charges=2
+                charges = 2 if last else 1
+                self._both(
+                    (fn, dst, tname, charges, len(target), 0),
+                    (_OP_COMPUTE, dst, fn),
+                )
+                fold_charge = (_OP_CHARGE, dst, tname, len(target), 0)
+                self.tcold.append(fold_charge)
+                self.twarm.append(fold_charge)
+                self._note("fold", tname, len(target), label)
+                acc_reg, acc_val = dst, None
+            acc_schema = target
+        self._close_both(acc_reg, tname, arity)
+        return acc_reg
+
+
+def describe_plans(
+    formula: Formula,
+    db: Database,
+    backend,
+    dynamic: FrozenSet[str] = frozenset(),
+) -> str:
+    """Render every compilable region of ``formula`` for ``--explain-plan``.
+
+    Pure-FO formulas compile whole; fixpoint/SO operators are walked and
+    their *bodies* compiled with the recursion relation marked dynamic —
+    exactly the plan the fixpoint engine runs once per round.  Regions
+    that fall back to the interpreter are reported as such.
+    """
+    sections: List[str] = []
+
+    def visit(node: Formula, dyn: FrozenSet[str]) -> None:
+        program = compile_program(node, dyn, db, backend)
+        if program is not None:
+            sections.append(program.describe())
+            return
+        if isinstance(node, _FixpointBase):
+            sections.append(
+                f"-- {type(node).__name__} {node.rel}"
+                f"({', '.join(v.name for v in node.bound_vars)}): "
+                f"body compiles with {node.rel} dynamic --"
+            )
+            visit(node.body, dyn | {node.rel})
+            return
+        if isinstance(node, SOExists):
+            sections.append(
+                f"-- SOExists {node.rel}/{node.arity}: grounds to SAT; "
+                f"body shown with {node.rel} dynamic --"
+            )
+            visit(node.body, dyn | {node.rel})
+            return
+        if isinstance(node, (Not, Exists, Forall)):
+            visit(node.sub, dyn)
+            return
+        if isinstance(node, (And, Or)):
+            for sub in node.subs:
+                visit(sub, dyn)
+            return
+        sections.append(
+            f"(interpreter fallback: {formula_label(node)})"
+        )
+
+    visit(formula, frozenset(dynamic))
+    if not sections:
+        return "(no compilable regions)"
+    return "\n\n".join(sections)
+
+
+def warm_plans(
+    formula: Formula,
+    db: Database,
+    backend,
+    plans: "PlanCache",
+    dynamic: FrozenSet[str] = frozenset(),
+) -> int:
+    """Pre-build every compilable region of ``formula`` into ``plans``.
+
+    The serve layer calls this at ``prepare()`` time so the first request
+    pays no compile latency.  The walk mirrors :func:`describe_plans` —
+    and, crucially, the evaluator's own plan lookups: a fixpoint body is
+    compiled with its recursion relation dynamic, and the dynamic set is
+    intersected with each node's free relations so warmed keys are
+    exactly the keys :class:`BoundedEvaluator` asks for at eval time.
+
+    Returns the number of compiled (non-fallback) programs now cached.
+    """
+    from time import perf_counter
+
+    built = 0
+
+    def visit(node: Formula, dyn: FrozenSet[str]) -> None:
+        nonlocal built
+        dyn = dyn & free_relation_variables(node)
+        key = plans.key_for(node, dyn, db, backend.name)
+        cached = plans.get(key) if key is not None else None
+        if cached is None:
+            start = perf_counter()
+            program = compile_program(node, dyn, db, backend)
+            plans.record_build(perf_counter() - start)
+            if key is not None:
+                plans.put(key, program)
+            cached = program if program is not None else UNCOMPILABLE
+        if cached is not UNCOMPILABLE:
+            built += 1
+            return
+        if isinstance(node, _FixpointBase) or isinstance(node, SOExists):
+            visit(node.body, dyn | {node.rel})
+        elif isinstance(node, (Not, Exists, Forall)):
+            visit(node.sub, dyn)
+        elif isinstance(node, (And, Or)):
+            for sub in node.subs:
+                visit(sub, dyn)
+
+    visit(formula, frozenset(dynamic))
+    return built
+
+
+def compile_program(
+    formula: Formula,
+    dynamic: FrozenSet[str],
+    db: Database,
+    backend,
+) -> Optional[Program]:
+    """Compile, or return ``None`` to fall back to the interpreter.
+
+    Any failure — unsupported node, over-width packed schema, a static
+    relation that does not resolve, a malformed atom — falls back; the
+    interpreter then raises exactly the structured error it always has.
+    """
+    try:
+        return _Compiler(formula, dynamic, db, backend).build()
+    except _Uncompilable:
+        return None
+    except Exception:
+        return None
+
+
+# -- the plan cache ----------------------------------------------------
+
+
+class _Miss:
+    """Cached negative result: this formula is known uncompilable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<uncompilable>"
+
+
+#: Sentinel distinguishing "cached as uncompilable" from "not cached".
+UNCOMPILABLE = _Miss()
+
+
+class _StructKey:
+    """A formula's structural identity with a cached hash.
+
+    Plan keys are looked up on every evaluator construction, and
+    hashing a formula walks its whole tree.  The wrapper computes the
+    structural hash (and the free-relation set) once per formula
+    object; equality short-circuits on identity, so repeated lookups
+    with the same parsed formula never re-walk the tree, while
+    distinct-but-equal formulas still compare structurally.
+    """
+
+    __slots__ = ("formula", "free_rels", "_hash")
+
+    def __init__(self, formula: Formula):
+        self.formula = formula
+        self.free_rels = free_relation_variables(formula)
+        self._hash = hash(formula)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, _StructKey):
+            return NotImplemented
+        return self.formula == other.formula
+
+    def __repr__(self) -> str:
+        return f"_StructKey({self.formula!r})"
+
+
+#: id(formula) → wrapper memo.  Entries hold a strong reference to the
+#: formula, so a live id can never be recycled; the cap only bounds the
+#: memo for pathological formula churn.
+_STRUCT_KEYS: Dict[int, _StructKey] = {}
+_STRUCT_KEYS_MAX = 4096
+
+
+def _struct_key(formula: Formula) -> _StructKey:
+    key = _STRUCT_KEYS.get(id(formula))
+    if key is None:
+        if len(_STRUCT_KEYS) >= _STRUCT_KEYS_MAX:
+            _STRUCT_KEYS.clear()
+        key = _StructKey(formula)
+        _STRUCT_KEYS[id(formula)] = key
+    return key
+
+
+PlanKey = Tuple[
+    _StructKey,
+    Tuple[object, ...],
+    str,
+    int,
+    Tuple[str, ...],
+    Tuple[Tuple[str, object], ...],
+]
+
+
+class PlanCache:
+    """A bounded LRU of compiled plans, keyed like ``SubqueryCache``.
+
+    The key embeds the structural formula, the domain, the backend name,
+    the set of dynamic relation names, the database's ``generation``
+    mutation counter, and the ``state_key`` of every relation the plan
+    constant-folded at build time — so ``Database.add_fact`` /
+    ``remove_fact`` (which bump the generation) can never be served a
+    plan whose folded constants predate the mutation.
+
+    Negative results are cached too (as :data:`UNCOMPILABLE`), so a
+    formula that falls back to the interpreter is not re-analyzed on
+    every evaluation.
+
+    Counters surface as ``compile.hits`` / ``compile.misses`` /
+    ``compile.evictions`` plus the ``compile.entries`` gauge, and build
+    work as ``compile.builds`` / the ``compile.build_ms`` histogram —
+    visible in ``--stats`` reports and the serve ``/metrics`` exposition.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = PLAN_CACHE_MAX_ENTRIES,
+        registry: Optional[MetricsRegistry] = None,
+        store: Optional["OrderedDict[PlanKey, object]"] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("compile.hits")
+        self._misses = self.registry.counter("compile.misses")
+        self._evictions = self.registry.counter("compile.evictions")
+        self._entries_gauge = self.registry.gauge("compile.entries")
+        self._builds = self.registry.counter("compile.builds")
+        self._build_ms = self.registry.histogram("compile.build_ms")
+        # ``store`` lets instances share plan *storage* (the process
+        # default) while keeping telemetry per instance/evaluation
+        self._entries: "OrderedDict[PlanKey, object]" = (
+            store if store is not None else OrderedDict()
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def builds(self) -> int:
+        return self._builds.value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self,
+        formula: Formula,
+        dynamic: FrozenSet[str],
+        db: Database,
+        backend_name: str,
+    ) -> Optional[PlanKey]:
+        """The structural plan key, or ``None`` when unkeyable.
+
+        Static (non-dynamic) free relations are folded into the compiled
+        plan's constant registers, so their current state is part of the
+        key; dynamic relations enter plans symbolically and key by name
+        only.
+        """
+        skey = _struct_key(formula)
+        fingerprint = []
+        for name in sorted(skey.free_rels - dynamic):
+            try:
+                relation = db.relation(name)
+            except Exception:
+                return None
+            fingerprint.append((name, relation.state_key()))
+        return (
+            skey,
+            db.domain.values,
+            backend_name,
+            db.generation,
+            tuple(sorted(dynamic)),
+            tuple(fingerprint),
+        )
+
+    def get(self, key: PlanKey):
+        """``Program``, :data:`UNCOMPILABLE`, or ``None`` when absent."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._hits.inc()
+        return entry
+
+    def put(self, key: PlanKey, program: Optional[Program]) -> None:
+        self._entries[key] = program if program is not None else UNCOMPILABLE
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions.inc()
+        self._entries_gauge.set(len(self._entries))
+
+    def record_build(self, seconds: float) -> None:
+        self._builds.inc()
+        self._build_ms.observe(seconds * 1000.0)
+
+    def invalidate(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._entries_gauge.set(0)
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, builds={self.builds})"
+        )
+
+
+#: Process-wide default plan storage.  Plan keys embed the domain, the
+#: database generation, and every folded relation's ``state_key``, so
+#: sharing compiled programs across evaluations (and across value-equal
+#: databases) can never serve a stale plan — it only amortizes builds.
+_DEFAULT_STORE: "OrderedDict[PlanKey, object]" = OrderedDict()
+
+
+def resolve_plan_cache(value, registry: Optional[MetricsRegistry] = None):
+    """Normalize an ``EvalOptions.plan_cache`` value.
+
+    ``None`` (the default) → a cache with per-evaluation ``compile.*``
+    counters backed by the process-wide plan store, so repeated solves
+    of the same query compile once per process; ``True`` → a fully
+    private fresh cache; ``False`` → no cache; a :class:`PlanCache`
+    instance passes through, which is how the serve layer shares plans
+    across requests.
+    """
+    if value is False:
+        return None
+    if value is None:
+        return PlanCache(registry=registry, store=_DEFAULT_STORE)
+    if value is True:
+        return PlanCache(registry=registry)
+    return value
+
+
+__all__ = [
+    "COMPILE_ENV",
+    "PLAN_CACHE_MAX_ENTRIES",
+    "PlanCache",
+    "PlanKey",
+    "Program",
+    "UNCOMPILABLE",
+    "compile_program",
+    "describe_plans",
+    "resolve_compile",
+    "resolve_plan_cache",
+    "subformula_at",
+    "warm_plans",
+]

@@ -49,6 +49,7 @@ def _options(
     tracer,
     k_limit: Optional[int] = None,
     backend: Optional[str] = None,
+    compile: Optional[bool] = None,
 ):
     from repro.core.engine import EvalOptions
     from repro.core.fp_eval import FixpointStrategy
@@ -62,7 +63,21 @@ def _options(
         budget=budget,
         trace=tracer,
         backend=backend,
+        compile=compile,
     )
+
+
+@functools.lru_cache(maxsize=64)
+def _parsed(text: str):
+    """Parse a workload query once per process.
+
+    The sweeps measure *evaluation*, and every repetition would otherwise
+    re-tokenize the same fixed query string — pure constant overhead that
+    dilutes the per-point timings at small n.
+    """
+    from repro.logic.parser import parse_formula
+
+    return parse_formula(text)
 
 
 def _counters(result, extra: Optional[Dict[str, float]] = None) -> Dict[str, float]:
@@ -81,23 +96,27 @@ def tc_workload(
     strategy: str = "seminaive",
     deadline: Optional[float] = None,
     backend: Optional[str] = None,
+    compile: bool = False,
 ) -> Dict[str, float]:
     """Transitive closure of a path graph — the T2-FP strategy sweep.
 
     A path graph maximizes fixpoint depth (n-1 rounds), so the
     iteration/delta counters separate the fixpoint strategies cleanly;
     the whole workload is seed-free and fully deterministic.
+    ``compile=True`` routes the fixpoint bodies through the straight-line
+    plan compiler — the counters must not move (that is the compiled
+    lane's regression contract), only the wall clock.
     """
     from repro.core.engine import evaluate
-    from repro.logic.parser import parse_formula
     from repro.workloads.graphs import path_graph
 
     n = int(parameter)
     result = evaluate(
-        parse_formula(TC_QUERY),
+        _parsed(TC_QUERY),
         path_graph(n),
         ("u", "v"),
-        _options(strategy, deadline, tracer, backend=backend),
+        _options(strategy, deadline, tracer, backend=backend,
+                 compile=compile or None),
     )
     return _counters(result)
 
@@ -323,7 +342,19 @@ EXPERIMENTS: Dict[str, PerfExperiment] = {
         workload=tc_workload,
         options={"strategy": "seminaive", "backend": "packed"},
         fit_counters=("table_ops", "answer_rows"),
-        repetitions=1,
+        # min-of-5 with warmup: the packed pair is the compiled-vs-
+        # interpreted comparison, so both sides measure steady state
+        repetitions=5,
+    ),
+    "T2-FP-COMPILED": PerfExperiment(
+        experiment_id="T2-FP-COMPILED",
+        title="FP^k transitive closure: compiled plans on the packed kernel",
+        parameters=(6.0, 10.0, 14.0, 18.0, 26.0),
+        workload=tc_workload,
+        options={"strategy": "seminaive", "backend": "packed",
+                 "compile": True},
+        fit_counters=("table_ops", "answer_rows"),
+        repetitions=5,
     ),
     "T2-FO": PerfExperiment(
         experiment_id="T2-FO",
@@ -359,6 +390,7 @@ EXPERIMENTS: Dict[str, PerfExperiment] = {
 ALIASES: Dict[str, str] = {
     "bench_table2_fp": "T2-FP",
     "bench_table2_fp_packed": "T2-FP-PACKED",
+    "bench_table2_fp_compiled": "T2-FP-COMPILED",
     "bench_table2_fo": "T2-FO",
     "bench_table2_eso": "T2-ESO",
     "bench_serve": "SERVE",
@@ -400,9 +432,13 @@ def explain_target(
         parameter if parameter is not None else experiment.parameters[-1]
     )
     options: Dict[str, object] = {}
-    if experiment.experiment_id in ("T2-FP", "T2-FP-PACKED"):
+    if experiment.experiment_id in (
+        "T2-FP", "T2-FP-PACKED", "T2-FP-COMPILED"
+    ):
         options["strategy"] = experiment.options["strategy"]
         options["backend"] = experiment.options["backend"]
+        if experiment.options.get("compile"):
+            options["compile"] = True
         return parse_formula(TC_QUERY), path_graph(n), ("u", "v"), options
     if experiment.experiment_id == "T2-FO":
         q = path_query_fo3(int(experiment.options["path_len"]))

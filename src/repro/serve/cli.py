@@ -95,6 +95,7 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         telemetry_path=args.telemetry,
         fault_injector=injector,
         flight_dump_dir=args.flight_dump,
+        compile=args.compile,
     )
     for tenant, weight in (("t0", 1.0), ("t1", 1.0), ("t2", 2.0), ("t3", 4.0)):
         service.set_tenant(
@@ -374,6 +375,14 @@ def add_serve_parser(sub) -> None:
                    help="register a database file (repeatable)")
     p.add_argument("--prepare", action="append", metavar="NAME=OUTVARS=QUERY",
                    help="prepare a named query (repeatable)")
+    compile_group = p.add_mutually_exclusive_group()
+    compile_group.add_argument(
+        "--compile", dest="compile", action="store_true", default=None,
+        help="compile prepared queries into specialized plans at "
+        "prepare() time (default: REPRO_COMPILE env)")
+    compile_group.add_argument(
+        "--no-compile", dest="compile", action="store_false",
+        help="force interpreted evaluation")
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="append per-request JSONL telemetry to PATH")
     p.add_argument("--flight-dump", default=None, metavar="DIR",

@@ -68,6 +68,7 @@ from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.slo import SLOBoard, SLOPolicy
 from repro.perf.cache import SubqueryCache
+from repro.perf.compile import PlanCache, resolve_compile
 from repro.serve.admission import AdmissionController, TenantPolicy
 from repro.serve.retry import CircuitBreaker, RetryPolicy
 from repro.serve.telemetry import TelemetryLog
@@ -172,6 +173,15 @@ class QueryService:
         ``True`` shares one :class:`~repro.perf.cache.SubqueryCache`
         across requests (inline path) and enables per-process worker
         caches (pool path); an instance is used as-is; falsy disables.
+    compile:
+        Route evaluation through the straight-line query compiler
+        (:mod:`repro.perf.compile`).  ``None`` (default) consults
+        ``REPRO_COMPILE``.  When on, the service keeps one shared
+        generation-keyed :class:`~repro.perf.compile.PlanCache`
+        (``compile.*`` counters land in the registry and ``/metrics``),
+        prepared queries compile against every registered database at
+        :meth:`prepare` time, and pool workers keep a per-process plan
+        cache — the compiled analogue of the worker subquery cache.
     fault_injector:
         Optional ``request_index -> ChaosSpec`` hook — how the smoke
         test and the chaos bench inject faults into a live service
@@ -195,6 +205,7 @@ class QueryService:
         retry: Optional[RetryPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
         cache: Union[bool, SubqueryCache, None] = True,
+        compile: Union[bool, None] = None,
         telemetry_path: Optional[str] = None,
         fault_injector: Optional[Callable[[int], ChaosSpec]] = None,
         slo: Optional[SLOPolicy] = None,
@@ -225,6 +236,10 @@ class QueryService:
             self._cache = cache
         else:
             self._cache = None
+        self._compile = resolve_compile(compile)
+        self._plans: Optional[PlanCache] = (
+            PlanCache(registry=self.registry) if self._compile else None
+        )
         self.telemetry = TelemetryLog(telemetry_path)
         self.fault_injector = fault_injector
         self.started = clock()
@@ -262,6 +277,9 @@ class QueryService:
                 f"register_database expects a Database, got {type(db).__name__}"
             )
         self._dbs[name] = db
+        if self._plans is not None:
+            for query in self._queries.values():
+                self._warm_plans(query, [db])
 
     def database(self, name: str) -> Database:
         try:
@@ -289,6 +307,10 @@ class QueryService:
             )
         if applied and self._cache is not None:
             self._cache.invalidate()
+        if applied and self._plans is not None:
+            # generation keys already make stale plans unreachable; the
+            # invalidation releases their folded constant registers
+            self._plans.invalidate()
         return {
             "applied": applied,
             "db": db_name,
@@ -299,15 +321,41 @@ class QueryService:
         self, name: str, text: str, output_vars: Sequence[str] = ()
     ) -> Dict[str, object]:
         """Parse, validate, and store a named query — compiled once here,
-        evaluated many times by :meth:`call`."""
+        evaluated many times by :meth:`call`.
+
+        With the query compiler on, the formula also compiles into the
+        shared plan cache against every registered database now, so the
+        first ``call`` starts on the plan-cache hit path."""
         query = Query.parse(text, output_vars=output_vars, name=name)
         self._queries[name] = query
-        return {
+        info = {
             "name": name,
             "width": query.width,
             "language": query.language.value,
             "arity": query.arity,
         }
+        if self._plans is not None:
+            info["compiled_plans"] = self._warm_plans(
+                query, self._dbs.values()
+            )
+        return info
+
+    def _warm_plans(self, query: Query, dbs) -> int:
+        """Build (or confirm cached) plans for ``query`` over ``dbs``.
+
+        Pure-FO queries compile whole; fixpoint queries warm their bodies
+        with the recursion relation dynamic — the same per-round plan the
+        evaluator looks up, so the first request pays no compile latency.
+        Returns how many compiled regions are now cached across ``dbs``.
+        """
+        from repro.kernel.backend import resolve_backend
+        from repro.perf.compile import warm_plans
+
+        built = 0
+        for db in dbs:
+            backend = resolve_backend(None, db.domain)
+            built += warm_plans(query.formula, db, backend, self._plans)
+        return built
 
     def query(self, name: str) -> Query:
         try:
@@ -539,6 +587,7 @@ class QueryService:
                 allow_crash=served_by == "pool",
                 request_id=request_id,
                 trace=trace,
+                compile=self._compile,
             )
             attempt_start = self._clock() - serve_start
             try:
@@ -546,7 +595,9 @@ class QueryService:
                     raw = await self._pool.submit(payload)
                 else:
                     raw = evaluate_payload(
-                        payload, cache=self._cache if cache_on else None
+                        payload,
+                        cache=self._cache if cache_on else None,
+                        plans=self._plans,
                     )
                 breaker.record_success()
                 attempt_trail.append(

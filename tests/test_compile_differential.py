@@ -1,0 +1,409 @@
+"""Compiled-plan differential harness: the query compiler vs the interpreter.
+
+The straight-line plan compiler (``src/repro/perf/compile.py``) is only
+shippable because this suite pins it to the tree-walking interpreter:
+for random FO formulas and an FP/PFP corpus over random databases,
+``EvalOptions(compile=True)`` must produce exactly the relations — and
+exactly the representation-independent stats counters, including
+``memo_hits`` and ``table_ops`` — that ``compile=False`` produces, on
+both backends and under every fixpoint strategy.
+
+The parity contract extends past happy paths: guard-budget exhaustion
+and injected chaos faults must surface the *same* structured error at
+the same point either way, traced runs must emit the same ``fo.*`` span
+multiset (plus the compiler's own ``compile.run``), and the plan cache
+must never serve a plan whose folded constants predate a
+``Database.add_fact`` / ``remove_fact`` (generation keys).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import EvalOptions, evaluate
+from repro.core.fp_eval import FixpointStrategy
+from repro.database.database import Database
+from repro.guard.budget import Budget
+from repro.guard.chaos import ChaosPolicy
+from repro.kernel.backend import resolve_backend
+from repro.kernel.packed import (
+    ALIGN_CACHE_LIMIT,
+    ATOM_CACHE_LIMIT,
+    BoundedMaskCache,
+    DomainCodec,
+)
+from repro.logic.parser import parse_formula
+from repro.obs.tracer import Tracer
+from repro.perf.compile import (
+    UNCOMPILABLE,
+    PlanCache,
+    compile_program,
+    describe_plans,
+    warm_plans,
+)
+
+BACKENDS = ("sparse", "packed")
+
+
+def _db(seed: int = 0, n: int = 6) -> Database:
+    rng = random.Random(seed)
+    return Database.from_tuples(
+        range(n),
+        {
+            "E": (2, [(i, j) for i in range(n) for j in range(n)
+                      if rng.random() < 0.35]),
+            "P": (1, [(i,) for i in range(n) if rng.random() < 0.5]),
+            "Q": (1, [(i,) for i in range(n) if rng.random() < 0.4]),
+        },
+    )
+
+
+def _run(formula, db, out, compiled, backend, strategy=None, **kw):
+    options = EvalOptions(
+        compile=compiled,
+        backend=backend,
+        strategy=strategy or FixpointStrategy.MONOTONE,
+        **kw,
+    )
+    return evaluate(formula, db, out, options)
+
+
+def _stats(result):
+    """The representation-independent counters (the parity contract)."""
+    return {
+        k: v for k, v in result.stats.as_dict().items()
+        if not k.startswith("kernel") and not k.startswith("compile")
+    }
+
+
+def _assert_parity(formula, db, out, backend, strategy=None):
+    interp = _run(formula, db, out, False, backend, strategy)
+    comp = _run(formula, db, out, True, backend, strategy)
+    assert sorted(interp.relation.tuples) == sorted(comp.relation.tuples)
+    assert _stats(interp) == _stats(comp)
+
+
+# -- random FO formulas ------------------------------------------------
+
+_ATOMS = st.sampled_from([
+    "E(x, y)", "E(y, x)", "E(x, x)", "E(y, z)", "E(z, x)",
+    "P(x)", "P(y)", "Q(y)", "Q(z)", "x = y", "y = z",
+])
+
+
+def _combine(children):
+    binary = st.tuples(children, st.sampled_from(["&", "|"]), children).map(
+        lambda t: "({} {} {})".format(t[0], t[1], t[2])
+    )
+    negate = children.map(lambda f: "~{}".format(f))
+    quantify = st.tuples(
+        st.sampled_from(["exists", "forall"]),
+        st.sampled_from(["x", "y", "z"]),
+        children,
+    ).map(lambda t: "{} {}. {}".format(t[0], t[1], t[2]))
+    return st.one_of(binary, negate, quantify)
+
+
+FO_FORMULAS = st.recursive(_ATOMS, _combine, max_leaves=8)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(text=FO_FORMULAS, seed=st.integers(0, 7), backend=st.sampled_from(BACKENDS))
+def test_random_fo_differential(text, seed, backend):
+    formula = parse_formula("exists z. ({})".format(text))
+    _assert_parity(formula, _db(seed), ("x", "y"), backend)
+
+
+# -- FP / PFP corpus ---------------------------------------------------
+
+FP_CORPUS = [
+    ("[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](x, y)",
+     ("x", "y")),
+    ("[lfp S(x). P(x) | exists y. (E(y, x) & S(y))](x)", ("x",)),
+    ("exists y. [lfp S(x). x = y | exists z. (E(z, x) & S(z))](x)",
+     ("x", "y")),
+    ("[gfp S(x). P(x) & forall y. (E(x, y) -> S(y))](x)", ("x",)),
+    ("[lfp T(x). [lfp S(y). P(y) | exists z. (E(z, y) & S(z))](x) "
+     "| exists y. (E(x, y) & T(y))](x)", ("x",)),
+]
+
+PFP_CORPUS = [
+    ("[pfp S(x). P(x) | exists y. (E(x, y) & ~S(y))](x)", ("x",)),
+    ("[pfp X(x). Q(x) | exists y. (E(y, x) & X(y))](x)", ("x",)),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", [
+    FixpointStrategy.MONOTONE,
+    FixpointStrategy.NAIVE,
+    FixpointStrategy.SEMINAIVE,
+])
+@pytest.mark.parametrize("text,out", FP_CORPUS)
+def test_fp_corpus_differential(text, out, strategy, backend):
+    _assert_parity(parse_formula(text), _db(3), out, backend, strategy)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("text,out", PFP_CORPUS)
+def test_pfp_corpus_differential(text, out, backend):
+    _assert_parity(parse_formula(text), _db(5), out, backend)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), backend=st.sampled_from(BACKENDS))
+def test_fp_random_db_differential(seed, backend):
+    text, out = FP_CORPUS[seed % len(FP_CORPUS)]
+    _assert_parity(
+        parse_formula(text), _db(seed, n=5), out, backend,
+        FixpointStrategy.SEMINAIVE,
+    )
+
+
+# -- structured-failure parity ----------------------------------------
+
+def _outcome(formula, db, out, compiled, backend, **kw):
+    try:
+        result = _run(formula, db, out, compiled, backend,
+                      FixpointStrategy.SEMINAIVE, **kw)
+        return ("ok", sorted(result.relation.tuples))
+    except Exception as exc:
+        return (type(exc).__name__, str(exc)[:80])
+
+
+GUARD_QUERIES = [
+    ("exists y. (E(x, y) & exists z. (E(y, z) & P(z)))", ("x",)),
+    ("[lfp S(x, y). E(x, y) | exists z. (E(x, z) & S(z, y))](x, y)",
+     ("x", "y")),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("text,out", GUARD_QUERIES)
+def test_guard_exhaustion_parity(text, out, backend):
+    formula = parse_formula(text)
+    db = _db(1)
+    tripped = 0
+    for rows in (1, 5, 10, 20, 50, 200):
+        interp = _outcome(formula, db, out, False, backend,
+                          budget=Budget(max_rows=rows))
+        comp = _outcome(formula, db, out, True, backend,
+                        budget=Budget(max_rows=rows))
+        assert interp == comp, "budget rows={}: {} != {}".format(
+            rows, interp, comp)
+        if interp[0].endswith("BudgetExceeded"):
+            tripped += 1
+    assert tripped >= 1  # the sweep must actually exhaust at least once
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("text,out", GUARD_QUERIES)
+def test_chaos_fault_parity(text, out, backend):
+    formula = parse_formula(text)
+    db = _db(1)
+    fired = 0
+    for fail_at in (1, 3, 7, 13):
+        interp = _outcome(formula, db, out, False, backend,
+                          chaos=ChaosPolicy(seed=42, fail_at=fail_at))
+        comp = _outcome(formula, db, out, True, backend,
+                        chaos=ChaosPolicy(seed=42, fail_at=fail_at))
+        assert interp == comp, "chaos fail_at={}: {} != {}".format(
+            fail_at, interp, comp)
+        if interp[0] != "ok":
+            fired += 1
+    assert fired >= 1  # the sweep must actually inject at least one fault
+
+
+# -- tracing parity ----------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_traced_compiled_matches_interpreted_spans(backend):
+    text, out = FP_CORPUS[0]
+    formula = parse_formula(text)
+    db = _db(2)
+    ti, tc = Tracer(), Tracer()
+    interp = _run(formula, db, out, False, backend,
+                  FixpointStrategy.SEMINAIVE, trace=ti)
+    comp = _run(formula, db, out, True, backend,
+                FixpointStrategy.SEMINAIVE, trace=tc)
+    assert sorted(interp.relation.tuples) == sorted(comp.relation.tuples)
+    assert _stats(interp) == _stats(comp)
+    fo_i = sorted(s.name for s in ti.spans if s.name.startswith("fo."))
+    fo_c = sorted(s.name for s in tc.spans if s.name.startswith("fo."))
+    assert fo_i == fo_c
+    assert any(s.name == "compile.run" for s in tc.spans)
+    assert not any(s.name == "compile.run" for s in ti.spans)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_traced_equals_untraced_compiled(backend):
+    text, out = FP_CORPUS[4]
+    formula = parse_formula(text)
+    db = _db(4)
+    plain = _run(formula, db, out, True, backend)
+    traced = _run(formula, db, out, True, backend, trace=Tracer())
+    assert sorted(plain.relation.tuples) == sorted(traced.relation.tuples)
+    assert _stats(plain) == _stats(traced)
+
+
+# -- the plan cache ----------------------------------------------------
+
+def test_plan_cache_never_serves_stale_after_mutation():
+    text, out = FP_CORPUS[0]
+    formula = parse_formula(text)
+    db = _db(6)
+    plans = PlanCache()
+    def opts():
+        return EvalOptions(compile=True, plan_cache=plans)
+
+    before = sorted(evaluate(formula, db, out, opts()).relation.tuples)
+    assert sorted(
+        evaluate(formula, db, out, EvalOptions(compile=False)).relation.tuples
+    ) == before
+
+    missing = next(
+        (a, b) for a in db.domain.values for b in db.domain.values
+        if (a, b) not in db.relation("E").tuples
+    )
+    assert db.add_fact("E", missing)
+    after_add = sorted(evaluate(formula, db, out, opts()).relation.tuples)
+    assert after_add == sorted(
+        evaluate(formula, db, out, EvalOptions(compile=False)).relation.tuples
+    )
+
+    assert db.remove_fact("E", missing)
+    after_remove = sorted(evaluate(formula, db, out, opts()).relation.tuples)
+    assert after_remove == before
+
+
+def test_plan_cache_hits_builds_and_lru():
+    formula = parse_formula("exists y. (E(x, y) & P(y))")
+    db = _db(0)
+    plans = PlanCache()
+    for _ in range(3):
+        evaluate(
+            formula, db, ("x",), EvalOptions(compile=True, plan_cache=plans)
+        )
+    assert plans.builds >= 1
+    assert plans.hits >= 2
+
+    small = PlanCache(max_entries=2)
+    backend = resolve_backend("sparse", db.domain)
+    keys = []
+    for text in ("P(x)", "Q(x)", "P(x) & Q(x)"):
+        f = parse_formula(text)
+        key = small.key_for(f, frozenset(), db, backend.name)
+        small.put(key, compile_program(f, frozenset(), db, backend))
+        keys.append(key)
+    assert len(small) == 2
+    assert small.evictions == 1
+    assert small.get(keys[0]) is None  # oldest evicted
+
+
+def test_plan_cache_caches_negative_results():
+    db = _db(0)
+    plans = PlanCache()
+    backend = resolve_backend("sparse", db.domain)
+    formula = parse_formula(FP_CORPUS[0][0])  # fixpoint root: uncompilable
+    key = plans.key_for(formula, frozenset(), db, backend.name)
+    assert plans.get(key) is None
+    plans.put(key, compile_program(formula, frozenset(), db, backend))
+    assert plans.get(key) is UNCOMPILABLE
+
+
+def test_warm_plans_prebuilds_fixpoint_bodies():
+    db = _db(0)
+    plans = PlanCache()
+    backend = resolve_backend("sparse", db.domain)
+    formula = parse_formula(FP_CORPUS[0][0])
+    assert warm_plans(formula, db, backend, plans) >= 1
+    evaluate(
+        formula, db, ("x", "y"),
+        # pin the backend: the warmed keys name it, and the suite also
+        # runs under a REPRO_BENCH_BACKEND=packed lane
+        EvalOptions(compile=True, plan_cache=plans, backend="sparse",
+                    strategy=FixpointStrategy.MONOTONE),
+    )
+    assert plans.hits >= 1  # the evaluator reused the warmed body plan
+
+
+def test_describe_plans_renders_compilable_regions():
+    db = _db(0)
+    backend = resolve_backend("sparse", db.domain)
+    rendered = describe_plans(parse_formula(FP_CORPUS[0][0]), db, backend)
+    assert "dynamic" in rendered  # the fixpoint section header
+    assert "fold" in rendered or "compute" in rendered
+
+
+# -- bounded kernel caches (satellite: kernel.cache.*) ----------------
+
+def test_bounded_mask_cache_caps_and_counts():
+    stats = {"t_hits": 0, "t_misses": 0, "t_evictions": 0, "events": 0}
+    cache = BoundedMaskCache(3, stats, "t")
+    for i in range(5):
+        assert cache.get(("k", i)) is None
+        cache.put(("k", i), i)
+    assert len(cache) == 3
+    assert stats["t_evictions"] == 2
+    assert cache.get(("k", 4)) == 4
+    assert stats["t_hits"] == 1
+    assert stats["t_misses"] == 5
+    assert stats["t_evictions"] == 2
+    # the change counter lets the backend skip stat syncs when idle:
+    # 5 misses + 2 evictions + 1 hit
+    assert stats["events"] == 8
+    # LRU order: touching an entry protects it from the next eviction
+    cache.get(("k", 2))
+    cache.put(("k", 9), 9)
+    assert cache.get(("k", 2)) == 2
+    assert cache.get(("k", 3)) is None
+
+
+def test_align_and_atom_caches_are_bounded():
+    from repro.database.domain import Domain
+
+    codec = DomainCodec(Domain(range(2)))
+    table = resolve_backend("packed", Domain(range(2))).full(["a"])
+    # hammer one table with more join schemas than the cap
+    for i in range(ALIGN_CACHE_LIMIT + 10):
+        table._aligned(tuple(sorted(["a", "v{:03d}".format(i)])))
+    assert len(table._align_cache) <= ALIGN_CACHE_LIMIT
+    assert table._codec.cache_stats["align_evictions"] >= 10
+    assert codec.atom_masks._entries is not None  # LRU-backed, not a dict
+
+
+def test_kernel_cache_counters_reach_registry():
+    formula = parse_formula(FP_CORPUS[0][0])
+    result = _run(formula, _db(0), ("x", "y"), False, "packed",
+                  FixpointStrategy.SEMINAIVE)
+    snap = result.stats.registry.snapshot()
+    assert "kernel.cache.atom_misses" in snap
+    assert "kernel.cache.align_hits" in snap
+    assert snap["kernel.cache.atom_misses"] >= 0
+
+
+def test_cli_explain_plan_renders_fixpoint_regions(tmp_path, capsys):
+    from repro.cli import main
+    from repro.database.encoding import encode_database
+    from repro.workloads.graphs import path_graph
+
+    db_path = tmp_path / "g.db"
+    db_path.write_text(encode_database(path_graph(4)))
+    code = main([
+        "eval", "--db", str(db_path),
+        "--query", "[lfp S(x,y). E(x,y) | exists z. (E(x,z) & S(z,y))](u,v)",
+        "--out", "u", "v", "--explain-plan", "--backend", "packed",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "body compiles with S dynamic" in out
+    assert "compiled plan [packed]" in out
+    assert "dynamic relations: S" in out
+    assert "warm ops:" in out
